@@ -1,0 +1,49 @@
+package libshalom
+
+import "libshalom/internal/core"
+
+// SBatchEntry is one independent FP32 GEMM of a batch call.
+type SBatchEntry = core.BatchEntry[float32]
+
+// DBatchEntry is one independent FP64 GEMM of a batch call.
+type DBatchEntry = core.BatchEntry[float64]
+
+// SGEMMBatch executes many independent small FP32 GEMMs under one mode,
+// spreading entries across the context's worker pool. This is the paper's
+// small-GEMM parallelization model (§7.4): each problem runs the
+// single-threaded driver; parallelism comes from problem independence —
+// the pattern CP2K's block-sparse multiplications use.
+//
+// Entries must not write overlapping C storage; CheckBatchAliasing from
+// the same package family is available through core for debug use.
+func (c *Context) SGEMMBatch(mode Mode, batch []SBatchEntry) error {
+	threads := c.threads
+	if threads == 0 {
+		threads = batchThreads(len(batch))
+	}
+	cfg := core.Config{Plat: c.plat, Threads: threads, Pool: c.ensurePool(threads)}
+	return core.SGEMMBatch(cfg, mode, batch)
+}
+
+// DGEMMBatch is the FP64 counterpart of SGEMMBatch.
+func (c *Context) DGEMMBatch(mode Mode, batch []DBatchEntry) error {
+	threads := c.threads
+	if threads == 0 {
+		threads = batchThreads(len(batch))
+	}
+	cfg := core.Config{Plat: c.plat, Threads: threads, Pool: c.ensurePool(threads)}
+	return core.DGEMMBatch(cfg, mode, batch)
+}
+
+// batchThreads is the automatic policy for batch calls: one thread for a
+// single entry, otherwise up to one worker per entry bounded by the
+// machine's parallelism.
+func batchThreads(entries int) int {
+	if entries < 2 {
+		return 1
+	}
+	if p := gomaxprocs(); entries > p {
+		return p
+	}
+	return entries
+}

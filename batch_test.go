@@ -1,0 +1,91 @@
+package libshalom
+
+import (
+	"testing"
+
+	"libshalom/internal/mat"
+)
+
+func TestPublicSGEMMBatch(t *testing.T) {
+	ctx := New()
+	defer ctx.Close()
+	rng := mat.NewRNG(9)
+	const count = 24
+	batch := make([]SBatchEntry, count)
+	wants := make([]*mat.F32, count)
+	for i := range batch {
+		m := rng.Intn(24) + 1
+		a := mat.RandomF32(m, m, rng)
+		b := mat.RandomF32(m, m, rng)
+		c := mat.NewF32(m, m)
+		want := mat.NewF32(m, m)
+		mat.RefGEMMF32(mat.NoTrans, mat.NoTrans, 1, a, b, 0, want)
+		wants[i] = want
+		batch[i] = SBatchEntry{M: m, N: m, K: m, Alpha: 1,
+			A: a.Data, LDA: a.Stride, B: b.Data, LDB: b.Stride, Beta: 0, C: c.Data, LDC: c.Stride}
+	}
+	if err := ctx.SGEMMBatch(NN, batch); err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range batch {
+		got := &mat.F32{Rows: e.M, Cols: e.N, Stride: e.LDC, Data: e.C}
+		if !got.Equal(wants[i], 1e-3) {
+			t.Fatalf("entry %d wrong", i)
+		}
+	}
+}
+
+func TestPublicDGEMMBatchNT(t *testing.T) {
+	ctx := New(WithThreads(3))
+	defer ctx.Close()
+	rng := mat.NewRNG(10)
+	const count = 7
+	batch := make([]DBatchEntry, count)
+	wants := make([]*mat.F64, count)
+	for i := range batch {
+		m, n, k := rng.Intn(16)+1, rng.Intn(16)+1, rng.Intn(16)+1
+		a := mat.RandomF64(m, k, rng)
+		bt := mat.RandomF64(n, k, rng)
+		c := mat.RandomF64(m, n, rng)
+		want := c.Clone()
+		mat.RefGEMMF64(mat.NoTrans, mat.Transpose, 2, a, bt, -1, want)
+		wants[i] = want
+		batch[i] = DBatchEntry{M: m, N: n, K: k, Alpha: 2,
+			A: a.Data, LDA: a.Stride, B: bt.Data, LDB: bt.Stride, Beta: -1, C: c.Data, LDC: c.Stride}
+	}
+	if err := ctx.DGEMMBatch(NT, batch); err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range batch {
+		got := &mat.F64{Rows: e.M, Cols: e.N, Stride: e.LDC, Data: e.C}
+		if !got.Equal(wants[i], 1e-10) {
+			t.Fatalf("entry %d wrong", i)
+		}
+	}
+}
+
+func TestBatchThreadsPolicy(t *testing.T) {
+	if batchThreads(1) != 1 {
+		t.Fatal("single entry must be serial")
+	}
+	if batchThreads(2) < 1 {
+		t.Fatal("policy must return at least one thread")
+	}
+	if batchThreads(10000) > gomaxprocs() {
+		t.Fatal("policy must not exceed machine parallelism")
+	}
+}
+
+func TestMicroKernelTileForVectorExport(t *testing.T) {
+	tl, err := MicroKernelTileForVector(512, 4)
+	if err != nil || tl.MR != 15 || tl.NR != 16 {
+		t.Fatalf("SVE-512 FP32 tile = %dx%d, %v", tl.MR, tl.NR, err)
+	}
+	if _, err := MicroKernelTileForVector(100, 4); err == nil {
+		t.Fatal("invalid width accepted")
+	}
+	// The A64FX model must be consistent with its SVE width.
+	if A64FX().Lanes(4) != 16 {
+		t.Fatal("A64FX lanes wrong")
+	}
+}

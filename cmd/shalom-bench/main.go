@@ -1,0 +1,53 @@
+// Command shalom-bench regenerates the paper's evaluation tables and
+// figures (Table 1, Figures 2, 6–15) from the reproduction's models and
+// prints the rows/series the paper reports.
+//
+// Usage:
+//
+//	shalom-bench -list
+//	shalom-bench -exp fig7
+//	shalom-bench -exp all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"libshalom/internal/bench"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list available experiments")
+	exp := flag.String("exp", "", "experiment id to run (or \"all\")")
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("Available experiments:")
+		for _, e := range bench.All() {
+			fmt.Printf("  %-8s %s\n", e.ID, e.Title)
+			fmt.Printf("  %-8s paper: %s\n", "", e.Paper)
+		}
+		if *exp == "" && !*list {
+			fmt.Println("\nrun with -exp <id> or -exp all")
+		}
+		return
+	}
+
+	if *exp == "all" {
+		for _, e := range bench.All() {
+			fmt.Printf("=== %s ===\n", e.Title)
+			e.Run(os.Stdout)
+			fmt.Println()
+		}
+		return
+	}
+	e := bench.ByID(*exp)
+	if e == nil {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *exp)
+		os.Exit(1)
+	}
+	fmt.Printf("=== %s ===\n", e.Title)
+	fmt.Printf("paper: %s\n\n", e.Paper)
+	e.Run(os.Stdout)
+}

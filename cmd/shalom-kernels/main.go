@@ -1,0 +1,112 @@
+// Command shalom-kernels prints the virtual-NEON instruction streams of the
+// reproduction's micro-kernels — the analogue of the paper's assembly
+// listings (Alg 2/3, Fig 6) — together with static analysis (register
+// pressure, stream accesses, CMR) and per-platform timing from the
+// scoreboard model.
+//
+// Usage:
+//
+//	shalom-kernels -kernel main -kc 8            # the 7x12 main kernel (Alg 2)
+//	shalom-kernels -kernel ntpack -kc 8          # the 7x3 NT packing kernel (Alg 3)
+//	shalom-kernels -kernel edge-batch -kc 4      # OpenBLAS 8x4 edge kernel (Fig 6a)
+//	shalom-kernels -kernel edge-sched -kc 4      # LibShalom's reschedule (Fig 6b)
+//	shalom-kernels -kernel packmain -kc 8 -fp64  # NN overlap-pack kernel, FP64
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"libshalom/internal/isa"
+	"libshalom/internal/kernels"
+	"libshalom/internal/platform"
+	"libshalom/internal/uarch"
+)
+
+func main() {
+	kernel := flag.String("kernel", "main", "main | packmain | ntpack | edge-batch | edge-sched")
+	kc := flag.Int("kc", 8, "K extent of the emitted kernel (rounded to the vector width)")
+	fp64 := flag.Bool("fp64", false, "emit the FP64 variant (main/packmain/ntpack only)")
+	noDis := flag.Bool("q", false, "suppress the disassembly, print only analysis")
+	flag.Parse()
+
+	elem := 4
+	if *fp64 {
+		elem = 8
+	}
+	lanes := 16 / elem
+	k := *kc
+	if k%lanes != 0 {
+		k += lanes - k%lanes
+	}
+
+	var p *isa.Program
+	switch *kernel {
+	case "main", "packmain":
+		mr, nr := 7, 12
+		if elem == 8 {
+			mr, nr = 7, 6
+		}
+		p = kernels.BuildMain(kernels.MainSpec{
+			Elem: elem, MR: mr, NR: nr, KC: k,
+			LDA: k, LDB: nr, LDC: nr,
+			Accumulate: true, PackB: *kernel == "packmain",
+			Schedule: kernels.Pipelined,
+		})
+	case "ntpack":
+		nrTotal := 12
+		if elem == 8 {
+			nrTotal = 6
+		}
+		p = kernels.BuildNTPack(kernels.NTPackSpec{
+			Elem: elem, MR: 7, NB: 3, KC: k,
+			LDA: k, LDBT: k, LDC: nrTotal, NRTotal: nrTotal, JOff: 0,
+		})
+	case "edge-batch", "edge-sched":
+		if elem == 8 {
+			fmt.Fprintln(os.Stderr, "the Fig 6 edge kernel pair is FP32")
+			os.Exit(1)
+		}
+		sched := kernels.Batch
+		if *kernel == "edge-sched" {
+			sched = kernels.Pipelined
+		}
+		p = kernels.BuildEdge8x4(kernels.EdgeSpec{Elem: 4, KC: k, LDAp: 8, LDB: 4, LDC: 4, Schedule: sched})
+	default:
+		fmt.Fprintf(os.Stderr, "unknown kernel %q\n", *kernel)
+		os.Exit(1)
+	}
+
+	if !*noDis {
+		fmt.Print(p.Disassemble())
+		fmt.Println()
+	}
+
+	counts := p.Count()
+	fmt.Printf("instructions: %d  (loads %d, stores %d, FMAs %d, other %d)\n",
+		len(p.Code), counts.Loads, counts.Stores, counts.FMAs, counts.Other)
+	fmt.Printf("flops: %d   CMR (arith/mem instructions): %.2f\n", p.FlopCount(), p.CMR())
+
+	rep, err := isa.Analyze(p)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("peak live registers: %d / 32\n", rep.PeakLive)
+	for _, s := range rep.Streams {
+		fmt.Printf("stream %-3s loads %-4d stores %-4d extent [%d, %d)\n", s.Name, s.Loads, s.Stores, s.MinOff, s.MaxOff)
+	}
+
+	fmt.Println("\nscoreboard timing (whole program, operands L1-resident):")
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "platform\tcycles\tIPC\tFMA-pipe busy\tflops/cycle\tpeak flops/cycle")
+	for _, plat := range platform.All() {
+		r := uarch.Simulate(p, uarch.FromPlatform(plat))
+		fmt.Fprintf(tw, "%s\t%d\t%.2f\t%.0f%%\t%.2f\t%.0f\n",
+			plat.Name, r.Cycles, r.IPC(), 100*r.FMAUtilization(),
+			float64(p.FlopCount())/float64(r.Cycles), plat.FlopsPerCycleCore(elem))
+	}
+	tw.Flush()
+}

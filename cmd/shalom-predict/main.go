@@ -1,0 +1,102 @@
+// Command shalom-predict explains one GEMM call: the execution plan
+// LibShalom's driver will follow (packing decision, blocking, partition)
+// and the calibrated performance model's prediction for every library on a
+// chosen platform, with the per-component time breakdown.
+//
+// Usage:
+//
+//	shalom-predict -m 64 -n 50176 -k 576 -mode NT -threads 64 -platform kp920
+//	shalom-predict -m 8 -n 8 -k 8 -fp64 -warm
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"text/tabwriter"
+
+	"libshalom/internal/baselines"
+	"libshalom/internal/core"
+	"libshalom/internal/perfsim"
+	"libshalom/internal/platform"
+)
+
+func main() {
+	m := flag.Int("m", 64, "rows of C")
+	n := flag.Int("n", 64, "columns of C")
+	k := flag.Int("k", 64, "inner dimension")
+	modeStr := flag.String("mode", "NN", "NN | NT | TN | TT")
+	threads := flag.Int("threads", 1, "thread count (0 = all platform cores)")
+	platName := flag.String("platform", "kp920", "phytium | kp920 | tx2")
+	fp64 := flag.Bool("fp64", false, "double precision")
+	warm := flag.Bool("warm", false, "warm-cache methodology (Fig 7)")
+	flag.Parse()
+
+	mode, err := core.ParseMode(*modeStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	plat := platform.ByName(*platName)
+	if plat == nil {
+		fmt.Fprintf(os.Stderr, "unknown platform %q\n", *platName)
+		os.Exit(1)
+	}
+	if *threads == 0 {
+		*threads = plat.Cores
+	}
+	elem := 4
+	if *fp64 {
+		elem = 8
+	}
+
+	fmt.Printf("== execution plan (LibShalom driver, %s) ==\n", plat.Name)
+	fmt.Print(core.PlanFor(core.Config{Plat: plat, Threads: *threads}, mode, *m, *n, *k, elem).String())
+
+	w := perfsim.Workload{M: *m, N: *n, K: *k, ElemBytes: elem, TransB: mode.TransB(), Threads: *threads, Warm: *warm}
+	fmt.Printf("\n== modeled performance (%dx%dx%d %s, %d thread(s), elem %dB) ==\n", *m, *n, *k, mode, *threads, elem)
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "library\tGFLOPS\ttime\tactive threads")
+	libs := []perfsim.Library{
+		perfsim.LibShalom(),
+		perfsim.Baseline(baselines.BLIS), perfsim.Baseline(baselines.OpenBLAS),
+		perfsim.Baseline(baselines.ARMPL), perfsim.Baseline(baselines.LIBXSMM),
+		perfsim.Baseline(baselines.BLASFEO),
+	}
+	for _, l := range libs {
+		r := perfsim.Run(l, plat, w)
+		fmt.Fprintf(tw, "%s\t%.1f\t%s\t%d\n", l.Name, r.GFLOPS, fmtDur(r.Seconds), r.ActiveThreads)
+	}
+	tw.Flush()
+
+	ls := perfsim.Run(perfsim.LibShalom(), plat, w)
+	fmt.Println("\n== LibShalom time breakdown ==")
+	tw = tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	keys := make([]string, 0, len(ls.Components))
+	for key := range ls.Components {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		v := ls.Components[key]
+		if v <= 0 {
+			continue
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%.1f%%\n", key, fmtDur(v), 100*v/ls.Seconds)
+	}
+	tw.Flush()
+}
+
+func fmtDur(sec float64) string {
+	switch {
+	case sec >= 1:
+		return fmt.Sprintf("%.2f s", sec)
+	case sec >= 1e-3:
+		return fmt.Sprintf("%.2f ms", sec*1e3)
+	case sec >= 1e-6:
+		return fmt.Sprintf("%.2f µs", sec*1e6)
+	default:
+		return fmt.Sprintf("%.0f ns", sec*1e9)
+	}
+}

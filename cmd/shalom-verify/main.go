@@ -1,0 +1,151 @@
+// Command shalom-verify exhaustively cross-checks every runnable GEMM in
+// the repository — LibShalom's driver and all five baseline strategy
+// implementations — against the naive reference, over a randomized sweep of
+// shapes, modes, scalars and thread counts. It exits non-zero on the first
+// mismatch.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"libshalom/internal/baselines"
+	"libshalom/internal/core"
+	"libshalom/internal/isagemm"
+	"libshalom/internal/mat"
+	"libshalom/internal/platform"
+)
+
+func main() {
+	iters := flag.Int("n", 300, "number of random cases per implementation")
+	maxDim := flag.Int("max", 96, "maximum dimension")
+	seed := flag.Uint64("seed", 1, "random seed")
+	flag.Parse()
+
+	rng := mat.NewRNG(*seed)
+	plats := platform.All()
+	fails := 0
+
+	check := func(name string, run func(mode core.Mode, m, n, k int, alpha float32, a *mat.F32, b *mat.F32, beta float32, c *mat.F32) error) {
+		for i := 0; i < *iters; i++ {
+			m := rng.Intn(*maxDim) + 1
+			n := rng.Intn(*maxDim) + 1
+			k := rng.Intn(*maxDim) + 1
+			mode := core.Modes()[rng.Intn(4)]
+			alpha := float32(rng.Float64()*4 - 2)
+			beta := float32(rng.Float64()*4 - 2)
+			la := mat.RandomF32(m, k, rng)
+			lb := mat.RandomF32(k, n, rng)
+			a, b := la, lb
+			ta, tb := mat.NoTrans, mat.NoTrans
+			if mode.TransA() {
+				a, ta = la.Transpose(), mat.Transpose
+			}
+			if mode.TransB() {
+				b, tb = lb.Transpose(), mat.Transpose
+			}
+			c := mat.RandomF32(m, n, rng)
+			want := c.Clone()
+			mat.RefGEMMF32(ta, tb, alpha, a, b, beta, want)
+			if err := run(mode, m, n, k, alpha, a, b, beta, c); err != nil {
+				fmt.Printf("FAIL %s: %v (case %dx%dx%d %v)\n", name, err, m, n, k, mode)
+				fails++
+				return
+			}
+			if !c.Equal(want, 2e-2) {
+				fmt.Printf("FAIL %s: max diff %g (case %dx%dx%d %v alpha=%v beta=%v)\n",
+					name, c.MaxDiff(want), m, n, k, mode, alpha, beta)
+				fails++
+				return
+			}
+		}
+		fmt.Printf("ok   %-10s %d randomized cases\n", name, *iters)
+	}
+
+	check("LibShalom", func(mode core.Mode, m, n, k int, alpha float32, a, b *mat.F32, beta float32, c *mat.F32) error {
+		plat := plats[rng.Intn(len(plats))]
+		threads := []int{1, 2, 4, 8}[rng.Intn(4)]
+		return core.SGEMM(core.Config{Plat: plat, Threads: threads}, mode, m, n, k,
+			alpha, a.Data, a.Stride, b.Data, b.Stride, beta, c.Data, c.Stride)
+	})
+	for _, lib := range baselines.All() {
+		lib := lib
+		check(lib.String(), func(mode core.Mode, m, n, k int, alpha float32, a, b *mat.F32, beta float32, c *mat.F32) error {
+			plat := plats[rng.Intn(len(plats))]
+			threads := []int{1, 4}[rng.Intn(2)]
+			return baselines.SGEMM(lib, plat, threads, mode, m, n, k,
+				alpha, a.Data, a.Stride, b.Data, b.Stride, beta, c.Data, c.Stride)
+		})
+	}
+
+	// ISA-level execution path: the whole GEMM through virtual-NEON
+	// programs must match the reference on a randomized small sweep.
+	isaFails := 0
+	for i := 0; i < *iters/5; i++ {
+		m := rng.Intn(28) + 1
+		n := rng.Intn(28) + 1
+		k := rng.Intn(20) + 1
+		a := mat.RandomF32(m, k, rng)
+		b := mat.RandomF32(k, n, rng)
+		c := mat.RandomF32(m, n, rng)
+		want := c.Clone()
+		mat.RefGEMMF32(mat.NoTrans, mat.NoTrans, 1.25, a, b, 0.75, want)
+		if err := isagemm.SGEMM(m, n, k, 1.25, a.Data, a.Stride, b.Data, b.Stride, 0.75, c.Data, c.Stride); err != nil {
+			fmt.Printf("FAIL isagemm: %v\n", err)
+			isaFails++
+			break
+		}
+		if !c.Equal(want, 1e-2) {
+			fmt.Printf("FAIL isagemm: max diff %g (case %dx%dx%d)\n", c.MaxDiff(want), m, n, k)
+			isaFails++
+			break
+		}
+	}
+	if isaFails == 0 {
+		fmt.Printf("ok   %-10s %d randomized ISA-path cases\n", "ISA-GEMM", *iters/5)
+	}
+	fails += isaFails
+
+	// FP64 sweep over the LibShalom driver (the baselines share the same
+	// generic machinery, so one double-precision pass suffices for them).
+	for i := 0; i < *iters/3; i++ {
+		m := rng.Intn(*maxDim) + 1
+		n := rng.Intn(*maxDim) + 1
+		k := rng.Intn(*maxDim) + 1
+		mode := core.Modes()[rng.Intn(4)]
+		la := mat.RandomF64(m, k, rng)
+		lb := mat.RandomF64(k, n, rng)
+		a, b := la, lb
+		ta, tb := mat.NoTrans, mat.NoTrans
+		if mode.TransA() {
+			a, ta = la.Transpose(), mat.Transpose
+		}
+		if mode.TransB() {
+			b, tb = lb.Transpose(), mat.Transpose
+		}
+		c := mat.RandomF64(m, n, rng)
+		want := c.Clone()
+		mat.RefGEMMF64(ta, tb, 1.5, a, b, -0.5, want)
+		if err := core.DGEMM(core.Config{Threads: []int{1, 4}[rng.Intn(2)]}, mode, m, n, k,
+			1.5, a.Data, a.Stride, b.Data, b.Stride, -0.5, c.Data, c.Stride); err != nil {
+			fmt.Printf("FAIL DGEMM: %v\n", err)
+			fails++
+			break
+		}
+		if !c.Equal(want, 1e-9) {
+			fmt.Printf("FAIL DGEMM: max diff %g (case %dx%dx%d %v)\n", c.MaxDiff(want), m, n, k, mode)
+			fails++
+			break
+		}
+	}
+	if fails == 0 {
+		fmt.Printf("ok   %-10s %d randomized FP64 cases\n", "DGEMM", *iters/3)
+	}
+
+	if fails > 0 {
+		fmt.Printf("%d implementation(s) failed verification\n", fails)
+		os.Exit(1)
+	}
+	fmt.Println("all implementations verified against the reference")
+}

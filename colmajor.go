@@ -1,0 +1,55 @@
+package libshalom
+
+// Column-major entry points. The library computes in row-major form; the
+// standard GEMM duality maps a column-major call onto it exactly:
+//
+//	C_col = α·op(A)·op(B) + β·C_col
+//
+// is the same memory-level computation as
+//
+//	C_row' = α·op(B)'·op(A)' + β·C_row'
+//
+// where X' reinterprets X's column-major storage as row-major (a free
+// transpose of the view), the operands swap positions, and M and N swap
+// roles. Transposition flags carry over unchanged. These wrappers exist so
+// Fortran-layout callers (the audience of BLASFEO and ARMPL) can use the
+// library without copying data.
+
+// colMode maps (transA, transB) of a column-major call to the row-major
+// mode of the swapped-operand computation: the first row-major operand is
+// the caller's B with its own flag, the second is A with its flag.
+func colMode(transA, transB bool) Mode {
+	switch {
+	case !transB && !transA:
+		return NN
+	case !transB && transA:
+		return NT
+	case transB && !transA:
+		return TN
+	default:
+		return TT
+	}
+}
+
+// SGEMMColMajor computes C = alpha·op(A)·op(B) + beta·C with column-major
+// operands: op(A) is m×k, op(B) is k×n, C is m×n; lda/ldb/ldc are
+// column strides (Fortran leading dimensions). transA/transB select
+// transposition exactly as BLAS 'T' flags do.
+func (c *Context) SGEMMColMajor(transA, transB bool, m, n, k int, alpha float32, a []float32, lda int, b []float32, ldb int, beta float32, cOut []float32, ldc int) error {
+	return c.SGEMM(colMode(transA, transB), n, m, k, alpha, b, ldb, a, lda, beta, cOut, ldc)
+}
+
+// DGEMMColMajor is the double-precision counterpart of SGEMMColMajor.
+func (c *Context) DGEMMColMajor(transA, transB bool, m, n, k int, alpha float64, a []float64, lda int, b []float64, ldb int, beta float64, cOut []float64, ldc int) error {
+	return c.DGEMM(colMode(transA, transB), n, m, k, alpha, b, ldb, a, lda, beta, cOut, ldc)
+}
+
+// SGEMMColMajor runs on the default context.
+func SGEMMColMajor(transA, transB bool, m, n, k int, alpha float32, a []float32, lda int, b []float32, ldb int, beta float32, c []float32, ldc int) error {
+	return defaultCtx.SGEMMColMajor(transA, transB, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc)
+}
+
+// DGEMMColMajor runs on the default context.
+func DGEMMColMajor(transA, transB bool, m, n, k int, alpha float64, a []float64, lda int, b []float64, ldb int, beta float64, c []float64, ldc int) error {
+	return defaultCtx.DGEMMColMajor(transA, transB, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc)
+}

@@ -1,0 +1,143 @@
+package libshalom
+
+import (
+	"testing"
+	"testing/quick"
+
+	"libshalom/internal/mat"
+)
+
+// colAt reads element (i, j) of a column-major matrix with column stride ld.
+func colAt(data []float32, ld, i, j int) float32 { return data[j*ld+i] }
+
+// buildCol creates a column-major rows×cols matrix with the given column
+// stride filled from rng.
+func buildCol(rows, cols, ld int, rng *mat.RNG) []float32 {
+	s := make([]float32, cols*ld)
+	for j := 0; j < cols; j++ {
+		for i := 0; i < rows; i++ {
+			s[j*ld+i] = rng.Float32() - 0.5
+		}
+	}
+	return s
+}
+
+func TestSGEMMColMajorKnown(t *testing.T) {
+	// [1 2; 3 4]·[5 6; 7 8] = [19 22; 43 50], all column-major.
+	a := []float32{1, 3, 2, 4} // columns (1,3), (2,4)
+	b := []float32{5, 7, 6, 8}
+	c := make([]float32, 4)
+	if err := SGEMMColMajor(false, false, 2, 2, 2, 1, a, 2, b, 2, 0, c, 2); err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{19, 43, 22, 50} // column-major result
+	for i := range want {
+		if c[i] != want[i] {
+			t.Fatalf("c = %v, want %v", c, want)
+		}
+	}
+}
+
+func TestSGEMMColMajorProperty(t *testing.T) {
+	ctx := New()
+	defer ctx.Close()
+	f := func(seed uint32) bool {
+		rng := mat.NewRNG(uint64(seed) + 777)
+		m, n, k := rng.Intn(40)+1, rng.Intn(40)+1, rng.Intn(40)+1
+		transA := rng.Intn(2) == 1
+		transB := rng.Intn(2) == 1
+		alpha := float32(rng.Float64()*2 - 1)
+		beta := float32(rng.Float64()*2 - 1)
+
+		// Stored shapes per BLAS: A is m×k (or k×m when transposed), etc.
+		ar, ac := m, k
+		if transA {
+			ar, ac = k, m
+		}
+		br, bc := k, n
+		if transB {
+			br, bc = n, k
+		}
+		lda := ar + rng.Intn(4)
+		ldb := br + rng.Intn(4)
+		ldc := m + rng.Intn(4)
+		a := buildCol(ar, ac, lda, rng)
+		b := buildCol(br, bc, ldb, rng)
+		c := buildCol(m, n, ldc, rng)
+		orig := append([]float32(nil), c...)
+
+		if err := ctx.SGEMMColMajor(transA, transB, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc); err != nil {
+			t.Logf("call failed: %v", err)
+			return false
+		}
+		opA := func(i, p int) float32 {
+			if transA {
+				return colAt(a, lda, p, i)
+			}
+			return colAt(a, lda, i, p)
+		}
+		opB := func(p, j int) float32 {
+			if transB {
+				return colAt(b, ldb, j, p)
+			}
+			return colAt(b, ldb, p, j)
+		}
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				var acc float64
+				for p := 0; p < k; p++ {
+					acc += float64(opA(i, p)) * float64(opB(p, j))
+				}
+				want := float32(float64(alpha)*acc) + beta*orig[j*ldc+i]
+				got := colAt(c, ldc, i, j)
+				d := got - want
+				if d > 1e-2 || d < -1e-2 {
+					t.Logf("m%d n%d k%d tA%v tB%v: C(%d,%d)=%v want %v", m, n, k, transA, transB, i, j, got, want)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDGEMMColMajor(t *testing.T) {
+	a := []float64{1, 3, 2, 4}
+	b := []float64{5, 7, 6, 8}
+	c := []float64{1, 1, 1, 1}
+	if err := DGEMMColMajor(false, false, 2, 2, 2, 2, a, 2, b, 2, 1, c, 2); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{39, 87, 45, 101} // 2·product + 1
+	for i := range want {
+		if c[i] != want[i] {
+			t.Fatalf("c = %v, want %v", c, want)
+		}
+	}
+}
+
+func TestColMajorTransposedVariants(t *testing.T) {
+	// A^T·B^T in column-major equals (B·A)^T; check one hand-computed case.
+	// A stored 3×2 (so op(A) is 2×3), B stored 4×3 (op(B) is 3×4).
+	rng := mat.NewRNG(5)
+	a := buildCol(3, 2, 3, rng)
+	b := buildCol(4, 3, 4, rng)
+	c := make([]float32, 2*4)
+	if err := SGEMMColMajor(true, true, 2, 4, 3, 1, a, 3, b, 4, 0, c, 2); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 4; j++ {
+			var acc float32
+			for p := 0; p < 3; p++ {
+				acc += colAt(a, 3, p, i) * colAt(b, 4, j, p)
+			}
+			if d := colAt(c, 2, i, j) - acc; d > 1e-4 || d < -1e-4 {
+				t.Fatalf("C(%d,%d) wrong", i, j)
+			}
+		}
+	}
+}

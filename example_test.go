@@ -1,0 +1,60 @@
+package libshalom_test
+
+import (
+	"fmt"
+
+	"libshalom"
+)
+
+// ExampleSGEMM multiplies two tiny row-major matrices.
+func ExampleSGEMM() {
+	a := []float32{1, 2, 3, 4} // 2×2 row-major
+	b := []float32{5, 6, 7, 8}
+	c := make([]float32, 4)
+	if err := libshalom.SGEMM(libshalom.NN, 2, 2, 2, 1, a, 2, b, 2, 0, c, 2); err != nil {
+		panic(err)
+	}
+	fmt.Println(c)
+	// Output: [19 22 43 50]
+}
+
+// ExampleSGEMMColMajor shows the Fortran-layout entry point computing the
+// same product on column-major data.
+func ExampleSGEMMColMajor() {
+	a := []float32{1, 3, 2, 4} // 2×2 column-major: columns (1,3) and (2,4)
+	b := []float32{5, 7, 6, 8}
+	c := make([]float32, 4)
+	if err := libshalom.SGEMMColMajor(false, false, 2, 2, 2, 1, a, 2, b, 2, 0, c, 2); err != nil {
+		panic(err)
+	}
+	fmt.Println(c) // column-major result
+	// Output: [19 43 22 50]
+}
+
+// ExampleMicroKernelTile queries the paper's analytic register-tile model
+// (Eq. 1–2).
+func ExampleMicroKernelTile() {
+	t32 := libshalom.MicroKernelTile(4)
+	t64 := libshalom.MicroKernelTile(8)
+	fmt.Printf("FP32: %dx%d  FP64: %dx%d\n", t32.MR, t32.NR, t64.MR, t64.NR)
+	// Output: FP32: 7x12  FP64: 7x6
+}
+
+// ExamplePartitionFor reproduces the paper's §6.1 worked example: 64 cores
+// on a 2048×256 C give Tm=16, Tn=4.
+func ExamplePartitionFor() {
+	p := libshalom.PartitionFor(2048, 256, 64)
+	fmt.Printf("Tm=%d Tn=%d\n", p.TM, p.TN)
+	// Output: Tm=16 Tn=4
+}
+
+// ExampleContext_PlanFor inspects the decisions the driver will take for an
+// irregular-shaped call without running it.
+func ExampleContext_PlanFor() {
+	ctx := libshalom.New(libshalom.WithPlatform(libshalom.Phytium2000()), libshalom.WithThreads(64))
+	defer ctx.Close()
+	plan := ctx.PlanFor(libshalom.NT, 64, 50176, 576, 4)
+	fmt.Printf("tile %dx%d, B packing: %s, partition Tm=%d Tn=%d\n",
+		plan.Tile.MR, plan.Tile.NR, plan.BStrategy, plan.Partition.TM, plan.Partition.TN)
+	// Output: tile 7x12, B packing: overlap, partition Tm=1 Tn=64
+}

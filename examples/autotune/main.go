@@ -1,0 +1,50 @@
+// Autotune example: the paper's future-work direction (§10) — open up the
+// kernel parameters to a search instead of fixing the analytic optimum.
+// This example sweeps every feasible (mr, nr) register tile through the
+// instruction-level timing model on all three platforms (internal/tuner)
+// and compares the empirically best tile with the analytic CMR solution of
+// Eq. 1–2, demonstrating that the paper's closed-form answer is at (or
+// within noise of) the optimum the search finds.
+//
+//	go run ./examples/autotune
+package main
+
+import (
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"libshalom/internal/analytic"
+	"libshalom/internal/platform"
+	"libshalom/internal/tuner"
+)
+
+func main() {
+	const elem = 4 // FP32
+	analyticTile := analytic.SolveForElem(elem)
+	fmt.Printf("analytic optimum (Eq. 1-2): %dx%d, CMR %.2f\n\n", analyticTile.MR, analyticTile.NR, analyticTile.CMR)
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "platform\tbest searched tile\tGFLOPS/core\tanalytic tile\tGFLOPS/core\tverdict")
+	for _, p := range platform.All() {
+		r := tuner.SearchTile(p, elem)
+		verdict := "analytic tile optimal"
+		if r.Best.GFLOPS > r.Analytic.GFLOPS*1.001 {
+			verdict = fmt.Sprintf("search wins by %.1f%%", 100*(r.Best.GFLOPS/r.Analytic.GFLOPS-1))
+		}
+		fmt.Fprintf(tw, "%s\t%dx%d\t%.1f\t%dx%d\t%.1f\t%s\n",
+			p.Name, r.Best.MR, r.Best.NR, r.Best.GFLOPS,
+			r.Analytic.MR, r.Analytic.NR, r.Analytic.GFLOPS, verdict)
+	}
+	tw.Flush()
+
+	// Show the top of one platform's ranking to make the tradeoff visible.
+	fmt.Println("\ntop five tiles on Kunpeng 920 (modeled):")
+	r := tuner.SearchTile(platform.KP920(), elem)
+	for i, c := range r.Candidates {
+		if i == 5 {
+			break
+		}
+		fmt.Printf("  %2dx%-2d  %6.1f GFLOPS  (CMR %.2f)\n", c.MR, c.NR, c.GFLOPS, c.CMR)
+	}
+}

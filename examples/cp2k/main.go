@@ -1,0 +1,65 @@
+// CP2K example: run the FP64 small-GEMM kernels a molecular-dynamics
+// simulation performs (§8.6, Fig 14) — batches of tiny matrix products —
+// through the library, measure wall-clock throughput, and compare with the
+// modeled throughput on the paper's ARMv8 platforms.
+//
+//	go run ./examples/cp2k
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"libshalom"
+	"libshalom/internal/mat"
+	"libshalom/internal/workloads"
+)
+
+func main() {
+	ctx := libshalom.New() // batch calls parallelize across problems (§7.4)
+	defer ctx.Close()
+	rng := mat.NewRNG(42)
+
+	fmt.Println("CP2K-style FP64 kernel batches (this machine, wall clock, batched API):")
+	for _, sh := range workloads.CP2K() {
+		// A batch of independent small products, as CP2K's DBCSR issues:
+		// each entry has its own operands and output.
+		const batchSize = 4000
+		entries := make([]libshalom.DBatchEntry, batchSize)
+		for i := range entries {
+			a := mat.RandomF64(sh.M, sh.K, rng)
+			b := mat.RandomF64(sh.K, sh.N, rng)
+			c := mat.NewF64(sh.M, sh.N)
+			entries[i] = libshalom.DBatchEntry{
+				M: sh.M, N: sh.N, K: sh.K, Alpha: 1,
+				A: a.Data, LDA: a.Stride, B: b.Data, LDB: b.Stride,
+				Beta: 0, C: c.Data, LDC: c.Stride,
+			}
+		}
+		start := time.Now()
+		if err := ctx.DGEMMBatch(libshalom.NN, entries); err != nil {
+			log.Fatal(err)
+		}
+		el := time.Since(start).Seconds()
+		gf := sh.Flops() * batchSize / el / 1e9
+		fmt.Printf("  %-14s %8.2f GFLOPS (%d independent products in %.0f ms)\n", sh, gf, batchSize, el*1000)
+	}
+
+	fmt.Println("\nModeled throughput on the paper's platforms (Fig 14 reproduction):")
+	for _, plat := range []*libshalom.Platform{libshalom.Phytium2000(), libshalom.KP920(), libshalom.ThunderX2()} {
+		fmt.Printf("  %s:\n", plat.Name)
+		for _, sh := range workloads.CP2K() {
+			ls, err := libshalom.Predict(libshalom.ImplLibShalom(), plat, libshalom.NN, sh.M, sh.N, sh.K, 8, 1, true)
+			if err != nil {
+				log.Fatal(err)
+			}
+			xsmm, err := libshalom.Predict(libshalom.ImplLIBXSMM(), plat, libshalom.NN, sh.M, sh.N, sh.K, 8, 1, true)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("    %-14s LibShalom %6.1f GF  vs LIBXSMM %6.1f GF  (%.2fx)\n",
+				sh, ls.GFLOPS, xsmm.GFLOPS, ls.GFLOPS/xsmm.GFLOPS)
+		}
+	}
+}

@@ -1,0 +1,54 @@
+// Quickstart: multiply two small matrices with the LibShalom reproduction's
+// public API and check the result against a naive product.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"libshalom"
+)
+
+func main() {
+	// The 8×8×8 GEMM the paper's introduction motivates (NekBox kernels).
+	const m, n, k = 8, 8, 8
+	a := make([]float32, m*k)
+	b := make([]float32, k*n)
+	c := make([]float32, m*n)
+	for i := range a {
+		a[i] = float32(i%7) * 0.5
+	}
+	for i := range b {
+		b[i] = float32(i%5) * 0.25
+	}
+
+	// C = 1.0 * A·B + 0.0 * C, row-major, NN mode.
+	if err := libshalom.SGEMM(libshalom.NN, m, n, k, 1, a, k, b, n, 0, c, n); err != nil {
+		log.Fatal(err)
+	}
+
+	// Verify against a naive triple loop.
+	maxDiff := 0.0
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var acc float32
+			for p := 0; p < k; p++ {
+				acc += a[i*k+p] * b[p*n+j]
+			}
+			if d := math.Abs(float64(c[i*n+j] - acc)); d > maxDiff {
+				maxDiff = d
+			}
+		}
+	}
+	fmt.Printf("C[0][0..3] = %.3f %.3f %.3f %.3f\n", c[0], c[1], c[2], c[3])
+	fmt.Printf("max |difference| vs naive product: %g\n", maxDiff)
+
+	// The analytic models behind the library are queryable.
+	tile := libshalom.MicroKernelTile(4)
+	fmt.Printf("FP32 micro-kernel tile: %dx%d (CMR %.2f, %d registers)\n", tile.MR, tile.NR, tile.CMR, tile.Regs)
+	part := libshalom.PartitionFor(2048, 256, 64)
+	fmt.Printf("parallel partition for 2048x256 on 64 cores: Tm=%d Tn=%d (paper §6.1 example)\n", part.TM, part.TN)
+}

@@ -1,0 +1,88 @@
+package libshalom
+
+import (
+	"testing"
+
+	"libshalom/internal/mat"
+)
+
+// FuzzSGEMM is a native Go fuzz target: it derives a GEMM problem from the
+// fuzzer's bytes, runs the public API and checks the result against the
+// naive reference. Run continuously with
+//
+//	go test -fuzz FuzzSGEMM -fuzztime 30s .
+//
+// The seed corpus runs as part of the normal test suite.
+func FuzzSGEMM(f *testing.F) {
+	f.Add(uint16(8), uint16(8), uint16(8), byte(0), int16(100), int16(0), uint64(1))
+	f.Add(uint16(7), uint16(12), uint16(4), byte(1), int16(-50), int16(150), uint64(2))
+	f.Add(uint16(1), uint16(95), uint16(33), byte(2), int16(25), int16(-75), uint64(3))
+	f.Add(uint16(64), uint16(1), uint16(1), byte(3), int16(0), int16(100), uint64(4))
+	f.Fuzz(func(t *testing.T, mRaw, nRaw, kRaw uint16, modeRaw byte, alphaRaw, betaRaw int16, seed uint64) {
+		m := int(mRaw%96) + 1
+		n := int(nRaw%96) + 1
+		k := int(kRaw % 64) // zero K allowed
+		mode := []Mode{NN, NT, TN, TT}[modeRaw%4]
+		alpha := float32(alphaRaw) / 100
+		beta := float32(betaRaw) / 100
+		rng := mat.NewRNG(seed)
+
+		la := mat.RandomF32(m, max2(1, k), rng)
+		lb := mat.RandomF32(max2(1, k), n, rng)
+		la = la.View(0, 0, m, k)
+		lb = lb.View(0, 0, k, n)
+		a, b := la, lb
+		ta, tb := mat.NoTrans, mat.NoTrans
+		if mode.TransA() && k > 0 {
+			a, ta = la.Transpose(), mat.Transpose
+		}
+		if mode.TransB() && k > 0 {
+			b, tb = lb.Transpose(), mat.Transpose
+		}
+		if k == 0 {
+			// Zero-K operands: give them legal minimal storage.
+			a = &mat.F32{Rows: rowsFor(mode.TransA(), m, k), Cols: colsFor(mode.TransA(), m, k), Stride: max2(1, colsFor(mode.TransA(), m, k)), Data: []float32{}}
+			b = &mat.F32{Rows: rowsFor(mode.TransB(), k, n), Cols: colsFor(mode.TransB(), k, n), Stride: max2(1, colsFor(mode.TransB(), k, n)), Data: []float32{}}
+		}
+		c := mat.RandomF32(m, n, rng)
+		want := c.Clone()
+		if k > 0 {
+			mat.RefGEMMF32(ta, tb, alpha, a, b, beta, want)
+		} else {
+			for i := 0; i < m; i++ {
+				for j := 0; j < n; j++ {
+					want.Set(i, j, beta*want.At(i, j))
+				}
+			}
+		}
+		if err := SGEMM(mode, m, n, k, alpha, a.Data, a.Stride, b.Data, b.Stride, beta, c.Data, c.Stride); err != nil {
+			t.Fatalf("SGEMM failed: %v (m%d n%d k%d %v)", err, m, n, k, mode)
+		}
+		if !c.Equal(want, 2e-2) {
+			t.Fatalf("mismatch: max diff %g (m%d n%d k%d %v α%v β%v)", c.MaxDiff(want), m, n, k, mode, alpha, beta)
+		}
+	})
+}
+
+// rowsFor/colsFor give the stored shape of an operand with logical rows r
+// and cols c under an optional transpose.
+func rowsFor(trans bool, r, c int) int {
+	if trans {
+		return c
+	}
+	return r
+}
+
+func colsFor(trans bool, r, c int) int {
+	if trans {
+		return r
+	}
+	return c
+}
+
+func max2(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

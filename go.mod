@@ -1,0 +1,3 @@
+module libshalom
+
+go 1.22

@@ -1,0 +1,188 @@
+package libshalom
+
+// End-to-end integration tests: moderately large problems through the full
+// public API, strided views, mixed precisions, batches, and the col-major
+// wrappers — the flows a downstream adopter exercises on day one.
+
+import (
+	"fmt"
+	"testing"
+
+	"libshalom/internal/mat"
+)
+
+func TestIntegrationLargeAllModes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large integration test")
+	}
+	ctx := New(WithThreads(4))
+	defer ctx.Close()
+	rng := mat.NewRNG(2024)
+	m, n, k := 211, 307, 157 // primes: exercise every edge path
+	la := mat.RandomF32(m, k, rng)
+	lb := mat.RandomF32(k, n, rng)
+	for _, mode := range []Mode{NN, NT, TN, TT} {
+		a, b := la, lb
+		ta, tb := mat.NoTrans, mat.NoTrans
+		if mode.TransA() {
+			a, ta = la.Transpose(), mat.Transpose
+		}
+		if mode.TransB() {
+			b, tb = lb.Transpose(), mat.Transpose
+		}
+		c := mat.RandomF32(m, n, rng)
+		want := c.Clone()
+		mat.RefGEMMF32(ta, tb, 0.75, a, b, 1.25, want)
+		if err := ctx.SGEMM(mode, m, n, k, 0.75, a.Data, a.Stride, b.Data, b.Stride, 1.25, c.Data, c.Stride); err != nil {
+			t.Fatal(err)
+		}
+		if !c.Equal(want, 5e-2) {
+			t.Fatalf("%v: max diff %g", mode, c.MaxDiff(want))
+		}
+	}
+}
+
+func TestIntegrationStridedViews(t *testing.T) {
+	// Operate on sub-matrices of larger allocations, BLAS-style.
+	ctx := New(WithThreads(2))
+	defer ctx.Close()
+	rng := mat.NewRNG(9)
+	bigA := mat.RandomF32(100, 120, rng)
+	bigB := mat.RandomF32(110, 140, rng)
+	bigC := mat.RandomF32(90, 130, rng)
+	m, n, k := 61, 73, 47
+	a := bigA.View(13, 17, m, k)
+	b := bigB.View(5, 29, k, n)
+	c := bigC.View(11, 31, m, n)
+	frame := bigC.Clone() // everything outside the view must stay intact
+	want := c.Clone()
+	mat.RefGEMMF32(mat.NoTrans, mat.NoTrans, -1, a, b, 2, want)
+	if err := ctx.SGEMM(NN, m, n, k, -1, a.Data, a.Stride, b.Data, b.Stride, 2, c.Data, c.Stride); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			d := float64(c.At(i, j)) - float64(want.At(i, j))
+			if d > 2e-2 || d < -2e-2 {
+				t.Fatalf("view C(%d,%d) wrong", i, j)
+			}
+		}
+	}
+	// Check the frame: rows/columns outside the view unchanged.
+	for i := 0; i < bigC.Rows; i++ {
+		for j := 0; j < bigC.Cols; j++ {
+			inside := i >= 11 && i < 11+m && j >= 31 && j < 31+n
+			if !inside && bigC.At(i, j) != frame.At(i, j) {
+				t.Fatalf("GEMM wrote outside its C view at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestIntegrationColMajorMatchesRowMajor(t *testing.T) {
+	// The same logical problem through both layout APIs must agree.
+	rng := mat.NewRNG(31)
+	m, n, k := 33, 29, 41
+	// Row-major logical operands.
+	a := mat.RandomF32(m, k, rng)
+	b := mat.RandomF32(k, n, rng)
+	cRow := mat.NewF32(m, n)
+	if err := SGEMM(NN, m, n, k, 1, a.Data, a.Stride, b.Data, b.Stride, 0, cRow.Data, cRow.Stride); err != nil {
+		t.Fatal(err)
+	}
+	// Column-major copies of the same logical matrices.
+	aCol := make([]float32, m*k)
+	for i := 0; i < m; i++ {
+		for p := 0; p < k; p++ {
+			aCol[p*m+i] = a.At(i, p)
+		}
+	}
+	bCol := make([]float32, k*n)
+	for p := 0; p < k; p++ {
+		for j := 0; j < n; j++ {
+			bCol[j*k+p] = b.At(p, j)
+		}
+	}
+	cCol := make([]float32, m*n)
+	if err := SGEMMColMajor(false, false, m, n, k, 1, aCol, m, bCol, k, 0, cCol, m); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			d := cCol[j*m+i] - cRow.At(i, j)
+			if d > 1e-4 || d < -1e-4 {
+				t.Fatalf("layouts disagree at (%d,%d): %v vs %v", i, j, cCol[j*m+i], cRow.At(i, j))
+			}
+		}
+	}
+}
+
+func TestIntegrationMixedBatchAndSingle(t *testing.T) {
+	// Interleave batch and single calls on one context; the shared pool
+	// must serve both.
+	ctx := New(WithThreads(4))
+	defer ctx.Close()
+	rng := mat.NewRNG(77)
+	for round := 0; round < 3; round++ {
+		a := mat.RandomF32(23, 23, rng)
+		b := mat.RandomF32(23, 23, rng)
+		c := mat.NewF32(23, 23)
+		if err := ctx.SGEMM(NN, 23, 23, 23, 1, a.Data, 23, b.Data, 23, 0, c.Data, 23); err != nil {
+			t.Fatal(err)
+		}
+		entries := make([]SBatchEntry, 8)
+		wants := make([]*mat.F32, 8)
+		for i := range entries {
+			ea := mat.RandomF32(9, 9, rng)
+			eb := mat.RandomF32(9, 9, rng)
+			ec := mat.NewF32(9, 9)
+			w := mat.NewF32(9, 9)
+			mat.RefGEMMF32(mat.NoTrans, mat.NoTrans, 1, ea, eb, 0, w)
+			wants[i] = w
+			entries[i] = SBatchEntry{M: 9, N: 9, K: 9, Alpha: 1, A: ea.Data, LDA: 9, B: eb.Data, LDB: 9, C: ec.Data, LDC: 9}
+		}
+		if err := ctx.SGEMMBatch(NN, entries); err != nil {
+			t.Fatal(err)
+		}
+		for i, e := range entries {
+			got := &mat.F32{Rows: 9, Cols: 9, Stride: 9, Data: e.C}
+			if !got.Equal(wants[i], 1e-3) {
+				t.Fatalf("round %d entry %d wrong", round, i)
+			}
+		}
+	}
+}
+
+func TestIntegrationConcurrentContext(t *testing.T) {
+	// One shared context serving simultaneous parallel GEMMs from several
+	// goroutines: results must stay correct (the pool joins per call).
+	ctx := New(WithThreads(4))
+	defer ctx.Close()
+	rng := mat.NewRNG(404)
+	a := mat.RandomF32(32, 64, rng)
+	b := mat.RandomF32(64, 1536, rng)
+	want := mat.NewF32(32, 1536)
+	mat.RefGEMMF32(mat.NoTrans, mat.NoTrans, 1, a, b, 0, want)
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func() {
+			c := mat.NewF32(32, 1536)
+			if err := ctx.SGEMM(NN, 32, 1536, 64, 1, a.Data, a.Stride, b.Data, b.Stride, 0, c.Data, c.Stride); err != nil {
+				errs <- err
+				return
+			}
+			if !c.Equal(want, 1e-2) {
+				errs <- errConcurrent
+				return
+			}
+			errs <- nil
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+var errConcurrent = fmt.Errorf("concurrent GEMM produced a wrong result")

@@ -1,0 +1,192 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"libshalom/internal/platform"
+)
+
+// TestSolveMatchesPaperFP32 pins the published solution of Eq. 1–2:
+// mr=7, nr=12 for FP32 (§5.2.3).
+func TestSolveMatchesPaperFP32(t *testing.T) {
+	tile := SolveForElem(4)
+	if tile.MR != 7 || tile.NR != 12 {
+		t.Fatalf("FP32 tile = %dx%d, paper says 7x12", tile.MR, tile.NR)
+	}
+	if tile.Regs > RegisterBudget {
+		t.Fatalf("tile uses %d registers, budget %d", tile.Regs, RegisterBudget)
+	}
+	if tile.Regs != 31 { // 7 + 3 + 21
+		t.Fatalf("7x12 FP32 should use exactly 31 registers, got %d", tile.Regs)
+	}
+}
+
+// TestSolveFP64 pins the FP64 solution: with j=2 the same constraint yields
+// mr=7, nr=6 (§5.2.3 notes the method applies to FP64 alike).
+func TestSolveFP64(t *testing.T) {
+	tile := SolveForElem(8)
+	if tile.MR != 7 || tile.NR != 6 {
+		t.Fatalf("FP64 tile = %dx%d, want 7x6", tile.MR, tile.NR)
+	}
+	if RegistersNeeded(7, 6, 2) != 31 {
+		t.Fatal("7x6 FP64 register count must be 31")
+	}
+}
+
+func TestCMRFormula(t *testing.T) {
+	if got := CMR(7, 12); math.Abs(got-2*7*12/19.0) > 1e-12 {
+		t.Fatalf("CMR(7,12) = %v", got)
+	}
+	if CMR(0, 0) != 0 {
+		t.Fatal("CMR(0,0) must be 0")
+	}
+	// The paper's claim: outer product beats inner product.
+	// An 8x4 kernel has lower CMR than 7x12.
+	if CMR(8, 4) >= CMR(7, 12) {
+		t.Fatal("8x4 CMR should be below 7x12")
+	}
+}
+
+// Property: no feasible tile has higher CMR than the solver's answer.
+func TestSolveIsOptimal(t *testing.T) {
+	for _, j := range []int{2, 4} {
+		best := Solve(j, RegisterBudget)
+		for mr := 1; mr <= 31; mr++ {
+			for nr := j; nr <= 31*j; nr += j {
+				if Feasible(mr, nr, j, RegisterBudget) && CMR(mr, nr) > best.CMR+1e-9 {
+					t.Fatalf("j=%d: %dx%d beats solver's %dx%d", j, mr, nr, best.MR, best.NR)
+				}
+			}
+		}
+	}
+}
+
+func TestFeasibleRules(t *testing.T) {
+	if !Feasible(7, 12, 4, 31) {
+		t.Fatal("paper tile must be feasible")
+	}
+	if Feasible(8, 12, 4, 31) {
+		t.Fatal("8x12 needs 35 regs, must be infeasible")
+	}
+	if Feasible(7, 10, 4, 31) {
+		t.Fatal("nr=10 violates nr % j == 0")
+	}
+	if Feasible(0, 4, 4, 31) {
+		t.Fatal("mr=0 must be infeasible")
+	}
+}
+
+func TestPartitionPaperExample(t *testing.T) {
+	// §6.1 worked example: M=2048, N=256, T=64 → Tn=4, Tm=16.
+	p := PartitionFor(2048, 256, 64)
+	if p.TN != 4 || p.TM != 16 {
+		t.Fatalf("partition = %dx%d, paper says Tm=16, Tn=4", p.TM, p.TN)
+	}
+}
+
+func TestPartitionIrregularShapes(t *testing.T) {
+	// Tall-skinny C (N >> M) must put most threads on N.
+	p := PartitionFor(32, 10240, 64)
+	if p.TN < p.TM {
+		t.Fatalf("N-dominant shape partitioned %dx%d", p.TM, p.TN)
+	}
+	// And the transpose shape flips it.
+	q := PartitionFor(10240, 32, 64)
+	if q.TM < q.TN {
+		t.Fatalf("M-dominant shape partitioned %dx%d", q.TM, q.TN)
+	}
+}
+
+func TestPartitionProperty(t *testing.T) {
+	f := func(mRaw, nRaw, tRaw uint16) bool {
+		m := int(mRaw%8192) + 1
+		n := int(nRaw%8192) + 1
+		threads := []int{1, 2, 4, 8, 16, 32, 64}[tRaw%7]
+		p := PartitionFor(m, n, threads)
+		if p.Validate(threads) != nil {
+			return false
+		}
+		// Tn must be ≥ the ideal square-root value (the paper takes the
+		// upper bound) whenever it is reachable.
+		ideal := math.Sqrt(float64(threads) * float64(n) / float64(m))
+		return float64(p.TN) >= math.Min(ideal-1e-9, float64(threads))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParallelCMRMaximizedNearIdeal(t *testing.T) {
+	// Eq. 4: CMR is maximized at Tn = sqrt(T*N/M); check our chosen divisor
+	// beats other divisors of T no further from the ideal.
+	m, n, threads := 64, 50176, 64
+	chosen := PartitionFor(m, n, threads)
+	got := ParallelCMR(m, n, threads, chosen.TN)
+	for tn := 1; tn <= threads; tn++ {
+		if threads%tn != 0 {
+			continue
+		}
+		if c := ParallelCMR(m, n, threads, tn); c > got*1.02 {
+			t.Fatalf("Tn=%d CMR %.2f beats chosen Tn=%d CMR %.2f", tn, c, chosen.TN, got)
+		}
+	}
+}
+
+func TestParallelCMRDegenerate(t *testing.T) {
+	if ParallelCMR(10, 10, 0, 0) != 0 || ParallelCMR(10, 10, 4, 0) != 0 {
+		t.Fatal("degenerate ParallelCMR must be 0")
+	}
+}
+
+func TestPartitionSingleThread(t *testing.T) {
+	p := PartitionFor(100, 100, 1)
+	if p.TM != 1 || p.TN != 1 {
+		t.Fatalf("single-thread partition = %+v", p)
+	}
+}
+
+func TestBlockingRespectsCaches(t *testing.T) {
+	for _, p := range platform.All() {
+		for _, eb := range []int{4, 8} {
+			tile := SolveForElem(eb)
+			b := BlockingFor(p, eb)
+			if b.KC < 32 {
+				t.Fatalf("%s: kc = %d too small", p.Name, b.KC)
+			}
+			if b.MC%tile.MR != 0 || b.MC < tile.MR {
+				t.Fatalf("%s: mc = %d not aligned to mr=%d", p.Name, b.MC, tile.MR)
+			}
+			if b.NC%tile.NR != 0 || b.NC < tile.NR {
+				t.Fatalf("%s: nc = %d not aligned to nr=%d", p.Name, b.NC, tile.NR)
+			}
+			// The A block must fit its L2 share.
+			l2 := p.L2.SizeBytes
+			if p.L2.Shared {
+				l2 /= p.L2.SharedBy
+			}
+			if b.MC*b.KC*eb > l2 {
+				t.Fatalf("%s: mc*kc block (%d B) exceeds L2 share (%d B)", p.Name, b.MC*b.KC*eb, l2)
+			}
+		}
+	}
+}
+
+func TestBlockingKP920LargerL1GivesLargerKC(t *testing.T) {
+	// KP920 has a 64KB L1 vs 32KB on the others → larger kc.
+	kp := BlockingFor(platform.KP920(), 4)
+	ph := BlockingFor(platform.Phytium2000(), 4)
+	if kp.KC <= ph.KC {
+		t.Fatalf("KP920 kc (%d) should exceed Phytium kc (%d)", kp.KC, ph.KC)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if (Partition{TM: 2, TN: 2}).Validate(4) != nil {
+		t.Fatal("valid partition rejected")
+	}
+	if (Partition{TM: 2, TN: 3}).Validate(4) == nil {
+		t.Fatal("invalid partition accepted")
+	}
+}

@@ -1,0 +1,58 @@
+package analytic
+
+// SVE generalization (§5.5): the paper notes that its analytic method
+// carries to the ARM Scalable Vector Extension by recomputing (mr, nr) for
+// the implementation's vector length — any multiple of 128 bits up to 2048.
+// This file implements exactly that: Eq. 1–2 parameterized by vector width.
+//
+// The register-tile constraint is unchanged in structure — mr registers of
+// broadcast A values, nr/j registers of B, mr·nr/j accumulators, one
+// register reserved for prefetch — only the lane count j = bits/8/elem
+// changes.
+
+import "fmt"
+
+// SVELanes returns the elements per vector register for a vector width in
+// bits and element size in bytes.
+func SVELanes(vectorBits, elemBytes int) (int, error) {
+	if vectorBits < 128 || vectorBits > 2048 || vectorBits%128 != 0 {
+		return 0, fmt.Errorf("analytic: SVE vector length %d not a multiple of 128 in [128, 2048]", vectorBits)
+	}
+	if elemBytes != 4 && elemBytes != 8 {
+		return 0, fmt.Errorf("analytic: element size %d", elemBytes)
+	}
+	return vectorBits / 8 / elemBytes, nil
+}
+
+// SolveForVector maximizes CMR under Eq. 1 for an arbitrary SVE vector
+// width. 128 bits reproduces the NEON tiles (7×12 FP32, 7×6 FP64).
+func SolveForVector(vectorBits, elemBytes int) (Tile, error) {
+	j, err := SVELanes(vectorBits, elemBytes)
+	if err != nil {
+		return Tile{}, err
+	}
+	return Solve(j, RegisterBudget), nil
+}
+
+// VectorSweep solves the tile for every legal SVE width, for the vector-
+// length scaling analysis the paper sketches in §5.5.
+func VectorSweep(elemBytes int) []struct {
+	Bits int
+	Tile Tile
+} {
+	var out []struct {
+		Bits int
+		Tile Tile
+	}
+	for bits := 128; bits <= 2048; bits *= 2 {
+		t, err := SolveForVector(bits, elemBytes)
+		if err != nil {
+			continue
+		}
+		out = append(out, struct {
+			Bits int
+			Tile Tile
+		}{bits, t})
+	}
+	return out
+}

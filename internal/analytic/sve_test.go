@@ -1,0 +1,94 @@
+package analytic
+
+import (
+	"testing"
+
+	"libshalom/internal/platform"
+)
+
+func TestSVELanes(t *testing.T) {
+	cases := []struct {
+		bits, elem, want int
+	}{
+		{128, 4, 4}, {128, 8, 2}, {256, 4, 8}, {512, 4, 16}, {512, 8, 8}, {2048, 8, 32},
+	}
+	for _, c := range cases {
+		got, err := SVELanes(c.bits, c.elem)
+		if err != nil || got != c.want {
+			t.Fatalf("SVELanes(%d,%d) = %d, %v", c.bits, c.elem, got, err)
+		}
+	}
+	for _, bad := range [][2]int{{96, 4}, {192, 4}, {4096, 4}, {512, 3}} {
+		if _, err := SVELanes(bad[0], bad[1]); err == nil {
+			t.Fatalf("SVELanes(%d,%d) accepted", bad[0], bad[1])
+		}
+	}
+}
+
+// TestSolveForVector128MatchesNEON: the SVE solver at 128 bits must
+// reproduce the paper's NEON tiles exactly.
+func TestSolveForVector128MatchesNEON(t *testing.T) {
+	t32, err := SolveForVector(128, 4)
+	if err != nil || t32.MR != 7 || t32.NR != 12 {
+		t.Fatalf("SVE-128 FP32 tile %dx%d (err %v), want 7x12", t32.MR, t32.NR, err)
+	}
+	t64, err := SolveForVector(128, 8)
+	if err != nil || t64.MR != 7 || t64.NR != 6 {
+		t.Fatalf("SVE-128 FP64 tile %dx%d, want 7x6", t64.MR, t64.NR)
+	}
+}
+
+// TestSolveForVectorWiderTiles pins the solved tiles for the SVE widths
+// §5.5 mentions, and checks the structural invariants: feasibility, CMR
+// growth with width, and optimality within the enumerated space.
+func TestSolveForVectorWiderTiles(t *testing.T) {
+	prev := 0.0
+	for _, bits := range []int{128, 256, 512, 1024, 2048} {
+		tile, err := SolveForVector(bits, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		j := bits / 8 / 4
+		if !Feasible(tile.MR, tile.NR, j, RegisterBudget) {
+			t.Fatalf("SVE-%d tile %dx%d infeasible", bits, tile.MR, tile.NR)
+		}
+		if tile.CMR < prev {
+			t.Fatalf("SVE-%d CMR %.2f below narrower width's %.2f (wider vectors must not hurt the model)", bits, tile.CMR, prev)
+		}
+		prev = tile.CMR
+		// Exhaustive optimality check.
+		for mr := 1; mr <= 31; mr++ {
+			for nr := j; nr <= 31*j; nr += j {
+				if Feasible(mr, nr, j, RegisterBudget) && CMR(mr, nr) > tile.CMR+1e-9 {
+					t.Fatalf("SVE-%d: %dx%d beats solver's %dx%d", bits, mr, nr, tile.MR, tile.NR)
+				}
+			}
+		}
+	}
+}
+
+func TestVectorSweep(t *testing.T) {
+	sweep := VectorSweep(4)
+	if len(sweep) != 5 { // 128, 256, 512, 1024, 2048
+		t.Fatalf("sweep has %d entries", len(sweep))
+	}
+	if sweep[0].Bits != 128 || sweep[len(sweep)-1].Bits != 2048 {
+		t.Fatal("sweep endpoints wrong")
+	}
+}
+
+// TestA64FXPlatform sanity-checks the SVE-512 demonstration platform.
+func TestA64FXPlatform(t *testing.T) {
+	p := platform.A64FX()
+	if p.SIMDBits != 512 || p.Lanes(4) != 16 || p.Lanes(8) != 8 {
+		t.Fatal("A64FX lane counts wrong")
+	}
+	// 48 × 2.2 × 2 × 16 × 2 = 6758.4 GFLOPS FP32.
+	if got := p.PeakGFLOPS(4); got < 6758 || got > 6759 {
+		t.Fatalf("A64FX FP32 peak %f", got)
+	}
+	// NEON platforms must be unaffected by the SIMDBits addition.
+	if platform.KP920().Lanes(4) != 4 {
+		t.Fatal("NEON platform lane count changed")
+	}
+}

@@ -1,0 +1,229 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"libshalom/internal/platform"
+	"libshalom/internal/workloads"
+)
+
+func TestRegistryCompleteAndUnique(t *testing.T) {
+	// Every table/figure of the paper's evaluation must be present.
+	want := []string{"table1", "fig2a", "fig2b", "fig6", "fig7", "fig8",
+		"fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "ablation"}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))
+	}
+	seen := map[string]bool{}
+	for _, e := range all {
+		if seen[e.ID] {
+			t.Fatalf("duplicate experiment id %q", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Title == "" || e.Paper == "" || e.Run == nil {
+			t.Fatalf("experiment %q incomplete", e.ID)
+		}
+	}
+	for _, id := range want {
+		if !seen[id] {
+			t.Fatalf("experiment %q missing", id)
+		}
+	}
+	if len(IDs()) != len(want) {
+		t.Fatal("IDs() inconsistent with All()")
+	}
+}
+
+func TestByID(t *testing.T) {
+	if e := ByID("fig7"); e == nil || e.ID != "fig7" {
+		t.Fatal("ByID lookup failed")
+	}
+	if ByID("nope") != nil {
+		t.Fatal("unknown id resolved")
+	}
+}
+
+func TestEveryExperimentProducesOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full harness sweep is slow")
+	}
+	for _, e := range All() {
+		var buf bytes.Buffer
+		e.Run(&buf)
+		if buf.Len() < 40 {
+			t.Errorf("experiment %s produced only %d bytes", e.ID, buf.Len())
+		}
+	}
+}
+
+func TestTable1Rows(t *testing.T) {
+	var buf bytes.Buffer
+	Table1(&buf)
+	out := buf.String()
+	for _, frag := range []string{"1126.4", "2662.4", "1280.0", "None", "64MB", "2.6 GHz"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("Table 1 output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestFig2aSeriesShape(t *testing.T) {
+	s := Fig2aSeries()
+	if len(s) != 4 {
+		t.Fatalf("Fig 2a must compare the four pre-existing libraries, got %d", len(s))
+	}
+	sweep := workloads.MotivationSquareSweep()
+	for _, ser := range s {
+		if len(ser.X) != len(sweep) || len(ser.Y) != len(sweep) {
+			t.Fatalf("series %s has wrong length", ser.Label)
+		}
+		// % of peak must be in (0, 100].
+		for i, y := range ser.Y {
+			if y <= 0 || y > 100 {
+				t.Fatalf("series %s point %d = %v%% of peak", ser.Label, i, y)
+			}
+		}
+		// Large sizes must beat tiny sizes (the motivation's whole point).
+		if ser.Y[len(ser.Y)-1] < 2*ser.Y[0] {
+			t.Fatalf("series %s: efficiency at 4096 (%.0f%%) not well above size 8 (%.0f%%)", ser.Label, ser.Y[len(ser.Y)-1], ser.Y[0])
+		}
+	}
+}
+
+func TestFig7SeriesLibShalomOnTop(t *testing.T) {
+	series := Fig7Series(platform.KP920(), false, true)
+	if len(series) != 6 {
+		t.Fatalf("Fig 7 compares six libraries, got %d", len(series))
+	}
+	var ls *Series
+	for i := range series {
+		if series[i].Label == "LibShalom" {
+			ls = &series[i]
+		}
+	}
+	if ls == nil {
+		t.Fatal("LibShalom series missing")
+	}
+	for _, other := range series {
+		if other.Label == "LibShalom" {
+			continue
+		}
+		for i := range ls.Y {
+			if ls.Y[i] < other.Y[i]*0.97 {
+				t.Errorf("size %g: LibShalom %.1f below %s %.1f", ls.X[i], ls.Y[i], other.Label, other.Y[i])
+			}
+		}
+	}
+}
+
+func TestFig11SeriesNormalization(t *testing.T) {
+	series := Fig11Series(platform.ThunderX2())
+	for _, s := range series {
+		if s.Label == "OpenBLAS" {
+			if s.X[0] != 1 || s.Y[0] < 0.99 || s.Y[0] > 1.01 {
+				t.Fatalf("OpenBLAS 1-thread point must be 1.0 (normalization anchor), got %v", s.Y[0])
+			}
+		}
+		if s.Label == "LibShalom" {
+			last := s.Y[len(s.Y)-1]
+			if last < 20 || last > 50 {
+				t.Fatalf("TX2 LibShalom max speedup %.1f outside the plausible band (paper: 35)", last)
+			}
+		}
+	}
+}
+
+func TestFig12SeriesPositiveForLibShalom(t *testing.T) {
+	for _, p := range []*platform.Platform{platform.KP920(), platform.ThunderX2()} {
+		series := Fig12Series(p)
+		for _, s := range series {
+			if s.Label != "LibShalom" {
+				continue
+			}
+			for i, y := range s.Y {
+				if y <= 0 {
+					t.Fatalf("%s: LibShalom reduction at K=%g is %.1f%%, must be positive", p.Name, s.X[i], y)
+				}
+			}
+		}
+	}
+}
+
+func TestFig13SeriesMonotone(t *testing.T) {
+	series := Fig13Series(platform.KP920())
+	if len(series) != 3 {
+		t.Fatalf("Fig 13 has three variants, got %d", len(series))
+	}
+	base, edge, full := series[0], series[1], series[2]
+	for i := range base.Y {
+		if !(base.Y[i] <= edge.Y[i] && edge.Y[i] <= full.Y[i]) {
+			t.Fatalf("M=%g: breakdown not monotone: %.1f / %.1f / %.1f", base.X[i], base.Y[i], edge.Y[i], full.Y[i])
+		}
+	}
+}
+
+func TestFig14SeriesFiveKernels(t *testing.T) {
+	series := Fig14Series(platform.Phytium2000())
+	for _, s := range series {
+		if len(s.Y) != 5 {
+			t.Fatalf("CP2K series %s has %d kernels, want 5", s.Label, len(s.Y))
+		}
+	}
+}
+
+func TestFig15LibShalomWinsEveryLayer(t *testing.T) {
+	for _, p := range platform.All() {
+		series := Fig15Series(p)
+		var ls *Series
+		for i := range series {
+			if series[i].Label == "LibShalom" {
+				ls = &series[i]
+			}
+		}
+		for _, other := range series {
+			if other.Label == "LibShalom" {
+				continue
+			}
+			for i := range ls.Y {
+				// 3% slack: the paper's conv4.2 bars are near-ties with
+				// the second-best library.
+				if ls.Y[i] < other.Y[i]*0.97 {
+					t.Errorf("%s layer %d: %s (%.0f) beats LibShalom (%.0f)", p.Name, i, other.Label, other.Y[i], ls.Y[i])
+				}
+			}
+		}
+	}
+}
+
+func TestFig6CPIDirection(t *testing.T) {
+	for _, p := range platform.All() {
+		batch, inter := Fig6CPI(p, p.L2.LatencyCy)
+		if inter > batch+1e-9 {
+			t.Errorf("%s: interleaved CPI %.2f worse than batch %.2f at L2 latency", p.Name, inter, batch)
+		}
+	}
+	// At least one platform must show a strict win (the Fig 6 claim).
+	strict := false
+	for _, p := range platform.All() {
+		if b, i := Fig6CPI(p, p.L2.LatencyCy); i < b-1e-9 {
+			strict = true
+		}
+	}
+	if !strict {
+		t.Fatal("no platform shows the Fig 6 scheduling win")
+	}
+}
+
+func TestPrintSeriesLayout(t *testing.T) {
+	var buf bytes.Buffer
+	printSeries(&buf, "x", []Series{{Label: "a", X: []float64{1, 2}, Y: []float64{3.25, 4}}, {Label: "b", X: []float64{1, 2}, Y: []float64{5, 6}}})
+	out := buf.String()
+	if !strings.Contains(out, "a") || !strings.Contains(out, "b") || !strings.Contains(out, "3.2") {
+		t.Fatalf("printSeries output wrong:\n%s", out)
+	}
+	buf.Reset()
+	printSeries(&buf, "x", nil) // must not panic
+}

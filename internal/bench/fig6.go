@@ -1,0 +1,52 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"libshalom/internal/isa"
+	"libshalom/internal/kernels"
+	"libshalom/internal/platform"
+	"libshalom/internal/uarch"
+)
+
+// Fig6CPI returns the steady-state cycles per K iteration of the 8×4 edge
+// micro-kernel pair of §5.4 on a platform, at the given operand load
+// latency: the OpenBLAS batch schedule (Fig 6a) and LibShalom's interleaved
+// schedule (Fig 6b).
+func Fig6CPI(p *platform.Platform, loadLat int) (batch, interleaved float64) {
+	cfg := uarch.FromPlatform(p)
+	cfg.LoadLatency = loadLat
+	build := func(sched kernels.Schedule) func(int) *isa.Program {
+		return func(kc int) *isa.Program {
+			if kc%4 != 0 {
+				kc += 4 - kc%4
+			}
+			return kernels.BuildEdge8x4(kernels.EdgeSpec{
+				Elem: 4, KC: kc, LDAp: 8, LDB: 4, LDC: 4, Schedule: sched,
+			})
+		}
+	}
+	batch = uarch.SteadyStateCPI(build(kernels.Batch), cfg, 32, 64)
+	interleaved = uarch.SteadyStateCPI(build(kernels.Pipelined), cfg, 32, 64)
+	return batch, interleaved
+}
+
+// Fig6 reproduces the instruction-scheduling comparison of §5.4: the
+// OpenBLAS 8×4 edge micro-kernel with batch loads (Fig 6a) against
+// LibShalom's interleaved schedule (Fig 6b), timed by the scoreboard model
+// on every platform at L1- and L2-class operand latencies.
+func Fig6(w io.Writer) {
+	tw := newTab(w)
+	fmt.Fprintln(tw, "platform\toperand latency\tbatch (Fig 6a) cy/iter\tinterleaved (Fig 6b) cy/iter\tspeedup")
+	for _, p := range platform.All() {
+		for _, lat := range []struct {
+			name string
+			cy   int
+		}{{"L1-resident", p.L1.LatencyCy}, {"L2-resident", p.L2.LatencyCy}} {
+			b, i := Fig6CPI(p, lat.cy)
+			fmt.Fprintf(tw, "%s\t%s (%d cy)\t%.2f\t%.2f\t%.2fx\n", p.Name, lat.name, lat.cy, b, i, b/i)
+		}
+	}
+	tw.Flush()
+}

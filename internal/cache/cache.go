@@ -1,0 +1,261 @@
+// Package cache implements trace-driven set-associative cache and TLB
+// simulators. They are the micro-level substrate of the memory-system model:
+// the analytic blocking-level model in internal/cachemodel produces the miss
+// counts used for large experiments (simulating 50176-column matrices
+// access-by-access is infeasible), and this package cross-validates that
+// model on reduced shapes plus provides the L1/L2/TLB behaviour unit tests
+// need.
+package cache
+
+import (
+	"fmt"
+
+	"libshalom/internal/platform"
+)
+
+// Stats counts accesses and misses for one cache level.
+type Stats struct {
+	Accesses uint64
+	Misses   uint64
+}
+
+// MissRate returns misses/accesses (0 when idle).
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// Cache is one level of set-associative cache with true-LRU replacement.
+type Cache struct {
+	lineBytes  int
+	sets       int
+	ways       int
+	lineShift  uint
+	setMask    uint64
+	tags       []uint64 // sets × ways
+	valid      []bool
+	lastUse    []uint64 // LRU timestamps
+	tick       uint64
+	stat       Stats
+	next       *Cache // next level (nil = memory)
+	writeAlloc bool
+}
+
+// New builds a cache with the given geometry. lineBytes and sets must be
+// powers of two.
+func New(sizeBytes, lineBytes, ways int) *Cache {
+	if sizeBytes <= 0 || lineBytes <= 0 || ways <= 0 {
+		panic("cache: non-positive geometry")
+	}
+	sets := sizeBytes / (lineBytes * ways)
+	if sets == 0 {
+		sets = 1
+		ways = sizeBytes / lineBytes
+		if ways == 0 {
+			ways = 1
+		}
+	}
+	if lineBytes&(lineBytes-1) != 0 {
+		panic("cache: line size must be a power of two")
+	}
+	if sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("cache: set count %d must be a power of two", sets))
+	}
+	shift := uint(0)
+	for 1<<shift < lineBytes {
+		shift++
+	}
+	return &Cache{
+		lineBytes:  lineBytes,
+		sets:       sets,
+		ways:       ways,
+		lineShift:  shift,
+		setMask:    uint64(sets - 1),
+		tags:       make([]uint64, sets*ways),
+		valid:      make([]bool, sets*ways),
+		lastUse:    make([]uint64, sets*ways),
+		writeAlloc: true,
+	}
+}
+
+// FromConfig builds a cache from a platform cache configuration.
+func FromConfig(c platform.CacheConfig) *Cache {
+	return New(c.SizeBytes, c.LineBytes, c.Ways)
+}
+
+// Chain links c to a next level; misses in c propagate to next.
+func (c *Cache) Chain(next *Cache) *Cache {
+	c.next = next
+	return c
+}
+
+// Stats returns the accumulated counters.
+func (c *Cache) Stats() Stats { return c.stat }
+
+// Reset clears contents and counters.
+func (c *Cache) Reset() {
+	for i := range c.valid {
+		c.valid[i] = false
+	}
+	c.stat = Stats{}
+	c.tick = 0
+	if c.next != nil {
+		c.next.Reset()
+	}
+}
+
+// LineBytes returns the line size.
+func (c *Cache) LineBytes() int { return c.lineBytes }
+
+// Access touches the byte address addr (load or store; the model is
+// write-allocate so both behave identically for residency). It returns true
+// on hit. Misses recurse into the next level.
+func (c *Cache) Access(addr uint64) bool {
+	c.tick++
+	c.stat.Accesses++
+	line := addr >> c.lineShift
+	set := int(line & c.setMask)
+	base := set * c.ways
+	for w := 0; w < c.ways; w++ {
+		if c.valid[base+w] && c.tags[base+w] == line {
+			c.lastUse[base+w] = c.tick
+			return true
+		}
+	}
+	c.stat.Misses++
+	if c.next != nil {
+		c.next.Access(addr)
+	}
+	// Install with LRU replacement.
+	victim := base
+	for w := 1; w < c.ways; w++ {
+		if !c.valid[base+w] {
+			victim = base + w
+			break
+		}
+		if c.lastUse[base+w] < c.lastUse[victim] {
+			victim = base + w
+		}
+	}
+	c.tags[victim] = line
+	c.valid[victim] = true
+	c.lastUse[victim] = c.tick
+	return false
+}
+
+// AccessRange touches every line in [addr, addr+bytes).
+func (c *Cache) AccessRange(addr uint64, bytes int) {
+	if bytes <= 0 {
+		return
+	}
+	first := addr >> c.lineShift
+	last := (addr + uint64(bytes) - 1) >> c.lineShift
+	for line := first; line <= last; line++ {
+		c.Access(line << c.lineShift)
+	}
+}
+
+// Contains reports whether addr's line is resident (no state change).
+func (c *Cache) Contains(addr uint64) bool {
+	line := addr >> c.lineShift
+	base := int(line&c.setMask) * c.ways
+	for w := 0; w < c.ways; w++ {
+		if c.valid[base+w] && c.tags[base+w] == line {
+			return true
+		}
+	}
+	return false
+}
+
+// TLB is a fully-associative LRU translation buffer.
+type TLB struct {
+	pageShift uint
+	entries   int
+	pages     []uint64
+	valid     []bool
+	lastUse   []uint64
+	tick      uint64
+	stat      Stats
+}
+
+// NewTLB builds a TLB with the given entry count and page size (power of 2).
+func NewTLB(entries, pageBytes int) *TLB {
+	if entries <= 0 || pageBytes <= 0 || pageBytes&(pageBytes-1) != 0 {
+		panic("cache: bad TLB geometry")
+	}
+	shift := uint(0)
+	for 1<<shift < pageBytes {
+		shift++
+	}
+	return &TLB{
+		pageShift: shift,
+		entries:   entries,
+		pages:     make([]uint64, entries),
+		valid:     make([]bool, entries),
+		lastUse:   make([]uint64, entries),
+	}
+}
+
+// Stats returns the accumulated counters.
+func (t *TLB) Stats() Stats { return t.stat }
+
+// Access translates addr, returning true on TLB hit.
+func (t *TLB) Access(addr uint64) bool {
+	t.tick++
+	t.stat.Accesses++
+	page := addr >> t.pageShift
+	victim := 0
+	for i := 0; i < t.entries; i++ {
+		if t.valid[i] && t.pages[i] == page {
+			t.lastUse[i] = t.tick
+			return true
+		}
+		if !t.valid[i] {
+			victim = i
+		} else if t.valid[victim] && t.lastUse[i] < t.lastUse[victim] {
+			victim = i
+		}
+	}
+	t.stat.Misses++
+	t.pages[victim] = page
+	t.valid[victim] = true
+	t.lastUse[victim] = t.tick
+	return false
+}
+
+// Hierarchy bundles the data-cache levels of one platform core.
+type Hierarchy struct {
+	L1, L2, L3 *Cache // L3 may be nil
+	TLB        *TLB
+}
+
+// NewHierarchy builds a private view of a platform's cache hierarchy.
+// Shared caches are still instantiated per-hierarchy; contention between
+// cores is handled by the analytic model, not by this trace simulator.
+func NewHierarchy(p *platform.Platform) *Hierarchy {
+	h := &Hierarchy{
+		L1:  FromConfig(p.L1),
+		L2:  FromConfig(p.L2),
+		TLB: NewTLB(p.TLBEntrs, p.PageBytes),
+	}
+	if p.L3.SizeBytes > 0 {
+		h.L3 = FromConfig(p.L3)
+		h.L2.Chain(h.L3)
+	}
+	h.L1.Chain(h.L2)
+	return h
+}
+
+// Access touches addr through the whole hierarchy (and the TLB).
+func (h *Hierarchy) Access(addr uint64) {
+	h.TLB.Access(addr)
+	h.L1.Access(addr)
+}
+
+// Reset clears all levels.
+func (h *Hierarchy) Reset() {
+	h.L1.Reset() // chains into L2/L3
+	h.TLB = NewTLB(h.TLB.entries, 1<<h.TLB.pageShift)
+}

@@ -1,0 +1,277 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"libshalom/internal/platform"
+)
+
+func TestColdMissThenHit(t *testing.T) {
+	c := New(1024, 64, 2)
+	if c.Access(0) {
+		t.Fatal("cold access hit")
+	}
+	if !c.Access(0) {
+		t.Fatal("second access missed")
+	}
+	if !c.Access(63) {
+		t.Fatal("same-line access missed")
+	}
+	if c.Access(64) {
+		t.Fatal("next-line cold access hit")
+	}
+	s := c.Stats()
+	if s.Accesses != 4 || s.Misses != 2 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	// 2-way, 1 set of interest: lines 0, S, 2S map to set 0 where
+	// S = sets*lineBytes.
+	c := New(2*64*4, 64, 2) // 4 sets, 2 ways
+	stride := uint64(4 * 64)
+	c.Access(0 * stride)
+	c.Access(1 * stride)
+	c.Access(0 * stride) // refresh line 0 → line S is LRU
+	c.Access(2 * stride) // evicts line S
+	if !c.Contains(0) {
+		t.Fatal("MRU line evicted")
+	}
+	if c.Contains(stride) {
+		t.Fatal("LRU line not evicted")
+	}
+	if !c.Contains(2 * stride) {
+		t.Fatal("new line not installed")
+	}
+}
+
+func TestCapacityEviction(t *testing.T) {
+	c := New(1024, 64, 2) // 16 lines total
+	for i := 0; i < 32; i++ {
+		c.Access(uint64(i * 64))
+	}
+	// Re-walk: everything was evicted by the second half.
+	misses0 := c.Stats().Misses
+	for i := 0; i < 8; i++ {
+		c.Access(uint64(i * 64))
+	}
+	if c.Stats().Misses != misses0+8 {
+		t.Fatal("lines expected evicted were still resident")
+	}
+}
+
+func TestWorkingSetFitsNoCapacityMisses(t *testing.T) {
+	c := New(32<<10, 64, 4)
+	// Touch 16KB twice: second pass must be all hits.
+	for pass := 0; pass < 2; pass++ {
+		for a := 0; a < 16<<10; a += 64 {
+			c.Access(uint64(a))
+		}
+	}
+	s := c.Stats()
+	if s.Misses != 256 { // only the cold pass
+		t.Fatalf("misses = %d, want 256", s.Misses)
+	}
+}
+
+func TestChainPropagation(t *testing.T) {
+	l2 := New(4096, 64, 4)
+	l1 := New(512, 64, 2).Chain(l2)
+	for a := 0; a < 2048; a += 64 {
+		l1.Access(uint64(a))
+	}
+	// All 32 lines miss L1 (cold) and miss L2 (cold).
+	if l1.Stats().Misses != 32 || l2.Stats().Misses != 32 {
+		t.Fatalf("l1 %d l2 %d misses", l1.Stats().Misses, l2.Stats().Misses)
+	}
+	// Second pass: L1 holds only 8 lines → 24+ L1 misses, but L2 holds all
+	// 32 → zero new L2 misses.
+	l2m := l2.Stats().Misses
+	for a := 0; a < 2048; a += 64 {
+		l1.Access(uint64(a))
+	}
+	if l2.Stats().Misses != l2m {
+		t.Fatalf("L2 missed on L2-resident data: %d new", l2.Stats().Misses-l2m)
+	}
+}
+
+func TestAccessRange(t *testing.T) {
+	c := New(4096, 64, 4)
+	c.AccessRange(10, 120) // spans lines 0 and 1 (bytes 10..129)
+	if c.Stats().Accesses != 3 || c.Stats().Misses != 3 {
+		t.Fatalf("stats = %+v, want 3 line touches", c.Stats())
+	}
+	c.AccessRange(0, 0)
+	if c.Stats().Accesses != 3 {
+		t.Fatal("zero-length range touched lines")
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := New(1024, 64, 2)
+	c.Access(0)
+	c.Reset()
+	if c.Stats().Accesses != 0 || c.Contains(0) {
+		t.Fatal("reset incomplete")
+	}
+}
+
+func TestSingleSetFallback(t *testing.T) {
+	// size < line*ways collapses to one set with reduced ways.
+	c := New(128, 64, 4)
+	c.Access(0)
+	c.Access(64)
+	if !c.Contains(0) || !c.Contains(64) {
+		t.Fatal("tiny cache lost both lines")
+	}
+	c.Access(128)
+	if c.Contains(0) {
+		t.Fatal("tiny cache failed to evict LRU")
+	}
+}
+
+func TestMissRate(t *testing.T) {
+	if (Stats{}).MissRate() != 0 {
+		t.Fatal("idle miss rate must be 0")
+	}
+	if (Stats{Accesses: 4, Misses: 1}).MissRate() != 0.25 {
+		t.Fatal("miss rate arithmetic wrong")
+	}
+}
+
+func TestTLBBasic(t *testing.T) {
+	tlb := NewTLB(2, 4096)
+	if tlb.Access(0) {
+		t.Fatal("cold TLB hit")
+	}
+	if !tlb.Access(100) {
+		t.Fatal("same-page TLB miss")
+	}
+	tlb.Access(4096)
+	tlb.Access(8192) // evicts page 0 (LRU)
+	if tlb.Access(0) {
+		t.Fatal("evicted page still hit")
+	}
+}
+
+func TestTLBLRUOrder(t *testing.T) {
+	tlb := NewTLB(2, 4096)
+	tlb.Access(0)
+	tlb.Access(4096)
+	tlb.Access(0)    // page 0 MRU
+	tlb.Access(8192) // must evict page 1
+	if !tlb.Access(0) {
+		t.Fatal("MRU page evicted")
+	}
+	if tlb.Access(4096) {
+		t.Fatal("LRU page survived")
+	}
+}
+
+func TestHierarchyFromPlatform(t *testing.T) {
+	for _, p := range platform.All() {
+		h := NewHierarchy(p)
+		h.Access(0)
+		h.Access(0)
+		if h.L1.Stats().Accesses != 2 || h.L1.Stats().Misses != 1 {
+			t.Fatalf("%s L1 stats %+v", p.Name, h.L1.Stats())
+		}
+		if p.L3.SizeBytes > 0 && h.L3 == nil {
+			t.Fatalf("%s should have L3", p.Name)
+		}
+		if p.L3.SizeBytes == 0 && h.L3 != nil {
+			t.Fatalf("%s should not have L3", p.Name)
+		}
+	}
+}
+
+// Property: miss count never exceeds access count, and a second identical
+// pass over a small working set never increases misses in a big cache.
+func TestPropertyMissesBounded(t *testing.T) {
+	f := func(seed uint16) bool {
+		c := New(8192, 64, 4)
+		addrs := make([]uint64, 50)
+		s := uint64(seed) + 1
+		for i := range addrs {
+			s = s*2862933555777941757 + 3037000493
+			addrs[i] = s % 4096 // fits in cache
+		}
+		for _, a := range addrs {
+			c.Access(a)
+		}
+		m1 := c.Stats().Misses
+		for _, a := range addrs {
+			if !c.Access(a) {
+				return false // must all hit
+			}
+		}
+		return c.Stats().Misses == m1 && m1 <= 50
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBadGeometryPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { New(0, 64, 2) },
+		func() { New(1024, 63, 2) },
+		func() { NewTLB(0, 4096) },
+		func() { NewTLB(4, 1000) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("bad geometry accepted")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// refLRU is a brute-force fully-associative LRU used as an oracle: a
+// single-set cache must behave identically to it.
+type refLRU struct {
+	cap   int
+	lines []uint64
+}
+
+func (r *refLRU) access(line uint64) bool {
+	for i, l := range r.lines {
+		if l == line {
+			r.lines = append(append(append([]uint64{}, r.lines[:i]...), r.lines[i+1:]...), line)
+			return true
+		}
+	}
+	r.lines = append(r.lines, line)
+	if len(r.lines) > r.cap {
+		r.lines = r.lines[1:]
+	}
+	return false
+}
+
+// TestSingleSetMatchesBruteForceLRU: property test — a one-set cache's
+// hit/miss sequence must match the reference LRU exactly on random traces.
+func TestSingleSetMatchesBruteForceLRU(t *testing.T) {
+	f := func(seed uint16) bool {
+		ways := int(seed%7) + 1
+		c := New(64*ways, 64, ways) // one set of `ways` lines
+		ref := &refLRU{cap: ways}
+		s := uint64(seed)*2654435761 + 1
+		for i := 0; i < 300; i++ {
+			s = s*6364136223846793005 + 1442695040888963407
+			line := s % 16
+			addr := line * 64
+			if c.Access(addr) != ref.access(line) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

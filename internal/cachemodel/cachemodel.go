@@ -1,0 +1,272 @@
+// Package cachemodel is the blocking-level analytic memory-traffic model.
+// Per-access trace simulation of the paper's irregular shapes (e.g. B with
+// N=50176, K=3744) is infeasible, so — in the spirit of the paper's own
+// analytic methodology and of Low et al.'s analytical BLIS modeling — this
+// package derives per-level miss-line counts from the GEMM blocking
+// structure: which streams are touched, how many passes each makes, and
+// whether each stream's reuse footprint fits a given cache level.
+//
+// The model is deliberately term-by-term so tests can check each stream's
+// contribution, and internal/cache cross-validates it on reduced shapes.
+package cachemodel
+
+import (
+	"libshalom/internal/analytic"
+	"libshalom/internal/platform"
+)
+
+// Shape is the GEMM problem seen by one thread.
+type Shape struct {
+	M, N, K   int
+	ElemBytes int
+}
+
+// Strategy captures the data-movement plan of a GEMM implementation; the
+// flags correspond directly to the behaviours §3.2/§4 contrast.
+type Strategy struct {
+	// PackASeq: A blocks are packed into Ac in a separate pass, re-packed
+	// for every jj panel (classic Goto order; OpenBLAS/BLIS/ARMPL/BLASFEO).
+	PackASeq bool
+	// PackBSeq: B panels are packed into a kc×nc Bc buffer in a separate
+	// pass (conventional libraries).
+	PackBSeq bool
+	// PackBOverlapSliver: B is packed inside the micro-kernel into a
+	// kc×nr sliver that stays L1-resident (LibShalom §5.3); the B source
+	// is re-read once per mc block of M.
+	PackBOverlapSliver bool
+	// NoPackB: B is consumed in place (LibShalom's small-B NN path §4.2).
+	NoPackB bool
+	// GatherA: the TN/TT data layout (A stored K×M): LibShalom gathers
+	// each mc×kc block of the transposed A into a row-major buffer
+	// (§4.3), re-done once per (ii, kk) block but reused across the whole
+	// nc panel's slivers.
+	GatherA bool
+	// TransB: the NT data layout (B stored N×K, walked along K).
+	TransB bool
+}
+
+// Traffic reports modeled miss line counts per level and DRAM volume.
+// Lines are cache lines; a platform without L3 reports LLCMissLines equal
+// to L2MissLines (its L2 is the LLC).
+type Traffic struct {
+	L1MissLines  float64
+	L2MissLines  float64
+	LLCMissLines float64
+	DRAMBytes    float64
+	// PackStoreLines counts packing-buffer store traffic (lines), used by
+	// the time model to charge sequential packing.
+	PackStoreLines float64
+	// PackLoadElems counts elements read by sequential packing passes.
+	PackLoadElems float64
+}
+
+// missFraction smoothly maps a working-set footprint against a capacity:
+// 0 when the set fits comfortably (≤ half the capacity), 1 when it clearly
+// does not (≥ twice the capacity), linear in between. The ramp avoids the
+// unrealistic step cliffs of a pure capacity model.
+func missFraction(footprintBytes, capBytes float64) float64 {
+	if capBytes <= 0 {
+		return 1
+	}
+	lo, hi := 0.5*capBytes, 2*capBytes
+	switch {
+	case footprintBytes <= lo:
+		return 0
+	case footprintBytes >= hi:
+		return 1
+	default:
+		return (footprintBytes - lo) / (hi - lo)
+	}
+}
+
+// stream describes one logical data stream's traffic: total distinct lines
+// per pass, the number of passes, and the reuse footprint that must survive
+// between passes for later passes to hit.
+type stream struct {
+	linesPerPass float64
+	passes       float64
+	footprint    float64 // bytes that must stay resident for inter-pass reuse
+	alwaysMissL1 bool    // streams far larger than L1 (true for all sources)
+	// distinct is the number of distinct lines the stream ever touches;
+	// zero means linesPerPass (a pass over a large matrix touches each of
+	// its lines once). Packing buffers are far smaller than their traffic:
+	// a kc×nc Bc is rewritten for every panel, so only footprint-many
+	// lines exist and only those can miss compulsorily.
+	distinct float64
+}
+
+// missesAt returns the miss lines of the stream at a level of capacity cap:
+// the distinct lines miss compulsorily (unless warm-resident), and traffic
+// beyond them misses according to the reuse-footprint fit.
+func (s stream) missesAt(capBytes float64, warmFirstPass bool) float64 {
+	distinct := s.distinct
+	if distinct == 0 {
+		distinct = s.linesPerPass
+	}
+	comp := distinct
+	if warmFirstPass {
+		comp = distinct * missFraction(s.footprint, capBytes)
+	}
+	rep := (s.linesPerPass*s.passes - distinct) * missFraction(s.footprint, capBytes)
+	if rep < 0 {
+		rep = 0
+	}
+	return comp + rep
+}
+
+// Estimate computes the traffic of one thread's GEMM under the strategy.
+// warm indicates the paper's warm-cache methodology (Fig 7): operands are
+// already resident in whatever levels they fit, so compulsory misses are
+// charged only against levels they exceed.
+func Estimate(s Strategy, plat *platform.Platform, sh Shape, blk analytic.Blocking, warm bool) Traffic {
+	lineB := float64(plat.L1.LineBytes)
+	le := lineB / float64(sh.ElemBytes) // elements per line
+	m, n, k := float64(sh.M), float64(sh.N), float64(sh.K)
+	mc, kc, nc := float64(blk.MC), float64(blk.KC), float64(blk.NC)
+	eb := float64(sh.ElemBytes)
+
+	ceilDiv := func(a, b float64) float64 {
+		d := a / b
+		if d < 1 {
+			return 1
+		}
+		// fractional passes are fine for the analytic model
+		return d
+	}
+
+	var streams []stream
+	var t Traffic
+
+	// --- C: read+write once per kc block of K.
+	cPasses := ceilDiv(k, kc)
+	streams = append(streams, stream{
+		linesPerPass: m * n / le * 2, // read + write-allocate
+		passes:       cPasses,
+		footprint:    m * n * eb,
+		alwaysMissL1: true,
+	})
+
+	// --- A source: read once per jj panel of N.
+	aPasses := ceilDiv(n, nc)
+	streams = append(streams, stream{
+		linesPerPass: m * k / le,
+		passes:       aPasses,
+		footprint:    m * k * eb,
+		alwaysMissL1: true,
+	})
+
+	// --- B source and packing buffers.
+	bLines := n * k / le
+	switch {
+	case s.NoPackB:
+		// B consumed in place once per mr-row of each mc block: footprint
+		// n*k (≤ L1 by the §4.2 decision rule) so re-reads hit L1; model a
+		// single miss pass.
+		streams = append(streams, stream{linesPerPass: bLines, passes: 1, footprint: n * k * eb})
+	case s.PackBOverlapSliver:
+		// LibShalom: B source re-read once per mc block (the overlap pack
+		// kernel re-packs per ii block); the Bc sliver (kc×nr) lives in L1
+		// and contributes no traffic beyond it.
+		streams = append(streams, stream{
+			linesPerPass: bLines,
+			passes:       ceilDiv(m, mc),
+			footprint:    n * k * eb,
+			alwaysMissL1: true,
+		})
+	case s.PackBSeq:
+		// Conventional: B source read once by the packing pass...
+		streams = append(streams, stream{linesPerPass: bLines, passes: 1, footprint: n * k * eb, alwaysMissL1: true})
+		// ...Bc written once per panel (the buffer itself is only kc×nc,
+		// so only that many lines exist to miss compulsorily)...
+		bcFootprint := kc * nc * eb
+		bcDistinct := bcFootprint / lineB
+		if bcDistinct > bLines {
+			bcDistinct = bLines
+		}
+		streams = append(streams, stream{linesPerPass: bLines, passes: 1, footprint: bcFootprint, alwaysMissL1: true, distinct: bcDistinct})
+		// ...and read back by the kernel once per mc block.
+		streams = append(streams, stream{
+			linesPerPass: bLines,
+			passes:       ceilDiv(m, mc),
+			footprint:    bcFootprint,
+			alwaysMissL1: true,
+			distinct:     bcDistinct,
+		})
+		t.PackStoreLines += bLines
+		t.PackLoadElems += n * k
+	}
+
+	// --- Ac gather for the transposed-A modes (LibShalom TN/TT, §4.3):
+	// the stored K×M block is gathered into a row-major mc×kc buffer once
+	// per (ii, kk, jj); the buffer's footprint bounds its compulsory
+	// misses.
+	if s.GatherA {
+		acFootprint := mc * kc * eb
+		acDistinct := acFootprint / lineB
+		if acDistinct > m*k/le {
+			acDistinct = m * k / le
+		}
+		// gather writes + kernel reads of the buffer
+		streams = append(streams, stream{linesPerPass: m * k / le, passes: aPasses, footprint: acFootprint, distinct: acDistinct})
+		t.PackStoreLines += m * k / le * aPasses
+		t.PackLoadElems += m * k * aPasses
+	}
+
+	// --- Ac (sequential A packing): written and read back once per jj
+	// panel (classic Goto re-packs A for every jj).
+	if s.PackASeq {
+		acFootprint := mc * kc * eb
+		acDistinct := acFootprint / lineB
+		if acDistinct > m*k/le {
+			acDistinct = m * k / le
+		}
+		streams = append(streams, stream{linesPerPass: m * k / le, passes: aPasses, footprint: acFootprint, alwaysMissL1: true, distinct: acDistinct})
+		streams = append(streams, stream{linesPerPass: m * k / le, passes: aPasses, footprint: acFootprint, distinct: acDistinct})
+		t.PackStoreLines += m * k / le * aPasses
+		t.PackLoadElems += m * k * aPasses
+	}
+
+	// Accumulate per-level misses. The per-core share of shared caches
+	// bounds the usable capacity.
+	l1 := float64(plat.L1.SizeBytes)
+	l2 := float64(plat.L2.SizeBytes)
+	if plat.L2.Shared && plat.L2.SharedBy > 1 {
+		l2 /= float64(plat.L2.SharedBy)
+	}
+	l3 := float64(plat.L3.SizeBytes)
+	if plat.L3.SizeBytes > 0 && plat.L3.Shared && plat.L3.SharedBy > 1 {
+		l3 /= float64(plat.L3.SharedBy)
+	}
+
+	for _, st := range streams {
+		warmL1 := warm && !st.alwaysMissL1
+		t.L1MissLines += st.missesAt(l1, warmL1)
+		t.L2MissLines += st.missesAt(l2, warm)
+		if plat.L3.SizeBytes > 0 {
+			t.LLCMissLines += st.missesAt(l3, warm)
+		}
+	}
+	if plat.L3.SizeBytes == 0 {
+		t.LLCMissLines = t.L2MissLines
+	}
+	t.DRAMBytes = t.LLCMissLines * lineB
+	return t
+}
+
+// LibShalomStrategy returns the strategy LibShalom's driver actually uses
+// for the given mode and B footprint (§4.2–4.3).
+func LibShalomStrategy(transB bool, sizeBBytes, l1Bytes int) Strategy {
+	if transB {
+		return Strategy{PackBOverlapSliver: true, TransB: true}
+	}
+	if sizeBBytes <= l1Bytes {
+		return Strategy{NoPackB: true}
+	}
+	return Strategy{PackBOverlapSliver: true}
+}
+
+// ConventionalStrategy returns the always-pack-both plan of the baseline
+// libraries.
+func ConventionalStrategy(transB bool) Strategy {
+	return Strategy{PackASeq: true, PackBSeq: true, TransB: transB}
+}

@@ -1,0 +1,153 @@
+package cachemodel
+
+import (
+	"testing"
+
+	"libshalom/internal/analytic"
+	"libshalom/internal/platform"
+)
+
+func kp() *platform.Platform { return platform.KP920() }
+
+func blkFor(p *platform.Platform) analytic.Blocking { return analytic.BlockingFor(p, 4) }
+
+// TestLibShalomBeatsConventionalL2 is the Fig 12 direction: on the NT
+// irregular shape, LibShalom's plan (no Ac, L1-resident Bc sliver) must
+// produce fewer L2 misses than the conventional always-pack plan.
+func TestLibShalomBeatsConventionalL2(t *testing.T) {
+	// §8.4 measures on KP920 and ThunderX2 (the platforms whose counters
+	// perf can read); Phytium's cluster-shared L2 leaves little headroom
+	// either way, so only the measured platforms get the magnitude band.
+	for _, p := range []*platform.Platform{platform.KP920(), platform.ThunderX2()} {
+		sh := Shape{M: 64, N: 50176, K: 1600, ElemBytes: 4}
+		blk := analytic.BlockingFor(p, 4)
+		ls := Estimate(LibShalomStrategy(true, sh.N*sh.K*4, p.L1.SizeBytes), p, sh, blk, false)
+		conv := Estimate(ConventionalStrategy(true), p, sh, blk, false)
+		if ls.L2MissLines >= conv.L2MissLines {
+			t.Errorf("%s: LibShalom L2 misses %.0f not below conventional %.0f", p.Name, ls.L2MissLines, conv.L2MissLines)
+		}
+		red := 1 - ls.L2MissLines/conv.L2MissLines
+		if red <= 0.01 || red >= 0.6 {
+			t.Errorf("%s: L2 miss reduction %.1f%% implausible vs Fig 12", p.Name, red*100)
+		}
+	}
+}
+
+// TestFig12PlatformOrdering: the paper measures a much larger reduction on
+// KP920 (~20%) than on ThunderX2 (~4%).
+func TestFig12PlatformOrdering(t *testing.T) {
+	red := func(p *platform.Platform) float64 {
+		sh := Shape{M: 64, N: 50176, K: 1600, ElemBytes: 4}
+		blk := analytic.BlockingFor(p, 4)
+		ls := Estimate(LibShalomStrategy(true, sh.N*sh.K*4, p.L1.SizeBytes), p, sh, blk, false)
+		conv := Estimate(ConventionalStrategy(true), p, sh, blk, false)
+		return 1 - ls.L2MissLines/conv.L2MissLines
+	}
+	if red(platform.KP920()) <= red(platform.ThunderX2()) {
+		t.Errorf("KP920 reduction %.1f%% should exceed TX2 %.1f%% (Fig 12)",
+			red(platform.KP920())*100, red(platform.ThunderX2())*100)
+	}
+}
+
+func TestPackingAddsTraffic(t *testing.T) {
+	sh := Shape{M: 256, N: 256, K: 256, ElemBytes: 4}
+	p := kp()
+	blk := blkFor(p)
+	noPack := Estimate(Strategy{NoPackB: true}, p, sh, blk, false)
+	seq := Estimate(Strategy{PackASeq: true, PackBSeq: true}, p, sh, blk, false)
+	if seq.L1MissLines <= noPack.L1MissLines {
+		t.Fatal("sequential packing must add L1 traffic")
+	}
+	if seq.PackStoreLines == 0 || seq.PackLoadElems == 0 {
+		t.Fatal("sequential packing must report pack traffic")
+	}
+	if noPack.PackStoreLines != 0 {
+		t.Fatal("no-pack plan must report zero pack traffic")
+	}
+}
+
+func TestWarmCacheReducesMisses(t *testing.T) {
+	sh := Shape{M: 64, N: 64, K: 64, ElemBytes: 4} // fits L2 on KP920
+	p := kp()
+	blk := blkFor(p)
+	s := Strategy{NoPackB: true}
+	cold := Estimate(s, p, sh, blk, false)
+	warmT := Estimate(s, p, sh, blk, true)
+	if warmT.L2MissLines >= cold.L2MissLines {
+		t.Fatal("warm cache must reduce L2 misses for an L2-resident problem")
+	}
+}
+
+func TestNoL3PlatformLLCEqualsL2(t *testing.T) {
+	sh := Shape{M: 128, N: 128, K: 128, ElemBytes: 4}
+	p := platform.Phytium2000()
+	tr := Estimate(Strategy{NoPackB: true}, p, sh, blkFor(p), false)
+	if tr.LLCMissLines != tr.L2MissLines {
+		t.Fatal("Phytium (no L3) must report LLC misses == L2 misses")
+	}
+	if tr.DRAMBytes != tr.LLCMissLines*64 {
+		t.Fatal("DRAM bytes must equal LLC miss lines × line size")
+	}
+}
+
+func TestMissFractionRamp(t *testing.T) {
+	if missFraction(10, 100) != 0 {
+		t.Fatal("small footprint must not miss")
+	}
+	if missFraction(300, 100) != 1 {
+		t.Fatal("huge footprint must fully miss")
+	}
+	mid := missFraction(125, 100)
+	if mid <= 0 || mid >= 1 {
+		t.Fatalf("ramp value %v out of (0,1)", mid)
+	}
+	if missFraction(10, 0) != 1 {
+		t.Fatal("absent level must miss")
+	}
+}
+
+func TestBiggerKMoreMisses(t *testing.T) {
+	p := kp()
+	blk := blkFor(p)
+	s := ConventionalStrategy(true)
+	small := Estimate(s, p, Shape{M: 64, N: 50176, K: 576, ElemBytes: 4}, blk, false)
+	large := Estimate(s, p, Shape{M: 64, N: 50176, K: 3744, ElemBytes: 4}, blk, false)
+	if large.L2MissLines <= small.L2MissLines {
+		t.Fatal("larger K must produce more misses")
+	}
+}
+
+func TestStrategyConstructors(t *testing.T) {
+	l1 := 32 << 10
+	if !LibShalomStrategy(false, l1, l1).NoPackB {
+		t.Fatal("small NN B must map to NoPackB")
+	}
+	if !LibShalomStrategy(false, l1*2, l1).PackBOverlapSliver {
+		t.Fatal("large NN B must map to overlap pack")
+	}
+	nt := LibShalomStrategy(true, 100, l1)
+	if !nt.PackBOverlapSliver || !nt.TransB {
+		t.Fatal("NT must always overlap-pack (§4.3)")
+	}
+	conv := ConventionalStrategy(false)
+	if !conv.PackASeq || !conv.PackBSeq {
+		t.Fatal("conventional plan must pack both")
+	}
+}
+
+// TestCrossValidateAgainstTraceSim checks the analytic model's directional
+// agreement with the trace-driven simulator on a reduced shape: the
+// conventional plan's extra packing traffic must show up in both.
+func TestCrossValidateAgainstTraceSim(t *testing.T) {
+	// This is validated end-to-end in internal/cache tests; here we assert
+	// the analytic model's term structure: conventional − libshalom ≥ the
+	// Ac store traffic alone.
+	p := kp()
+	sh := Shape{M: 512, N: 2048, K: 512, ElemBytes: 4}
+	blk := blkFor(p)
+	conv := Estimate(ConventionalStrategy(false), p, sh, blk, false)
+	ls := Estimate(LibShalomStrategy(false, sh.N*sh.K*4, p.L1.SizeBytes), p, sh, blk, false)
+	if conv.L1MissLines-ls.L1MissLines < float64(sh.M*sh.K)/16 {
+		t.Fatal("conventional plan's L1 traffic surplus smaller than its Ac stores alone")
+	}
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"unsafe"
+
+	"libshalom/internal/analytic"
+	"libshalom/internal/parallel"
+)
+
+// BatchEntry is one independent GEMM of a batch. The paper's small-GEMM
+// methodology (§7.4) parallelizes across independent problems rather than
+// inside one small problem; Batch implements exactly that: every entry runs
+// the single-threaded LibShalom driver, and the batch is spread over the
+// worker pool.
+type BatchEntry[T Float] struct {
+	M, N, K int
+	Alpha   T
+	A       []T
+	LDA     int
+	B       []T
+	LDB     int
+	Beta    T
+	C       []T
+	LDC     int
+}
+
+// SGEMMBatch executes a batch of independent FP32 GEMMs, all under the same
+// transposition mode. Entries are validated up front; execution is
+// all-or-nothing with respect to validation (no entry runs if any is
+// malformed), and per-entry results are independent.
+func SGEMMBatch(cfg Config, mode Mode, batch []BatchEntry[float32]) error {
+	return gemmBatch(cfg, f32Kernels(), mode, batch)
+}
+
+// DGEMMBatch is the FP64 counterpart of SGEMMBatch.
+func DGEMMBatch(cfg Config, mode Mode, batch []BatchEntry[float64]) error {
+	return gemmBatch(cfg, f64Kernels(), mode, batch)
+}
+
+func gemmBatch[T Float](cfg Config, ks kernelSet[T], mode Mode, batch []BatchEntry[T]) error {
+	for i, e := range batch {
+		if err := checkArgs(mode, e.M, e.N, e.K, e.A, e.LDA, e.B, e.LDB, e.C, e.LDC); err != nil {
+			return fmt.Errorf("core: batch entry %d: %w", i, err)
+		}
+	}
+	if len(batch) == 0 {
+		return nil
+	}
+	plat := cfg.platform()
+	tile := analytic.SolveForElem(ks.elemBytes)
+	blk := analytic.BlockingFor(plat, ks.elemBytes)
+
+	runOne := func(e BatchEntry[T]) {
+		if e.M == 0 || e.N == 0 {
+			return
+		}
+		if e.Alpha == 0 || e.K == 0 {
+			scaleAll(ks, e.M, e.N, e.Beta, e.C, e.LDC)
+			return
+		}
+		gemmST(ks, plat, tile, blk, mode, e.M, e.N, e.K, e.Alpha, e.A, e.LDA, e.B, e.LDB, e.Beta, e.C, e.LDC)
+	}
+
+	threads := cfg.Threads
+	if threads <= 1 || len(batch) == 1 {
+		for _, e := range batch {
+			runOne(e)
+		}
+		return nil
+	}
+	pool := cfg.Pool
+	if pool == nil {
+		pool = parallel.NewPool(threads)
+		defer pool.Close()
+	}
+	// Chunk entries so tiny problems do not drown in task dispatch.
+	chunk := (len(batch) + threads*4 - 1) / (threads * 4)
+	if chunk < 1 {
+		chunk = 1
+	}
+	var tasks []func()
+	for lo := 0; lo < len(batch); lo += chunk {
+		hi := lo + chunk
+		if hi > len(batch) {
+			hi = len(batch)
+		}
+		sub := batch[lo:hi]
+		tasks = append(tasks, func() {
+			for _, e := range sub {
+				runOne(e)
+			}
+		})
+	}
+	pool.Run(tasks)
+	return nil
+}
+
+// ErrAliasedBatch is returned by CheckBatchAliasing when two entries write
+// overlapping C storage.
+var ErrAliasedBatch = errors.New("core: batch entries write overlapping C storage")
+
+// CheckBatchAliasing detects entries whose C slices share underlying
+// storage regions. The batch runner does not synchronize between entries,
+// so aliased outputs race; callers can run this check in tests or debug
+// builds. Detection compares the address extents of the C slices.
+func CheckBatchAliasing[T Float](batch []BatchEntry[T]) error {
+	type extent struct{ lo, hi uintptr }
+	var elem T
+	size := uintptr(unsafe.Sizeof(elem))
+	extents := make([]extent, 0, len(batch))
+	for _, e := range batch {
+		if len(e.C) == 0 {
+			continue
+		}
+		lo := uintptr(unsafe.Pointer(unsafe.SliceData(e.C)))
+		hi := lo + uintptr(len(e.C))*size
+		for _, x := range extents {
+			if lo < x.hi && x.lo < hi {
+				return ErrAliasedBatch
+			}
+		}
+		extents = append(extents, extent{lo, hi})
+	}
+	return nil
+}

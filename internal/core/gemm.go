@@ -1,0 +1,286 @@
+package core
+
+import (
+	"fmt"
+
+	"libshalom/internal/analytic"
+	"libshalom/internal/kernels"
+	"libshalom/internal/pack"
+	"libshalom/internal/parallel"
+	"libshalom/internal/platform"
+)
+
+// Config carries the per-call execution parameters of the driver.
+type Config struct {
+	// Plat selects the platform model whose cache capacities drive the
+	// packing decision (§4.2) and blocking parameters. Defaults to
+	// Kunpeng 920 when nil.
+	Plat *platform.Platform
+	// Threads is the parallel width; values < 2 run single-threaded.
+	// The paper parallelizes only irregular-shaped GEMM (§6); callers are
+	// expected to pass 1 for small inputs, and the public API does so.
+	Threads int
+	// Pool optionally supplies a shared worker pool. When nil and
+	// Threads > 1 a transient pool is created for the call.
+	Pool *parallel.Pool
+}
+
+func (c Config) platform() *platform.Platform {
+	if c.Plat != nil {
+		return c.Plat
+	}
+	return platform.KP920()
+}
+
+// Float constrains the generic driver to the two GEMM precisions.
+type Float interface {
+	~float32 | ~float64
+}
+
+// kernelSet wires the generic driver to the precision-specific micro-kernels.
+type kernelSet[T Float] struct {
+	elemBytes int
+	micro     func(mr, nr, kc int, alpha T, a []T, lda int, b []T, ldb int, beta T, c []T, ldc int)
+	packB     func(mr, nr, kc int, alpha T, a []T, lda int, b []T, ldb int, beta T, c []T, ldc int, bc []T, nrTotal, jOff int)
+	nt        func(mr, nr, kc int, alpha T, a []T, lda int, bT []T, ldbT int, beta T, c []T, ldc int)
+	ntPack    func(mr, nr, kc int, alpha T, a []T, lda int, bT []T, ldbT int, beta T, c []T, ldc int, bc []T, nrTotal, jOff int)
+	scale     func(mr, nr int, beta T, c []T, ldc int)
+	packAT    func(dst []T, at []T, ldat, i0, k0, mc, kc int)
+}
+
+func f32Kernels() kernelSet[float32] {
+	return kernelSet[float32]{
+		elemBytes: 4,
+		micro:     kernels.SGEMMMicro,
+		packB:     kernels.SGEMMMicroPackB,
+		nt:        kernels.SGEMMMicroNT,
+		ntPack:    kernels.SGEMMMicroNTPack,
+		scale:     kernels.SScaleRows,
+		packAT:    pack.PackATransposedF32,
+	}
+}
+
+func f64Kernels() kernelSet[float64] {
+	return kernelSet[float64]{
+		elemBytes: 8,
+		micro:     kernels.DGEMMMicro,
+		packB:     kernels.DGEMMMicroPackB,
+		nt:        kernels.DGEMMMicroNT,
+		ntPack:    kernels.DGEMMMicroNTPack,
+		scale:     kernels.DScaleRows,
+		packAT:    pack.PackATransposedF64,
+	}
+}
+
+// SGEMM computes C = α·op(A)·op(B) + β·C in single precision with
+// LibShalom's driver. op(A) is m×k and op(B) is k×n; lda/ldb/ldc are the
+// row strides of the operands as stored.
+func SGEMM(cfg Config, mode Mode, m, n, k int, alpha float32, a []float32, lda int, b []float32, ldb int, beta float32, c []float32, ldc int) error {
+	return gemm[float32](cfg, f32Kernels(), mode, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc)
+}
+
+// DGEMM is the double-precision counterpart of SGEMM.
+func DGEMM(cfg Config, mode Mode, m, n, k int, alpha float64, a []float64, lda int, b []float64, ldb int, beta float64, c []float64, ldc int) error {
+	return gemm[float64](cfg, f64Kernels(), mode, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc)
+}
+
+func checkArgs[T Float](mode Mode, m, n, k int, a []T, lda int, b []T, ldb int, c []T, ldc int) error {
+	if m < 0 || n < 0 || k < 0 {
+		return fmt.Errorf("core: negative dimension m=%d n=%d k=%d", m, n, k)
+	}
+	arows, acols := m, k
+	if mode.TransA() {
+		arows, acols = k, m
+	}
+	brows, bcols := k, n
+	if mode.TransB() {
+		brows, bcols = n, k
+	}
+	if lda < max(1, acols) || ldb < max(1, bcols) || ldc < max(1, n) {
+		return fmt.Errorf("core: leading dimension too small (lda=%d ldb=%d ldc=%d)", lda, ldb, ldc)
+	}
+	if need := sliceNeed(arows, acols, lda); len(a) < need {
+		return fmt.Errorf("core: A has %d elements, needs %d", len(a), need)
+	}
+	if need := sliceNeed(brows, bcols, ldb); len(b) < need {
+		return fmt.Errorf("core: B has %d elements, needs %d", len(b), need)
+	}
+	if need := sliceNeed(m, n, ldc); len(c) < need {
+		return fmt.Errorf("core: C has %d elements, needs %d", len(c), need)
+	}
+	return nil
+}
+
+func sliceNeed(rows, cols, ld int) int {
+	if rows == 0 || cols == 0 {
+		return 0
+	}
+	return (rows-1)*ld + cols
+}
+
+func gemm[T Float](cfg Config, ks kernelSet[T], mode Mode, m, n, k int, alpha T, a []T, lda int, b []T, ldb int, beta T, c []T, ldc int) error {
+	if err := checkArgs(mode, m, n, k, a, lda, b, ldb, c, ldc); err != nil {
+		return err
+	}
+	if m == 0 || n == 0 {
+		return nil
+	}
+	if alpha == 0 || k == 0 {
+		scaleAll(ks, m, n, beta, c, ldc)
+		return nil
+	}
+	plat := cfg.platform()
+	tile := analytic.SolveForElem(ks.elemBytes)
+	blk := analytic.BlockingFor(plat, ks.elemBytes)
+
+	if cfg.Threads > 1 {
+		part := analytic.PartitionFor(m, n, cfg.Threads)
+		blocks := parallel.Blocks(m, n, part, tile.MR, tile.NR)
+		if len(blocks) > 1 {
+			pool := cfg.Pool
+			if pool == nil {
+				pool = parallel.NewPool(cfg.Threads)
+				defer pool.Close()
+			}
+			tasks := make([]func(), len(blocks))
+			for bi, blkC := range blocks {
+				blkC := blkC
+				tasks[bi] = func() {
+					// Each thread owns a disjoint C sub-block and walks the
+					// full K; operand origins shift per block and mode.
+					aOff, ldaEff := threadAOffset(mode, blkC.I0, lda)
+					bOff := threadBOffset(mode, blkC.J0, ldb)
+					gemmST(ks, plat, tile, blk, mode, blkC.M, blkC.N, k,
+						alpha, a[aOff:], ldaEff, b[bOff:], ldb,
+						beta, c[blkC.I0*ldc+blkC.J0:], ldc)
+				}
+			}
+			pool.Run(tasks)
+			return nil
+		}
+	}
+	gemmST(ks, plat, tile, blk, mode, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc)
+	return nil
+}
+
+// threadAOffset returns the element offset into A for a thread whose C block
+// starts at row i0, plus the effective leading dimension (unchanged).
+func threadAOffset(mode Mode, i0, lda int) (int, int) {
+	if mode.TransA() {
+		return i0, lda // A stored K×M: advancing M means advancing columns
+	}
+	return i0 * lda, lda
+}
+
+// threadBOffset returns the element offset into B for a thread whose C block
+// starts at column j0.
+func threadBOffset(mode Mode, j0, ldb int) int {
+	if mode.TransB() {
+		return j0 * ldb // B stored N×K: advancing N means advancing rows
+	}
+	return j0
+}
+
+func scaleAll[T Float](ks kernelSet[T], m, n int, beta T, c []T, ldc int) {
+	if beta == 1 {
+		return
+	}
+	ks.scale(m, n, beta, c, ldc)
+}
+
+// gemmST is the single-threaded Algorithm 1 loop nest for one C block.
+func gemmST[T Float](ks kernelSet[T], plat *platform.Platform, tile analytic.Tile, blk analytic.Blocking, mode Mode, m, n, k int, alpha T, a []T, lda int, b []T, ldb int, beta T, c []T, ldc int) {
+	mr, nr := tile.MR, tile.NR
+	mc, kc, nc := blk.MC, blk.KC, blk.NC
+
+	// §4.2 packing decision for B (NN/TN); NT/TT always pack (§4.3).
+	sizeB := n * k * ks.elemBytes
+	var bStrategy pack.Strategy
+	if mode.TransB() {
+		bStrategy = pack.ShouldPackBNT()
+	} else {
+		bStrategy = pack.ShouldPackBNN(sizeB, plat.L1.SizeBytes)
+	}
+
+	var bc []T
+	if bStrategy != pack.NoPack {
+		bc = make([]T, kc*nr)
+	}
+	var aBuf []T
+	if mode.TransA() {
+		aBuf = make([]T, mc*kc)
+	}
+
+	for jj := 0; jj < n; jj += nc {
+		ncb := min(nc, n-jj)
+		for ii := 0; ii < m; ii += mc {
+			mcb := min(mc, m-ii)
+			// Loop interchange (§3.3): kk runs inside ii so each A block's
+			// rows are walked contiguously across the whole K extent.
+			for kk := 0; kk < k; kk += kc {
+				kcb := min(kc, k-kk)
+				betaEff := alphaBeta(kk == 0, beta)
+				// Effective A block accessor for this (ii, kk).
+				var aBlk []T
+				var ldaEff int
+				if mode.TransA() {
+					// §4.3: TN/TT gather the transposed A block into a
+					// row-major buffer (the NT-style packing of A).
+					ks.packAT(aBuf, a, lda, ii, kk, mcb, kcb)
+					aBlk, ldaEff = aBuf, kcb
+				} else {
+					aBlk, ldaEff = a[ii*lda+kk:], lda
+				}
+				for j := 0; j < ncb; j += nr {
+					nrb := min(nr, ncb-j)
+					jAbs := jj + j
+					cTile := c[ii*ldc+jAbs:]
+					switch {
+					case mode.TransB():
+						// NT/TT: first micro-tile runs the inner-product
+						// packing kernel (Fig 5/Alg 3), the rest consume Bc
+						// with the 7×12 outer-product kernel.
+						bT := b[jAbs*ldb+kk:]
+						mrb := min(mr, mcb)
+						ks.ntPack(mrb, nrb, kcb, alpha, aBlk, ldaEff, bT, ldb, betaEff, cTile, ldc, bc, nrb, 0)
+						for i := mrb; i < mcb; i += mr {
+							mrb2 := min(mr, mcb-i)
+							ks.micro(mrb2, nrb, kcb, alpha, aBlk[i*ldaEff:], ldaEff, bc, nrb, betaEff, cTile[i*ldc:], ldc)
+						}
+					case bStrategy == pack.PackOverlap:
+						// NN/TN with large B: pack the sliver inside the
+						// first micro-tile (Alg 1 lines 6–8), overlapping
+						// the copies with its FMAs; remaining tiles reuse
+						// the L1-resident Bc (lines 9–11). The §5.3.2
+						// lookahead depth t changes when elements are
+						// packed, not what is computed; this portable
+						// driver always packs the current sliver and the
+						// timing model prices the t=1 variant.
+						bBlk := b[kk*ldb+jAbs:]
+						mrb := min(mr, mcb)
+						ks.packB(mrb, nrb, kcb, alpha, aBlk, ldaEff, bBlk, ldb, betaEff, cTile, ldc, bc, nrb, 0)
+						for i := mrb; i < mcb; i += mr {
+							mrb2 := min(mr, mcb-i)
+							ks.micro(mrb2, nrb, kcb, alpha, aBlk[i*ldaEff:], ldaEff, bc, nrb, betaEff, cTile[i*ldc:], ldc)
+						}
+					default:
+						// Small B (fits L1): no packing at all (Alg 1
+						// lines 12–15) — every tile streams B in place.
+						bBlk := b[kk*ldb+jAbs:]
+						for i := 0; i < mcb; i += mr {
+							mrb2 := min(mr, mcb-i)
+							ks.micro(mrb2, nrb, kcb, alpha, aBlk[i*ldaEff:], ldaEff, bBlk, ldb, betaEff, cTile[i*ldc:], ldc)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func alphaBeta[T Float](first bool, beta T) T {
+	if first {
+		return beta
+	}
+	return 1
+}

@@ -1,0 +1,66 @@
+// Package core implements LibShalom's GEMM driver — the paper's primary
+// contribution. It follows Algorithm 1: the Goto loop nest with the L2/L3
+// loops interchanged (the kc loop runs inside the mc loop, yielding
+// contiguous walks over A and letting one packed B sliver serve a whole
+// column of micro-tiles), a runtime packing decision instead of
+// unconditional packing (§4), packing performed at the micro-kernel level
+// overlapped with computation (§5.3), tile-aligned edge handling (§5.4) and
+// the shape-aware two-level parallel partition (§6).
+package core
+
+import "fmt"
+
+// Mode selects the GEMM transposition mode, following BLAS naming (§3.3):
+// the first letter describes A, the second B; T means the operand is
+// supplied transposed (A stored K×M, B stored N×K, both row-major).
+type Mode uint8
+
+const (
+	// NN: C = α·A·B + β·C with A stored M×K and B stored K×N.
+	NN Mode = iota
+	// NT: B is supplied transposed (stored N×K).
+	NT
+	// TN: A is supplied transposed (stored K×M).
+	TN
+	// TT: both operands are supplied transposed.
+	TT
+)
+
+// TransA reports whether A is supplied transposed.
+func (m Mode) TransA() bool { return m == TN || m == TT }
+
+// TransB reports whether B is supplied transposed.
+func (m Mode) TransB() bool { return m == NT || m == TT }
+
+// String returns "NN", "NT", "TN" or "TT".
+func (m Mode) String() string {
+	switch m {
+	case NN:
+		return "NN"
+	case NT:
+		return "NT"
+	case TN:
+		return "TN"
+	case TT:
+		return "TT"
+	}
+	return fmt.Sprintf("Mode(%d)", uint8(m))
+}
+
+// ParseMode converts "NN"/"NT"/"TN"/"TT" to a Mode.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "NN", "nn":
+		return NN, nil
+	case "NT", "nt":
+		return NT, nil
+	case "TN", "tn":
+		return TN, nil
+	case "TT", "tt":
+		return TT, nil
+	}
+	return NN, fmt.Errorf("core: unknown GEMM mode %q", s)
+}
+
+// Modes lists all four modes in the paper's order.
+func Modes() []Mode { return []Mode{NN, NT, TN, TT} }

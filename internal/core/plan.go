@@ -1,0 +1,103 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"libshalom/internal/analytic"
+	"libshalom/internal/pack"
+	"libshalom/internal/parallel"
+)
+
+// Plan describes every decision the driver will take for a GEMM call,
+// before any arithmetic happens: the micro-kernel tile, the blocking, the
+// §4 packing strategy, the §5.3.2 lookahead depth, and the §6 parallel
+// partition. It exists for introspection (tools, tests, documentation);
+// the driver derives the same quantities internally.
+//
+// For parallel calls the packing decision is re-evaluated per thread on the
+// thread's sub-block; Plan reports the decision for the whole problem and
+// for one representative thread block.
+type Plan struct {
+	Mode      Mode
+	ElemBytes int
+	Tile      analytic.Tile
+	Blocking  analytic.Blocking
+
+	// BStrategy is the §4 decision for the whole problem's B footprint.
+	BStrategy pack.Strategy
+	// Depth is the §5.3.2 packing lookahead (0 = current sliver only).
+	Depth pack.Depth
+	// PackA reports whether the transposed A operand is gathered into a
+	// row-major block buffer (TN/TT, §4.3).
+	PackA bool
+
+	Threads   int
+	Partition analytic.Partition
+	// ThreadBlockM/N is the representative per-thread C block.
+	ThreadBlockM, ThreadBlockN int
+	// ThreadBStrategy is the §4 decision one thread makes for its block.
+	ThreadBStrategy pack.Strategy
+}
+
+// PlanFor computes the execution plan the driver would follow.
+func PlanFor(cfg Config, mode Mode, m, n, k, elemBytes int) Plan {
+	plat := cfg.platform()
+	p := Plan{
+		Mode:      mode,
+		ElemBytes: elemBytes,
+		Tile:      analytic.SolveForElem(elemBytes),
+		Blocking:  analytic.BlockingFor(plat, elemBytes),
+		PackA:     mode.TransA(),
+		Threads:   1,
+	}
+	decide := func(nn, kk int) pack.Strategy {
+		if mode.TransB() {
+			return pack.ShouldPackBNT()
+		}
+		return pack.ShouldPackBNN(nn*kk*elemBytes, plat.L1.SizeBytes)
+	}
+	p.BStrategy = decide(n, k)
+	p.Depth = pack.DepthFor(n*k*elemBytes, plat.LLC().SizeBytes)
+	p.ThreadBlockM, p.ThreadBlockN = m, n
+	p.ThreadBStrategy = p.BStrategy
+	p.Partition = analytic.Partition{TM: 1, TN: 1}
+
+	if cfg.Threads > 1 && m > 0 && n > 0 {
+		part := analytic.PartitionFor(m, n, cfg.Threads)
+		blocks := parallel.Blocks(m, n, part, p.Tile.MR, p.Tile.NR)
+		if len(blocks) > 1 {
+			p.Threads = cfg.Threads
+			p.Partition = part
+			worst := blocks[0]
+			for _, b := range blocks {
+				if b.M*b.N > worst.M*worst.N {
+					worst = b
+				}
+			}
+			p.ThreadBlockM, p.ThreadBlockN = worst.M, worst.N
+			p.ThreadBStrategy = decide(worst.N, k)
+		}
+	}
+	return p
+}
+
+// String renders the plan for humans.
+func (p Plan) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "mode %s, %d-byte elements\n", p.Mode, p.ElemBytes)
+	fmt.Fprintf(&b, "micro-kernel tile: %dx%d (CMR %.2f, %d registers)\n", p.Tile.MR, p.Tile.NR, p.Tile.CMR, p.Tile.Regs)
+	fmt.Fprintf(&b, "blocking: mc=%d kc=%d nc=%d\n", p.Blocking.MC, p.Blocking.KC, p.Blocking.NC)
+	fmt.Fprintf(&b, "B packing: %s (lookahead t=%d)", p.BStrategy, int(p.Depth))
+	if p.PackA {
+		b.WriteString("; A gathered from transposed storage")
+	}
+	b.WriteByte('\n')
+	if p.Threads > 1 {
+		fmt.Fprintf(&b, "parallel: %d threads as Tm=%d x Tn=%d; per-thread block %dx%d (B packing there: %s)\n",
+			p.Threads, p.Partition.TM, p.Partition.TN, p.ThreadBlockM, p.ThreadBlockN, p.ThreadBStrategy)
+	} else {
+		b.WriteString("single-threaded\n")
+	}
+	return b.String()
+}

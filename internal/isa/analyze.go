@@ -1,0 +1,169 @@
+package isa
+
+import "fmt"
+
+// Report is the result of static analysis of a program: register dataflow
+// health, peak register pressure, and per-stream access summaries. Kernel
+// generators are validated against it in tests — the analyzer catches the
+// classes of bugs hand-written assembly suffers from (reading a register
+// before any write, dead stores, exceeding the architectural register
+// file).
+type Report struct {
+	// UndefinedReads lists instruction indices that read a register no
+	// earlier instruction wrote. (Accumulator-style kernels zero or load
+	// their registers first; a read-before-write is a generator bug.)
+	UndefinedReads []int
+	// DeadWrites lists instruction indices whose written register is
+	// overwritten before any read. A small number is legal (e.g. the
+	// final reload emitted by a software-pipelined loop body), but large
+	// counts indicate mis-scheduled emission.
+	DeadWrites []int
+	// PeakLive is the maximum number of simultaneously live registers.
+	PeakLive int
+	// Streams summarizes per-stream behaviour.
+	Streams []StreamReport
+}
+
+// StreamReport summarizes one memory stream's accesses.
+type StreamReport struct {
+	Name       string
+	Kind       StreamKind
+	Loads      int
+	Stores     int
+	MinOff     int  // lowest element offset touched (-1 if untouched)
+	MaxOff     int  // highest element offset touched (exclusive)
+	ReadBefore bool // stream is loaded at least once before any store
+	WriteFirst bool // first access is a store (pure output / pack buffer)
+}
+
+// Analyze runs the static passes over a validated program.
+func Analyze(p *Program) (*Report, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	r := &Report{}
+	lanes := p.Lanes()
+
+	// --- register dataflow ---
+	written := make([]bool, 32)
+	lastWrite := make([]int, 32) // instruction index of the pending write
+	readSince := make([]bool, 32)
+	for i := range lastWrite {
+		lastWrite[i] = -1
+	}
+	for i, in := range p.Code {
+		for _, r2 := range in.Uses() {
+			if !written[r2] {
+				r.UndefinedReads = append(r.UndefinedReads, i)
+			}
+			readSince[r2] = true
+		}
+		for _, d := range in.Defs() {
+			if written[d] && !readSince[d] && lastWrite[d] >= 0 {
+				// FMA-style ops read their destination, so they never land
+				// here; a pure overwrite of an unread value is a dead write.
+				r.DeadWrites = append(r.DeadWrites, lastWrite[d])
+			}
+			written[d] = true
+			lastWrite[d] = i
+			readSince[d] = false
+		}
+	}
+	// Writes never read by the end of the program are dead unless they are
+	// the natural tail of a pipelined loop body (the caller decides what
+	// count is acceptable).
+	for reg := 0; reg < 32; reg++ {
+		if lastWrite[reg] >= 0 && !readSince[reg] {
+			r.DeadWrites = append(r.DeadWrites, lastWrite[reg])
+		}
+	}
+
+	// --- liveness (backward) for peak pressure ---
+	live := make([]bool, 32)
+	liveCount := 0
+	for i := len(p.Code) - 1; i >= 0; i-- {
+		in := p.Code[i]
+		for _, d := range in.Defs() {
+			if live[d] {
+				live[d] = false
+				liveCount--
+			}
+		}
+		for _, u := range in.Uses() {
+			if !live[u] {
+				live[u] = true
+				liveCount++
+			}
+		}
+		if liveCount > r.PeakLive {
+			r.PeakLive = liveCount
+		}
+	}
+
+	// --- streams ---
+	r.Streams = make([]StreamReport, len(p.Streams))
+	for i, s := range p.Streams {
+		r.Streams[i] = StreamReport{Name: s.Name, Kind: s.Kind, MinOff: -1}
+	}
+	for _, in := range p.Code {
+		isLoad := in.Op.IsLoad()
+		isStore := in.Op.IsStore()
+		if !isLoad && !isStore {
+			continue
+		}
+		sr := &r.Streams[in.Mem.Stream]
+		n := 1
+		if in.Op == LdVec || in.Op == StVec {
+			n = lanes
+		}
+		if in.Op == LdScalarPair {
+			n = 2
+		}
+		if sr.MinOff < 0 || in.Mem.Off < sr.MinOff {
+			sr.MinOff = in.Mem.Off
+		}
+		if end := in.Mem.Off + n; end > sr.MaxOff {
+			sr.MaxOff = end
+		}
+		if isLoad {
+			if sr.Loads == 0 && sr.Stores == 0 {
+				sr.ReadBefore = true
+			}
+			sr.Loads++
+		} else {
+			if sr.Loads == 0 && sr.Stores == 0 {
+				sr.WriteFirst = true
+			}
+			sr.Stores++
+		}
+	}
+	return r, nil
+}
+
+// CheckKernelInvariants applies the invariants every LibShalom-style
+// micro-kernel must satisfy; kernel-generator tests call it for each
+// emitted program. maxDeadWrites tolerates the pipelined tail reloads.
+func (r *Report) CheckKernelInvariants(maxDeadWrites int) error {
+	if len(r.UndefinedReads) > 0 {
+		return fmt.Errorf("isa: %d undefined register reads (first at instr %d)", len(r.UndefinedReads), r.UndefinedReads[0])
+	}
+	if len(r.DeadWrites) > maxDeadWrites {
+		return fmt.Errorf("isa: %d dead writes exceed budget %d", len(r.DeadWrites), maxDeadWrites)
+	}
+	if r.PeakLive > 32 {
+		return fmt.Errorf("isa: peak live registers %d exceeds the register file", r.PeakLive)
+	}
+	for _, s := range r.Streams {
+		switch s.Kind {
+		case StreamA, StreamB:
+			if s.Stores > 0 {
+				return fmt.Errorf("isa: input stream %s is stored to", s.Name)
+			}
+		case StreamBc:
+			if !s.WriteFirst && s.Loads > 0 {
+				return fmt.Errorf("isa: pack buffer %s read before written", s.Name)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,144 @@
+package isa
+
+import "testing"
+
+func TestAnalyzeCleanProgram(t *testing.T) {
+	b := NewBuilder("clean", 4)
+	sa := b.Stream("A", StreamA, 8, true)
+	sc := b.Stream("C", StreamC, 4, true)
+	b.Zero(2)
+	b.LdVec(0, sa, 0).LdVec(1, sa, 4)
+	b.FmlaVec(2, 0, 1)
+	b.StVec(2, sc, 0)
+	p := b.MustBuild()
+	r, err := Analyze(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.UndefinedReads) != 0 {
+		t.Fatalf("clean program flagged: %v", r.UndefinedReads)
+	}
+	if len(r.DeadWrites) != 0 {
+		t.Fatalf("clean program has dead writes: %v", r.DeadWrites)
+	}
+	if r.PeakLive != 3 { // v0, v1, v2 live simultaneously at the FMA
+		t.Fatalf("peak live = %d, want 3", r.PeakLive)
+	}
+	if err := r.CheckKernelInvariants(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAnalyzeUndefinedRead(t *testing.T) {
+	b := NewBuilder("undef", 4)
+	sc := b.Stream("C", StreamC, 4, true)
+	b.StVec(9, sc, 0) // v9 never written
+	r, err := Analyze(b.MustBuild())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.UndefinedReads) != 1 || r.UndefinedReads[0] != 0 {
+		t.Fatalf("undefined read not detected: %+v", r)
+	}
+	if err := r.CheckKernelInvariants(0); err == nil {
+		t.Fatal("invariant check passed a broken program")
+	}
+}
+
+func TestAnalyzeDeadWrite(t *testing.T) {
+	b := NewBuilder("dead", 4)
+	sa := b.Stream("A", StreamA, 8, true)
+	b.LdVec(0, sa, 0) // dead: overwritten below without a read
+	b.LdVec(0, sa, 4) // dead: never read at all
+	r, err := Analyze(b.MustBuild())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.DeadWrites) != 2 {
+		t.Fatalf("dead writes = %v, want 2 entries", r.DeadWrites)
+	}
+}
+
+func TestAnalyzeFMAReadsAccumulator(t *testing.T) {
+	// dst of an FMA is a read; back-to-back FMAs on one accumulator must
+	// not be flagged as dead writes.
+	b := NewBuilder("acc", 4)
+	sa := b.Stream("A", StreamA, 4, true)
+	sc := b.Stream("C", StreamC, 4, true)
+	b.LdVec(0, sa, 0)
+	b.Zero(1)
+	b.FmlaVec(1, 0, 0)
+	b.FmlaVec(1, 0, 0)
+	b.StVec(1, sc, 0)
+	r, err := Analyze(b.MustBuild())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.DeadWrites) != 0 {
+		t.Fatalf("accumulator chain flagged dead: %v", r.DeadWrites)
+	}
+}
+
+func TestAnalyzeStreamReport(t *testing.T) {
+	b := NewBuilder("streams", 4)
+	sb := b.Stream("B", StreamB, 12, true)
+	sbc := b.Stream("Bc", StreamBc, 12, true)
+	b.LdVec(0, sb, 4)
+	b.StVec(0, sbc, 0)
+	b.LdVec(1, sbc, 0)
+	b.FmlaVec(1, 1, 1)
+	b.StVec(1, sbc, 8)
+	r, err := Analyze(b.MustBuild())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bRep := r.Streams[0]
+	if !bRep.ReadBefore || bRep.Loads != 1 || bRep.Stores != 0 || bRep.MinOff != 4 || bRep.MaxOff != 8 {
+		t.Fatalf("B stream report wrong: %+v", bRep)
+	}
+	bcRep := r.Streams[1]
+	if !bcRep.WriteFirst || bcRep.Stores != 2 || bcRep.Loads != 1 || bcRep.MaxOff != 12 {
+		t.Fatalf("Bc stream report wrong: %+v", bcRep)
+	}
+	if err := r.CheckKernelInvariants(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvariantRejectsStoredInput(t *testing.T) {
+	b := NewBuilder("badstream", 4)
+	sa := b.Stream("A", StreamA, 4, true)
+	b.LdVec(0, sa, 0)
+	b.FmlaVec(0, 0, 0)
+	b.StVec(0, sa, 0) // writing to an input stream
+	r, err := Analyze(b.MustBuild())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.CheckKernelInvariants(1); err == nil {
+		t.Fatal("stored-to input stream accepted")
+	}
+}
+
+func TestInvariantRejectsPackBufferReadFirst(t *testing.T) {
+	b := NewBuilder("badbc", 4)
+	sbc := b.Stream("Bc", StreamBc, 4, true)
+	sc := b.Stream("C", StreamC, 4, true)
+	b.LdVec(0, sbc, 0) // reading the pack buffer before any write
+	b.FmlaVec(0, 0, 0)
+	b.StVec(0, sc, 0)
+	r, err := Analyze(b.MustBuild())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.CheckKernelInvariants(1); err == nil {
+		t.Fatal("read-before-write pack buffer accepted")
+	}
+}
+
+func TestAnalyzeRejectsInvalidProgram(t *testing.T) {
+	p := &Program{Name: "bad", ElemBytes: 4, Code: []Instr{{Op: Zero, Dst: 40}}}
+	if _, err := Analyze(p); err == nil {
+		t.Fatal("invalid program analyzed")
+	}
+}

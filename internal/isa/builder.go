@@ -1,0 +1,152 @@
+package isa
+
+import "fmt"
+
+// Builder accumulates a Program with a fluent API. Kernel generators in
+// internal/kernels use it to emit micro-kernels programmatically, which is
+// this reproduction's analogue of writing the assembly by hand.
+type Builder struct {
+	p Program
+}
+
+// NewBuilder starts a program with the given name and element size.
+func NewBuilder(name string, elemBytes int) *Builder {
+	return &Builder{p: Program{Name: name, ElemBytes: elemBytes}}
+}
+
+// Stream declares a memory stream and returns its index.
+func (b *Builder) Stream(name string, kind StreamKind, minLen int, contiguous bool) int {
+	b.p.Streams = append(b.p.Streams, Stream{Name: name, Kind: kind, MinLen: minLen, Contiguous: contiguous})
+	return len(b.p.Streams) - 1
+}
+
+// GrowStream raises a stream's MinLen if needed (builders often discover the
+// true extent while emitting).
+func (b *Builder) GrowStream(idx, minLen int) {
+	if b.p.Streams[idx].MinLen < minLen {
+		b.p.Streams[idx].MinLen = minLen
+	}
+}
+
+func (b *Builder) emit(in Instr) *Builder {
+	b.p.Code = append(b.p.Code, in)
+	return b
+}
+
+// LdVec emits a 128-bit vector load.
+func (b *Builder) LdVec(dst, stream, off int) *Builder {
+	return b.emit(Instr{Op: LdVec, Dst: dst, Src1: NoReg, Src2: NoReg, Mem: MemRef{stream, off}})
+}
+
+// LdScalar emits a scalar load into lane 0 of dst.
+func (b *Builder) LdScalar(dst, stream, off int) *Builder {
+	return b.emit(Instr{Op: LdScalar, Dst: dst, Src1: NoReg, Src2: NoReg, Mem: MemRef{stream, off}})
+}
+
+// LdScalarPair emits a paired scalar load into lanes 0 of dst and dst2.
+func (b *Builder) LdScalarPair(dst, dst2, stream, off int) *Builder {
+	return b.emit(Instr{Op: LdScalarPair, Dst: dst, Dst2: dst2, Src1: NoReg, Src2: NoReg, Mem: MemRef{stream, off}})
+}
+
+// StVec emits a 128-bit vector store.
+func (b *Builder) StVec(src, stream, off int) *Builder {
+	return b.emit(Instr{Op: StVec, Dst: NoReg, Src1: src, Src2: NoReg, Mem: MemRef{stream, off}})
+}
+
+// StLane emits a single-lane scatter store.
+func (b *Builder) StLane(src, lane, stream, off int) *Builder {
+	return b.emit(Instr{Op: StLane, Dst: NoReg, Src1: src, Src2: NoReg, SrcLane: lane, Mem: MemRef{stream, off}})
+}
+
+// FmlaElem emits dst += src1 * src2[lane].
+func (b *Builder) FmlaElem(dst, src1, src2, lane int) *Builder {
+	return b.emit(Instr{Op: FmlaElem, Dst: dst, Src1: src1, Src2: src2, SrcLane: lane})
+}
+
+// FmlaVec emits dst += src1 * src2 (lane-wise).
+func (b *Builder) FmlaVec(dst, src1, src2 int) *Builder {
+	return b.emit(Instr{Op: FmlaVec, Dst: dst, Src1: src1, Src2: src2})
+}
+
+// FmulElem emits dst = src1 * src2[lane].
+func (b *Builder) FmulElem(dst, src1, src2, lane int) *Builder {
+	return b.emit(Instr{Op: FmulElem, Dst: dst, Src1: src1, Src2: src2, SrcLane: lane})
+}
+
+// FaddVec emits dst = src1 + src2.
+func (b *Builder) FaddVec(dst, src1, src2 int) *Builder {
+	return b.emit(Instr{Op: FaddVec, Dst: dst, Src1: src1, Src2: src2})
+}
+
+// FmulVec emits dst = src1 * src2.
+func (b *Builder) FmulVec(dst, src1, src2 int) *Builder {
+	return b.emit(Instr{Op: FmulVec, Dst: dst, Src1: src1, Src2: src2})
+}
+
+// Reduce emits dst = horizontal-sum(src1) into lane 0.
+func (b *Builder) Reduce(dst, src1 int) *Builder {
+	return b.emit(Instr{Op: Reduce, Dst: dst, Src1: src1, Src2: NoReg})
+}
+
+// Dup emits dst = broadcast(src1[lane]).
+func (b *Builder) Dup(dst, src1, lane int) *Builder {
+	return b.emit(Instr{Op: Dup, Dst: dst, Src1: src1, Src2: NoReg, SrcLane: lane})
+}
+
+// Zero emits dst = 0.
+func (b *Builder) Zero(dst int) *Builder {
+	return b.emit(Instr{Op: Zero, Dst: dst, Src1: NoReg, Src2: NoReg})
+}
+
+// FmulScalarAll emits dst *= imm on all lanes.
+func (b *Builder) FmulScalarAll(dst int, imm float64) *Builder {
+	return b.emit(Instr{Op: FmulScalarAll, Dst: dst, Src1: NoReg, Src2: NoReg, Imm: imm})
+}
+
+// Build validates and returns the finished program.
+func (b *Builder) Build() (*Program, error) {
+	p := b.p
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// MustBuild is Build that panics on validation failure; kernel generators use
+// it because an invalid emission is a programming error, not an input error.
+func (b *Builder) MustBuild() *Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(fmt.Sprintf("isa: invalid program: %v", err))
+	}
+	return p
+}
+
+// Defs returns the registers an instruction writes.
+func (in Instr) Defs() []int {
+	switch in.Op {
+	case LdVec, LdScalar, FmlaElem, FmlaVec, FmulElem, FaddVec, FmulVec, Reduce, Dup, Zero, FmulScalarAll:
+		return []int{in.Dst}
+	case LdScalarPair:
+		return []int{in.Dst, in.Dst2}
+	}
+	return nil
+}
+
+// Uses returns the registers an instruction reads. FMA-accumulate reads its
+// destination as well.
+func (in Instr) Uses() []int {
+	switch in.Op {
+	case StVec, StLane:
+		return []int{in.Src1}
+	case FmlaElem, FmlaVec:
+		return []int{in.Dst, in.Src1, in.Src2}
+	case FmulElem, FaddVec, FmulVec:
+		return []int{in.Src1, in.Src2}
+	case Reduce, Dup:
+		return []int{in.Src1}
+	case FmulScalarAll:
+		return []int{in.Dst}
+	}
+	return nil
+}

@@ -1,0 +1,360 @@
+// Package isa defines the virtual ARMv8 NEON instruction set in which every
+// LibShalom micro-kernel in this reproduction is expressed. A micro-kernel is
+// a Program: a straight-line sequence of instructions over the 32 128-bit
+// vector registers V0–V31 plus a set of declared memory streams (the A sliver,
+// the B sliver, the packing buffer Bc, the C tile). Programs are produced by
+// builders in internal/kernels, executed functionally by internal/vexec (real
+// FP32/FP64 arithmetic, validated against the portable Go kernels), and timed
+// by the scoreboard model in internal/uarch.
+//
+// The instruction selection mirrors the subset of NEON the paper's listings
+// use: ldr q / ldp s loads, st1 stores (including single-lane scatter stores,
+// Fig 5), fmla by-element (scalar–vector outer product, Alg 2), fmla
+// vector–vector (inner product, Alg 3), dup, and faddp-style lane reductions.
+package isa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Op enumerates the virtual NEON operations.
+type Op uint8
+
+const (
+	// Nop does nothing; used only as a scheduling placeholder in tests.
+	Nop Op = iota
+	// LdVec loads a full 128-bit vector (4×FP32 or 2×FP64) from Mem into Dst.
+	// Models `ldr qN, [ptr]`.
+	LdVec
+	// LdScalar loads a single element from Mem into lane 0 of Dst, zeroing
+	// the remaining lanes. Models `ldr sN / ldr dN`.
+	LdScalar
+	// LdScalarPair loads two consecutive elements from Mem into lane 0 of
+	// Dst and lane 0 of Dst2. Models `ldp s12, s13, [ptr]` from the
+	// OpenBLAS edge kernel (Fig 6a). Occupies one load-pipe slot.
+	LdScalarPair
+	// StVec stores the full vector Src1 to Mem. Models `str qN / st1`.
+	StVec
+	// StLane stores lane SrcLane of Src1 to Mem (one element). Models the
+	// single-lane `st1 {vN.s}[lane]` scatter stores of the NT packing
+	// micro-kernel (Fig 5, Alg 3 line 6).
+	StLane
+	// FmlaElem performs Dst += Src1 * Src2[SrcLane] on every lane: the
+	// by-element FMA that implements the outer-product formulation (Alg 2).
+	FmlaElem
+	// FmlaVec performs Dst += Src1 * Src2 lane-wise: the vector–vector FMA
+	// of the inner-product formulation (Alg 3).
+	FmlaVec
+	// FmulElem performs Dst = Src1 * Src2[SrcLane].
+	FmulElem
+	// FaddVec performs Dst = Src1 + Src2 lane-wise.
+	FaddVec
+	// FmulVec performs Dst = Src1 * Src2 lane-wise.
+	FmulVec
+	// Reduce sums all lanes of Src1 into lane 0 of Dst, zeroing other
+	// lanes. Models the faddp reduction tree ending Alg 3 (line 7).
+	Reduce
+	// Dup broadcasts lane SrcLane of Src1 into every lane of Dst.
+	Dup
+	// Zero clears Dst. Models `movi vN.4s, #0`.
+	Zero
+	// FmulScalarAll multiplies every lane of Dst by the scalar immediate
+	// Imm. Used to apply alpha/beta without dedicating a register stream.
+	FmulScalarAll
+)
+
+var opNames = map[Op]string{
+	Nop: "nop", LdVec: "ldr.q", LdScalar: "ldr.s", LdScalarPair: "ldp.s",
+	StVec: "str.q", StLane: "st1.lane", FmlaElem: "fmla.elem", FmlaVec: "fmla.vec",
+	FmulElem: "fmul.elem", FaddVec: "fadd.vec", FmulVec: "fmul.vec",
+	Reduce: "faddp.reduce", Dup: "dup", Zero: "movi.0", FmulScalarAll: "fmul.imm",
+}
+
+// String returns the mnemonic.
+func (o Op) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// IsLoad reports whether the op consumes a load pipe.
+func (o Op) IsLoad() bool { return o == LdVec || o == LdScalar || o == LdScalarPair }
+
+// IsStore reports whether the op consumes a store pipe.
+func (o Op) IsStore() bool { return o == StVec || o == StLane }
+
+// IsFMA reports whether the op consumes an FMA/FP pipe.
+func (o Op) IsFMA() bool {
+	switch o {
+	case FmlaElem, FmlaVec, FmulElem, FaddVec, FmulVec, Reduce, Dup, Zero, FmulScalarAll:
+		return true
+	}
+	return false
+}
+
+// NoReg marks an unused register operand.
+const NoReg = -1
+
+// MemRef addresses one access: element offset Off into stream Stream.
+// Offsets are in elements of the program's element size.
+type MemRef struct {
+	Stream int
+	Off    int
+}
+
+// Instr is one virtual instruction. Register fields hold V-register indices
+// 0–31 or NoReg. SrcLane selects the by-element lane for FmlaElem/FmulElem/
+// Dup and the stored lane for StLane.
+type Instr struct {
+	Op      Op
+	Dst     int
+	Dst2    int // second destination of LdScalarPair
+	Src1    int
+	Src2    int
+	SrcLane int
+	Mem     MemRef
+	Imm     float64 // immediate for FmulScalarAll
+}
+
+// StreamKind tags what a memory stream holds, for the cache/traffic model.
+type StreamKind uint8
+
+const (
+	// StreamA is a sliver of matrix A.
+	StreamA StreamKind = iota
+	// StreamB is a sliver of matrix B.
+	StreamB
+	// StreamBc is the linear packing buffer.
+	StreamBc
+	// StreamC is the C tile.
+	StreamC
+	// StreamScratch is any other buffer.
+	StreamScratch
+)
+
+var streamKindNames = [...]string{"A", "B", "Bc", "C", "scratch"}
+
+// String returns the stream tag name.
+func (k StreamKind) String() string { return streamKindNames[k] }
+
+// Stream declares one memory operand of a program.
+type Stream struct {
+	Name string
+	Kind StreamKind
+	// MinLen is the number of elements the program may touch; execution
+	// validates the bound slice is at least this long.
+	MinLen int
+	// Contiguous reports whether successive accesses walk consecutive
+	// memory (used by the analytic cache model for prefetch-friendliness).
+	Contiguous bool
+}
+
+// Program is a straight-line virtual-NEON routine.
+type Program struct {
+	Name      string
+	ElemBytes int // 4 for FP32, 8 for FP64
+	Streams   []Stream
+	Code      []Instr
+}
+
+// Lanes returns the vector lane count for the program's element size.
+func (p *Program) Lanes() int { return 16 / p.ElemBytes }
+
+// Counts tallies instruction classes, used for CMR computation and tests.
+type Counts struct {
+	Loads, Stores, FMAs, Other int
+}
+
+// Count classifies every instruction in the program.
+func (p *Program) Count() Counts {
+	var c Counts
+	for _, in := range p.Code {
+		switch {
+		case in.Op.IsLoad():
+			c.Loads++
+		case in.Op.IsStore():
+			c.Stores++
+		case in.Op == FmlaElem || in.Op == FmlaVec:
+			c.FMAs++
+		default:
+			c.Other++
+		}
+	}
+	return c
+}
+
+// CMR returns the computation-to-memory ratio of the program as defined in
+// §3.3 of the paper: arithmetic instructions over load+store instructions
+// (each FMA counts once as an instruction; Eq. 2 separately counts the two
+// flops it performs when expressed per element).
+func (p *Program) CMR() float64 {
+	c := p.Count()
+	mem := c.Loads + c.Stores
+	if mem == 0 {
+		return 0
+	}
+	return float64(c.FMAs) / float64(mem)
+}
+
+// FlopCount returns the number of scalar floating-point operations the
+// program performs (each FMA lane is a multiply and an add).
+func (p *Program) FlopCount() int {
+	lanes := p.Lanes()
+	flops := 0
+	for _, in := range p.Code {
+		switch in.Op {
+		case FmlaElem, FmlaVec:
+			flops += 2 * lanes
+		case FmulElem, FmulVec, FaddVec, FmulScalarAll:
+			flops += lanes
+		case Reduce:
+			flops += lanes - 1
+		}
+	}
+	return flops
+}
+
+// Validate checks static well-formedness: register indices in range, memory
+// references into declared streams, stream bounds respected. It returns the
+// first problem found, or nil.
+func (p *Program) Validate() error {
+	if p.ElemBytes != 4 && p.ElemBytes != 8 {
+		return fmt.Errorf("isa: %s: elem bytes %d not 4 or 8", p.Name, p.ElemBytes)
+	}
+	lanes := p.Lanes()
+	checkReg := func(i int, what string, r int, optional bool) error {
+		if optional && r == NoReg {
+			return nil
+		}
+		if r < 0 || r > 31 {
+			return fmt.Errorf("isa: %s: instr %d: %s register %d out of range", p.Name, i, what, r)
+		}
+		return nil
+	}
+	for i, in := range p.Code {
+		needsMem := in.Op.IsLoad() || in.Op.IsStore()
+		if needsMem {
+			if in.Mem.Stream < 0 || in.Mem.Stream >= len(p.Streams) {
+				return fmt.Errorf("isa: %s: instr %d: stream %d undeclared", p.Name, i, in.Mem.Stream)
+			}
+			n := 1
+			if in.Op == LdVec || in.Op == StVec {
+				n = lanes
+			}
+			if in.Op == LdScalarPair {
+				n = 2
+			}
+			st := p.Streams[in.Mem.Stream]
+			if in.Mem.Off < 0 || in.Mem.Off+n > st.MinLen {
+				return fmt.Errorf("isa: %s: instr %d: access [%d,%d) exceeds stream %s length %d",
+					p.Name, i, in.Mem.Off, in.Mem.Off+n, st.Name, st.MinLen)
+			}
+		}
+		var err error
+		switch in.Op {
+		case Nop:
+		case LdVec, LdScalar:
+			err = checkReg(i, "dst", in.Dst, false)
+		case LdScalarPair:
+			if err = checkReg(i, "dst", in.Dst, false); err == nil {
+				err = checkReg(i, "dst2", in.Dst2, false)
+			}
+		case StVec, StLane:
+			err = checkReg(i, "src1", in.Src1, false)
+			if err == nil && in.Op == StLane && (in.SrcLane < 0 || in.SrcLane >= lanes) {
+				err = fmt.Errorf("isa: %s: instr %d: lane %d out of range", p.Name, i, in.SrcLane)
+			}
+		case FmlaElem, FmulElem:
+			err = firstErr(
+				checkReg(i, "dst", in.Dst, false),
+				checkReg(i, "src1", in.Src1, false),
+				checkReg(i, "src2", in.Src2, false),
+			)
+			if err == nil && (in.SrcLane < 0 || in.SrcLane >= lanes) {
+				err = fmt.Errorf("isa: %s: instr %d: lane %d out of range", p.Name, i, in.SrcLane)
+			}
+		case FmlaVec, FaddVec, FmulVec:
+			err = firstErr(
+				checkReg(i, "dst", in.Dst, false),
+				checkReg(i, "src1", in.Src1, false),
+				checkReg(i, "src2", in.Src2, false),
+			)
+		case Reduce, Dup:
+			err = firstErr(checkReg(i, "dst", in.Dst, false), checkReg(i, "src1", in.Src1, false))
+			if err == nil && in.Op == Dup && (in.SrcLane < 0 || in.SrcLane >= lanes) {
+				err = fmt.Errorf("isa: %s: instr %d: lane %d out of range", p.Name, i, in.SrcLane)
+			}
+		case Zero, FmulScalarAll:
+			err = checkReg(i, "dst", in.Dst, false)
+		default:
+			err = fmt.Errorf("isa: %s: instr %d: unknown op %d", p.Name, i, in.Op)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func firstErr(errs ...error) error {
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}
+
+// Disassemble renders the program as readable pseudo-assembly.
+func (p *Program) Disassemble() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "; %s (elem=%dB, %d instrs)\n", p.Name, p.ElemBytes, len(p.Code))
+	for i, s := range p.Streams {
+		fmt.Fprintf(&b, "; stream %d: %s kind=%s len=%d contiguous=%v\n", i, s.Name, s.Kind, s.MinLen, s.Contiguous)
+	}
+	for i, in := range p.Code {
+		fmt.Fprintf(&b, "%4d: %s\n", i, p.format(in))
+	}
+	return b.String()
+}
+
+func (p *Program) format(in Instr) string {
+	mem := func() string {
+		return fmt.Sprintf("[%s+%d]", p.Streams[in.Mem.Stream].Name, in.Mem.Off)
+	}
+	switch in.Op {
+	case Nop:
+		return "nop"
+	case LdVec:
+		return fmt.Sprintf("ldr   q%d, %s", in.Dst, mem())
+	case LdScalar:
+		return fmt.Sprintf("ldr   s%d, %s", in.Dst, mem())
+	case LdScalarPair:
+		return fmt.Sprintf("ldp   s%d, s%d, %s", in.Dst, in.Dst2, mem())
+	case StVec:
+		return fmt.Sprintf("str   q%d, %s", in.Src1, mem())
+	case StLane:
+		return fmt.Sprintf("st1   {v%d}[%d], %s", in.Src1, in.SrcLane, mem())
+	case FmlaElem:
+		return fmt.Sprintf("fmla  v%d, v%d, v%d[%d]", in.Dst, in.Src1, in.Src2, in.SrcLane)
+	case FmlaVec:
+		return fmt.Sprintf("fmla  v%d, v%d, v%d", in.Dst, in.Src1, in.Src2)
+	case FmulElem:
+		return fmt.Sprintf("fmul  v%d, v%d, v%d[%d]", in.Dst, in.Src1, in.Src2, in.SrcLane)
+	case FaddVec:
+		return fmt.Sprintf("fadd  v%d, v%d, v%d", in.Dst, in.Src1, in.Src2)
+	case FmulVec:
+		return fmt.Sprintf("fmul  v%d, v%d, v%d", in.Dst, in.Src1, in.Src2)
+	case Reduce:
+		return fmt.Sprintf("faddp v%d, v%d (reduce)", in.Dst, in.Src1)
+	case Dup:
+		return fmt.Sprintf("dup   v%d, v%d[%d]", in.Dst, in.Src1, in.SrcLane)
+	case Zero:
+		return fmt.Sprintf("movi  v%d, #0", in.Dst)
+	case FmulScalarAll:
+		return fmt.Sprintf("fmul  v%d, v%d, #%g", in.Dst, in.Dst, in.Imm)
+	}
+	return in.Op.String()
+}

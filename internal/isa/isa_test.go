@@ -1,0 +1,189 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func buildTiny(t *testing.T) *Program {
+	t.Helper()
+	b := NewBuilder("tiny", 4)
+	sa := b.Stream("A", StreamA, 8, true)
+	sb := b.Stream("B", StreamB, 4, true)
+	sc := b.Stream("C", StreamC, 4, true)
+	b.LdVec(0, sa, 0).LdVec(1, sb, 0).Zero(2).FmlaElem(2, 1, 0, 0).StVec(2, sc, 0)
+	return b.MustBuild()
+}
+
+func TestBuilderProducesValidProgram(t *testing.T) {
+	p := buildTiny(t)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Code) != 5 || len(p.Streams) != 3 {
+		t.Fatalf("unexpected shape: %d instrs, %d streams", len(p.Code), len(p.Streams))
+	}
+}
+
+func TestCounts(t *testing.T) {
+	p := buildTiny(t)
+	c := p.Count()
+	if c.Loads != 2 || c.Stores != 1 || c.FMAs != 1 || c.Other != 1 {
+		t.Fatalf("counts = %+v", c)
+	}
+}
+
+func TestCMR(t *testing.T) {
+	b := NewBuilder("cmr", 4)
+	sa := b.Stream("A", StreamA, 4, true)
+	b.LdVec(0, sa, 0)
+	for i := 1; i <= 6; i++ {
+		b.FmlaElem(i, 0, 0, 0)
+	}
+	p := b.MustBuild()
+	if got := p.CMR(); got != 6 {
+		t.Fatalf("CMR = %v, want 6", got)
+	}
+	empty := &Program{Name: "none", ElemBytes: 4}
+	if empty.CMR() != 0 {
+		t.Fatal("empty program CMR must be 0")
+	}
+}
+
+func TestFlopCount(t *testing.T) {
+	b := NewBuilder("flops", 4)
+	b.Zero(0).FmlaVec(0, 0, 0).FmlaElem(0, 0, 0, 1).FaddVec(0, 0, 0).Reduce(1, 0)
+	p := b.MustBuild()
+	// FmlaVec: 8, FmlaElem: 8, FaddVec: 4, Reduce: 3.
+	if got := p.FlopCount(); got != 23 {
+		t.Fatalf("FlopCount = %d, want 23", got)
+	}
+	b8 := NewBuilder("flops64", 8)
+	b8.FmlaVec(0, 1, 2)
+	if got := b8.MustBuild().FlopCount(); got != 4 {
+		t.Fatalf("FP64 FmlaVec FlopCount = %d, want 4", got)
+	}
+}
+
+func TestValidateRejectsBadRegister(t *testing.T) {
+	p := &Program{Name: "bad", ElemBytes: 4, Code: []Instr{{Op: Zero, Dst: 32}}}
+	if err := p.Validate(); err == nil {
+		t.Fatal("register 32 accepted")
+	}
+}
+
+func TestValidateRejectsBadStream(t *testing.T) {
+	p := &Program{Name: "bad", ElemBytes: 4, Code: []Instr{{Op: LdVec, Dst: 0, Mem: MemRef{Stream: 0, Off: 0}}}}
+	if err := p.Validate(); err == nil {
+		t.Fatal("undeclared stream accepted")
+	}
+}
+
+func TestValidateRejectsOutOfBoundsAccess(t *testing.T) {
+	p := &Program{
+		Name: "bad", ElemBytes: 4,
+		Streams: []Stream{{Name: "A", MinLen: 3}},
+		Code:    []Instr{{Op: LdVec, Dst: 0, Mem: MemRef{0, 0}}}, // needs 4 elements
+	}
+	if err := p.Validate(); err == nil {
+		t.Fatal("out-of-bounds vector load accepted")
+	}
+}
+
+func TestValidateRejectsBadLane(t *testing.T) {
+	p := &Program{Name: "bad", ElemBytes: 8, Code: []Instr{{Op: FmlaElem, Dst: 0, Src1: 1, Src2: 2, SrcLane: 2}}}
+	if err := p.Validate(); err == nil {
+		t.Fatal("lane 2 accepted for FP64 (only 2 lanes)")
+	}
+}
+
+func TestValidateRejectsBadElemBytes(t *testing.T) {
+	p := &Program{Name: "bad", ElemBytes: 3}
+	if err := p.Validate(); err == nil {
+		t.Fatal("elem bytes 3 accepted")
+	}
+}
+
+func TestLanes(t *testing.T) {
+	if (&Program{ElemBytes: 4}).Lanes() != 4 || (&Program{ElemBytes: 8}).Lanes() != 2 {
+		t.Fatal("lane counts wrong")
+	}
+}
+
+func TestOpClassification(t *testing.T) {
+	if !LdVec.IsLoad() || !LdScalarPair.IsLoad() || LdVec.IsStore() || LdVec.IsFMA() {
+		t.Fatal("load classification wrong")
+	}
+	if !StVec.IsStore() || !StLane.IsStore() || StVec.IsLoad() {
+		t.Fatal("store classification wrong")
+	}
+	if !FmlaElem.IsFMA() || !Reduce.IsFMA() || FmlaElem.IsLoad() {
+		t.Fatal("FMA classification wrong")
+	}
+}
+
+func TestDefsUses(t *testing.T) {
+	in := Instr{Op: FmlaElem, Dst: 10, Src1: 1, Src2: 2, SrcLane: 0}
+	if d := in.Defs(); len(d) != 1 || d[0] != 10 {
+		t.Fatalf("FmlaElem defs = %v", d)
+	}
+	u := in.Uses()
+	if len(u) != 3 || u[0] != 10 || u[1] != 1 || u[2] != 2 {
+		t.Fatalf("FmlaElem uses = %v (accumulator must be read)", u)
+	}
+	pair := Instr{Op: LdScalarPair, Dst: 4, Dst2: 5}
+	if d := pair.Defs(); len(d) != 2 || d[1] != 5 {
+		t.Fatalf("LdScalarPair defs = %v", d)
+	}
+	st := Instr{Op: StVec, Src1: 7}
+	if u := st.Uses(); len(u) != 1 || u[0] != 7 {
+		t.Fatalf("StVec uses = %v", u)
+	}
+	if (Instr{Op: Nop}).Defs() != nil || (Instr{Op: Nop}).Uses() != nil {
+		t.Fatal("Nop must have no defs/uses")
+	}
+}
+
+func TestDisassembleMentionsEveryInstr(t *testing.T) {
+	p := buildTiny(t)
+	dis := p.Disassemble()
+	for _, frag := range []string{"ldr   q0", "ldr   q1", "movi  v2", "fmla  v2, v1, v0[0]", "str   q2", "stream 0: A"} {
+		if !strings.Contains(dis, frag) {
+			t.Fatalf("disassembly missing %q:\n%s", frag, dis)
+		}
+	}
+}
+
+func TestGrowStream(t *testing.T) {
+	b := NewBuilder("grow", 4)
+	s := b.Stream("A", StreamA, 2, true)
+	b.GrowStream(s, 8)
+	b.LdVec(0, s, 4)
+	if _, err := b.Build(); err != nil {
+		t.Fatalf("grown stream rejected: %v", err)
+	}
+	b.GrowStream(s, 4) // must not shrink
+	if _, err := b.Build(); err != nil {
+		t.Fatalf("GrowStream shrank the stream: %v", err)
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if LdVec.String() != "ldr.q" || FmlaElem.String() != "fmla.elem" {
+		t.Fatal("mnemonics wrong")
+	}
+	if Op(200).String() == "" {
+		t.Fatal("unknown op must still render")
+	}
+}
+
+func TestMustBuildPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustBuild did not panic on invalid program")
+		}
+	}()
+	b := NewBuilder("bad", 4)
+	b.emit(Instr{Op: Zero, Dst: 99})
+	b.MustBuild()
+}

@@ -1,0 +1,122 @@
+package kernels
+
+import (
+	"fmt"
+
+	"libshalom/internal/isa"
+)
+
+// EdgeSpec configures the 8×4 edge-case micro-kernel pair of Fig 6. Both
+// variants compute the same C(0:8, 0:4) += A·B tile over KC rank-1 updates;
+// they differ only in instruction selection and scheduling:
+//
+//   - Batch (Fig 6a, the OpenBLAS ARMv8 kernel): B elements arrive through
+//     `ldp s` scalar-pair loads and A through `ldr q` loads emitted in a
+//     batch at the top of each iteration, immediately ahead of the FMAs
+//     that consume them.
+//   - Pipelined (Fig 6b, LibShalom): B arrives as one `ldr q` vector whose
+//     lanes feed the FMAs via by-element addressing, and the loads for the
+//     next iteration are interleaved between the current FMAs, giving every
+//     producer→consumer pair a full iteration of distance.
+//
+// A is addressed column-major within the sliver (a packed M-direction panel:
+// A(i,k) at k·LDAp+i), matching the `ldr q4/q5, [pA]` column loads of the
+// figure. B is the packed row-major KC×4 sliver.
+type EdgeSpec struct {
+	Elem     int
+	KC       int
+	LDAp     int // packed A leading dimension (≥ 8): A(i,k) at k*LDAp+i
+	LDB      int // packed B leading dimension (≥ 4): B(k,j) at k*LDB+j
+	LDC      int
+	Schedule Schedule
+}
+
+const (
+	edgeMR = 8
+	edgeNR = 4
+)
+
+func (s EdgeSpec) validate() error {
+	l := 16 / s.Elem
+	if s.Elem != 4 {
+		return fmt.Errorf("kernels: edge kernel pair is defined for FP32 (got elem %d)", s.Elem)
+	}
+	if s.KC < 1 || s.KC%l != 0 {
+		return fmt.Errorf("kernels: edge KC %d must be a positive multiple of %d", s.KC, l)
+	}
+	if s.LDAp < edgeMR || s.LDB < edgeNR || s.LDC < edgeNR {
+		return fmt.Errorf("kernels: edge leading dimensions too small")
+	}
+	return nil
+}
+
+// BuildEdge8x4 emits one of the Fig 6 kernels. Register plan mirrors the
+// figure: V4/V5 (and V6/V7 for the pipelined double buffer) hold the A
+// column halves, V12–V15 (batch) or V0/V1 (pipelined) hold B, and
+// V16,17,20,21,24,25,28,29 are the eight accumulators.
+func BuildEdge8x4(spec EdgeSpec) *isa.Program {
+	if err := spec.validate(); err != nil {
+		panic(err)
+	}
+	b := isa.NewBuilder(fmt.Sprintf("edge8x4_kc%d_%s", spec.KC, spec.Schedule), spec.Elem)
+	sA := b.Stream("A", isa.StreamA, (spec.KC-1)*spec.LDAp+edgeMR, spec.LDAp == edgeMR)
+	sB := b.Stream("B", isa.StreamB, (spec.KC-1)*spec.LDB+edgeNR, spec.LDB == edgeNR)
+	sC := b.Stream("C", isa.StreamC, (edgeMR-1)*spec.LDC+edgeNR, false)
+
+	acc := [8]int{16, 17, 20, 21, 24, 25, 28, 29} // acc[2j+h]: C(4h:4h+4, j)
+	for _, r := range acc {
+		b.Zero(r)
+	}
+
+	if spec.Schedule == Batch {
+		// Fig 6a: per iteration, two ldp pairs for B, two ldr q for A,
+		// then the eight FMAs.
+		for k := 0; k < spec.KC; k++ {
+			b.LdScalarPair(12, 13, sB, k*spec.LDB)
+			b.LdScalarPair(14, 15, sB, k*spec.LDB+2)
+			b.LdVec(4, sA, k*spec.LDAp)
+			b.LdVec(5, sA, k*spec.LDAp+4)
+			for j := 0; j < 4; j++ {
+				b.FmlaElem(acc[2*j], 4, 12+j, 0)
+				b.FmlaElem(acc[2*j+1], 5, 12+j, 0)
+			}
+		}
+	} else {
+		// Fig 6b: B as one vector load; A double-buffered in V4/V5 vs
+		// V6/V7 and B in V0 vs V1, with the next iteration's loads
+		// interleaved between the FMAs.
+		b.LdVec(4, sA, 0)
+		b.LdVec(5, sA, 4)
+		b.LdVec(0, sB, 0)
+		for k := 0; k < spec.KC; k++ {
+			cur := (k % 2) * 2 // A regs 4/5 or 6/7
+			curB := k % 2      // B reg 0 or 1
+			nxt, nxtB := 2-cur, 1-curB
+			hasNext := k+1 < spec.KC
+			for j := 0; j < 4; j++ {
+				b.FmlaElem(acc[2*j], 4+cur, curB, j)
+				b.FmlaElem(acc[2*j+1], 5+cur, curB, j)
+				if hasNext {
+					switch j {
+					case 0:
+						b.LdVec(4+nxt, sA, (k+1)*spec.LDAp)
+					case 1:
+						b.LdVec(5+nxt, sA, (k+1)*spec.LDAp+4)
+					case 2:
+						b.LdVec(nxtB, sB, (k+1)*spec.LDB)
+					}
+				}
+			}
+		}
+	}
+
+	for j := 0; j < 4; j++ {
+		for h := 0; h < 2; h++ {
+			r := acc[2*j+h]
+			for lane := 0; lane < 4; lane++ {
+				b.StLane(r, lane, sC, (4*h+lane)*spec.LDC+j)
+			}
+		}
+	}
+	return b.MustBuild()
+}

@@ -1,0 +1,148 @@
+// Package kernels contains every micro-kernel of the reproduction, in two
+// synchronized forms:
+//
+//   - portable Go compute kernels (this file and go64.go) used by the real
+//     GEMM drivers in internal/core and internal/baselines, and
+//   - virtual-NEON ISA programs (main_isa.go, ntpack_isa.go, edge_isa.go)
+//     that express the paper's register-level designs — the 7×12 / 7×6 main
+//     micro-kernel (Alg 2), the packing micro-kernels that fold packing
+//     loads/stores into the FMA stream (Fig 4/5, Alg 3), and the batch- vs
+//     interleaved-scheduled edge kernels of Fig 6 — for the timing model and
+//     for functional cross-validation.
+//
+// Tests assert that for identical tiles the Go kernels, the ISA programs
+// executed by internal/vexec, and the naive reference in internal/mat all
+// agree.
+package kernels
+
+// SGEMMMicro computes the mr×nr FP32 tile
+//
+//	c[i*ldc+j] = alpha * Σ_k a[i*lda+k]·b[k*ldb+j] + beta*c[i*ldc+j]
+//
+// for 0 ≤ i < mr, 0 ≤ j < nr, 0 ≤ k < kc. Both operands are addressed
+// row-major through explicit leading dimensions, which covers every operand
+// layout the drivers use: an unpacked A sliver (lda = the matrix stride), a
+// packed A sliver (lda = kc), an unpacked B block (ldb = the matrix stride)
+// and the packed linear buffer Bc (ldb = nr). beta == 0 overwrites C without
+// reading it. Accumulation is performed in float32, k-innermost, matching
+// the lane-wise semantics of the virtual-NEON kernels.
+func SGEMMMicro(mr, nr, kc int, alpha float32, a []float32, lda int, b []float32, ldb int, beta float32, c []float32, ldc int) {
+	if mr == 7 && nr == 12 {
+		sgemmMicro7x12(kc, alpha, a, lda, b, ldb, beta, c, ldc)
+		return
+	}
+	for i := 0; i < mr; i++ {
+		ar := a[i*lda:]
+		for j := 0; j < nr; j++ {
+			var acc float32
+			for k := 0; k < kc; k++ {
+				acc += ar[k] * b[k*ldb+j]
+			}
+			if beta == 0 {
+				c[i*ldc+j] = alpha * acc
+			} else {
+				c[i*ldc+j] = alpha*acc + beta*c[i*ldc+j]
+			}
+		}
+	}
+}
+
+// sgemmMicro7x12 is the specialized main micro-kernel (§5.2.3: mr=7, nr=12).
+// Twelve-wide accumulator rows are kept in three 4-lane blocks, mirroring
+// the three 128-bit B registers (V7–V9) of the assembly design.
+func sgemmMicro7x12(kc int, alpha float32, a []float32, lda int, b []float32, ldb int, beta float32, c []float32, ldc int) {
+	var acc [7][12]float32
+	a0, a1, a2 := a[0*lda:], a[1*lda:], a[2*lda:]
+	a3, a4, a5 := a[3*lda:], a[4*lda:], a[5*lda:]
+	a6 := a[6*lda:]
+	for k := 0; k < kc; k++ {
+		br := b[k*ldb : k*ldb+12]
+		av := [7]float32{a0[k], a1[k], a2[k], a3[k], a4[k], a5[k], a6[k]}
+		for i := 0; i < 7; i++ {
+			s := av[i]
+			row := &acc[i]
+			for j := 0; j < 12; j++ {
+				row[j] += s * br[j]
+			}
+		}
+	}
+	for i := 0; i < 7; i++ {
+		cr := c[i*ldc : i*ldc+12]
+		if beta == 0 {
+			for j := 0; j < 12; j++ {
+				cr[j] = alpha * acc[i][j]
+			}
+		} else {
+			for j := 0; j < 12; j++ {
+				cr[j] = alpha*acc[i][j] + beta*cr[j]
+			}
+		}
+	}
+}
+
+// SGEMMMicroPackB behaves like SGEMMMicro for an mr×nr tile reading B from
+// its strided source, and simultaneously packs the kc×nr B sliver into the
+// linear buffer bc (row-major, leading dimension nrTotal, starting at column
+// jOff). This is the Go counterpart of the NN-mode packing micro-kernel
+// (Alg 1 lines 6–8): the first sliver of every mc-panel packs B while it
+// updates C, and subsequent slivers reuse bc.
+func SGEMMMicroPackB(mr, nr, kc int, alpha float32, a []float32, lda int, b []float32, ldb int, beta float32, c []float32, ldc int, bc []float32, nrTotal, jOff int) {
+	for k := 0; k < kc; k++ {
+		copy(bc[k*nrTotal+jOff:k*nrTotal+jOff+nr], b[k*ldb:k*ldb+nr])
+	}
+	SGEMMMicro(mr, nr, kc, alpha, a, lda, b, ldb, beta, c, ldc)
+}
+
+// SGEMMMicroNT computes an mr×nr FP32 tile under the NT data layout: bT is
+// the transposed operand as stored (N×K row-major), so element B(k, j) of
+// the logical K×N operand is bT[j*ldbT + k]. Used by the NT-mode inner-
+// product packing kernel and by NT edge tiles that bypass the packed buffer.
+func SGEMMMicroNT(mr, nr, kc int, alpha float32, a []float32, lda int, bT []float32, ldbT int, beta float32, c []float32, ldc int) {
+	for i := 0; i < mr; i++ {
+		ar := a[i*lda:]
+		for j := 0; j < nr; j++ {
+			br := bT[j*ldbT:]
+			var acc float32
+			for k := 0; k < kc; k++ {
+				acc += ar[k] * br[k]
+			}
+			if beta == 0 {
+				c[i*ldc+j] = alpha * acc
+			} else {
+				c[i*ldc+j] = alpha*acc + beta*c[i*ldc+j]
+			}
+		}
+	}
+}
+
+// SGEMMMicroNTPack is the Go counterpart of the NT packing micro-kernel
+// (Fig 5 / Alg 3): it updates an mr×nr C tile from A and the stored-
+// transposed bT using the inner-product formulation, and scatters the same
+// kc×nr sliver of B into the linear buffer bc (row-major kc×nrTotal at
+// column jOff) so later tiles can run the 7×12 outer-product main kernel.
+func SGEMMMicroNTPack(mr, nr, kc int, alpha float32, a []float32, lda int, bT []float32, ldbT int, beta float32, c []float32, ldc int, bc []float32, nrTotal, jOff int) {
+	for j := 0; j < nr; j++ {
+		br := bT[j*ldbT:]
+		for k := 0; k < kc; k++ {
+			bc[k*nrTotal+jOff+j] = br[k]
+		}
+	}
+	SGEMMMicroNT(mr, nr, kc, alpha, a, lda, bT, ldbT, beta, c, ldc)
+}
+
+// SScaleRows scales the mr×nr tile of C by beta in place (used when a
+// driver must apply beta to tiles no kernel will touch, e.g. zero-K edge).
+func SScaleRows(mr, nr int, beta float32, c []float32, ldc int) {
+	for i := 0; i < mr; i++ {
+		row := c[i*ldc : i*ldc+nr]
+		if beta == 0 {
+			for j := range row {
+				row[j] = 0
+			}
+		} else {
+			for j := range row {
+				row[j] *= beta
+			}
+		}
+	}
+}

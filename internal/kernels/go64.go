@@ -1,0 +1,113 @@
+package kernels
+
+// FP64 counterparts of the Go compute micro-kernels. The solved FP64 tile is
+// 7×6 (internal/analytic, j=2 lanes per 128-bit register), so the fast path
+// specializes that shape.
+
+// DGEMMMicro computes the mr×nr FP64 tile
+// c = alpha*(a·b) + beta*c with row-major operands and explicit leading
+// dimensions; see SGEMMMicro for the layout conventions.
+func DGEMMMicro(mr, nr, kc int, alpha float64, a []float64, lda int, b []float64, ldb int, beta float64, c []float64, ldc int) {
+	if mr == 7 && nr == 6 {
+		dgemmMicro7x6(kc, alpha, a, lda, b, ldb, beta, c, ldc)
+		return
+	}
+	for i := 0; i < mr; i++ {
+		ar := a[i*lda:]
+		for j := 0; j < nr; j++ {
+			var acc float64
+			for k := 0; k < kc; k++ {
+				acc += ar[k] * b[k*ldb+j]
+			}
+			if beta == 0 {
+				c[i*ldc+j] = alpha * acc
+			} else {
+				c[i*ldc+j] = alpha*acc + beta*c[i*ldc+j]
+			}
+		}
+	}
+}
+
+// dgemmMicro7x6 is the specialized FP64 main micro-kernel (mr=7, nr=6).
+func dgemmMicro7x6(kc int, alpha float64, a []float64, lda int, b []float64, ldb int, beta float64, c []float64, ldc int) {
+	var acc [7][6]float64
+	for k := 0; k < kc; k++ {
+		br := b[k*ldb : k*ldb+6]
+		for i := 0; i < 7; i++ {
+			s := a[i*lda+k]
+			row := &acc[i]
+			for j := 0; j < 6; j++ {
+				row[j] += s * br[j]
+			}
+		}
+	}
+	for i := 0; i < 7; i++ {
+		cr := c[i*ldc : i*ldc+6]
+		if beta == 0 {
+			for j := 0; j < 6; j++ {
+				cr[j] = alpha * acc[i][j]
+			}
+		} else {
+			for j := 0; j < 6; j++ {
+				cr[j] = alpha*acc[i][j] + beta*cr[j]
+			}
+		}
+	}
+}
+
+// DGEMMMicroPackB is the FP64 NN packing micro-kernel: update C and pack the
+// kc×nr B sliver into bc (see SGEMMMicroPackB).
+func DGEMMMicroPackB(mr, nr, kc int, alpha float64, a []float64, lda int, b []float64, ldb int, beta float64, c []float64, ldc int, bc []float64, nrTotal, jOff int) {
+	for k := 0; k < kc; k++ {
+		copy(bc[k*nrTotal+jOff:k*nrTotal+jOff+nr], b[k*ldb:k*ldb+nr])
+	}
+	DGEMMMicro(mr, nr, kc, alpha, a, lda, b, ldb, beta, c, ldc)
+}
+
+// DGEMMMicroNT computes an mr×nr FP64 tile with B supplied as stored-
+// transposed (N×K row-major); see SGEMMMicroNT.
+func DGEMMMicroNT(mr, nr, kc int, alpha float64, a []float64, lda int, bT []float64, ldbT int, beta float64, c []float64, ldc int) {
+	for i := 0; i < mr; i++ {
+		ar := a[i*lda:]
+		for j := 0; j < nr; j++ {
+			br := bT[j*ldbT:]
+			var acc float64
+			for k := 0; k < kc; k++ {
+				acc += ar[k] * br[k]
+			}
+			if beta == 0 {
+				c[i*ldc+j] = alpha * acc
+			} else {
+				c[i*ldc+j] = alpha*acc + beta*c[i*ldc+j]
+			}
+		}
+	}
+}
+
+// DGEMMMicroNTPack is the FP64 NT packing micro-kernel (Fig 5 / Alg 3):
+// inner-product C update plus scatter of the sliver into bc.
+func DGEMMMicroNTPack(mr, nr, kc int, alpha float64, a []float64, lda int, bT []float64, ldbT int, beta float64, c []float64, ldc int, bc []float64, nrTotal, jOff int) {
+	for j := 0; j < nr; j++ {
+		br := bT[j*ldbT:]
+		for k := 0; k < kc; k++ {
+			bc[k*nrTotal+jOff+j] = br[k]
+		}
+	}
+	DGEMMMicroNT(mr, nr, kc, alpha, a, lda, bT, ldbT, beta, c, ldc)
+}
+
+// DScaleRows scales the mr×nr tile of C by beta in place.
+func DScaleRows(mr, nr int, beta float64, c []float64, ldc int) {
+	for i := 0; i < mr; i++ {
+		row := c[i*ldc : i*ldc+nr]
+		if beta == 0 {
+			for j := range row {
+				row[j] = 0
+			}
+		} else {
+			for j := range row {
+				row[j] *= beta
+			}
+		}
+	}
+}

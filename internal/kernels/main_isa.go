@@ -1,0 +1,163 @@
+package kernels
+
+import (
+	"fmt"
+
+	"libshalom/internal/isa"
+)
+
+// Schedule selects the instruction-ordering style of an emitted kernel.
+type Schedule int
+
+const (
+	// Pipelined is LibShalom's style (§5.3–5.4, Fig 6b): each operand
+	// register is reloaded for the next step immediately after its last
+	// consumer, spreading loads between FMAs so the bounded OoO window
+	// always sees independent work.
+	Pipelined Schedule = iota
+	// Batch is the strawman style of Fig 6a (OpenBLAS edge kernels): all
+	// loads of a step are emitted together, followed by all FMAs.
+	Batch
+)
+
+// String names the schedule.
+func (s Schedule) String() string {
+	if s == Batch {
+		return "batch"
+	}
+	return "pipelined"
+}
+
+// MainSpec configures the main outer-product micro-kernel generator
+// (Alg 2). The generated program computes, for an mr×nr tile,
+// C += A·B over KC rank-1 updates (or C = A·B when Accumulate is false),
+// optionally packing the B sliver into Bc as it goes (the NN-mode packing
+// micro-kernel of Alg 1 lines 6–8).
+type MainSpec struct {
+	Elem       int // 4 (FP32) or 8 (FP64)
+	MR, NR, KC int
+	LDA        int // A sliver leading dimension (elements); A(i,k) at i*LDA+k
+	LDB        int // B leading dimension; B(k,j) at k*LDB+j (use NR for packed Bc)
+	LDC        int
+	Accumulate bool // load C tile first instead of zeroing
+	PackB      bool // also store each B row into the Bc stream (row-major KC×NR)
+	Schedule   Schedule
+}
+
+func (s MainSpec) lanes() int { return 16 / s.Elem }
+
+func (s MainSpec) validate() error {
+	l := s.lanes()
+	if s.Elem != 4 && s.Elem != 8 {
+		return fmt.Errorf("kernels: elem %d", s.Elem)
+	}
+	if s.MR < 1 || s.NR < l || s.NR%l != 0 {
+		return fmt.Errorf("kernels: bad tile %dx%d for %d lanes", s.MR, s.NR, l)
+	}
+	if s.KC < 1 || s.KC%l != 0 {
+		return fmt.Errorf("kernels: KC %d must be a positive multiple of %d", s.KC, l)
+	}
+	nb := s.NR / l
+	if s.MR+nb+s.MR*nb > 32 {
+		return fmt.Errorf("kernels: tile %dx%d needs %d registers", s.MR, s.NR, s.MR+nb+s.MR*nb)
+	}
+	if s.LDA < s.KC || s.LDB < s.NR || s.LDC < s.NR {
+		return fmt.Errorf("kernels: leading dimensions too small")
+	}
+	return nil
+}
+
+// BuildMain emits the main micro-kernel program for spec. Register plan for
+// the 7×12 FP32 instance: V0–V6 hold A rows (each register carries `lanes`
+// consecutive K elements of one row), V7–V9 hold the current B row, and
+// V10–V30 are the 21 accumulators — the layout of Fig 3 and Alg 2.
+func BuildMain(spec MainSpec) *isa.Program {
+	if err := spec.validate(); err != nil {
+		panic(err)
+	}
+	l := spec.lanes()
+	nb := spec.NR / l
+	aReg := func(i int) int { return i }
+	bReg := func(jb int) int { return spec.MR + jb }
+	cReg := func(i, jb int) int { return spec.MR + nb + i*nb + jb }
+
+	name := fmt.Sprintf("main_%dx%d_e%d_kc%d_%s", spec.MR, spec.NR, spec.Elem, spec.KC, spec.Schedule)
+	if spec.PackB {
+		name = "pack" + name
+	}
+	b := isa.NewBuilder(name, spec.Elem)
+	sA := b.Stream("A", isa.StreamA, (spec.MR-1)*spec.LDA+spec.KC, spec.LDA == spec.KC)
+	sB := b.Stream("B", isa.StreamB, (spec.KC-1)*spec.LDB+spec.NR, spec.LDB == spec.NR)
+	sC := b.Stream("C", isa.StreamC, (spec.MR-1)*spec.LDC+spec.NR, false)
+	sBc := -1
+	if spec.PackB {
+		sBc = b.Stream("Bc", isa.StreamBc, spec.KC*spec.NR, true)
+	}
+
+	// Prologue: C accumulators.
+	for i := 0; i < spec.MR; i++ {
+		for jb := 0; jb < nb; jb++ {
+			if spec.Accumulate {
+				b.LdVec(cReg(i, jb), sC, i*spec.LDC+jb*l)
+			} else {
+				b.Zero(cReg(i, jb))
+			}
+		}
+	}
+	// First A loads, and the B registers for row 0.
+	for i := 0; i < spec.MR; i++ {
+		b.LdVec(aReg(i), sA, i*spec.LDA)
+	}
+	loadB := func(jb, k int) { b.LdVec(bReg(jb), sB, k*spec.LDB+jb*l) }
+	for jb := 0; jb < nb; jb++ {
+		loadB(jb, 0)
+	}
+
+	for kk := 0; kk < spec.KC; kk++ {
+		lane := kk % l
+		if spec.Schedule == Batch && kk > 0 {
+			// Fig 6a style: the whole row's loads land immediately before
+			// their dependent FMAs.
+			for jb := 0; jb < nb; jb++ {
+				loadB(jb, kk)
+			}
+			if lane == 0 {
+				for i := 0; i < spec.MR; i++ {
+					b.LdVec(aReg(i), sA, i*spec.LDA+kk)
+				}
+			}
+		}
+		for jb := 0; jb < nb; jb++ {
+			for i := 0; i < spec.MR; i++ {
+				b.FmlaElem(cReg(i, jb), bReg(jb), aReg(i), lane)
+				// Pipelined: reload aReg(i) for the next k-block right
+				// after this row's final consumer of it (lane l-1 of the
+				// last jb group), interleaving the loads between FMAs.
+				if spec.Schedule == Pipelined && lane == l-1 && jb == nb-1 {
+					if nk := kk + 1; nk < spec.KC {
+						b.LdVec(aReg(i), sA, i*spec.LDA+nk)
+					}
+				}
+			}
+			if spec.PackB {
+				// Pack the consumed sliver into Bc; in the pipelined
+				// schedule the store overlaps the FMAs of later groups
+				// (§5.3), in the batch schedule it simply follows them.
+				b.StVec(bReg(jb), sBc, kk*spec.NR+jb*l)
+			}
+			if spec.Schedule == Pipelined && kk+1 < spec.KC {
+				// bReg(jb) is dead until row kk+1: reload it now, a full
+				// (nb-1)-group distance ahead of its next consumer.
+				loadB(jb, kk+1)
+			}
+		}
+	}
+
+	// Epilogue: store the C tile.
+	for i := 0; i < spec.MR; i++ {
+		for jb := 0; jb < nb; jb++ {
+			b.StVec(cReg(i, jb), sC, i*spec.LDC+jb*l)
+		}
+	}
+	return b.MustBuild()
+}

@@ -1,0 +1,123 @@
+package kernels
+
+import (
+	"fmt"
+
+	"libshalom/internal/isa"
+)
+
+// NTPackSpec configures the NT-mode packing micro-kernel generator (Fig 5,
+// Alg 3). The kernel computes an MR×NB tile of C with the inner-product
+// formulation (vector–vector FMA along K) while scattering the consumed
+// NB×KC sliver of the stored-transposed B into the linear buffer Bc, laid
+// out row-major KC×NRTotal so the 7×12 main kernel can consume it. Calling
+// it NRTotal/NB times (JOff = 0, NB, 2·NB, …) fills a complete Bc panel, as
+// §5.3.2 describes (“we need to call the packing micro-kernel four times
+// (12/3)”).
+type NTPackSpec struct {
+	Elem    int
+	MR      int // rows of A/C processed (7 in the paper)
+	NB      int // columns per call (3 in the paper)
+	KC      int
+	LDA     int // A(i,k) at i*LDA+k
+	LDBT    int // stored-transposed B: B(k, JOff+j) at j*LDBT+k
+	LDC     int
+	NRTotal int // width of the Bc panel being filled (12 in the paper)
+	JOff    int // which NB-column group of Bc/C this call covers
+	Accum   bool
+}
+
+func (s NTPackSpec) lanes() int { return 16 / s.Elem }
+
+func (s NTPackSpec) validate() error {
+	l := s.lanes()
+	if s.Elem != 4 && s.Elem != 8 {
+		return fmt.Errorf("kernels: elem %d", s.Elem)
+	}
+	if s.MR < 1 || s.NB < 1 || s.KC < 1 || s.KC%l != 0 {
+		return fmt.Errorf("kernels: bad NT pack shape mr=%d nb=%d kc=%d", s.MR, s.NB, s.KC)
+	}
+	if s.MR+s.NB+s.MR*s.NB > 31 {
+		return fmt.Errorf("kernels: NT pack %dx%d needs %d registers (+1 reduce)", s.MR, s.NB, s.MR+s.NB+s.MR*s.NB)
+	}
+	if s.JOff < 0 || s.JOff+s.NB > s.NRTotal {
+		return fmt.Errorf("kernels: JOff %d + NB %d exceeds NRTotal %d", s.JOff, s.NB, s.NRTotal)
+	}
+	if s.LDA < s.KC || s.LDBT < s.KC || s.LDC < s.JOff+s.NB {
+		return fmt.Errorf("kernels: NT pack leading dimensions too small")
+	}
+	return nil
+}
+
+// BuildNTPack emits the NT packing micro-kernel. Register plan for the 7×3
+// FP32 instance of Fig 5: V0–V6 hold A rows (four K elements each), V7–V9
+// hold B rows, V10–V30 are the 21 inner-product accumulators, and the B
+// registers are reused as reduction scratch in the epilogue (they are dead
+// by then). Scatter stores place element (k+l) of B row j at
+// Bc[(k+l)·NRTotal + JOff + j], producing exactly the layout of Fig 4/5:
+// elements of one vector land NRTotal apart, same-position elements of
+// different vectors land adjacent.
+func BuildNTPack(spec NTPackSpec) *isa.Program {
+	if err := spec.validate(); err != nil {
+		panic(err)
+	}
+	l := spec.lanes()
+	aReg := func(i int) int { return i }
+	bReg := func(j int) int { return spec.MR + j }
+	cReg := func(i, j int) int { return spec.MR + spec.NB + i*spec.NB + j }
+
+	b := isa.NewBuilder(fmt.Sprintf("ntpack_%dx%d_e%d_kc%d_j%d", spec.MR, spec.NB, spec.Elem, spec.KC, spec.JOff), spec.Elem)
+	sA := b.Stream("A", isa.StreamA, (spec.MR-1)*spec.LDA+spec.KC, spec.LDA == spec.KC)
+	sBT := b.Stream("Bt", isa.StreamB, (spec.NB-1)*spec.LDBT+spec.KC, false)
+	sC := b.Stream("C", isa.StreamC, (spec.MR-1)*spec.LDC+spec.JOff+spec.NB, false)
+	sBc := b.Stream("Bc", isa.StreamBc, (spec.KC-1)*spec.NRTotal+spec.JOff+spec.NB, false)
+
+	for i := 0; i < spec.MR; i++ {
+		for j := 0; j < spec.NB; j++ {
+			b.Zero(cReg(i, j))
+		}
+	}
+	for k := 0; k < spec.KC; k += l {
+		// Loads: MR vector loads of A, NB vector loads of B (each register
+		// carries `lanes` consecutive K elements).
+		for i := 0; i < spec.MR; i++ {
+			b.LdVec(aReg(i), sA, i*spec.LDA+k)
+		}
+		for j := 0; j < spec.NB; j++ {
+			b.LdVec(bReg(j), sBT, j*spec.LDBT+k)
+		}
+		// Vector–vector FMAs with the scatter stores of the consumed B
+		// vectors interleaved between them (Alg 3: “the vector-vector FMAs
+		// and scatter instructions occur interchangeably”).
+		for j := 0; j < spec.NB; j++ {
+			for i := 0; i < spec.MR; i++ {
+				b.FmlaVec(cReg(i, j), aReg(i), bReg(j))
+				if i < l {
+					b.StLane(bReg(j), i, sBc, (k+i)*spec.NRTotal+spec.JOff+j)
+				}
+			}
+			// When MR < lanes the loop above did not cover every lane of
+			// bReg(j); finish the scatter here.
+			for i := spec.MR; i < l; i++ {
+				b.StLane(bReg(j), i, sBc, (k+i)*spec.NRTotal+spec.JOff+j)
+			}
+		}
+	}
+	// Epilogue: reduce each accumulator's lanes to a scalar and store it to
+	// C. The B registers are dead, so bReg(0) is the reduce target; each
+	// accumulator register is itself dead after its Reduce, so it stages
+	// the loaded C value when accumulating.
+	red := bReg(0)
+	for i := 0; i < spec.MR; i++ {
+		for j := 0; j < spec.NB; j++ {
+			b.Reduce(red, cReg(i, j))
+			off := i*spec.LDC + spec.JOff + j
+			if spec.Accum {
+				b.LdScalar(cReg(i, j), sC, off)
+				b.FaddVec(red, red, cReg(i, j))
+			}
+			b.StLane(red, 0, sC, off)
+		}
+	}
+	return b.MustBuild()
+}

@@ -1,0 +1,258 @@
+// Package mat provides the dense-matrix substrate used throughout the
+// LibShalom reproduction: row-major FP32 and FP64 matrices with explicit
+// leading dimensions, strided views, transposition helpers, deterministic
+// random fills, tolerant comparison, and a naive reference GEMM that serves
+// as the correctness oracle for every optimized code path.
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// F32 is a row-major single-precision matrix. Element (i,j) lives at
+// Data[i*Stride+j]. Stride >= Cols; a larger stride describes a view into a
+// wider parent matrix, exactly as BLAS leading dimensions do for row-major
+// storage.
+type F32 struct {
+	Rows, Cols int
+	Stride     int
+	Data       []float32
+}
+
+// F64 is the double-precision counterpart of F32.
+type F64 struct {
+	Rows, Cols int
+	Stride     int
+	Data       []float64
+}
+
+// NewF32 allocates a dense rows×cols FP32 matrix with Stride == cols.
+func NewF32(rows, cols int) *F32 {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("mat: negative dimensions %dx%d", rows, cols))
+	}
+	return &F32{Rows: rows, Cols: cols, Stride: cols, Data: make([]float32, rows*cols)}
+}
+
+// NewF64 allocates a dense rows×cols FP64 matrix with Stride == cols.
+func NewF64(rows, cols int) *F64 {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("mat: negative dimensions %dx%d", rows, cols))
+	}
+	return &F64{Rows: rows, Cols: cols, Stride: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns element (i, j).
+func (m *F32) At(i, j int) float32 { return m.Data[i*m.Stride+j] }
+
+// Set assigns element (i, j).
+func (m *F32) Set(i, j int, v float32) { m.Data[i*m.Stride+j] = v }
+
+// At returns element (i, j).
+func (m *F64) At(i, j int) float64 { return m.Data[i*m.Stride+j] }
+
+// Set assigns element (i, j).
+func (m *F64) Set(i, j int, v float64) { m.Data[i*m.Stride+j] = v }
+
+// View returns a rows×cols sub-matrix starting at (i, j) that aliases the
+// receiver's storage.
+func (m *F32) View(i, j, rows, cols int) *F32 {
+	if i < 0 || j < 0 || rows < 0 || cols < 0 || i+rows > m.Rows || j+cols > m.Cols {
+		panic(fmt.Sprintf("mat: view (%d,%d)+%dx%d out of %dx%d", i, j, rows, cols, m.Rows, m.Cols))
+	}
+	off := i*m.Stride + j
+	end := off
+	if rows > 0 && cols > 0 {
+		end = off + (rows-1)*m.Stride + cols
+	}
+	return &F32{Rows: rows, Cols: cols, Stride: m.Stride, Data: m.Data[off:end:end]}
+}
+
+// View returns a rows×cols sub-matrix starting at (i, j) that aliases the
+// receiver's storage.
+func (m *F64) View(i, j, rows, cols int) *F64 {
+	if i < 0 || j < 0 || rows < 0 || cols < 0 || i+rows > m.Rows || j+cols > m.Cols {
+		panic(fmt.Sprintf("mat: view (%d,%d)+%dx%d out of %dx%d", i, j, rows, cols, m.Rows, m.Cols))
+	}
+	off := i*m.Stride + j
+	end := off
+	if rows > 0 && cols > 0 {
+		end = off + (rows-1)*m.Stride + cols
+	}
+	return &F64{Rows: rows, Cols: cols, Stride: m.Stride, Data: m.Data[off:end:end]}
+}
+
+// Clone returns a compact deep copy (Stride == Cols).
+func (m *F32) Clone() *F32 {
+	c := NewF32(m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		copy(c.Data[i*c.Stride:i*c.Stride+m.Cols], m.Data[i*m.Stride:i*m.Stride+m.Cols])
+	}
+	return c
+}
+
+// Clone returns a compact deep copy (Stride == Cols).
+func (m *F64) Clone() *F64 {
+	c := NewF64(m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		copy(c.Data[i*c.Stride:i*c.Stride+m.Cols], m.Data[i*m.Stride:i*m.Stride+m.Cols])
+	}
+	return c
+}
+
+// Transpose returns a new compact matrix holding the transpose of m.
+func (m *F32) Transpose() *F32 {
+	t := NewF32(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			t.Data[j*t.Stride+i] = m.Data[i*m.Stride+j]
+		}
+	}
+	return t
+}
+
+// Transpose returns a new compact matrix holding the transpose of m.
+func (m *F64) Transpose() *F64 {
+	t := NewF64(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			t.Data[j*t.Stride+i] = m.Data[i*m.Stride+j]
+		}
+	}
+	return t
+}
+
+// Fill sets every element of m to v.
+func (m *F32) Fill(v float32) {
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Stride : i*m.Stride+m.Cols]
+		for j := range row {
+			row[j] = v
+		}
+	}
+}
+
+// Fill sets every element of m to v.
+func (m *F64) Fill(v float64) {
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Stride : i*m.Stride+m.Cols]
+		for j := range row {
+			row[j] = v
+		}
+	}
+}
+
+// Equal reports whether a and b have identical shape and all elements are
+// within tol of one another (absolute-or-relative, whichever is looser).
+func (a *F32) Equal(b *F32, tol float64) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return false
+	}
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			if !close64(float64(a.At(i, j)), float64(b.At(i, j)), tol) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Equal reports whether a and b have identical shape and all elements are
+// within tol of one another (absolute-or-relative, whichever is looser).
+func (a *F64) Equal(b *F64, tol float64) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return false
+	}
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			if !close64(a.At(i, j), b.At(i, j), tol) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// MaxDiff returns the largest absolute element-wise difference between a and
+// b, which must have identical shape.
+func (a *F32) MaxDiff(b *F32) float64 {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic("mat: MaxDiff shape mismatch")
+	}
+	var d float64
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			if v := math.Abs(float64(a.At(i, j)) - float64(b.At(i, j))); v > d {
+				d = v
+			}
+		}
+	}
+	return d
+}
+
+// MaxDiff returns the largest absolute element-wise difference between a and
+// b, which must have identical shape.
+func (a *F64) MaxDiff(b *F64) float64 {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic("mat: MaxDiff shape mismatch")
+	}
+	var d float64
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			if v := math.Abs(a.At(i, j) - b.At(i, j)); v > d {
+				d = v
+			}
+		}
+	}
+	return d
+}
+
+func close64(a, b, tol float64) bool {
+	d := math.Abs(a - b)
+	if d <= tol {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return d <= tol*scale
+}
+
+// FrobNorm returns the Frobenius norm of m.
+func (m *F64) FrobNorm() float64 {
+	var s float64
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			v := m.At(i, j)
+			s += v * v
+		}
+	}
+	return math.Sqrt(s)
+}
+
+// FrobNorm returns the Frobenius norm of m.
+func (m *F32) FrobNorm() float64 {
+	var s float64
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			v := float64(m.At(i, j))
+			s += v * v
+		}
+	}
+	return math.Sqrt(s)
+}
+
+// String renders small matrices for debugging; large ones are summarized.
+func (m *F32) String() string {
+	if m.Rows*m.Cols > 64 {
+		return fmt.Sprintf("F32{%dx%d stride=%d}", m.Rows, m.Cols, m.Stride)
+	}
+	s := ""
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			s += fmt.Sprintf("%8.3f ", m.At(i, j))
+		}
+		s += "\n"
+	}
+	return s
+}

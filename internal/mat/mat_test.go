@@ -1,0 +1,303 @@
+package mat
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewShapes(t *testing.T) {
+	m := NewF32(3, 5)
+	if m.Rows != 3 || m.Cols != 5 || m.Stride != 5 || len(m.Data) != 15 {
+		t.Fatalf("unexpected F32 shape: %+v", m)
+	}
+	d := NewF64(4, 2)
+	if d.Rows != 4 || d.Cols != 2 || d.Stride != 2 || len(d.Data) != 8 {
+		t.Fatalf("unexpected F64 shape: %+v", d)
+	}
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewF32 with negative rows did not panic")
+		}
+	}()
+	NewF32(-1, 3)
+}
+
+func TestAtSet(t *testing.T) {
+	m := NewF32(2, 3)
+	m.Set(1, 2, 7.5)
+	if m.At(1, 2) != 7.5 {
+		t.Fatalf("At(1,2) = %v, want 7.5", m.At(1, 2))
+	}
+	if m.Data[1*3+2] != 7.5 {
+		t.Fatal("Set wrote to wrong linear location")
+	}
+}
+
+func TestViewAliases(t *testing.T) {
+	m := NewF64(4, 6)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 6; j++ {
+			m.Set(i, j, float64(10*i+j))
+		}
+	}
+	v := m.View(1, 2, 2, 3)
+	if v.Rows != 2 || v.Cols != 3 || v.Stride != 6 {
+		t.Fatalf("view shape wrong: %+v", v)
+	}
+	if v.At(0, 0) != 12 || v.At(1, 2) != 24 {
+		t.Fatalf("view content wrong: %v %v", v.At(0, 0), v.At(1, 2))
+	}
+	v.Set(0, 0, -1)
+	if m.At(1, 2) != -1 {
+		t.Fatal("view does not alias parent storage")
+	}
+}
+
+func TestViewBoundsPanic(t *testing.T) {
+	m := NewF32(3, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-bounds view did not panic")
+		}
+	}()
+	m.View(2, 2, 2, 2)
+}
+
+func TestViewZeroSize(t *testing.T) {
+	m := NewF32(3, 3)
+	v := m.View(1, 1, 0, 0)
+	if v.Rows != 0 || v.Cols != 0 {
+		t.Fatalf("zero view shape: %+v", v)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	m := NewF32(5, 7)
+	m.FillRandom(NewRNG(1))
+	v := m.View(1, 1, 3, 4)
+	c := v.Clone()
+	if c.Stride != c.Cols {
+		t.Fatalf("clone not compact: stride %d cols %d", c.Stride, c.Cols)
+	}
+	if !c.Equal(v, 0) {
+		t.Fatal("clone differs from source")
+	}
+	c.Set(0, 0, 99)
+	if v.At(0, 0) == 99 {
+		t.Fatal("clone aliases source")
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	check := func(rows, cols uint8) bool {
+		r, c := int(rows%16)+1, int(cols%16)+1
+		m := RandomF64(r, c, NewRNG(uint64(rows)*251+uint64(cols)+3))
+		return m.Transpose().Transpose().Equal(m, 0)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransposeElements(t *testing.T) {
+	m := NewF32(2, 3)
+	m.Set(0, 1, 5)
+	m.Set(1, 2, 9)
+	tr := m.Transpose()
+	if tr.Rows != 3 || tr.Cols != 2 || tr.At(1, 0) != 5 || tr.At(2, 1) != 9 {
+		t.Fatalf("transpose wrong: %v", tr)
+	}
+}
+
+func TestFill(t *testing.T) {
+	m := NewF64(3, 3)
+	v := m.View(0, 0, 2, 2)
+	v.Fill(4)
+	if m.At(0, 0) != 4 || m.At(1, 1) != 4 {
+		t.Fatal("fill missed view elements")
+	}
+	if m.At(2, 2) != 0 || m.At(0, 2) != 0 {
+		t.Fatal("fill escaped the view")
+	}
+}
+
+func TestEqualTolerance(t *testing.T) {
+	a := NewF64(1, 1)
+	b := NewF64(1, 1)
+	a.Set(0, 0, 1.0)
+	b.Set(0, 0, 1.0+1e-9)
+	if !a.Equal(b, 1e-8) {
+		t.Fatal("values within tolerance reported unequal")
+	}
+	if a.Equal(b, 1e-12) {
+		t.Fatal("values outside tolerance reported equal")
+	}
+	c := NewF64(2, 1)
+	if a.Equal(c, 1) {
+		t.Fatal("shape mismatch reported equal")
+	}
+}
+
+func TestEqualRelative(t *testing.T) {
+	a := NewF64(1, 1)
+	b := NewF64(1, 1)
+	a.Set(0, 0, 1e12)
+	b.Set(0, 0, 1e12*(1+1e-10))
+	if !a.Equal(b, 1e-8) {
+		t.Fatal("relatively-close large values reported unequal")
+	}
+}
+
+func TestMaxDiff(t *testing.T) {
+	a := NewF32(2, 2)
+	b := NewF32(2, 2)
+	b.Set(1, 0, 3)
+	if d := a.MaxDiff(b); d != 3 {
+		t.Fatalf("MaxDiff = %v, want 3", d)
+	}
+}
+
+func TestFrobNorm(t *testing.T) {
+	m := NewF64(1, 2)
+	m.Set(0, 0, 3)
+	m.Set(0, 1, 4)
+	if n := m.FrobNorm(); math.Abs(n-5) > 1e-12 {
+		t.Fatalf("FrobNorm = %v, want 5", n)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same-seed RNGs diverged")
+		}
+	}
+}
+
+func TestRNGZeroSeed(t *testing.T) {
+	r := NewRNG(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Fatal("zero-seeded RNG stuck at zero")
+	}
+}
+
+func TestRNGRanges(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		if f := r.Float64(); f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+		if f := r.Float32(); f < 0 || f >= 1 {
+			t.Fatalf("Float32 out of range: %v", f)
+		}
+		if n := r.Intn(10); n < 0 || n >= 10 {
+			t.Fatalf("Intn out of range: %v", n)
+		}
+	}
+}
+
+func TestFillRandomRange(t *testing.T) {
+	m := RandomF32(20, 20, NewRNG(3))
+	var sum float64
+	for _, v := range m.Data {
+		if v < 0 || v >= 1 {
+			t.Fatalf("random element out of (0,1): %v", v)
+		}
+		sum += float64(v)
+	}
+	mean := sum / float64(len(m.Data))
+	if mean < 0.3 || mean > 0.7 {
+		t.Fatalf("random fill mean implausible: %v", mean)
+	}
+}
+
+func TestRefGEMMKnownValues(t *testing.T) {
+	// [1 2; 3 4] * [5 6; 7 8] = [19 22; 43 50]
+	a := NewF64(2, 2)
+	copy(a.Data, []float64{1, 2, 3, 4})
+	b := NewF64(2, 2)
+	copy(b.Data, []float64{5, 6, 7, 8})
+	c := NewF64(2, 2)
+	RefGEMMF64(NoTrans, NoTrans, 1, a, b, 0, c)
+	want := []float64{19, 22, 43, 50}
+	for i, w := range want {
+		if c.Data[i] != w {
+			t.Fatalf("C[%d] = %v, want %v", i, c.Data[i], w)
+		}
+	}
+}
+
+func TestRefGEMMAlphaBeta(t *testing.T) {
+	a := NewF32(1, 1)
+	a.Set(0, 0, 2)
+	b := NewF32(1, 1)
+	b.Set(0, 0, 3)
+	c := NewF32(1, 1)
+	c.Set(0, 0, 10)
+	RefGEMMF32(NoTrans, NoTrans, 2, a, b, 0.5, c)
+	if got := c.At(0, 0); got != 17 { // 2*6 + 0.5*10
+		t.Fatalf("alpha/beta result = %v, want 17", got)
+	}
+}
+
+func TestRefGEMMTransModesAgree(t *testing.T) {
+	// For every mode, computing with explicit pre-transposed operands under
+	// NN must equal computing with the T flags set.
+	rng := NewRNG(11)
+	m, n, k := 4, 5, 3
+	a := RandomF64(m, k, rng)
+	b := RandomF64(k, n, rng)
+	for _, ta := range []Trans{NoTrans, Transpose} {
+		for _, tb := range []Trans{NoTrans, Transpose} {
+			aOp, bOp := a, b
+			if ta == Transpose {
+				aOp = a.Transpose() // stored K×M, flag restores M×K
+			}
+			if tb == Transpose {
+				bOp = b.Transpose()
+			}
+			want := NewF64(m, n)
+			RefGEMMF64(NoTrans, NoTrans, 1, a, b, 0, want)
+			got := NewF64(m, n)
+			RefGEMMF64(ta, tb, 1, aOp, bOp, 0, got)
+			if !got.Equal(want, 1e-12) {
+				t.Fatalf("mode %v%v disagrees with NN", ta, tb)
+			}
+		}
+	}
+}
+
+func TestRefGEMMShapePanic(t *testing.T) {
+	a := NewF64(2, 3)
+	b := NewF64(4, 2) // K mismatch: 3 vs 4
+	c := NewF64(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("shape mismatch did not panic")
+		}
+	}()
+	RefGEMMF64(NoTrans, NoTrans, 1, a, b, 0, c)
+}
+
+func TestTransString(t *testing.T) {
+	if NoTrans.String() != "N" || Transpose.String() != "T" {
+		t.Fatal("Trans.String mismatch")
+	}
+}
+
+func TestViewOfViewComposes(t *testing.T) {
+	m := RandomF64(8, 8, NewRNG(5))
+	v := m.View(2, 2, 5, 5).View(1, 1, 3, 3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if v.At(i, j) != m.At(3+i, 3+j) {
+				t.Fatal("nested view misaligned")
+			}
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package mat
+
+// This file provides a small deterministic PRNG (xorshift64*) so tests and
+// benchmarks are reproducible without importing math/rand, and helpers to
+// fill matrices with the random (0,1) values the paper uses (§7.2).
+
+// RNG is a deterministic xorshift64* pseudo-random generator.
+type RNG struct{ state uint64 }
+
+// NewRNG returns a generator seeded with seed (zero is remapped to a fixed
+// non-zero constant, since xorshift cannot leave the all-zero state).
+func NewRNG(seed uint64) *RNG {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &RNG{state: seed}
+}
+
+// Uint64 returns the next raw 64-bit value.
+func (r *RNG) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Float64 returns a value uniformly distributed in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / float64(1<<53)
+}
+
+// Float32 returns a value uniformly distributed in [0, 1).
+func (r *RNG) Float32() float32 {
+	return float32(r.Uint64()>>40) / float32(1<<24)
+}
+
+// Intn returns a value uniformly distributed in [0, n).
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("mat: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// FillRandom populates m with uniform (0,1) values, mirroring the paper's
+// matrix initialization (§7.2).
+func (m *F32) FillRandom(rng *RNG) {
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Stride : i*m.Stride+m.Cols]
+		for j := range row {
+			row[j] = rng.Float32()
+		}
+	}
+}
+
+// FillRandom populates m with uniform (0,1) values.
+func (m *F64) FillRandom(rng *RNG) {
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Stride : i*m.Stride+m.Cols]
+		for j := range row {
+			row[j] = rng.Float64()
+		}
+	}
+}
+
+// RandomF32 allocates a rows×cols matrix filled with uniform (0,1) values.
+func RandomF32(rows, cols int, rng *RNG) *F32 {
+	m := NewF32(rows, cols)
+	m.FillRandom(rng)
+	return m
+}
+
+// RandomF64 allocates a rows×cols matrix filled with uniform (0,1) values.
+func RandomF64(rows, cols int, rng *RNG) *F64 {
+	m := NewF64(rows, cols)
+	m.FillRandom(rng)
+	return m
+}

@@ -1,0 +1,90 @@
+package mat
+
+// Reference GEMM implementations. These are the correctness oracle for every
+// optimized code path in the repository: a plain triple loop computing
+// C = alpha*op(A)*op(B) + beta*C with op in {N, T} per operand, exactly the
+// operation the paper's GEMM kernels implement (footnote 1 of the paper).
+
+// Trans selects whether an operand is used as-is or transposed.
+type Trans bool
+
+const (
+	// NoTrans uses the operand as stored.
+	NoTrans Trans = false
+	// Transpose uses the operand transposed.
+	Transpose Trans = true
+)
+
+// String returns "N" or "T", following BLAS naming.
+func (t Trans) String() string {
+	if t == Transpose {
+		return "T"
+	}
+	return "N"
+}
+
+// RefGEMMF32 computes C = alpha*op(A)*op(B) + beta*C in single precision.
+// op(A) is M×K and op(B) is K×N; C is M×N. Dimensions are validated.
+func RefGEMMF32(transA, transB Trans, alpha float32, a *F32, b *F32, beta float32, c *F32) {
+	m, n := c.Rows, c.Cols
+	k := opCols(transA, a.Rows, a.Cols)
+	checkOp("A", transA, a.Rows, a.Cols, m, k)
+	checkOp("B", transB, b.Rows, b.Cols, k, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var acc float64
+			for p := 0; p < k; p++ {
+				acc += float64(opAtF32(a, transA, i, p)) * float64(opAtF32(b, transB, p, j))
+			}
+			c.Set(i, j, alpha*float32(acc)+beta*c.At(i, j))
+		}
+	}
+}
+
+// RefGEMMF64 computes C = alpha*op(A)*op(B) + beta*C in double precision.
+func RefGEMMF64(transA, transB Trans, alpha float64, a *F64, b *F64, beta float64, c *F64) {
+	m, n := c.Rows, c.Cols
+	k := opCols(transA, a.Rows, a.Cols)
+	checkOp("A", transA, a.Rows, a.Cols, m, k)
+	checkOp("B", transB, b.Rows, b.Cols, k, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var acc float64
+			for p := 0; p < k; p++ {
+				acc += opAtF64(a, transA, i, p) * opAtF64(b, transB, p, j)
+			}
+			c.Set(i, j, alpha*acc+beta*c.At(i, j))
+		}
+	}
+}
+
+func opCols(t Trans, rows, cols int) int {
+	if t == Transpose {
+		return rows
+	}
+	return cols
+}
+
+func checkOp(name string, t Trans, rows, cols, wantRows, wantCols int) {
+	r, c := rows, cols
+	if t == Transpose {
+		r, c = cols, rows
+	}
+	if r != wantRows || c != wantCols {
+		panic("mat: operand " + name + " has wrong shape for GEMM")
+	}
+}
+
+func opAtF32(m *F32, t Trans, i, j int) float32 {
+	if t == Transpose {
+		return m.At(j, i)
+	}
+	return m.At(i, j)
+}
+
+func opAtF64(m *F64, t Trans, i, j int) float64 {
+	if t == Transpose {
+		return m.At(j, i)
+	}
+	return m.At(i, j)
+}

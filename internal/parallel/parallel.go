@@ -1,0 +1,142 @@
+// Package parallel implements LibShalom's parallel runtime (§6): a static
+// two-level partition of C into a TM×TN grid of per-thread sub-blocks whose
+// boundaries are aligned to the micro-kernel tile — the property that lets
+// the partition avoid manufacturing edge cases — and a fork-join worker pool
+// that mirrors the paper's use of fork-join OS primitives over the two outer
+// GEMM loops (L1 and L3 of Fig 1).
+package parallel
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"libshalom/internal/analytic"
+)
+
+// Block is one thread's sub-block of C.
+type Block struct {
+	I0, J0 int // top-left corner
+	M, N   int // extent
+}
+
+// Blocks partitions an m×n C into the grid given by part, aligning interior
+// boundaries to multiples of mr (rows) and nr (columns). Work is distributed
+// in whole micro-tiles: with U = ⌈m/mr⌉ row-tiles split across TM threads,
+// every thread gets ⌊U/TM⌋ or ⌈U/TM⌉ tiles, so at most the final row and
+// column of the grid contain partial tiles. Threads left without tiles
+// produce no block. The returned blocks exactly tile C (property-tested).
+func Blocks(m, n int, part analytic.Partition, mr, nr int) []Block {
+	if m <= 0 || n <= 0 {
+		return nil
+	}
+	rows := splitAligned(m, part.TM, mr)
+	cols := splitAligned(n, part.TN, nr)
+	blocks := make([]Block, 0, len(rows)*len(cols))
+	for _, r := range rows {
+		for _, c := range cols {
+			blocks = append(blocks, Block{I0: r.off, J0: c.off, M: r.len, N: c.len})
+		}
+	}
+	return blocks
+}
+
+type span struct{ off, len int }
+
+// splitAligned divides extent into at most parts chunks, each a multiple of
+// unit except possibly the last nonempty chunk.
+func splitAligned(extent, parts, unit int) []span {
+	if unit < 1 {
+		unit = 1
+	}
+	tiles := (extent + unit - 1) / unit
+	if parts > tiles {
+		parts = tiles
+	}
+	if parts < 1 {
+		parts = 1
+	}
+	base := tiles / parts
+	extra := tiles % parts
+	spans := make([]span, 0, parts)
+	off := 0
+	for p := 0; p < parts; p++ {
+		t := base
+		if p < extra {
+			t++
+		}
+		if t == 0 {
+			continue
+		}
+		l := t * unit
+		if off+l > extent {
+			l = extent - off
+		}
+		if l <= 0 {
+			continue
+		}
+		spans = append(spans, span{off: off, len: l})
+		off += l
+	}
+	return spans
+}
+
+// Pool is a fork-join worker pool with persistent goroutines, standing in
+// for the fork-join threading primitive the paper's runtime uses. A Pool is
+// safe for concurrent Run calls (each call joins only its own tasks), which
+// is how a shared Context serves simultaneous GEMMs.
+type Pool struct {
+	workers int
+	tasks   chan func()
+	closed  atomic.Bool
+}
+
+// NewPool starts a pool with the given number of worker goroutines
+// (minimum 1).
+func NewPool(workers int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &Pool{workers: workers, tasks: make(chan func())}
+	for i := 0; i < workers; i++ {
+		go func() {
+			for f := range p.tasks {
+				f()
+			}
+		}()
+	}
+	return p
+}
+
+// Workers returns the pool size.
+func (p *Pool) Workers() int { return p.workers }
+
+// Run executes all tasks on the pool and blocks until every one has
+// completed (the join of fork-join). Each call owns its own join state, so
+// concurrent Run calls on one pool are independent.
+func (p *Pool) Run(tasks []func()) {
+	if len(tasks) == 0 {
+		return
+	}
+	if p.closed.Load() {
+		panic("parallel: Run on closed pool")
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(tasks))
+	go func() {
+		for _, t := range tasks {
+			t := t
+			p.tasks <- func() {
+				t()
+				wg.Done()
+			}
+		}
+	}()
+	wg.Wait()
+}
+
+// Close terminates the worker goroutines. The pool must be idle.
+func (p *Pool) Close() {
+	if p.closed.CompareAndSwap(false, true) {
+		close(p.tasks)
+	}
+}

@@ -1,0 +1,395 @@
+package perfsim
+
+import (
+	"testing"
+
+	"libshalom/internal/baselines"
+	"libshalom/internal/platform"
+)
+
+func allLibs() []Library {
+	return []Library{
+		LibShalom(),
+		Baseline(baselines.OpenBLAS), Baseline(baselines.BLIS), Baseline(baselines.ARMPL),
+		Baseline(baselines.BLASFEO), Baseline(baselines.LIBXSMM),
+	}
+}
+
+func TestRunBasicSanity(t *testing.T) {
+	for _, p := range platform.All() {
+		for _, l := range allLibs() {
+			r := Run(l, p, Workload{M: 32, N: 32, K: 32, ElemBytes: 4, Threads: 1, Warm: true})
+			if r.Seconds <= 0 || r.GFLOPS <= 0 {
+				t.Fatalf("%s/%s: non-positive result %+v", l.Name, p.Name, r)
+			}
+			if r.GFLOPS > p.PeakCoreGFLOPS(4) {
+				t.Fatalf("%s/%s: %f GFLOPS exceeds single-core peak %f", l.Name, p.Name, r.GFLOPS, p.PeakCoreGFLOPS(4))
+			}
+			if r.ActiveThreads != 1 {
+				t.Fatalf("single-thread run reported %d active threads", r.ActiveThreads)
+			}
+		}
+	}
+}
+
+func TestParallelNeverExceedsChipPeak(t *testing.T) {
+	for _, p := range platform.All() {
+		r := Run(LibShalom(), p, Workload{M: 256, N: 10240, K: 5000, ElemBytes: 4, TransB: true, Threads: p.Cores})
+		if r.GFLOPS > p.PeakGFLOPS(4) {
+			t.Fatalf("%s: parallel %f exceeds chip peak %f", p.Name, r.GFLOPS, p.PeakGFLOPS(4))
+		}
+		if r.GFLOPS < 0.25*p.PeakGFLOPS(4) {
+			t.Fatalf("%s: LibShalom parallel irregular only %f of peak %f", p.Name, r.GFLOPS, p.PeakGFLOPS(4))
+		}
+	}
+}
+
+// TestFig7SmallGEMMLibShalomWins: §8.1 — warm-cache small square GEMM,
+// LibShalom delivers the highest throughput across sizes and platforms
+// (1.05–2× over the best alternative).
+func TestFig7SmallGEMMLibShalomWins(t *testing.T) {
+	for _, p := range platform.All() {
+		for sz := 8; sz <= 120; sz += 8 {
+			w := Workload{M: sz, N: sz, K: sz, ElemBytes: 4, Threads: 1, Warm: true}
+			ls := Run(LibShalom(), p, w).GFLOPS
+			for _, l := range allLibs()[1:] {
+				alt := Run(l, p, w).GFLOPS
+				if ls < alt*0.97 { // small slack: the paper's own Fig 8 shows near-ties
+					t.Errorf("%s size %d: LibShalom %.1f below %s %.1f", p.Name, sz, ls, l.Name, alt)
+				}
+			}
+		}
+	}
+}
+
+// TestFig7Size8Advantage: §8.1 — at M=N=K=8 LibShalom delivers roughly 2×
+// the throughput of the best alternative (conventional libraries are far
+// behind; BLASFEO/LIBXSMM closer).
+func TestFig7Size8Advantage(t *testing.T) {
+	p := platform.Phytium2000()
+	w := Workload{M: 8, N: 8, K: 8, ElemBytes: 4, Threads: 1, Warm: true}
+	ls := Run(LibShalom(), p, w).GFLOPS
+	conventionalBest := 0.0
+	for _, b := range []baselines.Lib{baselines.OpenBLAS, baselines.BLIS, baselines.ARMPL} {
+		if g := Run(Baseline(b), p, w).GFLOPS; g > conventionalBest {
+			conventionalBest = g
+		}
+	}
+	if ls < 1.8*conventionalBest {
+		t.Fatalf("size-8 advantage over conventional libraries %f, want ≈2×", ls/conventionalBest)
+	}
+	blasfeo := Run(Baseline(baselines.BLASFEO), p, w).GFLOPS
+	if ls < 1.3*blasfeo {
+		t.Fatalf("size-8 advantage over BLASFEO only %.2fx", ls/blasfeo)
+	}
+}
+
+// TestFig2MotivationShape: §3.1 — conventional libraries are fine on large
+// GEMM (>70% of peak at ≥256) but poor on small (<25% at 8).
+func TestFig2MotivationShape(t *testing.T) {
+	p := platform.Phytium2000()
+	peak := p.PeakCoreGFLOPS(4)
+	small := Run(Baseline(baselines.OpenBLAS), p, Workload{M: 8, N: 8, K: 8, ElemBytes: 4, Threads: 1, Warm: true})
+	if small.GFLOPS/peak > 0.25 {
+		t.Fatalf("OpenBLAS at size 8 reaches %.0f%% of peak; motivation requires <25%%", 100*small.GFLOPS/peak)
+	}
+	large := Run(Baseline(baselines.OpenBLAS), p, Workload{M: 1024, N: 1024, K: 1024, ElemBytes: 4, Threads: 1})
+	if large.GFLOPS/peak < 0.7 {
+		t.Fatalf("OpenBLAS at 1024 reaches only %.0f%% of peak; should exceed 70%%", 100*large.GFLOPS/peak)
+	}
+}
+
+// TestFig9IrregularParallel: §8.2 — parallel irregular NT GEMM on Phytium:
+// LibShalom beats BLIS (second best) by ≈1.8× on average and ≈2.6× at M=32;
+// OpenBLAS's M-split collapses to a few percent of peak.
+func TestFig9IrregularParallel(t *testing.T) {
+	p := platform.Phytium2000()
+	ratioAt := func(m int) float64 {
+		w := Workload{M: m, N: 10240, K: 5000, ElemBytes: 4, TransB: true, Threads: 64}
+		return Run(LibShalom(), p, w).GFLOPS / Run(Baseline(baselines.BLIS), p, w).GFLOPS
+	}
+	if r := ratioAt(32); r < 2.0 || r > 3.5 {
+		t.Fatalf("M=32 LibShalom/BLIS = %.2f, paper reports ≈2.6", r)
+	}
+	sum := 0.0
+	ms := []int{32, 64, 128, 256}
+	for _, m := range ms {
+		sum += ratioAt(m)
+	}
+	if avg := sum / float64(len(ms)); avg < 1.4 || avg > 2.6 {
+		t.Fatalf("average LibShalom/BLIS = %.2f, paper reports ≈1.8", avg)
+	}
+	// OpenBLAS at M=32 uses only M/mr threads and lands in single-digit
+	// percent of peak (§3.2 reports 6%).
+	ob := Run(Baseline(baselines.OpenBLAS), p, Workload{M: 32, N: 10240, K: 5000, ElemBytes: 4, TransB: true, Threads: 64})
+	if ob.ActiveThreads > 8 {
+		t.Fatalf("OpenBLAS M-split used %d threads for M=32", ob.ActiveThreads)
+	}
+	if frac := ob.GFLOPS / p.PeakGFLOPS(4); frac > 0.10 {
+		t.Fatalf("OpenBLAS at M=32 reaches %.1f%% of peak; paper reports ≈6%%", 100*frac)
+	}
+}
+
+// TestFig11Scalability: §8.3 — maximum speedup over single-threaded
+// OpenBLAS on the VGG kernel is ≈49× (Phytium), ≈82× (KP920), ≈35× (TX2),
+// with KP920 clearly ahead.
+func TestFig11Scalability(t *testing.T) {
+	want := map[string]float64{"Phytium 2000+": 49, "Kunpeng 920": 82, "ThunderX2": 35}
+	got := map[string]float64{}
+	for _, p := range platform.All() {
+		w := Workload{M: 64, N: 50176, K: 576, ElemBytes: 4, TransB: true}
+		w.Threads = 1
+		base := Run(Baseline(baselines.OpenBLAS), p, w).Seconds
+		w.Threads = p.Cores
+		sp := base / Run(LibShalom(), p, w).Seconds
+		got[p.Name] = sp
+		if sp < want[p.Name]*0.75 || sp > want[p.Name]*1.25 {
+			t.Errorf("%s max speedup %.1f, paper reports ≈%.0f", p.Name, sp, want[p.Name])
+		}
+	}
+	if !(got["Kunpeng 920"] > got["Phytium 2000+"] && got["Phytium 2000+"] > got["ThunderX2"]) {
+		t.Errorf("speedup ordering wrong: %v (paper: KP920 > Phytium > TX2)", got)
+	}
+}
+
+// TestFig11MonotoneScaling: speedup must increase with thread count.
+func TestFig11MonotoneScaling(t *testing.T) {
+	p := platform.KP920()
+	prev := 0.0
+	for _, th := range []int{1, 2, 4, 8, 16, 32, 64} {
+		r := Run(LibShalom(), p, Workload{M: 64, N: 50176, K: 576, ElemBytes: 4, TransB: true, Threads: th})
+		sp := 1 / r.Seconds
+		if sp <= prev {
+			t.Fatalf("throughput not monotone at %d threads", th)
+		}
+		prev = sp
+	}
+}
+
+// TestFig13Breakdown: §8.5 — each optimization contributes: baseline <
+// +edge < +packing, with the packing overlap the dominant term, and the
+// KP920 total gain exceeding Phytium's (the paper reports 1.25× vs 1.6× at
+// M=20).
+func TestFig13Breakdown(t *testing.T) {
+	gains := map[string]float64{}
+	for _, p := range platform.All() {
+		w := Workload{M: 20, N: 50176, K: 576, ElemBytes: 4, TransB: true, Threads: 1}
+		base := Run(Baseline(baselines.OpenBLAS), p, w).GFLOPS
+		edge := Run(BaselinePlusEdgeOpt(), p, w).GFLOPS
+		full := Run(LibShalom(), p, w).GFLOPS
+		if !(base < edge && edge < full) {
+			t.Errorf("%s: breakdown not monotone: %.1f / %.1f / %.1f", p.Name, base, edge, full)
+		}
+		if (full - edge) < (edge - base) {
+			t.Errorf("%s: packing contribution should dominate (edge +%.1f, pack +%.1f)", p.Name, edge-base, full-edge)
+		}
+		g := full / base
+		gains[p.Name] = g
+		if g < 1.15 || g > 3.0 {
+			t.Errorf("%s: total gain %.2f out of plausible range (paper: 1.25–1.6 at M=20)", p.Name, g)
+		}
+	}
+	if gains["Kunpeng 920"] <= gains["Phytium 2000+"] {
+		t.Errorf("KP920 gain %.2f should exceed Phytium %.2f (§8.5)", gains["Kunpeng 920"], gains["Phytium 2000+"])
+	}
+}
+
+// TestFig14CP2K: §8.6 — FP64 CP2K kernels: LibShalom best everywhere, and
+// roughly 2× LIBXSMM at 5×5×5.
+func TestFig14CP2K(t *testing.T) {
+	shapes := [][3]int{{5, 5, 5}, {13, 5, 13}, {13, 13, 13}, {23, 23, 23}, {26, 26, 13}}
+	for _, p := range platform.All() {
+		for _, s := range shapes {
+			w := Workload{M: s[0], N: s[1], K: s[2], ElemBytes: 8, Threads: 1, Warm: true}
+			ls := Run(LibShalom(), p, w).GFLOPS
+			for _, l := range allLibs()[1:] {
+				if alt := Run(l, p, w).GFLOPS; ls < alt {
+					t.Errorf("%s %v: %s (%.2f) beats LibShalom (%.2f)", p.Name, s, l.Name, alt, ls)
+				}
+			}
+		}
+	}
+	w5 := Workload{M: 5, N: 5, K: 5, ElemBytes: 8, Threads: 1, Warm: true}
+	kp := platform.KP920()
+	ratio := Run(LibShalom(), kp, w5).GFLOPS / Run(Baseline(baselines.LIBXSMM), kp, w5).GFLOPS
+	if ratio < 1.5 || ratio > 3.0 {
+		t.Errorf("5x5x5 LibShalom/LIBXSMM = %.2f, paper reports up to 2×", ratio)
+	}
+}
+
+// TestFig12L2MissReduction: §8.4 — LibShalom reduces chip L2 misses versus
+// OpenBLAS for the irregular NT sweep, more on KP920 (≈20%) than TX2 (≈4%).
+func TestFig12L2MissReduction(t *testing.T) {
+	red := func(p *platform.Platform, k int) float64 {
+		w := Workload{M: 64, N: 50176, K: k, ElemBytes: 4, TransB: true, Threads: 1}
+		ls := Run(LibShalom(), p, w).L2Misses
+		ob := Run(Baseline(baselines.OpenBLAS), p, w).L2Misses
+		return 1 - ls/ob
+	}
+	for _, k := range []int{576, 1600, 3744} {
+		kpRed := red(platform.KP920(), k)
+		txRed := red(platform.ThunderX2(), k)
+		if kpRed <= 0 || txRed <= 0 {
+			t.Fatalf("K=%d: miss reductions must be positive (kp %.2f tx %.2f)", k, kpRed, txRed)
+		}
+		if kpRed <= txRed {
+			t.Errorf("K=%d: KP920 reduction %.1f%% should exceed TX2 %.1f%%", k, kpRed*100, txRed*100)
+		}
+	}
+}
+
+// TestNTvsNNIrregular: §8.2 — for parallel irregular GEMM LibShalom is
+// faster under NT than NN (B's K-contiguous layout feeds the pack kernel).
+func TestWarmVsCold(t *testing.T) {
+	p := platform.KP920()
+	warm := Run(LibShalom(), p, Workload{M: 24, N: 24, K: 24, ElemBytes: 4, Threads: 1, Warm: true})
+	cold := Run(LibShalom(), p, Workload{M: 24, N: 24, K: 24, ElemBytes: 4, Threads: 1, Warm: false})
+	if warm.GFLOPS <= cold.GFLOPS {
+		t.Fatalf("warm run (%.1f) must beat cold run (%.1f)", warm.GFLOPS, cold.GFLOPS)
+	}
+}
+
+func TestFP64HalfThroughput(t *testing.T) {
+	// §8.1: FP64 throughput is roughly half of FP32 across methods.
+	p := platform.KP920()
+	f32 := Run(LibShalom(), p, Workload{M: 64, N: 64, K: 64, ElemBytes: 4, Threads: 1, Warm: true}).GFLOPS
+	f64 := Run(LibShalom(), p, Workload{M: 64, N: 64, K: 64, ElemBytes: 8, Threads: 1, Warm: true}).GFLOPS
+	if ratio := f32 / f64; ratio < 1.6 || ratio > 2.6 {
+		t.Fatalf("FP32/FP64 throughput ratio %.2f, want ≈2", ratio)
+	}
+}
+
+func TestBLASFEOIgnoresThreads(t *testing.T) {
+	p := platform.KP920()
+	w := Workload{M: 64, N: 4096, K: 512, ElemBytes: 4, Threads: 64}
+	r := Run(Baseline(baselines.BLASFEO), p, w)
+	if r.ActiveThreads != 1 {
+		t.Fatal("BLASFEO must stay single-threaded (§7.4)")
+	}
+}
+
+func TestComponentsPresent(t *testing.T) {
+	r := Run(Baseline(baselines.OpenBLAS), platform.KP920(), Workload{M: 100, N: 100, K: 100, ElemBytes: 4, Threads: 1})
+	for _, key := range []string{"kernel", "edge", "pack", "mem", "overhead"} {
+		if _, ok := r.Components[key]; !ok {
+			t.Fatalf("component %q missing", key)
+		}
+	}
+	if r.Components["pack"] <= 0 {
+		t.Fatal("sequential packer must report pack time")
+	}
+	ls := Run(LibShalom(), platform.KP920(), Workload{M: 100, N: 100, K: 100, ElemBytes: 4, Threads: 1})
+	if ls.Components["pack"] != 0 {
+		t.Fatal("LibShalom must report zero sequential pack time (overlapped)")
+	}
+}
+
+func TestDegenerateWorkload(t *testing.T) {
+	r := Run(LibShalom(), platform.KP920(), Workload{M: 0, N: 10, K: 10, ElemBytes: 4, Threads: 1})
+	if r.Seconds != 0 {
+		// zero-work GEMM models as zero kernel time; GFLOPS undefined but
+		// must not be NaN-propagating for callers
+		t.Logf("zero-M workload: %+v", r)
+	}
+}
+
+// TestNTvsNNByRegime: §8.1 — LibShalom's NN beats its NT on small GEMM (no
+// packing when B fits L1); §8.2 — NT beats NN on parallel irregular GEMM
+// (the NN sliver pack walks B rows a page apart).
+func TestNTvsNNByRegime(t *testing.T) {
+	for _, p := range platform.All() {
+		small := Workload{M: 32, N: 32, K: 32, ElemBytes: 4, Threads: 1, Warm: true}
+		nnS := Run(LibShalom(), p, small).GFLOPS
+		small.TransB = true
+		ntS := Run(LibShalom(), p, small).GFLOPS
+		if nnS < ntS {
+			t.Errorf("%s small: NN (%.1f) below NT (%.1f); §8.1 says NN wins when B fits L1", p.Name, nnS, ntS)
+		}
+		irr := Workload{M: 32, N: 10240, K: 5000, ElemBytes: 4, Threads: p.Cores}
+		nnI := Run(LibShalom(), p, irr).GFLOPS
+		irr.TransB = true
+		ntI := Run(LibShalom(), p, irr).GFLOPS
+		if ntI < nnI {
+			t.Errorf("%s irregular: NT (%.0f) below NN (%.0f); §8.2 says NT wins", p.Name, ntI, nnI)
+		}
+	}
+}
+
+// TestTransAModesCostModeled: TN must cost a bounded amount over NN (the A
+// gather is a per-block pass), and TT relates to NT the same way — §8.1/8.2
+// note the T-mode trends mirror NN/NT.
+func TestTransAModesCostModeled(t *testing.T) {
+	p := platform.KP920()
+	for _, w := range []Workload{
+		{M: 64, N: 64, K: 64, ElemBytes: 4, Threads: 1, Warm: true},
+		{M: 20, N: 50176, K: 576, ElemBytes: 4, Threads: 1},
+	} {
+		nn := Run(LibShalom(), p, w).GFLOPS
+		wTA := w
+		wTA.TransA = true
+		tn := Run(LibShalom(), p, wTA).GFLOPS
+		if tn >= nn {
+			t.Errorf("TN (%.1f) not below NN (%.1f): the A gather must cost", tn, nn)
+		}
+		if tn < nn*0.5 {
+			t.Errorf("TN (%.1f) implausibly far below NN (%.1f)", tn, nn)
+		}
+	}
+}
+
+// TestFig8ColdCacheClaims: §8.1 — cold-cache runs are slower than warm
+// ones, and LibShalom's margin over BLASFEO shrinks at multiples of
+// BLASFEO's 8×8 kernel (where BLASFEO has no edge cases and LibShalom's
+// 7×12 tile does).
+func TestFig8ColdCacheClaims(t *testing.T) {
+	p := platform.Phytium2000()
+	margin := func(sz int) float64 {
+		w := Workload{M: sz, N: sz, K: sz, ElemBytes: 4, Threads: 1, Warm: false}
+		return Run(LibShalom(), p, w).GFLOPS / Run(Baseline(baselines.BLASFEO), p, w).GFLOPS
+	}
+	// Margin at a multiple of 8 vs a non-multiple nearby.
+	at64, at60 := margin(64), margin(60)
+	if at64 >= at60 {
+		t.Errorf("margin at 64 (%.2f) should shrink below 60 (%.2f): BLASFEO is edge-free at 8-multiples", at64, at60)
+	}
+	for _, sz := range []int{16, 40, 88} {
+		w := Workload{M: sz, N: sz, K: sz, ElemBytes: 4, Threads: 1}
+		w.Warm = true
+		warm := Run(LibShalom(), p, w).GFLOPS
+		w.Warm = false
+		cold := Run(LibShalom(), p, w).GFLOPS
+		if cold >= warm {
+			t.Errorf("size %d: cold (%.1f) not below warm (%.1f)", sz, cold, warm)
+		}
+	}
+}
+
+// TestComponentsSumToTotal: the serial components must account for the
+// whole single-thread critical path.
+func TestComponentsSumToTotal(t *testing.T) {
+	r := Run(Baseline(baselines.OpenBLAS), platform.ThunderX2(), Workload{M: 100, N: 333, K: 77, ElemBytes: 4, Threads: 1})
+	sum := 0.0
+	for _, v := range r.Components {
+		sum += v
+	}
+	if d := sum/r.Seconds - 1; d > 1e-9 || d < -1e-9 {
+		t.Fatalf("components sum to %.3g of %.3g seconds", sum, r.Seconds)
+	}
+}
+
+// TestRunConcurrencySafe: Run memoizes micro-kernel simulations behind a
+// mutex; concurrent evaluations must race-free produce identical results.
+func TestRunConcurrencySafe(t *testing.T) {
+	p := platform.KP920()
+	w := Workload{M: 48, N: 96, K: 72, ElemBytes: 4, Threads: 1, Warm: true}
+	want := Run(LibShalom(), p, w).GFLOPS
+	done := make(chan float64, 8)
+	for i := 0; i < 8; i++ {
+		go func() { done <- Run(LibShalom(), p, w).GFLOPS }()
+	}
+	for i := 0; i < 8; i++ {
+		if got := <-done; got != want {
+			t.Fatalf("concurrent Run diverged: %v vs %v", got, want)
+		}
+	}
+}

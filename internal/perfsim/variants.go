@@ -1,0 +1,107 @@
+package perfsim
+
+import (
+	"fmt"
+
+	"libshalom/internal/baselines"
+	"libshalom/internal/kernels"
+)
+
+// Variant options build LibShalom ablations: the full design with exactly
+// one decision reverted, used by the `ablation` experiment to quantify each
+// of DESIGN.md §3's choices.
+type variantSpec struct {
+	forceAlwaysPack bool
+	sequentialPack  bool
+	tileMR, tileNR  int
+	batchEdges      bool
+	partition       baselines.ParallelScheme // used when shapeAware disabled
+	noShapeAware    bool
+}
+
+// VariantOpt mutates one aspect of the LibShalom persona.
+type VariantOpt func(*variantSpec)
+
+// WithForceAlwaysPack disables the §4.2 runtime packing decision: B is
+// packed even when it fits L1 (the conventional-library behaviour).
+func WithForceAlwaysPack() VariantOpt {
+	return func(v *variantSpec) { v.forceAlwaysPack = true }
+}
+
+// WithSequentialPack replaces the §5.3 overlapped packing micro-kernels
+// with a separate sequential packing pass.
+func WithSequentialPack() VariantOpt {
+	return func(v *variantSpec) { v.sequentialPack = true }
+}
+
+// WithTile overrides the analytic 7×12 / 7×6 register tile (Eq. 1–2
+// ablation; e.g. 8×4 or 8×8).
+func WithTile(mr, nr int) VariantOpt {
+	return func(v *variantSpec) { v.tileMR, v.tileNR = mr, nr }
+}
+
+// WithBatchEdges reverts the §5.4 edge-kernel rescheduling to the batch
+// load order of Fig 6a.
+func WithBatchEdges() VariantOpt {
+	return func(v *variantSpec) { v.batchEdges = true }
+}
+
+// WithPartition replaces the §6 shape-aware Tn = ⌈√(T·N/M)⌉ partition with
+// a fixed scheme.
+func WithPartition(s baselines.ParallelScheme) VariantOpt {
+	return func(v *variantSpec) { v.partition = s; v.noShapeAware = true }
+}
+
+// LibShalomVariant returns a LibShalom persona with the given ablations
+// applied. With no options it equals LibShalom().
+func LibShalomVariant(name string, opts ...VariantOpt) Library {
+	v := &variantSpec{}
+	for _, o := range opts {
+		o(v)
+	}
+	return Library{Name: name, kind: kindLibShalomVariant, variant: v}
+}
+
+func variantPersona(lib Library, elemBytes int) persona {
+	p := personaFor(LibShalom(), elemBytes)
+	p.name = lib.Name
+	v := lib.variant
+	if v == nil {
+		return p
+	}
+	if v.forceAlwaysPack {
+		p.noPackDecision = false
+	}
+	if v.sequentialPack {
+		p.overlapPack = false
+		p.seqPackA = false // LibShalom still never packs A under NN/NT (§4.2)
+		p.seqPackB = true
+	}
+	if v.tileMR > 0 {
+		lanes := 16 / elemBytes
+		p.mr = v.tileMR
+		p.nr = feasibleNR(v.tileMR, v.tileNR, lanes)
+	}
+	if v.batchEdges {
+		p.edgeScheduled = false
+		p.schedule = kernels.Batch
+	}
+	if v.noShapeAware {
+		p.shapeAware = false
+		p.parallel = v.partition
+	}
+	return p
+}
+
+// String names the variant.
+func (l Library) String() string { return l.Name }
+
+func init() {
+	// Guard: a no-op variant must behave identically to the real persona.
+	a := personaFor(LibShalom(), 4)
+	b := variantPersona(LibShalomVariant("check"), 4)
+	b.name = a.name
+	if fmt.Sprintf("%+v", a) != fmt.Sprintf("%+v", b) {
+		panic("perfsim: LibShalomVariant() drifted from LibShalom()")
+	}
+}

@@ -1,0 +1,105 @@
+package perfsim
+
+import (
+	"testing"
+
+	"libshalom/internal/baselines"
+	"libshalom/internal/platform"
+)
+
+func TestVariantNoOpEqualsFull(t *testing.T) {
+	p := platform.KP920()
+	w := Workload{M: 48, N: 48, K: 48, ElemBytes: 4, Threads: 1, Warm: true}
+	full := Run(LibShalom(), p, w)
+	noop := Run(LibShalomVariant("noop"), p, w)
+	if full.GFLOPS != noop.GFLOPS {
+		t.Fatalf("no-op variant differs: %.2f vs %.2f", noop.GFLOPS, full.GFLOPS)
+	}
+}
+
+// TestAblationSequentialPackHurtsIrregular: reverting §5.3 must cost
+// throughput on the irregular NT workload.
+func TestAblationSequentialPackHurtsIrregular(t *testing.T) {
+	w := Workload{M: 20, N: 50176, K: 576, ElemBytes: 4, TransB: true, Threads: 1}
+	for _, p := range platform.All() {
+		full := Run(LibShalom(), p, w).GFLOPS
+		abl := Run(LibShalomVariant("seq", WithSequentialPack()), p, w).GFLOPS
+		if abl >= full {
+			t.Errorf("%s: sequential packing (%.1f) not slower than overlapped (%.1f)", p.Name, abl, full)
+		}
+	}
+}
+
+// TestAblationOverlapMakesForcedPackCheap: §5.3's complementary claim —
+// with overlapped packing, even packing an L1-resident B costs almost
+// nothing (< 3%), whereas sequential always-pack costs more.
+func TestAblationOverlapMakesForcedPackCheap(t *testing.T) {
+	p := platform.Phytium2000()
+	w := Workload{M: 32, N: 32, K: 32, ElemBytes: 4, Threads: 1, Warm: true}
+	full := Run(LibShalom(), p, w).GFLOPS
+	forced := Run(LibShalomVariant("forced", WithForceAlwaysPack()), p, w).GFLOPS
+	if forced < full*0.97 {
+		t.Fatalf("forced overlapped packing costs %.1f%%, should be <3%%", 100*(1-forced/full))
+	}
+	seq := Run(LibShalomVariant("seqforced", WithForceAlwaysPack(), WithSequentialPack()), p, w).GFLOPS
+	if seq >= forced {
+		t.Fatalf("sequential always-pack (%.1f) not slower than overlapped always-pack (%.1f)", seq, forced)
+	}
+}
+
+// TestAblationBatchEdgesHurtSmall: reverting §5.4 must cost on small GEMM
+// with heavy edge fractions.
+func TestAblationBatchEdgesHurtSmall(t *testing.T) {
+	w := Workload{M: 20, N: 20, K: 20, ElemBytes: 4, Threads: 1, Warm: true}
+	for _, p := range platform.All() {
+		full := Run(LibShalom(), p, w).GFLOPS
+		abl := Run(LibShalomVariant("batch", WithBatchEdges()), p, w).GFLOPS
+		if abl >= full {
+			t.Errorf("%s: batch edges (%.1f) not slower than scheduled (%.1f)", p.Name, abl, full)
+		}
+	}
+}
+
+// TestAblationPartitionDominates: reverting §6 must be the most expensive
+// ablation on parallel irregular GEMM — the paper's ≥2.6× BLIS gap at M=32
+// is built on it.
+func TestAblationPartitionDominates(t *testing.T) {
+	p := platform.Phytium2000()
+	w := Workload{M: 32, N: 10240, K: 5000, ElemBytes: 4, TransB: true, Threads: 64}
+	full := Run(LibShalom(), p, w).GFLOPS
+	msplit := Run(LibShalomVariant("msplit", WithPartition(baselines.SchemeMSplit)), p, w)
+	if msplit.GFLOPS > full/4 {
+		t.Fatalf("M-split ablation only %.1fx slower; should collapse (few active threads)", full/msplit.GFLOPS)
+	}
+	if msplit.ActiveThreads > 8 {
+		t.Fatalf("M-split on M=32 used %d threads", msplit.ActiveThreads)
+	}
+	grid := Run(LibShalomVariant("grid", WithPartition(baselines.SchemeGrid)), p, w).GFLOPS
+	if grid >= full {
+		t.Fatal("square grid not slower than shape-aware partition")
+	}
+}
+
+// TestAblationTileMattersOnIrregular: the 8×8 tile's lower CMR must cost
+// on the irregular NT workload.
+func TestAblationTileMattersOnIrregular(t *testing.T) {
+	p := platform.KP920()
+	w := Workload{M: 20, N: 50176, K: 576, ElemBytes: 4, TransB: true, Threads: 1}
+	full := Run(LibShalom(), p, w).GFLOPS
+	abl := Run(LibShalomVariant("t88", WithTile(8, 8)), p, w).GFLOPS
+	if abl >= full {
+		t.Fatalf("8x8 tile (%.1f) not slower than 7x12 (%.1f)", abl, full)
+	}
+}
+
+func TestVariantStringAndFeasibleNR(t *testing.T) {
+	v := LibShalomVariant("my-variant", WithTile(8, 12))
+	if v.String() != "my-variant" {
+		t.Fatal("variant name lost")
+	}
+	// 8x12 FP32 is register-infeasible; the persona must shrink NR.
+	p := variantPersona(v, 4)
+	if p.mr != 8 || p.nr != 8 {
+		t.Fatalf("infeasible tile not shrunk: %dx%d", p.mr, p.nr)
+	}
+}

@@ -1,0 +1,280 @@
+// Package platform models the three ARMv8 multi-core processors the paper
+// evaluates on (Table 1): Phytium 2000+, Kunpeng 920 and ThunderX2. A
+// Platform combines the published specification (cores, frequency, cache
+// sizes) with the micro-architectural parameters the timing model needs
+// (pipe counts, latencies, out-of-order window, memory system). The
+// micro-architectural numbers are modeling choices calibrated so that the
+// derived peak FLOPS matches Table 1 exactly and so the behaviours the paper
+// reports (FMA density needs, scheduling sensitivity, cluster-shared L2 on
+// Phytium) are expressible; DESIGN.md §1 records this substitution.
+package platform
+
+import "fmt"
+
+// CacheConfig describes one level of the data-cache hierarchy.
+type CacheConfig struct {
+	SizeBytes int  // total capacity
+	LineBytes int  // cache line size
+	Ways      int  // associativity
+	LatencyCy int  // load-to-use latency in cycles
+	Shared    bool // true when shared between cores of a cluster (or chip)
+	SharedBy  int  // number of cores sharing one instance (1 when private)
+}
+
+// Sets returns the number of sets implied by the configuration.
+func (c CacheConfig) Sets() int {
+	if c.SizeBytes == 0 {
+		return 0
+	}
+	return c.SizeBytes / (c.LineBytes * c.Ways)
+}
+
+// Platform is a full processor model.
+type Platform struct {
+	Name      string
+	Cores     int
+	FreqGHz   float64
+	L1        CacheConfig
+	L2        CacheConfig
+	L3        CacheConfig // SizeBytes == 0 means the level is absent (Phytium 2000+)
+	RAMBytes  int64
+	TLBEntrs  int // data-TLB entries (4KiB pages)
+	PageBytes int
+
+	// Core pipeline model.
+	IssueWidth int // instructions issued per cycle
+	FMAPipes   int // 128-bit FMA-capable vector pipes
+	LoadPipes  int // load pipes
+	StorePipes int // store pipes
+	OoOWindow  int // bounded lookahead window for the scoreboard scheduler
+	FMALatency int // FP FMA result latency, cycles
+	LoadLatL1  int // L1-hit load-to-use latency, cycles
+
+	// Memory system beyond the caches.
+	DRAMLatencyCy   int     // cycles for a DRAM access from one core
+	DRAMBandwidthGB float64 // sustainable chip-wide DRAM bandwidth, GB/s
+
+	// Parallel runtime cost: cycles for a fork-join of T threads is
+	// ForkJoinBaseCy + ForkJoinPerThreadCy*T.
+	ForkJoinBaseCy      int
+	ForkJoinPerThreadCy int
+
+	// SIMDBits is the SIMD register width in bits; zero means the 128-bit
+	// NEON of the paper's evaluation platforms. SVE platforms (§5.5) set
+	// 256–2048.
+	SIMDBits int
+
+	// StragglerFrac models parallel-region friction (NUMA placement,
+	// shared-cache contention, barrier stragglers): the critical-path
+	// thread runs (1 + StragglerFrac·log2(T)) slower than the mean. The
+	// values are calibrated against the paper's Fig 11 scalability curves
+	// (49×/82×/35× maximum speedups): Phytium's cluster-shared L2 and
+	// ThunderX2's ring-interconnect contention cost far more than
+	// Kunpeng 920's flat mesh.
+	StragglerFrac float64
+}
+
+// VectorBits is the SIMD register width of the modeled ARMv8 NEON cores.
+// SVE platforms (§5.5) override it per Platform via SIMDBits.
+const VectorBits = 128
+
+// VectorLanes returns the number of elements of elemBytes each held in one
+// 128-bit vector register (the paper's j: 4 for FP32, 2 for FP64).
+func VectorLanes(elemBytes int) int { return VectorBits / 8 / elemBytes }
+
+// Lanes returns the platform's vector lane count for an element size,
+// honoring SIMDBits for SVE platforms.
+func (p *Platform) Lanes(elemBytes int) int {
+	bits := p.SIMDBits
+	if bits == 0 {
+		bits = VectorBits
+	}
+	return bits / 8 / elemBytes
+}
+
+// PeakGFLOPS returns the theoretical chip peak in GFLOPS for the element
+// size: cores × freq × FMApipes × lanes × 2 (multiply + add).
+func (p *Platform) PeakGFLOPS(elemBytes int) float64 {
+	return float64(p.Cores) * p.FreqGHz * float64(p.FMAPipes) * float64(p.Lanes(elemBytes)) * 2
+}
+
+// PeakCoreGFLOPS is the single-core peak in GFLOPS.
+func (p *Platform) PeakCoreGFLOPS(elemBytes int) float64 {
+	return p.PeakGFLOPS(elemBytes) / float64(p.Cores)
+}
+
+// FlopsPerCycleCore is the per-core FLOP/cycle peak for the element size.
+func (p *Platform) FlopsPerCycleCore(elemBytes int) float64 {
+	return float64(p.FMAPipes) * float64(VectorLanes(elemBytes)) * 2
+}
+
+// LLC returns the configuration of the last-level data cache: L3 when
+// present, otherwise L2 (Phytium 2000+ has no L3; see Table 1).
+func (p *Platform) LLC() CacheConfig {
+	if p.L3.SizeBytes > 0 {
+		return p.L3
+	}
+	return p.L2
+}
+
+// String implements fmt.Stringer.
+func (p *Platform) String() string {
+	return fmt.Sprintf("%s (%d cores @ %.1f GHz)", p.Name, p.Cores, p.FreqGHz)
+}
+
+// Phytium2000 models the Phytium 2000+ (FTC662 cores). Its L2 is shared by
+// clusters of four cores and it has no L3 (Table 1 and §7.1). One FMA pipe
+// per core: 64 cores × 2.2 GHz × 1 pipe × 4 lanes × 2 = 1126.4 GFLOPS FP32,
+// matching Table 1.
+func Phytium2000() *Platform {
+	return &Platform{
+		Name:      "Phytium 2000+",
+		Cores:     64,
+		FreqGHz:   2.2,
+		L1:        CacheConfig{SizeBytes: 32 << 10, LineBytes: 64, Ways: 4, LatencyCy: 4, SharedBy: 1},
+		L2:        CacheConfig{SizeBytes: 2 << 20, LineBytes: 64, Ways: 16, LatencyCy: 25, Shared: true, SharedBy: 4},
+		L3:        CacheConfig{},
+		RAMBytes:  64 << 30,
+		TLBEntrs:  64,
+		PageBytes: 4 << 10,
+
+		IssueWidth: 4,
+		FMAPipes:   1,
+		LoadPipes:  2,
+		StorePipes: 1,
+		OoOWindow:  16,
+		FMALatency: 7,
+		LoadLatL1:  4,
+
+		DRAMLatencyCy:   180,
+		DRAMBandwidthGB: 80,
+
+		ForkJoinBaseCy:      9000,
+		ForkJoinPerThreadCy: 260,
+		StragglerFrac:       0.068,
+	}
+}
+
+// KP920 models the Kunpeng 920 (TaiShan v110 cores): private 512 KiB L2,
+// large shared L3. Two FMA pipes: 64 × 2.6 × 2 × 4 × 2 = 2662.4 GFLOPS FP32,
+// matching Table 1.
+func KP920() *Platform {
+	return &Platform{
+		Name:      "Kunpeng 920",
+		Cores:     64,
+		FreqGHz:   2.6,
+		L1:        CacheConfig{SizeBytes: 64 << 10, LineBytes: 64, Ways: 4, LatencyCy: 4, SharedBy: 1},
+		L2:        CacheConfig{SizeBytes: 512 << 10, LineBytes: 64, Ways: 8, LatencyCy: 14, SharedBy: 1},
+		L3:        CacheConfig{SizeBytes: 64 << 20, LineBytes: 64, Ways: 16, LatencyCy: 45, Shared: true, SharedBy: 64},
+		RAMBytes:  64 << 30,
+		TLBEntrs:  64,
+		PageBytes: 4 << 10,
+
+		IssueWidth: 4,
+		FMAPipes:   2,
+		LoadPipes:  2,
+		StorePipes: 1,
+		OoOWindow:  24,
+		FMALatency: 4,
+		LoadLatL1:  4,
+
+		DRAMLatencyCy:   200,
+		DRAMBandwidthGB: 170,
+
+		ForkJoinBaseCy:      8000,
+		ForkJoinPerThreadCy: 220,
+		StragglerFrac:       0.004,
+	}
+}
+
+// ThunderX2 models the Marvell ThunderX2 (Vulcan cores): private 256 KiB L2,
+// 32 MiB shared L3. Two FMA pipes: 32 × 2.5 × 2 × 4 × 2 = 1280 GFLOPS FP32,
+// matching Table 1.
+func ThunderX2() *Platform {
+	return &Platform{
+		Name:      "ThunderX2",
+		Cores:     32,
+		FreqGHz:   2.5,
+		L1:        CacheConfig{SizeBytes: 32 << 10, LineBytes: 64, Ways: 8, LatencyCy: 4, SharedBy: 1},
+		L2:        CacheConfig{SizeBytes: 256 << 10, LineBytes: 64, Ways: 8, LatencyCy: 12, SharedBy: 1},
+		L3:        CacheConfig{SizeBytes: 32 << 20, LineBytes: 64, Ways: 16, LatencyCy: 40, Shared: true, SharedBy: 32},
+		RAMBytes:  64 << 30,
+		TLBEntrs:  64,
+		PageBytes: 4 << 10,
+
+		IssueWidth: 4,
+		FMAPipes:   2,
+		LoadPipes:  2,
+		StorePipes: 1,
+		OoOWindow:  28,
+		FMALatency: 6,
+		LoadLatL1:  4,
+
+		DRAMLatencyCy:   190,
+		DRAMBandwidthGB: 120,
+
+		ForkJoinBaseCy:      8500,
+		ForkJoinPerThreadCy: 240,
+		StragglerFrac:       0.115,
+	}
+}
+
+// A64FX models the Fujitsu A64FX, the SVE-512 many-core the paper's §5.5
+// names as a porting target: 48 compute cores at 2.2 GHz with two 512-bit
+// FMA pipes (48 × 2.2 × 2 × 16 × 2 ≈ 6.76 FP32 TFLOPS), 64 KiB L1, a
+// 8 MiB L2 shared per 12-core CMG, no L3, and HBM2 at ~1 TB/s. It is not
+// part of the paper's evaluation; this reproduction uses it to demonstrate
+// the vector-length generalization of the analytic models.
+func A64FX() *Platform {
+	return &Platform{
+		Name:      "A64FX",
+		Cores:     48,
+		FreqGHz:   2.2,
+		SIMDBits:  512,
+		L1:        CacheConfig{SizeBytes: 64 << 10, LineBytes: 256, Ways: 4, LatencyCy: 5, SharedBy: 1},
+		L2:        CacheConfig{SizeBytes: 8 << 20, LineBytes: 256, Ways: 16, LatencyCy: 37, Shared: true, SharedBy: 12},
+		L3:        CacheConfig{},
+		RAMBytes:  32 << 30,
+		TLBEntrs:  64,
+		PageBytes: 64 << 10,
+
+		IssueWidth: 4,
+		FMAPipes:   2,
+		LoadPipes:  2,
+		StorePipes: 1,
+		OoOWindow:  32,
+		FMALatency: 9,
+		LoadLatL1:  5,
+
+		DRAMLatencyCy:   260,
+		DRAMBandwidthGB: 1000,
+
+		ForkJoinBaseCy:      9000,
+		ForkJoinPerThreadCy: 250,
+		StragglerFrac:       0.05,
+	}
+}
+
+// All returns the three evaluation platforms in the paper's order.
+func All() []*Platform {
+	return []*Platform{Phytium2000(), KP920(), ThunderX2()}
+}
+
+// ByName returns the platform whose name contains the given substring
+// (case-sensitive), or nil when none matches.
+func ByName(name string) *Platform {
+	for _, p := range All() {
+		if p.Name == name {
+			return p
+		}
+	}
+	switch name {
+	case "phytium", "ft2000", "phytium2000":
+		return Phytium2000()
+	case "kp920", "kunpeng", "kunpeng920":
+		return KP920()
+	case "thunderx2", "tx2":
+		return ThunderX2()
+	}
+	return nil
+}

@@ -1,0 +1,120 @@
+package platform
+
+import (
+	"math"
+	"testing"
+)
+
+// TestTable1Peaks pins the derived FP32 peaks to the values published in
+// Table 1 of the paper.
+func TestTable1Peaks(t *testing.T) {
+	cases := []struct {
+		p    *Platform
+		peak float64
+	}{
+		{Phytium2000(), 1126.4},
+		{KP920(), 2662.4},
+		{ThunderX2(), 1280.0},
+	}
+	for _, c := range cases {
+		if got := c.p.PeakGFLOPS(4); math.Abs(got-c.peak) > 1e-9 {
+			t.Errorf("%s FP32 peak = %v, want %v", c.p.Name, got, c.peak)
+		}
+		// FP64 peak is exactly half the FP32 peak (half the lanes).
+		if got := c.p.PeakGFLOPS(8); math.Abs(got-c.peak/2) > 1e-9 {
+			t.Errorf("%s FP64 peak = %v, want %v", c.p.Name, got, c.peak/2)
+		}
+	}
+}
+
+func TestTable1CacheSizes(t *testing.T) {
+	ph, kp, tx := Phytium2000(), KP920(), ThunderX2()
+	if ph.L1.SizeBytes != 32<<10 || kp.L1.SizeBytes != 64<<10 || tx.L1.SizeBytes != 32<<10 {
+		t.Fatal("L1 sizes disagree with Table 1")
+	}
+	if ph.L2.SizeBytes != 2<<20 || kp.L2.SizeBytes != 512<<10 || tx.L2.SizeBytes != 256<<10 {
+		t.Fatal("L2 sizes disagree with Table 1")
+	}
+	if ph.L3.SizeBytes != 0 || kp.L3.SizeBytes != 64<<20 || tx.L3.SizeBytes != 32<<20 {
+		t.Fatal("L3 sizes disagree with Table 1")
+	}
+	if ph.Cores != 64 || kp.Cores != 64 || tx.Cores != 32 {
+		t.Fatal("core counts disagree with Table 1")
+	}
+	if ph.FreqGHz != 2.2 || kp.FreqGHz != 2.6 || tx.FreqGHz != 2.5 {
+		t.Fatal("frequencies disagree with Table 1")
+	}
+}
+
+func TestPhytiumSharedL2NoL3(t *testing.T) {
+	ph := Phytium2000()
+	if !ph.L2.Shared || ph.L2.SharedBy != 4 {
+		t.Fatal("Phytium L2 must be shared by clusters of four cores (§7.1)")
+	}
+	if ph.LLC().SizeBytes != ph.L2.SizeBytes {
+		t.Fatal("Phytium LLC must be the L2 (no L3)")
+	}
+	if KP920().LLC().SizeBytes != 64<<20 {
+		t.Fatal("KP920 LLC must be the 64MB L3")
+	}
+}
+
+func TestVectorLanes(t *testing.T) {
+	if VectorLanes(4) != 4 || VectorLanes(8) != 2 {
+		t.Fatal("128-bit NEON lane counts wrong")
+	}
+}
+
+func TestSets(t *testing.T) {
+	c := CacheConfig{SizeBytes: 32 << 10, LineBytes: 64, Ways: 4}
+	if c.Sets() != 128 {
+		t.Fatalf("Sets = %d, want 128", c.Sets())
+	}
+	if (CacheConfig{}).Sets() != 0 {
+		t.Fatal("empty cache must have zero sets")
+	}
+}
+
+func TestPerCorePeaks(t *testing.T) {
+	// Per-core FP32 peaks used when normalizing figures: 17.6, 41.6, 40.
+	want := map[string]float64{"Phytium 2000+": 17.6, "Kunpeng 920": 41.6, "ThunderX2": 40}
+	for _, p := range All() {
+		if got := p.PeakCoreGFLOPS(4); math.Abs(got-want[p.Name]) > 1e-9 {
+			t.Errorf("%s per-core peak = %v, want %v", p.Name, got, want[p.Name])
+		}
+	}
+}
+
+func TestFlopsPerCycle(t *testing.T) {
+	if Phytium2000().FlopsPerCycleCore(4) != 8 {
+		t.Fatal("Phytium FP32 flops/cycle/core must be 8")
+	}
+	if KP920().FlopsPerCycleCore(4) != 16 || ThunderX2().FlopsPerCycleCore(4) != 16 {
+		t.Fatal("KP920/TX2 FP32 flops/cycle/core must be 16")
+	}
+}
+
+func TestByName(t *testing.T) {
+	if ByName("kp920") == nil || ByName("phytium") == nil || ByName("tx2") == nil {
+		t.Fatal("aliases not resolved")
+	}
+	if ByName("Kunpeng 920") == nil {
+		t.Fatal("exact name not resolved")
+	}
+	if ByName("nonexistent") != nil {
+		t.Fatal("unknown name should return nil")
+	}
+}
+
+func TestAllOrder(t *testing.T) {
+	all := All()
+	if len(all) != 3 || all[0].Name != "Phytium 2000+" || all[1].Name != "Kunpeng 920" || all[2].Name != "ThunderX2" {
+		t.Fatal("All() must return the paper's platform order")
+	}
+}
+
+func TestStringer(t *testing.T) {
+	if s := KP920().String(); s != "Kunpeng 920 (64 cores @ 2.6 GHz)" {
+		t.Fatalf("String() = %q", s)
+	}
+}

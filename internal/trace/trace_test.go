@@ -1,0 +1,125 @@
+package trace
+
+import (
+	"testing"
+
+	"libshalom/internal/analytic"
+	"libshalom/internal/cachemodel"
+	"libshalom/internal/platform"
+)
+
+func setupF32(p *platform.Platform) (analytic.Tile, analytic.Blocking) {
+	return analytic.SolveForElem(4), analytic.BlockingFor(p, 4)
+}
+
+func TestReplayProducesAccesses(t *testing.T) {
+	p := platform.KP920()
+	tile, blk := setupF32(p)
+	sh := cachemodel.Shape{M: 64, N: 64, K: 64, ElemBytes: 4}
+	s := Replay(p, cachemodel.Strategy{NoPackB: true}, sh, tile, blk)
+	if s.L1.Accesses == 0 || s.L1.Misses == 0 {
+		t.Fatalf("replay produced no traffic: %+v", s)
+	}
+	if s.L2.Misses > s.L1.Misses {
+		t.Fatal("L2 misses cannot exceed L1 misses (inclusive chain)")
+	}
+}
+
+// TestOrderingMatchesAnalyticModel is the cross-validation: on a reduced
+// irregular shape, the trace simulator and the analytic model must agree
+// that the conventional always-pack plan misses more in L2 than LibShalom's
+// plan.
+func TestOrderingMatchesAnalyticModel(t *testing.T) {
+	for _, p := range platform.All() {
+		tile, blk := setupF32(p)
+		// Reduced analogue of the Fig 12 shape: the same N >> M character.
+		sh := cachemodel.Shape{M: 32, N: 1536, K: 512, ElemBytes: 4}
+		conv := cachemodel.ConventionalStrategy(false)
+		ls := cachemodel.LibShalomStrategy(false, sh.N*sh.K*4, p.L1.SizeBytes)
+
+		simConv := Replay(p, conv, sh, tile, blk)
+		simLS := Replay(p, ls, sh, tile, blk)
+		if simLS.L2.Misses >= simConv.L2.Misses {
+			t.Errorf("%s: trace sim says LibShalom misses more (%d vs %d)", p.Name, simLS.L2.Misses, simConv.L2.Misses)
+		}
+
+		anaConv := cachemodel.Estimate(conv, p, sh, blk, false)
+		anaLS := cachemodel.Estimate(ls, p, sh, blk, false)
+		if anaLS.L2MissLines >= anaConv.L2MissLines {
+			t.Errorf("%s: analytic model says LibShalom misses more", p.Name)
+		}
+	}
+}
+
+// TestMagnitudeWithinBand: the analytic model's L1 miss count must land
+// within a small factor of the trace simulation on shapes where both are
+// exact-ish (compulsory-dominated traffic).
+func TestMagnitudeWithinBand(t *testing.T) {
+	p := platform.KP920()
+	tile, blk := setupF32(p)
+	for _, sh := range []cachemodel.Shape{
+		{M: 48, N: 48, K: 48, ElemBytes: 4},
+		{M: 32, N: 768, K: 256, ElemBytes: 4},
+	} {
+		strat := cachemodel.LibShalomStrategy(false, sh.N*sh.K*4, p.L1.SizeBytes)
+		sim := Replay(p, strat, sh, tile, blk)
+		ana := cachemodel.Estimate(strat, p, sh, blk, false)
+		ratio := ana.L1MissLines / float64(sim.L1.Misses)
+		if ratio < 0.3 || ratio > 3.0 {
+			t.Errorf("shape %dx%dx%d: analytic L1 misses %.0f vs simulated %d (ratio %.2f)",
+				sh.M, sh.N, sh.K, ana.L1MissLines, sim.L1.Misses, ratio)
+		}
+	}
+}
+
+// TestPackingTrafficVisibleInTrace: the conventional plan's Ac/Bc buffers
+// must add real L1 traffic in the simulation, as the analytic model claims.
+func TestPackingTrafficVisibleInTrace(t *testing.T) {
+	p := platform.Phytium2000()
+	tile, blk := setupF32(p)
+	sh := cachemodel.Shape{M: 64, N: 512, K: 256, ElemBytes: 4}
+	noPack := Replay(p, cachemodel.Strategy{NoPackB: true}, sh, tile, blk)
+	conv := Replay(p, cachemodel.ConventionalStrategy(false), sh, tile, blk)
+	if conv.L1.Accesses <= noPack.L1.Accesses {
+		t.Fatal("packing plan must generate more L1 accesses")
+	}
+}
+
+// TestTransBWalk: the NT layout must replay without panicking and touch B
+// along the stored rows.
+func TestTransBWalk(t *testing.T) {
+	p := platform.ThunderX2()
+	tile, blk := setupF32(p)
+	sh := cachemodel.Shape{M: 21, N: 384, K: 128, ElemBytes: 4}
+	s := Replay(p, cachemodel.LibShalomStrategy(true, sh.N*sh.K*4, p.L1.SizeBytes), sh, tile, blk)
+	if s.L1.Accesses == 0 {
+		t.Fatal("NT replay produced no traffic")
+	}
+}
+
+// TestNoL3PlatformLLC: on Phytium the LLC stats must equal the L2 stats.
+func TestNoL3PlatformLLC(t *testing.T) {
+	p := platform.Phytium2000()
+	tile, blk := setupF32(p)
+	sh := cachemodel.Shape{M: 16, N: 64, K: 32, ElemBytes: 4}
+	s := Replay(p, cachemodel.Strategy{NoPackB: true}, sh, tile, blk)
+	if s.LLC != s.L2 {
+		t.Fatal("Phytium LLC stats must mirror L2")
+	}
+}
+
+// TestTLBNTGatherCostly: §5.3.2 motivates lookahead packing with TLB
+// behaviour — walking the stored-transposed B across many rows touches far
+// more pages per reuse than streaming the packed sliver. The conventional
+// NT plan (whole-panel transpose gather) must show a higher TLB miss rate
+// than LibShalom's plan on the same shape.
+func TestTLBNTGatherCostly(t *testing.T) {
+	p := platform.KP920()
+	tile, blk := setupF32(p)
+	sh := cachemodel.Shape{M: 32, N: 2048, K: 512, ElemBytes: 4}
+	conv := Replay(p, cachemodel.ConventionalStrategy(true), sh, tile, blk)
+	ls := Replay(p, cachemodel.LibShalomStrategy(true, sh.N*sh.K*4, p.L1.SizeBytes), sh, tile, blk)
+	if conv.TLB.Misses <= ls.TLB.Misses {
+		t.Fatalf("conventional NT TLB misses (%d) not above LibShalom (%d)", conv.TLB.Misses, ls.TLB.Misses)
+	}
+}

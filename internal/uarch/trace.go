@@ -1,0 +1,186 @@
+package uarch
+
+import (
+	"fmt"
+	"strings"
+
+	"libshalom/internal/isa"
+)
+
+// IssueEvent records one instruction's issue in a traced simulation.
+type IssueEvent struct {
+	Cycle int
+	Index int // instruction index in the program
+	Done  int // completion cycle
+}
+
+// TraceResult bundles the timing result with the issue schedule.
+type TraceResult struct {
+	Result
+	Events []IssueEvent
+}
+
+// SimulateTrace runs the scoreboard like Simulate but additionally records
+// the issue cycle of every instruction, so tests and tools can inspect the
+// schedule the bounded OoO window actually achieved (e.g. how far apart a
+// load and its consumer landed — the §5.4 "instruction distance").
+func SimulateTrace(p *isa.Program, cfg Config) TraceResult {
+	n := len(p.Code)
+	tr := TraceResult{Result: Result{Instructions: n}}
+	if n == 0 {
+		return tr
+	}
+	if cfg.Window < 1 {
+		cfg.Window = 1
+	}
+	if cfg.IssueWidth < 1 {
+		cfg.IssueWidth = 1
+	}
+	issued := make([]bool, n)
+	doneAt := make([]int, n)
+	lastWriterBefore := make([][]int, n)
+	{
+		cur := make([]int, 32)
+		for r := range cur {
+			cur[r] = -1
+		}
+		for i, in := range p.Code {
+			var deps []int
+			for _, r := range in.Uses() {
+				if w := cur[r]; w >= 0 {
+					deps = append(deps, w)
+				}
+			}
+			lastWriterBefore[i] = deps
+			for _, r := range in.Defs() {
+				cur[r] = i
+			}
+		}
+	}
+	head := 0
+	cycle := 0
+	maxDone := 0
+	pipes := [4]int{cfg.FMAPipes, cfg.LoadPipes, cfg.StorePipes, cfg.IssueWidth}
+	for head < n {
+		var used [4]int
+		slots := cfg.IssueWidth
+		fma, ld, st := false, false, false
+		limit := head + cfg.Window
+		if limit > n {
+			limit = n
+		}
+		for i := head; i < limit && slots > 0; i++ {
+			if issued[i] {
+				continue
+			}
+			in := p.Code[i]
+			cls := pipeClass(in.Op)
+			if used[cls] >= pipes[cls] {
+				continue
+			}
+			ready := true
+			for _, w := range lastWriterBefore[i] {
+				if !issued[w] || doneAt[w] > cycle {
+					ready = false
+					break
+				}
+			}
+			if !ready {
+				continue
+			}
+			issued[i] = true
+			d := cycle + cfg.latency(in.Op)
+			doneAt[i] = d
+			if d > maxDone {
+				maxDone = d
+			}
+			tr.Events = append(tr.Events, IssueEvent{Cycle: cycle, Index: i, Done: d})
+			used[cls]++
+			slots--
+			switch cls {
+			case 0:
+				fma = true
+			case 1:
+				ld = true
+			case 2:
+				st = true
+			}
+		}
+		if fma {
+			tr.FMABusyCycles++
+		}
+		if ld {
+			tr.LoadBusy++
+		}
+		if st {
+			tr.StoreBusy++
+		}
+		for head < n && issued[head] {
+			head++
+		}
+		cycle++
+		if cycle > 64*n+1024 {
+			panic("uarch: traced scheduler failed to make progress")
+		}
+	}
+	tr.Cycles = maxDone
+	if tr.Cycles < cycle {
+		tr.Cycles = cycle
+	}
+	return tr
+}
+
+// IssueDistance returns, for every consumer of a load, the cycle distance
+// between the load's issue and the consumer's issue — §5.4's "instruction
+// distance between two dependent instructions" as realized by the core.
+func (tr TraceResult) IssueDistance(p *isa.Program) map[int]int {
+	issueCycle := make(map[int]int, len(tr.Events))
+	for _, e := range tr.Events {
+		issueCycle[e.Index] = e.Cycle
+	}
+	out := map[int]int{}
+	lastWriter := make([]int, 32)
+	for i := range lastWriter {
+		lastWriter[i] = -1
+	}
+	for i, in := range p.Code {
+		for _, u := range in.Uses() {
+			if w := lastWriter[u]; w >= 0 && p.Code[w].Op.IsLoad() {
+				out[i] = issueCycle[i] - issueCycle[w]
+			}
+		}
+		for _, d := range in.Defs() {
+			lastWriter[d] = i
+		}
+	}
+	return out
+}
+
+// FormatSchedule renders the first maxCycles cycles of the schedule as a
+// readable table (one line per cycle, instructions that issued that cycle).
+func (tr TraceResult) FormatSchedule(p *isa.Program, maxCycles int) string {
+	byCycle := map[int][]int{}
+	last := 0
+	for _, e := range tr.Events {
+		byCycle[e.Cycle] = append(byCycle[e.Cycle], e.Index)
+		if e.Cycle > last {
+			last = e.Cycle
+		}
+	}
+	if maxCycles > 0 && last > maxCycles {
+		last = maxCycles
+	}
+	var b strings.Builder
+	for cy := 0; cy <= last; cy++ {
+		fmt.Fprintf(&b, "cy%4d:", cy)
+		if idxs, ok := byCycle[cy]; ok {
+			for _, i := range idxs {
+				fmt.Fprintf(&b, "  [%d]%s", i, p.Code[i].Op)
+			}
+		} else {
+			b.WriteString("  (stall)")
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

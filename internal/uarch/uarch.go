@@ -1,0 +1,240 @@
+// Package uarch is the micro-architecture timing model of the reproduction:
+// a scoreboard simulator that schedules a virtual-NEON program (internal/isa)
+// onto a parameterized ARMv8-like core — bounded out-of-order window,
+// limited issue width, a fixed number of FMA/load/store pipes, and
+// per-class result latencies.
+//
+// The model deliberately captures the two mechanisms §5.4 of the paper builds
+// on: (1) a batch of loads ahead of dependent FMAs leaves the FMA pipes idle
+// while the bounded window is clogged with waiting instructions, and (2)
+// placing enough independent instructions between a producer and its consumer
+// hides the producer's latency. Register renaming is assumed (only RAW
+// dependencies stall, as on real ARMv8 cores); memory disambiguation is not
+// modeled because no micro-kernel in this repository reads a location it
+// previously stored within the same program.
+package uarch
+
+import (
+	"libshalom/internal/isa"
+	"libshalom/internal/platform"
+)
+
+// Config holds the core parameters the scheduler uses.
+type Config struct {
+	IssueWidth   int
+	FMAPipes     int
+	LoadPipes    int
+	StorePipes   int
+	Window       int // how many in-flight-or-waiting instructions the core can look past
+	FMALatency   int // FMA and other FP ops, result latency
+	LoadLatency  int // L1-hit load-to-use latency
+	StoreLatency int // cycles a store occupies before retiring (no consumers)
+	MiscLatency  int // dup/zero/reduce and friends
+}
+
+// FromPlatform derives a core Config from a platform model.
+func FromPlatform(p *platform.Platform) Config {
+	return Config{
+		IssueWidth:   p.IssueWidth,
+		FMAPipes:     p.FMAPipes,
+		LoadPipes:    p.LoadPipes,
+		StorePipes:   p.StorePipes,
+		Window:       p.OoOWindow,
+		FMALatency:   p.FMALatency,
+		LoadLatency:  p.LoadLatL1,
+		StoreLatency: 1,
+		MiscLatency:  3,
+	}
+}
+
+// Result reports what the simulation observed.
+type Result struct {
+	Cycles        int // total cycles from first issue to last completion
+	Instructions  int
+	FMABusyCycles int // cycles with at least one FMA pipe issuing
+	LoadBusy      int
+	StoreBusy     int
+}
+
+// IPC returns retired instructions per cycle.
+func (r Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Instructions) / float64(r.Cycles)
+}
+
+// FMAUtilization returns the fraction of cycles in which an FMA issued.
+func (r Result) FMAUtilization() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.FMABusyCycles) / float64(r.Cycles)
+}
+
+func (c Config) latency(op isa.Op) int {
+	switch {
+	case op.IsLoad():
+		return c.LoadLatency
+	case op.IsStore():
+		return c.StoreLatency
+	case op == isa.FmlaElem || op == isa.FmlaVec || op == isa.FmulElem ||
+		op == isa.FaddVec || op == isa.FmulVec || op == isa.FmulScalarAll:
+		return c.FMALatency
+	default:
+		return c.MiscLatency
+	}
+}
+
+func pipeClass(op isa.Op) int {
+	switch {
+	case op.IsLoad():
+		return 1
+	case op.IsStore():
+		return 2
+	case op == isa.Nop:
+		return 3
+	default:
+		return 0 // FMA/FP pipe
+	}
+}
+
+// Simulate schedules the whole program and returns cycle statistics.
+// Instructions issue out of order within a sliding window of cfg.Window
+// entries anchored at the oldest unissued instruction; at most
+// cfg.IssueWidth instructions issue per cycle subject to pipe availability
+// and RAW readiness.
+func Simulate(p *isa.Program, cfg Config) Result {
+	n := len(p.Code)
+	res := Result{Instructions: n}
+	if n == 0 {
+		return res
+	}
+	if cfg.Window < 1 {
+		cfg.Window = 1
+	}
+	if cfg.IssueWidth < 1 {
+		cfg.IssueWidth = 1
+	}
+
+	// readyAt[i]: earliest cycle instruction i's sources are all available.
+	// Computed incrementally from register completion times as producers
+	// issue. regReady[r] is the completion cycle of the youngest issued
+	// writer of r; pendingWriter[r] is the index of the youngest unissued
+	// writer (an instruction cannot issue before writers of its sources
+	// that precede it in program order have issued — enforced by tracking
+	// the producing instruction per register in program order).
+	issued := make([]bool, n)
+	doneAt := make([]int, n) // completion cycle of issued instructions
+
+	// lastWriter[r] = instruction index of the most recent writer of r in
+	// program order, computed on the fly while scanning the window.
+	lastWriterBefore := make([][]int, n) // per instruction: producer indices of its sources
+	{
+		cur := make([]int, 32)
+		for r := range cur {
+			cur[r] = -1
+		}
+		for i, in := range p.Code {
+			var deps []int
+			for _, r := range in.Uses() {
+				if w := cur[r]; w >= 0 {
+					deps = append(deps, w)
+				}
+			}
+			lastWriterBefore[i] = deps
+			for _, r := range in.Defs() {
+				cur[r] = i
+			}
+		}
+	}
+
+	head := 0 // oldest unissued instruction
+	cycle := 0
+	maxDone := 0
+	pipes := [4]int{cfg.FMAPipes, cfg.LoadPipes, cfg.StorePipes, cfg.IssueWidth}
+
+	for head < n {
+		var used [4]int
+		slots := cfg.IssueWidth
+		fmaIssued, loadIssued, storeIssued := false, false, false
+		limit := head + cfg.Window
+		if limit > n {
+			limit = n
+		}
+		for i := head; i < limit && slots > 0; i++ {
+			if issued[i] {
+				continue
+			}
+			in := p.Code[i]
+			cls := pipeClass(in.Op)
+			if used[cls] >= pipes[cls] {
+				continue
+			}
+			ready := true
+			for _, w := range lastWriterBefore[i] {
+				if !issued[w] || doneAt[w] > cycle {
+					ready = false
+					break
+				}
+			}
+			if !ready {
+				continue
+			}
+			// Issue.
+			issued[i] = true
+			d := cycle + cfg.latency(in.Op)
+			doneAt[i] = d
+			if d > maxDone {
+				maxDone = d
+			}
+			used[cls]++
+			slots--
+			switch cls {
+			case 0:
+				fmaIssued = true
+			case 1:
+				loadIssued = true
+			case 2:
+				storeIssued = true
+			}
+		}
+		if fmaIssued {
+			res.FMABusyCycles++
+		}
+		if loadIssued {
+			res.LoadBusy++
+		}
+		if storeIssued {
+			res.StoreBusy++
+		}
+		for head < n && issued[head] {
+			head++
+		}
+		cycle++
+		// Safety valve: a cycle must always make progress eventually; the
+		// dependence graph is acyclic so the oldest unissued instruction
+		// becomes ready once its producers complete.
+		if cycle > 64*n+1024 {
+			panic("uarch: scheduler failed to make progress")
+		}
+	}
+	res.Cycles = maxDone
+	if res.Cycles < cycle {
+		res.Cycles = cycle
+	}
+	return res
+}
+
+// SteadyStateCPI estimates the steady-state cycles per iteration of a kernel
+// by simulating programs built at two unroll depths and differencing, which
+// cancels prologue/epilogue cost. build(iters) must return the kernel
+// unrolled iters times; n1 < n2.
+func SteadyStateCPI(build func(iters int) *isa.Program, cfg Config, n1, n2 int) float64 {
+	c1 := Simulate(build(n1), cfg).Cycles
+	c2 := Simulate(build(n2), cfg).Cycles
+	if n2 <= n1 {
+		panic("uarch: SteadyStateCPI needs n2 > n1")
+	}
+	return float64(c2-c1) / float64(n2-n1)
+}

@@ -1,0 +1,238 @@
+// Package vexec executes virtual-NEON programs (internal/isa) functionally:
+// real FP32/FP64 arithmetic on real slices. It exists to prove that every
+// micro-kernel emitted by internal/kernels computes exactly what its portable
+// Go counterpart computes — the reproduction's substitute for running the
+// paper's hand-written assembly on hardware.
+package vexec
+
+import (
+	"fmt"
+
+	"libshalom/internal/isa"
+)
+
+// VReg is one 128-bit vector register's functional state. Only the side
+// matching the executing program's element size is meaningful.
+type VReg struct {
+	F32 [4]float32
+	F64 [2]float64
+}
+
+// Machine holds the architectural state for one program execution.
+type Machine struct {
+	V       [32]VReg
+	prog    *isa.Program
+	mem32   [][]float32
+	mem64   [][]float64
+	lanes   int
+	Touched [32]bool // registers written at least once (debug aid for tests)
+}
+
+// NewMachine prepares execution of p with the given stream bindings. For an
+// FP32 program pass one slice per declared stream in mem32 (mem64 must be
+// nil) and vice versa for FP64.
+func NewMachine(p *isa.Program, mem32 [][]float32, mem64 [][]float64) (*Machine, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Machine{prog: p, lanes: p.Lanes()}
+	switch p.ElemBytes {
+	case 4:
+		if mem64 != nil {
+			return nil, fmt.Errorf("vexec: FP32 program %s given FP64 bindings", p.Name)
+		}
+		if len(mem32) != len(p.Streams) {
+			return nil, fmt.Errorf("vexec: %s needs %d stream bindings, got %d", p.Name, len(p.Streams), len(mem32))
+		}
+		for i, s := range p.Streams {
+			if len(mem32[i]) < s.MinLen {
+				return nil, fmt.Errorf("vexec: %s stream %s bound to %d elements, needs %d", p.Name, s.Name, len(mem32[i]), s.MinLen)
+			}
+		}
+		m.mem32 = mem32
+	case 8:
+		if mem32 != nil {
+			return nil, fmt.Errorf("vexec: FP64 program %s given FP32 bindings", p.Name)
+		}
+		if len(mem64) != len(p.Streams) {
+			return nil, fmt.Errorf("vexec: %s needs %d stream bindings, got %d", p.Name, len(p.Streams), len(mem64))
+		}
+		for i, s := range p.Streams {
+			if len(mem64[i]) < s.MinLen {
+				return nil, fmt.Errorf("vexec: %s stream %s bound to %d elements, needs %d", p.Name, s.Name, len(mem64[i]), s.MinLen)
+			}
+		}
+		m.mem64 = mem64
+	}
+	return m, nil
+}
+
+// Run executes the whole program once.
+func (m *Machine) Run() {
+	for _, in := range m.prog.Code {
+		m.step(in)
+	}
+}
+
+func (m *Machine) step(in isa.Instr) {
+	mark := func(r int) {
+		if r >= 0 {
+			m.Touched[r] = true
+		}
+	}
+	switch in.Op {
+	case isa.Nop:
+	case isa.LdVec:
+		mark(in.Dst)
+		if m.lanes == 4 {
+			src := m.mem32[in.Mem.Stream][in.Mem.Off:]
+			copy(m.V[in.Dst].F32[:], src[:4])
+		} else {
+			src := m.mem64[in.Mem.Stream][in.Mem.Off:]
+			copy(m.V[in.Dst].F64[:], src[:2])
+		}
+	case isa.LdScalar:
+		mark(in.Dst)
+		if m.lanes == 4 {
+			m.V[in.Dst].F32 = [4]float32{m.mem32[in.Mem.Stream][in.Mem.Off], 0, 0, 0}
+		} else {
+			m.V[in.Dst].F64 = [2]float64{m.mem64[in.Mem.Stream][in.Mem.Off], 0}
+		}
+	case isa.LdScalarPair:
+		mark(in.Dst)
+		mark(in.Dst2)
+		if m.lanes == 4 {
+			m.V[in.Dst].F32 = [4]float32{m.mem32[in.Mem.Stream][in.Mem.Off], 0, 0, 0}
+			m.V[in.Dst2].F32 = [4]float32{m.mem32[in.Mem.Stream][in.Mem.Off+1], 0, 0, 0}
+		} else {
+			m.V[in.Dst].F64 = [2]float64{m.mem64[in.Mem.Stream][in.Mem.Off], 0}
+			m.V[in.Dst2].F64 = [2]float64{m.mem64[in.Mem.Stream][in.Mem.Off+1], 0}
+		}
+	case isa.StVec:
+		if m.lanes == 4 {
+			copy(m.mem32[in.Mem.Stream][in.Mem.Off:in.Mem.Off+4], m.V[in.Src1].F32[:])
+		} else {
+			copy(m.mem64[in.Mem.Stream][in.Mem.Off:in.Mem.Off+2], m.V[in.Src1].F64[:])
+		}
+	case isa.StLane:
+		if m.lanes == 4 {
+			m.mem32[in.Mem.Stream][in.Mem.Off] = m.V[in.Src1].F32[in.SrcLane]
+		} else {
+			m.mem64[in.Mem.Stream][in.Mem.Off] = m.V[in.Src1].F64[in.SrcLane]
+		}
+	case isa.FmlaElem:
+		mark(in.Dst)
+		if m.lanes == 4 {
+			s := m.V[in.Src2].F32[in.SrcLane]
+			for l := 0; l < 4; l++ {
+				m.V[in.Dst].F32[l] += m.V[in.Src1].F32[l] * s
+			}
+		} else {
+			s := m.V[in.Src2].F64[in.SrcLane]
+			for l := 0; l < 2; l++ {
+				m.V[in.Dst].F64[l] += m.V[in.Src1].F64[l] * s
+			}
+		}
+	case isa.FmlaVec:
+		mark(in.Dst)
+		if m.lanes == 4 {
+			for l := 0; l < 4; l++ {
+				m.V[in.Dst].F32[l] += m.V[in.Src1].F32[l] * m.V[in.Src2].F32[l]
+			}
+		} else {
+			for l := 0; l < 2; l++ {
+				m.V[in.Dst].F64[l] += m.V[in.Src1].F64[l] * m.V[in.Src2].F64[l]
+			}
+		}
+	case isa.FmulElem:
+		mark(in.Dst)
+		if m.lanes == 4 {
+			s := m.V[in.Src2].F32[in.SrcLane]
+			for l := 0; l < 4; l++ {
+				m.V[in.Dst].F32[l] = m.V[in.Src1].F32[l] * s
+			}
+		} else {
+			s := m.V[in.Src2].F64[in.SrcLane]
+			for l := 0; l < 2; l++ {
+				m.V[in.Dst].F64[l] = m.V[in.Src1].F64[l] * s
+			}
+		}
+	case isa.FaddVec:
+		mark(in.Dst)
+		if m.lanes == 4 {
+			for l := 0; l < 4; l++ {
+				m.V[in.Dst].F32[l] = m.V[in.Src1].F32[l] + m.V[in.Src2].F32[l]
+			}
+		} else {
+			for l := 0; l < 2; l++ {
+				m.V[in.Dst].F64[l] = m.V[in.Src1].F64[l] + m.V[in.Src2].F64[l]
+			}
+		}
+	case isa.FmulVec:
+		mark(in.Dst)
+		if m.lanes == 4 {
+			for l := 0; l < 4; l++ {
+				m.V[in.Dst].F32[l] = m.V[in.Src1].F32[l] * m.V[in.Src2].F32[l]
+			}
+		} else {
+			for l := 0; l < 2; l++ {
+				m.V[in.Dst].F64[l] = m.V[in.Src1].F64[l] * m.V[in.Src2].F64[l]
+			}
+		}
+	case isa.Reduce:
+		mark(in.Dst)
+		if m.lanes == 4 {
+			s := m.V[in.Src1].F32
+			m.V[in.Dst].F32 = [4]float32{s[0] + s[1] + s[2] + s[3], 0, 0, 0}
+		} else {
+			s := m.V[in.Src1].F64
+			m.V[in.Dst].F64 = [2]float64{s[0] + s[1], 0}
+		}
+	case isa.Dup:
+		mark(in.Dst)
+		if m.lanes == 4 {
+			v := m.V[in.Src1].F32[in.SrcLane]
+			m.V[in.Dst].F32 = [4]float32{v, v, v, v}
+		} else {
+			v := m.V[in.Src1].F64[in.SrcLane]
+			m.V[in.Dst].F64 = [2]float64{v, v}
+		}
+	case isa.Zero:
+		mark(in.Dst)
+		m.V[in.Dst] = VReg{}
+	case isa.FmulScalarAll:
+		mark(in.Dst)
+		if m.lanes == 4 {
+			s := float32(in.Imm)
+			for l := 0; l < 4; l++ {
+				m.V[in.Dst].F32[l] *= s
+			}
+		} else {
+			for l := 0; l < 2; l++ {
+				m.V[in.Dst].F64[l] *= in.Imm
+			}
+		}
+	default:
+		panic(fmt.Sprintf("vexec: unhandled op %v", in.Op))
+	}
+}
+
+// RunF32 is a convenience wrapper: bind, run, return error.
+func RunF32(p *isa.Program, streams ...[]float32) error {
+	m, err := NewMachine(p, streams, nil)
+	if err != nil {
+		return err
+	}
+	m.Run()
+	return nil
+}
+
+// RunF64 is a convenience wrapper for FP64 programs.
+func RunF64(p *isa.Program, streams ...[]float64) error {
+	m, err := NewMachine(p, nil, streams)
+	if err != nil {
+		return err
+	}
+	m.Run()
+	return nil
+}

@@ -1,0 +1,231 @@
+package vexec
+
+import (
+	"math"
+	"testing"
+
+	"libshalom/internal/isa"
+)
+
+func TestLdStRoundTripF32(t *testing.T) {
+	b := isa.NewBuilder("ldst", 4)
+	sa := b.Stream("in", isa.StreamA, 4, true)
+	sc := b.Stream("out", isa.StreamC, 4, true)
+	b.LdVec(3, sa, 0).StVec(3, sc, 0)
+	p := b.MustBuild()
+	in := []float32{1, 2, 3, 4}
+	out := make([]float32, 4)
+	if err := RunF32(p, in, out); err != nil {
+		t.Fatal(err)
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatalf("out = %v", out)
+		}
+	}
+}
+
+func TestLdStRoundTripF64(t *testing.T) {
+	b := isa.NewBuilder("ldst64", 8)
+	sa := b.Stream("in", isa.StreamA, 2, true)
+	sc := b.Stream("out", isa.StreamC, 2, true)
+	b.LdVec(0, sa, 0).StVec(0, sc, 0)
+	p := b.MustBuild()
+	out := make([]float64, 2)
+	if err := RunF64(p, []float64{-1.5, 2.5}, out); err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != -1.5 || out[1] != 2.5 {
+		t.Fatalf("out = %v", out)
+	}
+}
+
+func TestFmlaElemOuterProduct(t *testing.T) {
+	// C[0:4] += A[0:4] * B[lane] — the scalar-vector multiply of Alg 2.
+	b := isa.NewBuilder("fmla", 4)
+	sa := b.Stream("A", isa.StreamA, 4, true)
+	sb := b.Stream("B", isa.StreamB, 4, true)
+	sc := b.Stream("C", isa.StreamC, 4, true)
+	b.LdVec(0, sa, 0).LdVec(1, sb, 0).LdVec(2, sc, 0)
+	b.FmlaElem(2, 0, 1, 2) // C += A * B[2]
+	b.StVec(2, sc, 0)
+	p := b.MustBuild()
+	a := []float32{1, 2, 3, 4}
+	bv := []float32{10, 20, 30, 40}
+	c := []float32{100, 100, 100, 100}
+	if err := RunF32(p, a, bv, c); err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{130, 160, 190, 220}
+	for i := range want {
+		if c[i] != want[i] {
+			t.Fatalf("c = %v, want %v", c, want)
+		}
+	}
+}
+
+func TestFmlaVecInnerProductWithReduce(t *testing.T) {
+	// Dot product via vector-vector FMA then reduce — Alg 3's formulation.
+	b := isa.NewBuilder("dot", 4)
+	sa := b.Stream("A", isa.StreamA, 4, true)
+	sb := b.Stream("B", isa.StreamB, 4, true)
+	sc := b.Stream("C", isa.StreamC, 1, true)
+	b.LdVec(0, sa, 0).LdVec(1, sb, 0).Zero(2)
+	b.FmlaVec(2, 0, 1)
+	b.Reduce(3, 2)
+	b.StLane(3, 0, sc, 0)
+	p := b.MustBuild()
+	a := []float32{1, 2, 3, 4}
+	bv := []float32{5, 6, 7, 8}
+	c := make([]float32, 1)
+	if err := RunF32(p, a, bv, c); err != nil {
+		t.Fatal(err)
+	}
+	if c[0] != 70 { // 5+12+21+32
+		t.Fatalf("dot = %v, want 70", c[0])
+	}
+}
+
+func TestScalarLoadsAndPair(t *testing.T) {
+	b := isa.NewBuilder("scalars", 4)
+	s := b.Stream("in", isa.StreamB, 4, true)
+	o := b.Stream("out", isa.StreamC, 3, true)
+	b.LdScalar(0, s, 2)
+	b.LdScalarPair(1, 2, s, 0)
+	b.StLane(0, 0, o, 0).StLane(1, 0, o, 1).StLane(2, 0, o, 2)
+	p := b.MustBuild()
+	out := make([]float32, 3)
+	if err := RunF32(p, []float32{7, 8, 9, 10}, out); err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 9 || out[1] != 7 || out[2] != 8 {
+		t.Fatalf("out = %v", out)
+	}
+}
+
+func TestLdScalarZeroesHighLanes(t *testing.T) {
+	// Preload the register with non-zero lanes, then check LdScalar clears
+	// lanes 1..3 like `ldr s` does.
+	b2 := isa.NewBuilder("zlanes", 4)
+	s2 := b2.Stream("in", isa.StreamB, 4, true)
+	o2 := b2.Stream("out", isa.StreamC, 4, true)
+	b2.LdVec(0, s2, 0) // v0 = garbage-ish (1,2,3,4)
+	b2.LdScalar(0, s2, 1)
+	b2.StVec(0, o2, 0)
+	p := b2.MustBuild()
+	out := make([]float32, 4)
+	if err := RunF32(p, []float32{1, 2, 3, 4}, out); err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 2 || out[1] != 0 || out[2] != 0 || out[3] != 0 {
+		t.Fatalf("ldr s must zero high lanes: %v", out)
+	}
+}
+
+func TestDupBroadcast(t *testing.T) {
+	b := isa.NewBuilder("dup", 8)
+	s := b.Stream("in", isa.StreamB, 2, true)
+	o := b.Stream("out", isa.StreamC, 2, true)
+	b.LdVec(0, s, 0).Dup(1, 0, 1).StVec(1, o, 0)
+	p := b.MustBuild()
+	out := make([]float64, 2)
+	if err := RunF64(p, []float64{3, 9}, out); err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 9 || out[1] != 9 {
+		t.Fatalf("dup result %v", out)
+	}
+}
+
+func TestFaddFmulVec(t *testing.T) {
+	b := isa.NewBuilder("arith", 4)
+	s := b.Stream("in", isa.StreamB, 8, true)
+	o := b.Stream("out", isa.StreamC, 8, true)
+	b.LdVec(0, s, 0).LdVec(1, s, 4)
+	b.FaddVec(2, 0, 1).FmulVec(3, 0, 1)
+	b.StVec(2, o, 0).StVec(3, o, 4)
+	p := b.MustBuild()
+	out := make([]float32, 8)
+	if err := RunF32(p, []float32{1, 2, 3, 4, 10, 20, 30, 40}, out); err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 11 || out[3] != 44 || out[4] != 10 || out[7] != 160 {
+		t.Fatalf("out = %v", out)
+	}
+}
+
+func TestFmulElemAndScalarAll(t *testing.T) {
+	b := isa.NewBuilder("scale", 4)
+	s := b.Stream("in", isa.StreamB, 8, true)
+	o := b.Stream("out", isa.StreamC, 4, true)
+	b.LdVec(0, s, 0).LdVec(1, s, 4)
+	b.FmulElem(2, 0, 1, 3)  // v2 = v0 * v1[3] = {1,2,3,4} * 8
+	b.FmulScalarAll(2, 0.5) // v2 *= 0.5
+	b.StVec(2, o, 0)
+	p := b.MustBuild()
+	out := make([]float32, 4)
+	if err := RunF32(p, []float32{1, 2, 3, 4, 5, 6, 7, 8}, out); err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 4 || out[1] != 8 || out[2] != 12 || out[3] != 16 {
+		t.Fatalf("out = %v", out)
+	}
+}
+
+func TestReduceF64(t *testing.T) {
+	b := isa.NewBuilder("red64", 8)
+	s := b.Stream("in", isa.StreamB, 2, true)
+	o := b.Stream("out", isa.StreamC, 1, true)
+	b.LdVec(0, s, 0).Reduce(1, 0).StLane(1, 0, o, 0)
+	p := b.MustBuild()
+	out := make([]float64, 1)
+	if err := RunF64(p, []float64{1.25, 2.75}, out); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(out[0]-4) > 1e-15 {
+		t.Fatalf("reduce = %v", out[0])
+	}
+}
+
+func TestBindingValidation(t *testing.T) {
+	b := isa.NewBuilder("v", 4)
+	b.Stream("A", isa.StreamA, 4, true)
+	b.Zero(0)
+	p := b.MustBuild()
+	if _, err := NewMachine(p, nil, [][]float64{{1}}); err == nil {
+		t.Fatal("FP64 bindings accepted for FP32 program")
+	}
+	if _, err := NewMachine(p, [][]float32{}, nil); err == nil {
+		t.Fatal("missing stream binding accepted")
+	}
+	if _, err := NewMachine(p, [][]float32{{1, 2}}, nil); err == nil {
+		t.Fatal("too-short stream binding accepted")
+	}
+	if _, err := NewMachine(p, [][]float32{{1, 2, 3, 4}}, nil); err != nil {
+		t.Fatalf("valid binding rejected: %v", err)
+	}
+}
+
+func TestTouchedTracking(t *testing.T) {
+	b := isa.NewBuilder("touch", 4)
+	b.Zero(5)
+	p := b.MustBuild()
+	m, err := NewMachine(p, [][]float32{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Run()
+	if !m.Touched[5] || m.Touched[4] {
+		t.Fatal("touched tracking wrong")
+	}
+}
+
+func TestUnhandledOpPanics(t *testing.T) {
+	m := &Machine{prog: &isa.Program{ElemBytes: 4}, lanes: 4}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown op did not panic")
+		}
+	}()
+	m.step(isa.Instr{Op: isa.Op(250)})
+}

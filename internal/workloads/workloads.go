@@ -1,0 +1,139 @@
+// Package workloads defines the evaluation inputs of §7.2 and §8.6: the
+// small-square and irregular-shaped synthetic sweeps, the CP2K molecular-
+// dynamics FP64 kernel sizes, and the VGG16 convolution layers expressed as
+// GEMM (im2col), plus deterministic random initialization matching the
+// paper's methodology (uniform (0,1) values).
+package workloads
+
+import "fmt"
+
+// Shape is one GEMM problem size.
+type Shape struct {
+	Name    string
+	M, N, K int
+}
+
+// String renders the M×N×K triple.
+func (s Shape) String() string {
+	if s.Name != "" {
+		return fmt.Sprintf("%s (%dx%dx%d)", s.Name, s.M, s.N, s.K)
+	}
+	return fmt.Sprintf("%dx%dx%d", s.M, s.N, s.K)
+}
+
+// Flops returns the 2·M·N·K operation count.
+func (s Shape) Flops() float64 { return 2 * float64(s.M) * float64(s.N) * float64(s.K) }
+
+// SmallSquareSweep returns the Fig 7/8 sweep: M=N=K from 8 to 120 in steps
+// of 8 (§7.2: sizes typical of SeisSol and NekBox kernels).
+func SmallSquareSweep() []Shape {
+	var out []Shape
+	for sz := 8; sz <= 120; sz += 8 {
+		out = append(out, Shape{M: sz, N: sz, K: sz})
+	}
+	return out
+}
+
+// MotivationSquareSweep returns the Fig 2a sweep: powers of two from 8 to
+// 4096.
+func MotivationSquareSweep() []Shape {
+	var out []Shape
+	for sz := 8; sz <= 4096; sz *= 2 {
+		out = append(out, Shape{M: sz, N: sz, K: sz})
+	}
+	return out
+}
+
+// MotivationIrregularSweep returns the Fig 2b sweep: M from 8 to 4096 with
+// N = K = 10000.
+func MotivationIrregularSweep() []Shape {
+	var out []Shape
+	for m := 8; m <= 4096; m *= 2 {
+		out = append(out, Shape{M: m, N: 10000, K: 10000})
+	}
+	return out
+}
+
+// IrregularNSweep returns one Fig 9 row: fixed M, N from 2048 to 10240 in
+// steps of 2048, K = 5000.
+func IrregularNSweep(m int) []Shape {
+	var out []Shape
+	for n := 2048; n <= 10240; n += 2048 {
+		out = append(out, Shape{M: m, N: n, K: 5000})
+	}
+	return out
+}
+
+// IrregularMSweep returns one Fig 9 bottom-row subplot: fixed N, M swept.
+func IrregularMSweep(n int) []Shape {
+	var out []Shape
+	for m := 2048; m <= 10240; m += 2048 {
+		out = append(out, Shape{M: m, N: n, K: 5000})
+	}
+	return out
+}
+
+// Fig9MValues lists the fixed small dimensions of Fig 9/10.
+func Fig9MValues() []int { return []int{32, 64, 128, 256} }
+
+// CP2K returns the FP64 kernel sizes of Fig 14 (§8.6, matrix sizes 4–32
+// from the CP2K simulation package).
+func CP2K() []Shape {
+	return []Shape{
+		{Name: "cp2k-5", M: 5, N: 5, K: 5},
+		{Name: "cp2k-13x5", M: 13, N: 5, K: 13},
+		{Name: "cp2k-13", M: 13, N: 13, K: 13},
+		{Name: "cp2k-23", M: 23, N: 23, K: 23},
+		{Name: "cp2k-26x26x13", M: 26, N: 26, K: 13},
+	}
+}
+
+// VGGLayer is one VGG16 convolution expressed as GEMM.
+type VGGLayer struct {
+	Name    string
+	M, N, K int
+}
+
+// VGG returns the five conv layers of Fig 15 (§8.6): M = {64, 128, 256,
+// 512, 512}, N = {50176, 12544, 3136, 784, 196}, K = {576, 1152, 2304,
+// 4608, 4608}.
+func VGG() []VGGLayer {
+	return []VGGLayer{
+		{Name: "conv1.2", M: 64, N: 50176, K: 576},
+		{Name: "conv2.2", M: 128, N: 12544, K: 1152},
+		{Name: "conv3.3", M: 256, N: 3136, K: 2304},
+		{Name: "conv4.2", M: 512, N: 784, K: 4608},
+		{Name: "conv5.2", M: 512, N: 196, K: 4608},
+	}
+}
+
+// ScalabilityKernel is the Fig 11 workload: the VGG conv1.2 GEMM
+// 64×50176×576.
+func ScalabilityKernel() Shape {
+	return Shape{Name: "vgg-conv1.2", M: 64, N: 50176, K: 576}
+}
+
+// Fig12KSweep returns the K values of the L2-miss experiment (§8.4):
+// 576 to 3744 in steps of 128, with M=64 and N=50176.
+func Fig12KSweep() []Shape {
+	var out []Shape
+	for k := 576; k <= 3744; k += 128 {
+		out = append(out, Shape{M: 64, N: 50176, K: k})
+	}
+	// 3744 is not reachable from 576 in steps of 128; include the paper's
+	// stated endpoint explicitly.
+	if out[len(out)-1].K != 3744 {
+		out = append(out, Shape{M: 64, N: 50176, K: 3744})
+	}
+	return out
+}
+
+// Fig13MSweep returns the breakdown experiment's M values (§8.5): 20 to 100
+// step 20 with the VGG conv1.2 N and K.
+func Fig13MSweep() []Shape {
+	var out []Shape
+	for m := 20; m <= 100; m += 20 {
+		out = append(out, Shape{M: m, N: 50176, K: 576})
+	}
+	return out
+}

@@ -1,0 +1,110 @@
+package workloads
+
+import "testing"
+
+func TestSmallSquareSweep(t *testing.T) {
+	s := SmallSquareSweep()
+	if len(s) != 15 || s[0].M != 8 || s[len(s)-1].M != 120 {
+		t.Fatalf("sweep wrong: %v", s)
+	}
+	for _, sh := range s {
+		if sh.M != sh.N || sh.N != sh.K {
+			t.Fatal("small sweep must be square")
+		}
+	}
+}
+
+func TestMotivationSweeps(t *testing.T) {
+	sq := MotivationSquareSweep()
+	if sq[0].M != 8 || sq[len(sq)-1].M != 4096 {
+		t.Fatal("Fig 2a range wrong")
+	}
+	ir := MotivationIrregularSweep()
+	for _, sh := range ir {
+		if sh.N != 10000 || sh.K != 10000 {
+			t.Fatal("Fig 2b must fix N=K=10000")
+		}
+	}
+}
+
+func TestIrregularSweeps(t *testing.T) {
+	ns := IrregularNSweep(32)
+	if len(ns) != 5 || ns[0].N != 2048 || ns[4].N != 10240 {
+		t.Fatalf("N sweep wrong: %v", ns)
+	}
+	for _, sh := range ns {
+		if sh.M != 32 || sh.K != 5000 {
+			t.Fatal("Fig 9 fixes M and K=5000")
+		}
+	}
+	ms := IrregularMSweep(64)
+	for _, sh := range ms {
+		if sh.N != 64 || sh.K != 5000 {
+			t.Fatal("Fig 9 bottom row fixes N and K")
+		}
+	}
+	if len(Fig9MValues()) != 4 {
+		t.Fatal("Fig 9 uses four fixed values")
+	}
+}
+
+func TestCP2KShapes(t *testing.T) {
+	c := CP2K()
+	if len(c) != 5 {
+		t.Fatalf("Fig 14 has five kernels, got %d", len(c))
+	}
+	if c[0].M != 5 || c[3].M != 23 || c[4].K != 13 {
+		t.Fatalf("CP2K shapes wrong: %v", c)
+	}
+	for _, s := range c {
+		if s.M < 4 || s.M > 32 || s.K < 4 || s.K > 32 {
+			t.Fatalf("CP2K sizes must lie in 4..32 (§8.6): %v", s)
+		}
+	}
+}
+
+func TestVGGLayers(t *testing.T) {
+	v := VGG()
+	if len(v) != 5 {
+		t.Fatal("Fig 15 uses five layers")
+	}
+	wantM := []int{64, 128, 256, 512, 512}
+	wantN := []int{50176, 12544, 3136, 784, 196}
+	wantK := []int{576, 1152, 2304, 4608, 4608}
+	for i, l := range v {
+		if l.M != wantM[i] || l.N != wantN[i] || l.K != wantK[i] {
+			t.Fatalf("layer %s = %+v", l.Name, l)
+		}
+	}
+	sk := ScalabilityKernel()
+	if sk.M != 64 || sk.N != 50176 || sk.K != 576 {
+		t.Fatal("Fig 11 kernel must be VGG conv1.2")
+	}
+}
+
+func TestFig12And13Sweeps(t *testing.T) {
+	ks := Fig12KSweep()
+	if ks[0].K != 576 || ks[len(ks)-1].K != 3744 {
+		t.Fatalf("Fig 12 K range wrong: %d..%d", ks[0].K, ks[len(ks)-1].K)
+	}
+	if ks[1].K-ks[0].K != 128 {
+		t.Fatal("Fig 12 step must be 128")
+	}
+	ms := Fig13MSweep()
+	if len(ms) != 5 || ms[0].M != 20 || ms[4].M != 100 {
+		t.Fatalf("Fig 13 M sweep wrong: %v", ms)
+	}
+}
+
+func TestShapeHelpers(t *testing.T) {
+	s := Shape{M: 2, N: 3, K: 4}
+	if s.Flops() != 48 {
+		t.Fatal("flops wrong")
+	}
+	if s.String() != "2x3x4" {
+		t.Fatalf("String = %q", s.String())
+	}
+	if (Shape{Name: "x", M: 1, N: 1, K: 1}).String() != "x (1x1x1)" {
+		t.Fatal("named String wrong")
+	}
+}
