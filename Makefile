@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: build test vet race lint check fuzz
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The concurrency-sensitive packages run again under the race detector:
+# the thread pool and the blocked GEMM driver that feeds it.
+race:
+	$(GO) test -race ./internal/parallel/... ./internal/core/...
+
+# Static kernel verification: every registered micro-kernel must clear all
+# five isacheck passes on every modelled platform.
+lint:
+	$(GO) run ./cmd/shalom-lint -all
+
+# A short bounded fuzz of the ISA analyzer (the tier-1 suite runs only the
+# seed corpus; this explores a little further).
+fuzz:
+	$(GO) test -run=^$$ -fuzz=FuzzAnalyze -fuzztime=10s ./internal/isa/
+
+# The CI gate.
+check: vet build test race lint

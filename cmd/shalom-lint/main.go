@@ -1,0 +1,123 @@
+// shalom-lint runs the static kernel verifier (internal/isacheck) over every
+// registered micro-kernel on every modelled platform and reports a verdict
+// table. It is the build gate `make check` runs: a generator change that
+// breaks a footprint, batches loads in a pipelined kernel, or drifts from its
+// Eq. 1 register tiling fails the build before any benchmark runs.
+//
+// Usage:
+//
+//	shalom-lint -all              verify every kernel on every platform
+//	shalom-lint -kernel edge      verify kernels whose name contains "edge"
+//	shalom-lint -platform KP920   restrict to one platform
+//	shalom-lint -json             machine-readable results on stdout
+//	shalom-lint -q                only print failures
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	_ "libshalom/internal/baselines" // register baseline kernels
+	"libshalom/internal/isacheck"
+	_ "libshalom/internal/kernels" // register libshalom kernels
+	"libshalom/internal/platform"
+)
+
+func main() {
+	all := flag.Bool("all", false, "verify every registered kernel (default when no -kernel is given)")
+	kernel := flag.String("kernel", "", "verify only kernels whose name contains this substring")
+	plat := flag.String("platform", "", "restrict to the platform with this exact name")
+	asJSON := flag.Bool("json", false, "emit results as JSON")
+	quiet := flag.Bool("q", false, "only print failing (kernel, platform) pairs")
+	flag.Parse()
+
+	plats := platform.All()
+	if *plat != "" {
+		p := platform.ByName(*plat)
+		if p == nil {
+			fmt.Fprintf(os.Stderr, "shalom-lint: unknown platform %q\n", *plat)
+			os.Exit(2)
+		}
+		plats = []*platform.Platform{p}
+	}
+
+	entries := isacheck.Registered()
+	if !*all && *kernel != "" {
+		var sel []isacheck.Entry
+		for _, e := range entries {
+			if strings.Contains(e.Name, *kernel) {
+				sel = append(sel, e)
+			}
+		}
+		entries = sel
+	}
+	if len(entries) == 0 {
+		fmt.Fprintln(os.Stderr, "shalom-lint: no kernels selected")
+		os.Exit(2)
+	}
+
+	var results []isacheck.KernelResult
+	for _, e := range entries {
+		for _, p := range plats {
+			results = append(results, isacheck.Run(e, p))
+		}
+	}
+	ok, fail := isacheck.Summarize(results)
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			fmt.Fprintf(os.Stderr, "shalom-lint: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		printTable(results, *quiet)
+		fmt.Printf("\n%d checked, %d ok, %d failing\n", len(results), ok, fail)
+	}
+	if fail > 0 {
+		os.Exit(1)
+	}
+}
+
+func printTable(results []isacheck.KernelResult, quiet bool) {
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "KERNEL\tPLATFORM\tVERDICT\tPASSES\tREGS\tMINDIST\tLOADRUN\tLOADPRESS")
+	for _, r := range results {
+		if quiet && r.OK {
+			continue
+		}
+		verdict := "ok"
+		if !r.OK {
+			verdict = "FAIL"
+		}
+		var failed []string
+		for _, p := range r.Passes {
+			if !p.OK {
+				failed = append(failed, p.Pass)
+			}
+		}
+		passes := fmt.Sprintf("%d/%d", len(r.Passes)-len(failed), len(r.Passes))
+		if len(failed) > 0 {
+			passes += " (" + strings.Join(failed, ",") + ")"
+		}
+		fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%.0f\t%.0f\t%.0f\t%.2f\n",
+			r.Kernel, r.Platform, verdict, passes,
+			r.Metrics["peakLive"], r.Metrics["minLoadUseDist"],
+			r.Metrics["maxLoadRun"], r.Metrics["loadPressure"])
+	}
+	w.Flush()
+	for _, r := range results {
+		if r.OK {
+			continue
+		}
+		fmt.Printf("\n%s on %s:\n", r.Kernel, r.Platform)
+		for _, f := range r.Findings() {
+			fmt.Printf("  %s\n", f)
+		}
+	}
+}

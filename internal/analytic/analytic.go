@@ -32,6 +32,15 @@ func RegistersNeeded(mr, nr, j int) int {
 	return mr + nr/j + mr*nr/j
 }
 
+// InnerProductRegisters returns the vector registers the NT inner-product
+// packing micro-kernel (Fig 5, Alg 3) requires for an mr×nb tile: mr A-row
+// registers, nb B-row registers and mr·nb accumulators. The epilogue's
+// reduction scratch reuses a dead B register (Fig 5's register plan), so no
+// additional register is charged.
+func InnerProductRegisters(mr, nb int) int {
+	return mr + nb + mr*nb
+}
+
 // Feasible reports whether (mr, nr) satisfies Eq. 1 for lane count j and the
 // given register budget (the paper reserves one of the 32 NEON registers for
 // prefetching, leaving 31).

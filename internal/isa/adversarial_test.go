@@ -1,0 +1,254 @@
+package isa
+
+import (
+	"sort"
+	"testing"
+)
+
+// scratch returns a builder with one generously-sized scratch stream, for
+// programs whose memory behaviour is not the point.
+func scratchBuilder(name string) (*Builder, int) {
+	b := NewBuilder(name, 4)
+	s := b.Stream("buf", StreamScratch, 256, false)
+	return b, s
+}
+
+// TestUndefinedReadEveryOpKind drives the read-before-write detector through
+// every op kind that reads a register: each program's single defect must be
+// reported exactly once, at the right instruction.
+func TestUndefinedReadEveryOpKind(t *testing.T) {
+	cases := []struct {
+		name string
+		emit func(b *Builder, s int)
+	}{
+		{"StVec", func(b *Builder, s int) { b.StVec(3, s, 0) }},
+		{"StLane", func(b *Builder, s int) { b.StLane(3, 0, s, 0) }},
+		{"FmlaElem-src1", func(b *Builder, s int) { b.Zero(0).Zero(2).FmlaElem(0, 3, 2, 0) }},
+		{"FmlaElem-src2", func(b *Builder, s int) { b.Zero(0).Zero(1).FmlaElem(0, 1, 3, 0) }},
+		{"FmlaElem-dst", func(b *Builder, s int) { b.Zero(1).Zero(2).FmlaElem(3, 1, 2, 0) }},
+		{"FmlaVec", func(b *Builder, s int) { b.Zero(0).Zero(1).FmlaVec(0, 1, 3) }},
+		{"FmulElem", func(b *Builder, s int) { b.Zero(1).FmulElem(0, 1, 3, 0) }},
+		{"FaddVec", func(b *Builder, s int) { b.Zero(1).FaddVec(0, 3, 1) }},
+		{"FmulVec", func(b *Builder, s int) { b.Zero(1).FmulVec(0, 1, 3) }},
+		{"Reduce", func(b *Builder, s int) { b.Reduce(0, 3) }},
+		{"Dup", func(b *Builder, s int) { b.Dup(0, 3, 0) }},
+		{"FmulScalarAll", func(b *Builder, s int) { b.FmulScalarAll(3, 2.0) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b, s := scratchBuilder("undef_" + tc.name)
+			tc.emit(b, s)
+			// Keep every register read afterwards irrelevant: the defect
+			// is the read of V3, which nothing ever wrote.
+			p := b.MustBuild()
+			rep, err := Analyze(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rep.UndefinedReads) != 1 {
+				t.Fatalf("UndefinedReads = %v, want exactly one entry", rep.UndefinedReads)
+			}
+			if got, want := rep.UndefinedReads[0], len(p.Code)-1; got != want {
+				t.Errorf("undefined read reported at instr %d, want %d", got, want)
+			}
+		})
+	}
+}
+
+// TestUndefinedReadReportedOncePerInstr: an FMA reading two unwritten
+// registers is one defective instruction, not two report entries.
+func TestUndefinedReadReportedOncePerInstr(t *testing.T) {
+	b, _ := scratchBuilder("undef_double")
+	b.Zero(0)
+	b.FmlaVec(0, 1, 2) // both sources unwritten
+	rep, err := Analyze(b.MustBuild())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.UndefinedReads) != 1 || rep.UndefinedReads[0] != 1 {
+		t.Errorf("UndefinedReads = %v, want [1]", rep.UndefinedReads)
+	}
+}
+
+// TestAllRegistersLive: a program keeping all 32 registers simultaneously
+// live must report PeakLive exactly 32 and stay within the invariant check.
+func TestAllRegistersLive(t *testing.T) {
+	b, s := scratchBuilder("all32")
+	for r := 0; r < 32; r++ {
+		b.LdVec(r, s, 4*r)
+	}
+	// Read them all after every write, so all 32 are live at once.
+	for r := 0; r < 32; r++ {
+		b.StVec(r, s, 4*r)
+	}
+	rep, err := Analyze(b.MustBuild())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PeakLive != 32 {
+		t.Errorf("PeakLive = %d, want 32", rep.PeakLive)
+	}
+	if err := rep.CheckKernelInvariants(0); err != nil {
+		t.Errorf("CheckKernelInvariants: %v", err)
+	}
+}
+
+// TestEmptyProgram: the analyzer must handle a program with no instructions
+// (and an untouched stream) without inventing findings.
+func TestEmptyProgram(t *testing.T) {
+	b := NewBuilder("empty", 8)
+	b.Stream("buf", StreamScratch, 16, false)
+	rep, err := Analyze(b.MustBuild())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PeakLive != 0 || len(rep.UndefinedReads) != 0 || len(rep.DeadWrites) != 0 {
+		t.Errorf("empty program: PeakLive=%d undef=%v dead=%v, want all zero",
+			rep.PeakLive, rep.UndefinedReads, rep.DeadWrites)
+	}
+	if sr := rep.Streams[0]; sr.MinOff != -1 || sr.Loads != 0 || sr.Stores != 0 {
+		t.Errorf("untouched stream reported %+v", sr)
+	}
+}
+
+// TestDeadWritesSortedAndDeduped covers the accounting contract: the
+// end-of-program sweep never re-reports an index the in-loop overwrite
+// detection already found, including the self-overwrite of an LdScalarPair
+// whose two destinations are the same register, and the result is sorted.
+func TestDeadWritesSortedAndDeduped(t *testing.T) {
+	b, s := scratchBuilder("dead_dedup")
+	b.LdScalarPair(5, 5, s, 0) // instr 0: lane write 0 dies into lane write 1, never read
+	b.Zero(9)                  // instr 1: overwritten by instr 3 unread
+	b.LdVec(7, s, 0)           // instr 2: never read
+	b.Zero(9)                  // instr 3: never read
+	rep, err := Analyze(b.MustBuild())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 2, 3}
+	if len(rep.DeadWrites) != len(want) {
+		t.Fatalf("DeadWrites = %v, want %v", rep.DeadWrites, want)
+	}
+	for i, w := range want {
+		if rep.DeadWrites[i] != w {
+			t.Fatalf("DeadWrites = %v, want %v", rep.DeadWrites, want)
+		}
+	}
+	if !sort.IntsAreSorted(rep.DeadWrites) {
+		t.Errorf("DeadWrites not sorted: %v", rep.DeadWrites)
+	}
+}
+
+// TestCoverageReportsGapsAndOverlaps pins the per-stream coverage contract
+// the footprint pass depends on: missing elements and double-stores are
+// reported by exact offset.
+func TestCoverageReportsGapsAndOverlaps(t *testing.T) {
+	b := NewBuilder("cover", 4)
+	s := b.Stream("C", StreamC, 16, false)
+	b.Zero(0)
+	b.StVec(0, s, 0)     // covers 0–3
+	b.StVec(0, s, 8)     // covers 8–11, leaving a 4–7 gap
+	b.StLane(0, 0, s, 9) // overlaps offset 9
+	rep, err := Analyze(b.MustBuild())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr := rep.Streams[0]
+	gaps := sr.StoreCover.Missing(0, 12)
+	if want := []int{4, 5, 6, 7}; len(gaps) != 4 || gaps[0] != 4 || gaps[3] != 7 {
+		t.Errorf("Missing(0,12) = %v, want %v", gaps, want)
+	}
+	if len(sr.OverlapStores) != 1 || sr.OverlapStores[0] != 9 {
+		t.Errorf("OverlapStores = %v, want [9]", sr.OverlapStores)
+	}
+	if got := sr.StoreCover.Count(); got != 8 {
+		t.Errorf("StoreCover.Count() = %d, want 8", got)
+	}
+	if extra := sr.StoreCover.Extra(0, 4); len(extra) != 4 || extra[0] != 8 {
+		t.Errorf("Extra(0,4) = %v, want the 8–11 block", extra)
+	}
+}
+
+// FuzzAnalyze feeds randomly generated but valid-by-construction programs to
+// the analyzer: whatever the instruction mix, Analyze must neither panic nor
+// return an error, and its reports must respect their ordering contracts.
+func FuzzAnalyze(f *testing.F) {
+	f.Add([]byte{0x01, 0x42, 0x10, 0xff, 0x03}, uint8(0))
+	f.Add([]byte{}, uint8(1))
+	f.Add([]byte{0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0xff, 0x00, 0x11, 0x22}, uint8(2))
+	f.Fuzz(func(t *testing.T, data []byte, seed uint8) {
+		elem := 4
+		if seed%2 == 1 {
+			elem = 8
+		}
+		b := NewBuilder("fuzz", elem)
+		streams := []int{
+			b.Stream("A", StreamA, 64, true),
+			b.Stream("C", StreamC, 64, false),
+			b.Stream("Bc", StreamBc, 64, true),
+		}
+		lanes := 16 / elem
+		// Decode each byte into one valid instruction; the decode clamps
+		// every operand into range, so Validate always accepts.
+		for i, raw := range data {
+			if i >= 512 {
+				break
+			}
+			op := int(raw) % 12
+			r1 := int(raw>>2) % 32
+			r2 := (int(raw>>4) + i) % 32
+			r3 := (i * 7) % 32
+			lane := int(raw) % lanes
+			s := streams[int(raw)%len(streams)]
+			off := (int(raw) * 3) % (64 - 2*lanes)
+			switch op {
+			case 0:
+				b.LdVec(r1, s, off)
+			case 1:
+				b.LdScalar(r1, s, off)
+			case 2:
+				b.LdScalarPair(r1, r2, s, off)
+			case 3:
+				b.StVec(r1, s, off)
+			case 4:
+				b.StLane(r1, lane, s, off)
+			case 5:
+				b.FmlaElem(r1, r2, r3, lane)
+			case 6:
+				b.FmlaVec(r1, r2, r3)
+			case 7:
+				b.FmulElem(r1, r2, r3, lane)
+			case 8:
+				b.FaddVec(r1, r2, r3)
+			case 9:
+				b.Reduce(r1, r2)
+			case 10:
+				b.Dup(r1, r2, lane)
+			case 11:
+				b.Zero(r1)
+			}
+		}
+		p, err := b.Build()
+		if err != nil {
+			t.Fatalf("valid-by-construction program rejected: %v", err)
+		}
+		rep, err := Analyze(p)
+		if err != nil {
+			t.Fatalf("Analyze: %v", err)
+		}
+		if !sort.IntsAreSorted(rep.DeadWrites) {
+			t.Errorf("DeadWrites not sorted: %v", rep.DeadWrites)
+		}
+		if !sort.IntsAreSorted(rep.UndefinedReads) {
+			t.Errorf("UndefinedReads not sorted: %v", rep.UndefinedReads)
+		}
+		for i := 1; i < len(rep.DeadWrites); i++ {
+			if rep.DeadWrites[i] == rep.DeadWrites[i-1] {
+				t.Errorf("DeadWrites has duplicate %d", rep.DeadWrites[i])
+			}
+		}
+		if rep.PeakLive < 0 || rep.PeakLive > 32 {
+			t.Errorf("PeakLive %d out of range", rep.PeakLive)
+		}
+	})
+}

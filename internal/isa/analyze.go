@@ -1,6 +1,9 @@
 package isa
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // Report is the result of static analysis of a program: register dataflow
 // health, peak register pressure, and per-stream access summaries. Kernel
@@ -12,11 +15,19 @@ type Report struct {
 	// UndefinedReads lists instruction indices that read a register no
 	// earlier instruction wrote. (Accumulator-style kernels zero or load
 	// their registers first; a read-before-write is a generator bug.)
+	// Sorted ascending; an instruction reading several unwritten registers
+	// appears once.
 	UndefinedReads []int
 	// DeadWrites lists instruction indices whose written register is
 	// overwritten before any read. A small number is legal (e.g. the
 	// final reload emitted by a software-pipelined loop body), but large
 	// counts indicate mis-scheduled emission.
+	//
+	// The list is sorted ascending and duplicate-free: the end-of-program
+	// sweep (writes never read before the program ends) never re-reports
+	// an index the in-loop overwrite detection already found — including
+	// the self-overwrite of an LdScalarPair whose two destinations are the
+	// same register — so deterministic tests can compare it directly.
 	DeadWrites []int
 	// PeakLive is the maximum number of simultaneously live registers.
 	PeakLive int
@@ -34,6 +45,94 @@ type StreamReport struct {
 	MaxOff     int  // highest element offset touched (exclusive)
 	ReadBefore bool // stream is loaded at least once before any store
 	WriteFirst bool // first access is a store (pure output / pack buffer)
+	// LoadCover and StoreCover are per-element coverage bitmaps over the
+	// offsets the program actually touched, so a footprint checker can
+	// report exactly which elements a kernel missed (or touched outside
+	// its contract), not just the [MinOff, MaxOff) extent.
+	LoadCover  Coverage
+	StoreCover Coverage
+	// OverlapStores lists element offsets stored more than once, sorted
+	// ascending. Output tiles and pack buffers must store each element
+	// exactly once; an overlap is a generator bug (or a deliberately
+	// re-accumulating scratch stream).
+	OverlapStores []int
+}
+
+// Coverage is a per-element access bitmap over stream offsets [0, Len()).
+type Coverage struct {
+	bits []uint64
+	n    int
+}
+
+func newCoverage(n int) Coverage {
+	return Coverage{bits: make([]uint64, (n+63)/64), n: n}
+}
+
+func (c *Coverage) add(off int) {
+	if off >= 0 && off < c.n {
+		c.bits[off/64] |= 1 << uint(off%64)
+	}
+}
+
+// Len returns the tracked extent (the highest touched offset bound).
+func (c Coverage) Len() int { return c.n }
+
+// Has reports whether offset off was accessed.
+func (c Coverage) Has(off int) bool {
+	if off < 0 || off >= c.n {
+		return false
+	}
+	return c.bits[off/64]&(1<<uint(off%64)) != 0
+}
+
+// Count returns the number of distinct offsets accessed.
+func (c Coverage) Count() int {
+	total := 0
+	for _, w := range c.bits {
+		for ; w != 0; w &= w - 1 {
+			total++
+		}
+	}
+	return total
+}
+
+// Missing returns the sorted offsets in [lo, hi) that were never accessed —
+// the gap list a footprint checker reports.
+func (c Coverage) Missing(lo, hi int) []int {
+	var out []int
+	for off := lo; off < hi; off++ {
+		if !c.Has(off) {
+			out = append(out, off)
+		}
+	}
+	return out
+}
+
+// Extra returns the sorted accessed offsets that fall outside [lo, hi) —
+// accesses beyond the declared contract extent.
+func (c Coverage) Extra(lo, hi int) []int {
+	var out []int
+	for off := 0; off < c.n; off++ {
+		if c.Has(off) && (off < lo || off >= hi) {
+			out = append(out, off)
+		}
+	}
+	return out
+}
+
+// AccessWidth returns how many consecutive elements the instruction touches
+// at its memory reference, given the program's lane count (0 for non-memory
+// operations).
+func (in Instr) AccessWidth(lanes int) int {
+	switch in.Op {
+	case LdVec, StVec:
+		return lanes
+	case LdScalarPair:
+		return 2
+	case LdScalar, StLane:
+		return 1
+	}
+	return 0
 }
 
 // Analyze runs the static passes over a validated program.
@@ -51,10 +150,12 @@ func Analyze(p *Program) (*Report, error) {
 	for i := range lastWrite {
 		lastWrite[i] = -1
 	}
+	deadSet := map[int]bool{}
+	undefSet := map[int]bool{}
 	for i, in := range p.Code {
 		for _, r2 := range in.Uses() {
 			if !written[r2] {
-				r.UndefinedReads = append(r.UndefinedReads, i)
+				undefSet[i] = true
 			}
 			readSince[r2] = true
 		}
@@ -62,7 +163,9 @@ func Analyze(p *Program) (*Report, error) {
 			if written[d] && !readSince[d] && lastWrite[d] >= 0 {
 				// FMA-style ops read their destination, so they never land
 				// here; a pure overwrite of an unread value is a dead write.
-				r.DeadWrites = append(r.DeadWrites, lastWrite[d])
+				// (An LdScalarPair with Dst == Dst2 lands here for its own
+				// first lane write: the set keeps the report duplicate-free.)
+				deadSet[lastWrite[d]] = true
 			}
 			written[d] = true
 			lastWrite[d] = i
@@ -71,12 +174,15 @@ func Analyze(p *Program) (*Report, error) {
 	}
 	// Writes never read by the end of the program are dead unless they are
 	// the natural tail of a pipelined loop body (the caller decides what
-	// count is acceptable).
+	// count is acceptable). The set guarantees an index the in-loop pass
+	// already reported is not double-counted.
 	for reg := 0; reg < 32; reg++ {
 		if lastWrite[reg] >= 0 && !readSince[reg] {
-			r.DeadWrites = append(r.DeadWrites, lastWrite[reg])
+			deadSet[lastWrite[reg]] = true
 		}
 	}
+	r.DeadWrites = sortedKeys(deadSet)
+	r.UndefinedReads = sortedKeys(undefSet)
 
 	// --- liveness (backward) for peak pressure ---
 	live := make([]bool, 32)
@@ -102,8 +208,24 @@ func Analyze(p *Program) (*Report, error) {
 
 	// --- streams ---
 	r.Streams = make([]StreamReport, len(p.Streams))
+	// First sweep: the touched extent per stream, so the coverage bitmaps
+	// are sized by what the code actually accesses (bounded by the code
+	// length), not by the declared MinLen, which callers may inflate.
+	extent := make([]int, len(p.Streams))
+	for _, in := range p.Code {
+		if n := in.AccessWidth(lanes); n > 0 {
+			if end := in.Mem.Off + n; end > extent[in.Mem.Stream] {
+				extent[in.Mem.Stream] = end
+			}
+		}
+	}
+	overlaps := make([]map[int]bool, len(p.Streams))
 	for i, s := range p.Streams {
-		r.Streams[i] = StreamReport{Name: s.Name, Kind: s.Kind, MinOff: -1}
+		r.Streams[i] = StreamReport{
+			Name: s.Name, Kind: s.Kind, MinOff: -1,
+			LoadCover:  newCoverage(extent[i]),
+			StoreCover: newCoverage(extent[i]),
+		}
 	}
 	for _, in := range p.Code {
 		isLoad := in.Op.IsLoad()
@@ -112,13 +234,7 @@ func Analyze(p *Program) (*Report, error) {
 			continue
 		}
 		sr := &r.Streams[in.Mem.Stream]
-		n := 1
-		if in.Op == LdVec || in.Op == StVec {
-			n = lanes
-		}
-		if in.Op == LdScalarPair {
-			n = 2
-		}
+		n := in.AccessWidth(lanes)
 		if sr.MinOff < 0 || in.Mem.Off < sr.MinOff {
 			sr.MinOff = in.Mem.Off
 		}
@@ -130,14 +246,41 @@ func Analyze(p *Program) (*Report, error) {
 				sr.ReadBefore = true
 			}
 			sr.Loads++
+			for off := in.Mem.Off; off < in.Mem.Off+n; off++ {
+				sr.LoadCover.add(off)
+			}
 		} else {
 			if sr.Loads == 0 && sr.Stores == 0 {
 				sr.WriteFirst = true
 			}
 			sr.Stores++
+			for off := in.Mem.Off; off < in.Mem.Off+n; off++ {
+				if sr.StoreCover.Has(off) {
+					if overlaps[in.Mem.Stream] == nil {
+						overlaps[in.Mem.Stream] = map[int]bool{}
+					}
+					overlaps[in.Mem.Stream][off] = true
+				}
+				sr.StoreCover.add(off)
+			}
 		}
 	}
+	for i := range r.Streams {
+		r.Streams[i].OverlapStores = sortedKeys(overlaps[i])
+	}
 	return r, nil
+}
+
+func sortedKeys(set map[int]bool) []int {
+	if len(set) == 0 {
+		return nil
+	}
+	out := make([]int, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
 }
 
 // CheckKernelInvariants applies the invariants every LibShalom-style

@@ -239,13 +239,7 @@ func (p *Program) Validate() error {
 			if in.Mem.Stream < 0 || in.Mem.Stream >= len(p.Streams) {
 				return fmt.Errorf("isa: %s: instr %d: stream %d undeclared", p.Name, i, in.Mem.Stream)
 			}
-			n := 1
-			if in.Op == LdVec || in.Op == StVec {
-				n = lanes
-			}
-			if in.Op == LdScalarPair {
-				n = 2
-			}
+			n := in.AccessWidth(lanes)
 			st := p.Streams[in.Mem.Stream]
 			if in.Mem.Off < 0 || in.Mem.Off+n > st.MinLen {
 				return fmt.Errorf("isa: %s: instr %d: access [%d,%d) exceeds stream %s length %d",

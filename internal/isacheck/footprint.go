@@ -1,0 +1,214 @@
+package isacheck
+
+import (
+	"fmt"
+	"sort"
+
+	"libshalom/internal/isa"
+)
+
+// expectedSpans returns, per stream kind, the element spans the contract
+// says the kernel reads and writes. A span is [Lo, Hi) at each of Count rows
+// spaced Stride apart.
+type span struct {
+	Lo, Hi, Stride, Count int
+}
+
+func (s span) offsets() []int {
+	out := make([]int, 0, (s.Hi-s.Lo)*s.Count)
+	for r := 0; r < s.Count; r++ {
+		base := r * s.Stride
+		for off := s.Lo; off < s.Hi; off++ {
+			out = append(out, base+off)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// footprint is the contract's expected access sets for one stream.
+type footprint struct {
+	reads, writes []int // sorted element offsets; nil = must not touch
+}
+
+// expectedFootprint derives the per-stream-kind contract footprint
+// (DESIGN.md §6): exactly which elements of A, B, C and Bc the declared tile
+// shape touches.
+func expectedFootprint(c Contract) map[isa.StreamKind]footprint {
+	fp := map[isa.StreamKind]footprint{}
+	switch c.Kind {
+	case KindMain:
+		// A: mr rows of kc elements at LDA stride; B: kc rows of nr
+		// elements at LDB stride; C: the mr×nr tile at LDC stride.
+		fp[isa.StreamA] = footprint{reads: span{0, c.KC, c.LDA, c.MR}.offsets()}
+		fp[isa.StreamB] = footprint{reads: span{0, c.NR, c.LDB, c.KC}.offsets()}
+		cTile := span{0, c.NR, c.LDC, c.MR}.offsets()
+		cf := footprint{writes: cTile}
+		if c.Accumulate {
+			cf.reads = cTile
+		}
+		fp[isa.StreamC] = cf
+		if c.PackB {
+			// Folded packing (§5.3): the consumed B panel lands densely in
+			// the row-major KC×NR buffer.
+			fp[isa.StreamBc] = footprint{writes: span{0, c.NR, c.NR, c.KC}.offsets()}
+		}
+	case KindEdge:
+		// Packed-A column slivers (Fig 6): kc columns of 8 elements at
+		// LDAp stride; packed-B rows of 4 at LDB stride.
+		fp[isa.StreamA] = footprint{reads: span{0, c.MR, c.LDA, c.KC}.offsets()}
+		fp[isa.StreamB] = footprint{reads: span{0, c.NR, c.LDB, c.KC}.offsets()}
+		fp[isa.StreamC] = footprint{writes: span{0, c.NR, c.LDC, c.MR}.offsets()}
+	case KindNTPack:
+		// A: mr rows of kc; Bt: nb stored-transposed rows of kc at LDBT
+		// stride; C: columns [JOff, JOff+nb) of mr rows; Bc: the same
+		// columns of all kc rows of the KC×NRTotal panel (Fig 4/5 layout).
+		fp[isa.StreamA] = footprint{reads: span{0, c.KC, c.LDA, c.MR}.offsets()}
+		fp[isa.StreamB] = footprint{reads: span{0, c.KC, c.LDB, c.NR}.offsets()}
+		cTile := span{c.JOff, c.JOff + c.NR, c.LDC, c.MR}.offsets()
+		cf := footprint{writes: cTile}
+		if c.Accumulate {
+			cf.reads = cTile
+		}
+		fp[isa.StreamC] = cf
+		fp[isa.StreamBc] = footprint{writes: span{c.JOff, c.JOff + c.NR, c.NRTotal, c.KC}.offsets()}
+	}
+	return fp
+}
+
+// CheckFootprint proves the program's element-level access sets against the
+// contract: no gaps, no out-of-contract accesses, no double-stores, pack
+// buffers written before read per element, and (when accumulating) every C
+// element loaded before it is stored.
+func CheckFootprint(p *isa.Program, c Contract, rep *isa.Report) []Finding {
+	const pass = "footprint"
+	var fs []Finding
+	want := expectedFootprint(c)
+
+	// Resolve each expected stream kind to the program's stream index.
+	byKind := map[isa.StreamKind]int{}
+	for i, s := range p.Streams {
+		if _, dup := byKind[s.Kind]; dup {
+			fs = append(fs, Finding{Pass: pass, Msg: fmt.Sprintf("stream kind %s declared twice", s.Kind)})
+			continue
+		}
+		byKind[s.Kind] = i
+	}
+
+	kinds := make([]isa.StreamKind, 0, len(want))
+	for k := range want {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+
+	for _, kind := range kinds {
+		exp := want[kind]
+		idx, ok := byKind[kind]
+		if !ok {
+			fs = append(fs, Finding{Pass: pass, Msg: fmt.Sprintf("contract expects a %s stream the program does not declare", kind)})
+			continue
+		}
+		sr := rep.Streams[idx]
+		fs = append(fs, diffCover(pass, sr.Name, "reads", sr.LoadCover, exp.reads)...)
+		fs = append(fs, diffCover(pass, sr.Name, "writes", sr.StoreCover, exp.writes)...)
+		if len(exp.writes) > 0 && len(sr.OverlapStores) > 0 {
+			fs = append(fs, Finding{Pass: pass,
+				Msg:     fmt.Sprintf("stream %s stores %d element(s) more than once", sr.Name, len(sr.OverlapStores)),
+				Offsets: sr.OverlapStores})
+		}
+	}
+	// A program stream the contract has no business with (scratch) is
+	// allowed; input-stream stores are the dataflow pass's concern.
+
+	fs = append(fs, checkAccessOrder(p, c)...)
+	return fs
+}
+
+// diffCover compares an observed coverage bitmap against the expected sorted
+// offset set and reports missing and out-of-contract elements.
+func diffCover(pass, stream, what string, cover isa.Coverage, want []int) []Finding {
+	var fs []Finding
+	wantSet := make(map[int]bool, len(want))
+	var missing []int
+	for _, off := range want {
+		wantSet[off] = true
+		if !cover.Has(off) {
+			missing = append(missing, off)
+		}
+	}
+	var extra []int
+	for off := 0; off < cover.Len(); off++ {
+		if cover.Has(off) && !wantSet[off] {
+			extra = append(extra, off)
+		}
+	}
+	if len(missing) > 0 {
+		fs = append(fs, Finding{Pass: pass,
+			Msg:     fmt.Sprintf("stream %s misses %d of %d contracted %s", stream, len(missing), len(want), what),
+			Offsets: missing})
+	}
+	if len(extra) > 0 {
+		fs = append(fs, Finding{Pass: pass,
+			Msg:     fmt.Sprintf("stream %s %s %d element(s) outside the contract", stream, what, len(extra)),
+			Offsets: extra})
+	}
+	return fs
+}
+
+// checkAccessOrder walks the instruction stream once and proves the
+// per-element ordering contracts: pack-buffer elements are written before
+// any read (§5.3's folded packing produces, never consumes), and when the
+// kernel accumulates, every C element is loaded before it is stored.
+func checkAccessOrder(p *isa.Program, c Contract) []Finding {
+	const pass = "footprint"
+	lanes := p.Lanes()
+	type state struct{ loaded, stored map[int]bool }
+	st := make([]state, len(p.Streams))
+	for i := range st {
+		st[i] = state{loaded: map[int]bool{}, stored: map[int]bool{}}
+	}
+	packReadFirst := map[int]bool{} // Bc offsets read before written
+	cStoreFirst := map[int]bool{}   // C offsets stored before loaded (Accumulate only)
+	for _, in := range p.Code {
+		n := in.AccessWidth(lanes)
+		if n == 0 {
+			continue
+		}
+		kind := p.Streams[in.Mem.Stream].Kind
+		s := st[in.Mem.Stream]
+		for off := in.Mem.Off; off < in.Mem.Off+n; off++ {
+			if in.Op.IsLoad() {
+				if kind == isa.StreamBc && !s.stored[off] {
+					packReadFirst[off] = true
+				}
+				s.loaded[off] = true
+			} else {
+				if kind == isa.StreamC && c.Accumulate && !s.loaded[off] {
+					cStoreFirst[off] = true
+				}
+				s.stored[off] = true
+			}
+		}
+	}
+	var fs []Finding
+	if len(packReadFirst) > 0 {
+		fs = append(fs, Finding{Pass: pass,
+			Msg:     fmt.Sprintf("pack buffer reads %d element(s) before writing them", len(packReadFirst)),
+			Offsets: sortedIntKeys(packReadFirst)})
+	}
+	if len(cStoreFirst) > 0 {
+		fs = append(fs, Finding{Pass: pass,
+			Msg:     fmt.Sprintf("accumulating kernel stores %d C element(s) it never loaded first", len(cStoreFirst)),
+			Offsets: sortedIntKeys(cStoreFirst)})
+	}
+	return fs
+}
+
+func sortedIntKeys(set map[int]bool) []int {
+	out := make([]int, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

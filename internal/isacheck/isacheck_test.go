@@ -1,0 +1,231 @@
+package isacheck_test
+
+import (
+	"strings"
+	"testing"
+
+	_ "libshalom/internal/baselines" // register baseline kernels
+	"libshalom/internal/isa"
+	"libshalom/internal/isacheck"
+	"libshalom/internal/kernels"
+	"libshalom/internal/platform"
+)
+
+// TestRegisteredKernelsPassAllPlatforms is the acceptance gate: every kernel
+// the generators register must clear all five passes on all three platforms.
+func TestRegisteredKernelsPassAllPlatforms(t *testing.T) {
+	entries := isacheck.Registered()
+	if len(entries) < 9 {
+		t.Fatalf("only %d registered kernels, expected the full catalogue", len(entries))
+	}
+	results := isacheck.RunAll(platform.All())
+	if want := len(entries) * len(platform.All()); len(results) != want {
+		t.Fatalf("RunAll produced %d results, want %d", len(results), want)
+	}
+	for _, r := range results {
+		if !r.OK {
+			t.Errorf("%s on %s failed: %v", r.Kernel, r.Platform, r.Findings())
+		}
+	}
+}
+
+// pipelinedEdgeEntry fetches the registered LibShalom edge kernel, whose
+// contract the broken-kernel tests reuse.
+func pipelinedEdgeEntry(t *testing.T) isacheck.Entry {
+	t.Helper()
+	e, ok := isacheck.Lookup("libshalom/edge-8x4-pipelined-f32")
+	if !ok {
+		t.Fatal("libshalom edge kernel not registered")
+	}
+	return e
+}
+
+func passResult(t *testing.T, kr isacheck.KernelResult, pass string) isacheck.PassResult {
+	t.Helper()
+	for _, pr := range kr.Passes {
+		if pr.Pass == pass {
+			return pr
+		}
+	}
+	t.Fatalf("pass %q missing from result", pass)
+	return isacheck.PassResult{}
+}
+
+// TestBatchScheduleRejectedByDepDist seeds the Fig 6a defect: a
+// batch-scheduled edge program presented under the pipelined contract must
+// be rejected by the depdist pass — and only by it; the batch kernel's
+// footprint and tiling are correct.
+func TestBatchScheduleRejectedByDepDist(t *testing.T) {
+	e := pipelinedEdgeEntry(t)
+	broken := e
+	broken.Build = func() *isa.Program {
+		return kernels.BuildEdge8x4(kernels.EdgeSpec{Elem: 4, KC: 16,
+			LDAp: 8, LDB: 4, LDC: 4, Schedule: kernels.Batch})
+	}
+	for _, p := range platform.All() {
+		kr := isacheck.Run(broken, p)
+		if kr.OK {
+			t.Fatalf("batch schedule under pipelined contract accepted on %s", p.Name)
+		}
+		dd := passResult(t, kr, "depdist")
+		if dd.OK {
+			t.Errorf("%s: depdist pass did not own the rejection: %v", p.Name, kr.Findings())
+		}
+		for _, name := range []string{"dataflow", "footprint", "tiling"} {
+			if pr := passResult(t, kr, name); !pr.OK {
+				t.Errorf("%s: pass %s failed on a kernel whose %s is correct: %v",
+					p.Name, name, name, pr.Findings)
+			}
+		}
+	}
+}
+
+// TestCTileGapRejectedByFootprint seeds a C-tile gap: the edge kernel with
+// its final StLane removed misses exactly one C element, and the footprint
+// pass must name it.
+func TestCTileGapRejectedByFootprint(t *testing.T) {
+	e := pipelinedEdgeEntry(t)
+	broken := e
+	broken.Build = func() *isa.Program {
+		p := e.Build()
+		last := p.Code[len(p.Code)-1]
+		if !last.Op.IsStore() {
+			t.Fatalf("expected the edge kernel to end with a store, got op %v", last.Op)
+		}
+		p.Code = p.Code[:len(p.Code)-1]
+		return p
+	}
+	kr := isacheck.Run(broken, platform.KP920())
+	if kr.OK {
+		t.Fatal("C-tile gap accepted")
+	}
+	fp := passResult(t, kr, "footprint")
+	if fp.OK {
+		t.Fatalf("footprint pass did not own the rejection: %v", kr.Findings())
+	}
+	// The removed store was C(7,3): offset 7*LDC+3 = 31.
+	found := false
+	for _, f := range fp.Findings {
+		if strings.Contains(f.Msg, "misses") {
+			if len(f.Offsets) != 1 || f.Offsets[0] != 31 {
+				t.Errorf("gap reported at offsets %v, want [31]", f.Offsets)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no missing-element finding: %v", fp.Findings)
+	}
+	if dd := passResult(t, kr, "depdist"); !dd.OK {
+		t.Errorf("depdist pass failed on a correctly scheduled kernel: %v", dd.Findings)
+	}
+}
+
+// TestOverBudgetTilingRejected seeds an infeasible register tiling: a
+// contract claiming the 8×12 tile needs 35 registers under Eq. 1, which the
+// tiling pass must reject outright.
+func TestOverBudgetTilingRejected(t *testing.T) {
+	prog := kernels.BuildMain(kernels.MainSpec{Elem: 4, MR: 8, NR: 8, KC: 8,
+		LDA: 8, LDB: 8, LDC: 8, Accumulate: true, Schedule: kernels.Batch})
+	rep, err := isa.Analyze(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := isacheck.Contract{Kind: isacheck.KindMain, Elem: 4,
+		MR: 8, NR: 12, KC: 8, LDA: 8, LDB: 12, LDC: 12}
+	fs := isacheck.CheckTiling(prog, c, rep)
+	if len(fs) == 0 {
+		t.Fatal("infeasible 8x12 tiling accepted")
+	}
+	if !strings.Contains(fs[0].Msg, "infeasible") {
+		t.Errorf("finding %q does not call the tiling infeasible", fs[0].Msg)
+	}
+}
+
+// TestPeakLiveMismatchRejected: a kernel whose measured register pressure
+// differs from the Eq. 1 prediction for its declared tile is not the tile it
+// claims to be.
+func TestPeakLiveMismatchRejected(t *testing.T) {
+	// A genuine 7×12 program (peak 31 registers) under a contract claiming
+	// the 8×8 tile (Eq. 1 predicts 26).
+	prog := kernels.BuildMain(kernels.MainSpec{Elem: 4, MR: 7, NR: 12, KC: 8,
+		LDA: 8, LDB: 12, LDC: 12, Accumulate: true, Schedule: kernels.Pipelined})
+	rep, err := isa.Analyze(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := isacheck.Contract{Kind: isacheck.KindMain, Elem: 4,
+		MR: 8, NR: 8, KC: 8, LDA: 8, LDB: 8, LDC: 8}
+	fs := isacheck.CheckTiling(prog, c, rep)
+	if len(fs) == 0 {
+		t.Fatal("peak-live mismatch accepted")
+	}
+	if !strings.Contains(fs[0].Msg, "peak live") {
+		t.Errorf("finding %q is not a peak-live mismatch", fs[0].Msg)
+	}
+}
+
+// TestFootprintCatchesOverlappingStores: a duplicated C store must be
+// reported as an overlap, not silently accepted as coverage.
+func TestFootprintCatchesOverlappingStores(t *testing.T) {
+	e := pipelinedEdgeEntry(t)
+	broken := e
+	broken.Build = func() *isa.Program {
+		p := e.Build()
+		p.Code = append(p.Code, p.Code[len(p.Code)-1]) // store C(7,3) twice
+		return p
+	}
+	kr := isacheck.Run(broken, platform.KP920())
+	fp := passResult(t, kr, "footprint")
+	if fp.OK {
+		t.Fatalf("double store accepted: %v", kr.Findings())
+	}
+	found := false
+	for _, f := range fp.Findings {
+		if strings.Contains(f.Msg, "more than once") && len(f.Offsets) == 1 && f.Offsets[0] == 31 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no overlap finding for offset 31: %v", fp.Findings)
+	}
+}
+
+// TestPackReadBeforeWriteRejected: a kernel that consumes its pack buffer
+// before producing it violates the §5.3 folded-packing contract.
+func TestPackReadBeforeWriteRejected(t *testing.T) {
+	e, ok := isacheck.Lookup("libshalom/packmain-7x12-f32")
+	if !ok {
+		t.Fatal("packmain kernel not registered")
+	}
+	broken := e
+	broken.Contract.MaxDeadWrites = 1 // the injected load is dead; isolate the footprint verdict
+	broken.Build = func() *isa.Program {
+		p := e.Build()
+		var bc int
+		for i, s := range p.Streams {
+			if s.Kind == isa.StreamBc {
+				bc = i
+			}
+		}
+		// Prepend a load from the not-yet-written pack buffer.
+		in := isa.Instr{Op: isa.LdVec, Dst: 7, Src1: isa.NoReg, Src2: isa.NoReg,
+			Mem: isa.MemRef{Stream: bc, Off: 0}}
+		p.Code = append([]isa.Instr{in}, p.Code...)
+		return p
+	}
+	kr := isacheck.Run(broken, platform.KP920())
+	fp := passResult(t, kr, "footprint")
+	if fp.OK {
+		t.Fatalf("pack read-before-write accepted: %v", kr.Findings())
+	}
+	found := false
+	for _, f := range fp.Findings {
+		if strings.Contains(f.Msg, "before writing") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no write-before-read finding: %v", fp.Findings)
+	}
+}

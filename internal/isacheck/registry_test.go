@@ -1,0 +1,80 @@
+package isacheck_test
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"libshalom/internal/isa"
+	"libshalom/internal/isacheck"
+)
+
+func validEntry(name string) isacheck.Entry {
+	return isacheck.Entry{
+		Name:   name,
+		Family: "test",
+		Contract: isacheck.Contract{Kind: isacheck.KindMain, Elem: 4,
+			MR: 1, NR: 4, KC: 4, LDA: 4, LDB: 4, LDC: 4},
+		Build: func() *isa.Program {
+			return isa.NewBuilder("t", 4).MustBuild()
+		},
+	}
+}
+
+func expectPanic(t *testing.T, want string, fn func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("no panic, want one mentioning %q", want)
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, want) {
+			t.Fatalf("panic %v, want one mentioning %q", r, want)
+		}
+	}()
+	fn()
+}
+
+func TestRegisterRejectsDuplicates(t *testing.T) {
+	isacheck.Register(validEntry("test/dup-probe"))
+	expectPanic(t, "duplicate", func() {
+		isacheck.Register(validEntry("test/dup-probe"))
+	})
+}
+
+func TestRegisterRejectsInvalidContract(t *testing.T) {
+	e := validEntry("test/bad-contract")
+	e.Contract.Elem = 3
+	expectPanic(t, "elem", func() { isacheck.Register(e) })
+}
+
+func TestRegisterRejectsMissingBuilder(t *testing.T) {
+	e := validEntry("test/no-builder")
+	e.Build = nil
+	expectPanic(t, "builder", func() { isacheck.Register(e) })
+}
+
+func TestRegisteredSortedAndComplete(t *testing.T) {
+	entries := isacheck.Registered()
+	names := make([]string, len(entries))
+	families := map[string]int{}
+	for i, e := range entries {
+		names[i] = e.Name
+		families[e.Family]++
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("Registered() not sorted: %v", names)
+	}
+	if families["libshalom"] < 6 {
+		t.Errorf("only %d libshalom kernels registered, want the full catalogue", families["libshalom"])
+	}
+	if families["baseline"] < 3 {
+		t.Errorf("only %d baseline kernels registered, want the full catalogue", families["baseline"])
+	}
+	if _, ok := isacheck.Lookup("libshalom/main-7x12-f32"); !ok {
+		t.Error("Lookup failed for the paper's headline kernel")
+	}
+	if _, ok := isacheck.Lookup("no/such-kernel"); ok {
+		t.Error("Lookup invented a kernel")
+	}
+}

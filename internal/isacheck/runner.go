@@ -1,0 +1,108 @@
+package isacheck
+
+import (
+	"libshalom/internal/isa"
+	"libshalom/internal/platform"
+)
+
+// PassResult is one pass's verdict for one (kernel, platform) pair.
+type PassResult struct {
+	Pass     string    `json:"pass"`
+	OK       bool      `json:"ok"`
+	Findings []Finding `json:"findings,omitempty"`
+}
+
+// KernelResult is the full verdict for one (kernel, platform) pair.
+type KernelResult struct {
+	Kernel   string       `json:"kernel"`
+	Family   string       `json:"family"`
+	Platform string       `json:"platform"`
+	OK       bool         `json:"ok"`
+	Passes   []PassResult `json:"passes"`
+	// Metrics surfaces the measured quantities the passes judged, for the
+	// lint table and for pinning contract thresholds: peak live registers,
+	// steady-state load→use distance, load run, window pressures.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Findings flattens every failing pass's findings.
+func (kr KernelResult) Findings() []Finding {
+	var fs []Finding
+	for _, pr := range kr.Passes {
+		fs = append(fs, pr.Findings...)
+	}
+	return fs
+}
+
+// Run executes all five verifier passes for one kernel on one platform.
+func Run(e Entry, plat *platform.Platform) KernelResult {
+	kr := KernelResult{Kernel: e.Name, Family: e.Family, Platform: plat.Name,
+		Metrics: map[string]float64{}}
+	c := e.Contract
+	prog := e.Build()
+
+	// dataflow: the isa analyzer's own invariants.
+	rep, err := isa.Analyze(prog)
+	if err != nil {
+		kr.Passes = append(kr.Passes, PassResult{Pass: "dataflow", OK: false,
+			Findings: []Finding{{Pass: "dataflow", Msg: err.Error()}}})
+		kr.OK = false
+		return kr
+	}
+	var dataflow []Finding
+	if err := rep.CheckKernelInvariants(c.MaxDeadWrites); err != nil {
+		dataflow = append(dataflow, Finding{Pass: "dataflow", Msg: err.Error()})
+	}
+	kr.Passes = append(kr.Passes, PassResult{Pass: "dataflow", OK: len(dataflow) == 0, Findings: dataflow})
+	kr.Metrics["peakLive"] = float64(rep.PeakLive)
+	kr.Metrics["deadWrites"] = float64(len(rep.DeadWrites))
+
+	// footprint: element-level access sets vs the contract.
+	fp := CheckFootprint(prog, c, rep)
+	kr.Passes = append(kr.Passes, PassResult{Pass: "footprint", OK: len(fp) == 0, Findings: fp})
+
+	// depdist + pressure: steady-state schedule analysis on this platform.
+	srep := AnalyzeSchedule(prog, plat)
+	dd := CheckDepDist(srep, c)
+	kr.Passes = append(kr.Passes, PassResult{Pass: "depdist", OK: len(dd) == 0, Findings: dd})
+	pr := CheckPressure(srep, c)
+	kr.Passes = append(kr.Passes, PassResult{Pass: "pressure", OK: len(pr) == 0, Findings: pr})
+	kr.Metrics["minLoadUseDist"] = float64(srep.MinLoadUseDist)
+	kr.Metrics["maxLoadRun"] = float64(srep.MaxLoadRun)
+	kr.Metrics["windowCovered"] = float64(srep.WindowCovered)
+	kr.Metrics["loadPressure"] = srep.LoadPressure
+	kr.Metrics["storePressure"] = srep.StorePressure
+
+	// tiling: Eq. 1 conformance.
+	tl := CheckTiling(prog, c, rep)
+	kr.Passes = append(kr.Passes, PassResult{Pass: "tiling", OK: len(tl) == 0, Findings: tl})
+
+	kr.OK = true
+	for _, p := range kr.Passes {
+		kr.OK = kr.OK && p.OK
+	}
+	return kr
+}
+
+// RunAll verifies every registered kernel on every given platform.
+func RunAll(plats []*platform.Platform) []KernelResult {
+	var out []KernelResult
+	for _, e := range Registered() {
+		for _, p := range plats {
+			out = append(out, Run(e, p))
+		}
+	}
+	return out
+}
+
+// Summarize returns pass/fail counts for a result set.
+func Summarize(results []KernelResult) (ok, fail int) {
+	for _, r := range results {
+		if r.OK {
+			ok++
+		} else {
+			fail++
+		}
+	}
+	return ok, fail
+}

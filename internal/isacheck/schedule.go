@@ -1,0 +1,200 @@
+package isacheck
+
+import (
+	"fmt"
+
+	"libshalom/internal/isa"
+	"libshalom/internal/platform"
+)
+
+// RAWPair is one load→first-consumer dependence in the steady-state region.
+type RAWPair struct {
+	Producer int `json:"producer"` // instruction index of the load
+	Consumer int `json:"consumer"` // instruction index of the first reader
+	Reg      int `json:"reg"`      // the register carrying the dependence
+	Dist     int `json:"dist"`     // Consumer - Producer in program order
+	// InWindow marks pairs closer than the platform's OoO window: the
+	// core must find independent work inside the window to hide the load
+	// latency of these pairs (the §5.4 / Fig 6 mechanism).
+	InWindow bool `json:"inWindow"`
+}
+
+// ScheduleReport is the result of the depdist and pressure passes for one
+// (program, platform) pair.
+type ScheduleReport struct {
+	// WarmupLen is the prologue/epilogue margin excluded from the
+	// steady-state metrics (a quarter of the program at each end), so the
+	// necessarily-adjacent prologue load→use pairs and the epilogue store
+	// burst do not drown the loop body the §5.4 claim is about.
+	WarmupLen int `json:"warmupLen"`
+
+	// Pairs lists every steady-state load→first-consumer RAW pair.
+	Pairs []RAWPair `json:"pairs,omitempty"`
+	// MinLoadUseDist is the smallest steady-state load→use distance
+	// (0 when the region has no such pairs).
+	MinLoadUseDist int `json:"minLoadUseDist"`
+	// WindowCovered counts pairs with Dist < the platform's OoO window.
+	WindowCovered int `json:"windowCovered"`
+	// MaxLoadRun is the longest run of consecutive load instructions in
+	// the steady-state region (Fig 6a's batched loads).
+	MaxLoadRun int `json:"maxLoadRun"`
+
+	// Issue-pressure metrics: for every OoO-window-sized slice of the
+	// steady-state region, the op mix is compared against the pipe
+	// capacity the window's issue slots provide. Pressure 1.0 means the
+	// class's pipes are exactly saturated over the worst window.
+	LoadCapacityPerWindow  int     `json:"loadCapacityPerWindow"`
+	StoreCapacityPerWindow int     `json:"storeCapacityPerWindow"`
+	MaxLoadsPerWindow      int     `json:"maxLoadsPerWindow"`
+	MaxStoresPerWindow     int     `json:"maxStoresPerWindow"`
+	LoadPressure           float64 `json:"loadPressure"`
+	StorePressure          float64 `json:"storePressure"`
+	FMAPressure            float64 `json:"fmaPressure"`
+}
+
+// AnalyzeSchedule runs the dependency-distance and issue-pressure analyses
+// of a program against one platform's core parameters.
+func AnalyzeSchedule(p *isa.Program, plat *platform.Platform) ScheduleReport {
+	n := len(p.Code)
+	rep := ScheduleReport{WarmupLen: n / 4}
+	lo, hi := rep.WarmupLen, n-rep.WarmupLen
+
+	// --- load→first-consumer RAW pairs ---
+	lastWriter := make([]int, 32)
+	firstUseFound := make([]bool, 32)
+	for i := range lastWriter {
+		lastWriter[i] = -1
+	}
+	for i, in := range p.Code {
+		for _, u := range in.Uses() {
+			w := lastWriter[u]
+			if w >= 0 && !firstUseFound[u] && p.Code[w].Op.IsLoad() {
+				firstUseFound[u] = true
+				if w >= lo && w < hi {
+					pair := RAWPair{Producer: w, Consumer: i, Reg: u, Dist: i - w,
+						InWindow: i-w < plat.OoOWindow}
+					rep.Pairs = append(rep.Pairs, pair)
+					if rep.MinLoadUseDist == 0 || pair.Dist < rep.MinLoadUseDist {
+						rep.MinLoadUseDist = pair.Dist
+					}
+					if pair.InWindow {
+						rep.WindowCovered++
+					}
+				}
+			}
+		}
+		for _, d := range in.Defs() {
+			lastWriter[d] = i
+			firstUseFound[d] = false
+		}
+	}
+
+	// --- load runs ---
+	run := 0
+	for i := lo; i < hi; i++ {
+		if p.Code[i].Op.IsLoad() {
+			run++
+			if run > rep.MaxLoadRun {
+				rep.MaxLoadRun = run
+			}
+		} else {
+			run = 0
+		}
+	}
+
+	// --- sliding-window issue pressure ---
+	w := plat.OoOWindow
+	if w < 1 {
+		w = 1
+	}
+	issueCycles := w / plat.IssueWidth
+	if issueCycles < 1 {
+		issueCycles = 1
+	}
+	rep.LoadCapacityPerWindow = issueCycles * plat.LoadPipes
+	rep.StoreCapacityPerWindow = issueCycles * plat.StorePipes
+	fmaCapacity := issueCycles * plat.FMAPipes
+	loads, stores, fmas := 0, 0, 0
+	maxFMAs := 0
+	for i := lo; i < hi; i++ {
+		switch {
+		case p.Code[i].Op.IsLoad():
+			loads++
+		case p.Code[i].Op.IsStore():
+			stores++
+		case p.Code[i].Op.IsFMA():
+			fmas++
+		}
+		if i-lo >= w { // slide: drop the instruction leaving the window
+			switch {
+			case p.Code[i-w].Op.IsLoad():
+				loads--
+			case p.Code[i-w].Op.IsStore():
+				stores--
+			case p.Code[i-w].Op.IsFMA():
+				fmas--
+			}
+		}
+		if i-lo >= w-1 || i == hi-1 { // full window (or the final partial one)
+			if loads > rep.MaxLoadsPerWindow {
+				rep.MaxLoadsPerWindow = loads
+			}
+			if stores > rep.MaxStoresPerWindow {
+				rep.MaxStoresPerWindow = stores
+			}
+			if fmas > maxFMAs {
+				maxFMAs = fmas
+			}
+		}
+	}
+	rep.LoadPressure = float64(rep.MaxLoadsPerWindow) / float64(rep.LoadCapacityPerWindow)
+	rep.StorePressure = float64(rep.MaxStoresPerWindow) / float64(rep.StoreCapacityPerWindow)
+	rep.FMAPressure = float64(maxFMAs) / float64(fmaCapacity)
+	return rep
+}
+
+// CheckDepDist enforces the contract's dependency-distance floors against
+// the steady-state RAW analysis (the §5.4 invariant).
+func CheckDepDist(rep ScheduleReport, c Contract) []Finding {
+	const pass = "depdist"
+	c = c.normalized()
+	var fs []Finding
+	if c.MinLoadUseDist > 0 && len(rep.Pairs) > 0 && rep.MinLoadUseDist < c.MinLoadUseDist {
+		var worst []int
+		for _, p := range rep.Pairs {
+			if p.Dist < c.MinLoadUseDist {
+				worst = append(worst, p.Producer)
+			}
+		}
+		fs = append(fs, Finding{Pass: pass,
+			Msg: fmt.Sprintf("steady-state load→use distance %d below the contract floor %d (%d pair(s) too close)",
+				rep.MinLoadUseDist, c.MinLoadUseDist, len(worst)),
+			Offsets: worst})
+	}
+	if c.MaxLoadRun > 0 && rep.MaxLoadRun > c.MaxLoadRun {
+		fs = append(fs, Finding{Pass: pass,
+			Msg: fmt.Sprintf("steady-state run of %d consecutive loads exceeds the contract ceiling %d (batched loads, Fig 6a)",
+				rep.MaxLoadRun, c.MaxLoadRun)})
+	}
+	return fs
+}
+
+// CheckPressure enforces the contract's sliding-window pipe-pressure
+// ceilings.
+func CheckPressure(rep ScheduleReport, c Contract) []Finding {
+	const pass = "pressure"
+	c = c.normalized()
+	const eps = 1e-9
+	var fs []Finding
+	if c.MaxLoadPressure > 0 && rep.LoadPressure > c.MaxLoadPressure+eps {
+		fs = append(fs, Finding{Pass: pass,
+			Msg: fmt.Sprintf("load-pipe pressure %.2f (%d loads in an OoO window with capacity %d) exceeds the contract ceiling %.2f",
+				rep.LoadPressure, rep.MaxLoadsPerWindow, rep.LoadCapacityPerWindow, c.MaxLoadPressure)})
+	}
+	if c.MaxStorePressure > 0 && rep.StorePressure > c.MaxStorePressure+eps {
+		fs = append(fs, Finding{Pass: pass,
+			Msg: fmt.Sprintf("store-pipe pressure %.2f (%d stores in an OoO window with capacity %d) exceeds the contract ceiling %.2f",
+				rep.StorePressure, rep.MaxStoresPerWindow, rep.StoreCapacityPerWindow, c.MaxStorePressure)})
+	}
+	return fs
+}

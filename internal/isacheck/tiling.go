@@ -1,0 +1,41 @@
+package isacheck
+
+import (
+	"fmt"
+
+	"libshalom/internal/analytic"
+	"libshalom/internal/isa"
+)
+
+// CheckTiling enforces the §5.2 register-tiling conformance: the declared
+// (mr, nr, j) must be feasible under Eq. 1, and the peak register pressure
+// the liveness analysis measures must equal the model's prediction — a kernel
+// using fewer registers than Eq. 1 says wastes tile capacity, one using more
+// is not the tile it claims to be.
+func CheckTiling(p *isa.Program, c Contract, rep *isa.Report) []Finding {
+	const pass = "tiling"
+	var fs []Finding
+	if p.ElemBytes != c.Elem {
+		fs = append(fs, Finding{Pass: pass,
+			Msg: fmt.Sprintf("program element size %dB does not match the contract's %dB", p.ElemBytes, c.Elem)})
+		return fs
+	}
+	exp := c.ExpectedRegs()
+	if exp > 32 {
+		fs = append(fs, Finding{Pass: pass,
+			Msg: fmt.Sprintf("declared %dx%d tile needs %d registers (Eq. 1) — infeasible on a 32-register file",
+				c.MR, c.NR, exp)})
+		return fs
+	}
+	if c.Kind == KindMain && c.Pipelined && exp > analytic.RegisterBudget {
+		fs = append(fs, Finding{Pass: pass,
+			Msg: fmt.Sprintf("pipelined main tile needs %d registers, over the Eq. 1 budget of %d (one reserved for prefetch)",
+				exp, analytic.RegisterBudget)})
+	}
+	if rep.PeakLive != exp {
+		fs = append(fs, Finding{Pass: pass,
+			Msg: fmt.Sprintf("peak live registers %d, but Eq. 1 predicts %d for the declared %dx%d tile",
+				rep.PeakLive, exp, c.MR, c.NR)})
+	}
+	return fs
+}
