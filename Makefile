@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race lint check fuzz
+.PHONY: build test vet race lint check fuzz test-chaos
 
 build:
 	$(GO) build ./...
@@ -16,6 +16,13 @@ test:
 race:
 	$(GO) test -race ./internal/parallel/... ./internal/core/...
 
+# Fault-injection chaos suite: every injected fault (kernel panic, corrupt
+# packing buffer, slow worker, spurious NaN) must surface as a typed error
+# or a correct degraded result, with the runtime still usable afterwards.
+# Runs under the race detector because the faults fire inside pool workers.
+test-chaos:
+	$(GO) test -race ./internal/faults/... ./internal/guard/... ./internal/parallel/...
+
 # Static kernel verification: every registered micro-kernel must clear all
 # five isacheck passes on every modelled platform.
 lint:
@@ -27,4 +34,4 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzAnalyze -fuzztime=10s ./internal/isa/
 
 # The CI gate.
-check: vet build test race lint
+check: vet build test race test-chaos lint

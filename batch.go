@@ -1,6 +1,10 @@
 package libshalom
 
-import "libshalom/internal/core"
+import (
+	"context"
+
+	"libshalom/internal/core"
+)
 
 // SBatchEntry is one independent FP32 GEMM of a batch call.
 type SBatchEntry = core.BatchEntry[float32]
@@ -14,25 +18,37 @@ type DBatchEntry = core.BatchEntry[float64]
 // single-threaded driver; parallelism comes from problem independence —
 // the pattern CP2K's block-sparse multiplications use.
 //
-// Entries must not write overlapping C storage; CheckBatchAliasing from
-// the same package family is available through core for debug use.
+// Entries must not write overlapping C storage; CheckSBatchAliasing checks
+// that, and a Context built WithAliasCheck validates it on every batch call.
 func (c *Context) SGEMMBatch(mode Mode, batch []SBatchEntry) error {
-	threads := c.threads
-	if threads == 0 {
-		threads = batchThreads(len(batch))
-	}
-	cfg := core.Config{Plat: c.plat, Threads: threads, Pool: c.ensurePool(threads)}
-	return core.SGEMMBatch(cfg, mode, batch)
+	return c.SGEMMBatchCtx(context.Background(), mode, batch)
 }
 
 // DGEMMBatch is the FP64 counterpart of SGEMMBatch.
 func (c *Context) DGEMMBatch(mode Mode, batch []DBatchEntry) error {
+	return c.DGEMMBatchCtx(context.Background(), mode, batch)
+}
+
+// SGEMMBatchCtx is SGEMMBatch with cooperative cancellation: the runtime
+// observes ctx between entries (an entry runs whole or not at all) and a
+// cancelled context aborts the rest of the batch with a *BatchCancelError —
+// errors.Is(err, context.Canceled) holds, Completed counts entries whose
+// results are exactly those of an uncancelled run.
+func (c *Context) SGEMMBatchCtx(ctx context.Context, mode Mode, batch []SBatchEntry) error {
 	threads := c.threads
 	if threads == 0 {
 		threads = batchThreads(len(batch))
 	}
-	cfg := core.Config{Plat: c.plat, Threads: threads, Pool: c.ensurePool(threads)}
-	return core.DGEMMBatch(cfg, mode, batch)
+	return core.SGEMMBatchCtx(ctx, c.config(threads), mode, batch)
+}
+
+// DGEMMBatchCtx is the FP64 counterpart of SGEMMBatchCtx.
+func (c *Context) DGEMMBatchCtx(ctx context.Context, mode Mode, batch []DBatchEntry) error {
+	threads := c.threads
+	if threads == 0 {
+		threads = batchThreads(len(batch))
+	}
+	return core.DGEMMBatchCtx(ctx, c.config(threads), mode, batch)
 }
 
 // batchThreads is the automatic policy for batch calls: one thread for a

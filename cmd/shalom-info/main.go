@@ -1,6 +1,8 @@
 // Command shalom-info prints the reproduction's analytic state: the Table 1
 // platform models, the solved micro-kernel tiles (Eq. 1–2), the derived
-// cache blocking parameters, and example parallel partitions (§6).
+// cache blocking parameters, example parallel partitions (§6), and the
+// kernel health report (which kernel paths, if any, are demoted to the
+// portable reference implementation).
 package main
 
 import (
@@ -11,15 +13,55 @@ import (
 
 	"libshalom/internal/analytic"
 	"libshalom/internal/bench"
+	"libshalom/internal/guard"
+	_ "libshalom/internal/kernels" // registers the micro-kernel catalogue
 	"libshalom/internal/platform"
 )
 
+// printDegraded runs the registration-time contract verification for each
+// platform and reports any kernel paths demoted to the reference
+// implementation. A healthy build prints "none".
+func printDegraded(plats []*platform.Platform) {
+	for _, p := range plats {
+		guard.VerifyContracts(p)
+	}
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "platform\tkernel path\treason\tdetail")
+	any := false
+	for _, p := range plats {
+		for _, d := range guard.List(p.Name) {
+			any = true
+			fmt.Fprintf(tw, "%s\t%s\t%s\t%s\n", d.Platform, d.Kernel, d.Reason, d.Detail)
+		}
+	}
+	tw.Flush()
+	if !any {
+		fmt.Println("none: all registered kernels clear their isacheck contracts")
+	}
+}
+
 func main() {
 	table1 := flag.Bool("table1", false, "print only the Table 1 platform table")
+	platName := flag.String("platform", "", "restrict the report to one platform (e.g. kp920, phytium2000, thunderx2)")
+	degraded := flag.Bool("degraded", false, "print only the degraded-kernel report")
 	flag.Parse()
+
+	plats := platform.All()
+	if *platName != "" {
+		p := platform.ByName(*platName)
+		if p == nil {
+			fmt.Fprintf(os.Stderr, "shalom-info: unknown platform %q\n", *platName)
+			os.Exit(2)
+		}
+		plats = []*platform.Platform{p}
+	}
 
 	if *table1 {
 		bench.Table1(os.Stdout)
+		return
+	}
+	if *degraded {
+		printDegraded(plats)
 		return
 	}
 
@@ -42,7 +84,7 @@ func main() {
 	fmt.Println("\n== Cache blocking parameters (mc, kc, nc) ==")
 	tw = tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "platform\tprecision\tmc\tkc\tnc")
-	for _, p := range platform.All() {
+	for _, p := range plats {
 		for _, eb := range []int{4, 8} {
 			b := analytic.BlockingFor(p, eb)
 			name := "FP32"
@@ -74,4 +116,7 @@ func main() {
 		fmt.Fprintf(tw, "%d\t%d\t%d\t%dx%d\n", c[0], c[1], c[2], part.TM, part.TN)
 	}
 	tw.Flush()
+
+	fmt.Println("\n== Degraded kernels (fallback chain) ==")
+	printDegraded(plats)
 }

@@ -1,0 +1,66 @@
+package libshalom
+
+import (
+	"libshalom/internal/core"
+	"libshalom/internal/guard"
+)
+
+// Failure behaviour of the hardened runtime. LibShalom never lets a
+// misbehaving kernel take down the process: panics inside the execution
+// path are recovered and surfaced as *KernelPanicError, and under
+// WithNumericGuard a kernel family that panics or produces NaN/Inf from
+// finite inputs is demoted — per (platform, precision) — to the portable
+// reference path, after which calls keep succeeding with a recorded
+// Degradation. See DESIGN.md, "Degradation model and error taxonomy".
+
+// KernelPanicError is returned when a fast-path block computation panics
+// and the numeric guard is not enabled: the worker recovered, the pool
+// stayed usable, and the error carries platform, mode, kernel path, the C
+// block coordinates (plus batch entry index, if any) and the stack.
+type KernelPanicError = guard.KernelPanicError
+
+// DegradedReason classifies why a kernel path was demoted: a static
+// contract violation found at registration verification, a runtime panic,
+// or the numeric guard.
+type DegradedReason = guard.Reason
+
+// Demotion reasons.
+const (
+	DegradedContract = guard.ReasonContract
+	DegradedPanic    = guard.ReasonPanic
+	DegradedNumeric  = guard.ReasonNumeric
+)
+
+// Degradation records one demotion of a kernel path to the reference path.
+type Degradation = guard.Degradation
+
+// BatchCancelError reports a batch call abandoned on context cancellation,
+// with partial-completion accounting. errors.Is(err, context.Canceled)
+// (or DeadlineExceeded) sees through it.
+type BatchCancelError = core.BatchCancelError
+
+// ErrAliasedBatch is returned when a batch's entries write overlapping C
+// storage (checked by CheckSBatchAliasing/CheckDBatchAliasing, and up front
+// by batch calls on a Context built WithAliasCheck).
+var ErrAliasedBatch = core.ErrAliasedBatch
+
+// Degradations lists every kernel path currently demoted to the reference
+// path, across all platforms, sorted by (platform, kernel).
+func Degradations() []Degradation { return guard.List("") }
+
+// DegradationsFor lists the demotions recorded for one platform.
+func DegradationsFor(p *Platform) []Degradation { return guard.List(p.Name) }
+
+// ResetDegradations clears the degradation registry and the per-platform
+// contract-verification memo, re-promoting every kernel path. Meant for
+// tests and for operators re-arming the fast path after an investigated
+// incident.
+func ResetDegradations() { guard.Reset() }
+
+// CheckSBatchAliasing reports ErrAliasedBatch if two FP32 batch entries
+// write overlapping C storage. Adjacent-but-disjoint views of one backing
+// array pass.
+func CheckSBatchAliasing(batch []SBatchEntry) error { return core.CheckBatchAliasing(batch) }
+
+// CheckDBatchAliasing is the FP64 counterpart of CheckSBatchAliasing.
+func CheckDBatchAliasing(batch []DBatchEntry) error { return core.CheckBatchAliasing(batch) }

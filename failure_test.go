@@ -1,0 +1,139 @@
+package libshalom_test
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"libshalom"
+)
+
+func refGEMM(m, n, k int, alpha float32, a, b []float32, beta float32, c []float32) {
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var acc float64
+			for p := 0; p < k; p++ {
+				acc += float64(a[i*k+p]) * float64(b[p*n+j])
+			}
+			c[i*n+j] = alpha*float32(acc) + beta*c[i*n+j]
+		}
+	}
+}
+
+func fill(s []float32, seed uint32) {
+	x := seed | 1
+	for i := range s {
+		x ^= x << 13
+		x ^= x >> 17
+		x ^= x << 5
+		s[i] = float32(x%1000)/1000 - 0.5
+	}
+}
+
+// WithAliasCheck: overlapping C storage is rejected up front with the
+// exported ErrAliasedBatch; adjacent-but-disjoint views pass. The exported
+// CheckSBatchAliasing gives callers the same check directly.
+func TestPublicAliasChecking(t *testing.T) {
+	ctx := libshalom.New(libshalom.WithAliasCheck(), libshalom.WithThreads(1))
+	defer ctx.Close()
+	a := make([]float32, 16)
+	fill(a, 3)
+	backing := make([]float32, 48)
+	mk := func(c []float32) libshalom.SBatchEntry {
+		return libshalom.SBatchEntry{M: 4, N: 4, K: 4, Alpha: 1,
+			A: a, LDA: 4, B: a, LDB: 4, Beta: 0, C: c, LDC: 4}
+	}
+	disjoint := []libshalom.SBatchEntry{mk(backing[0:16]), mk(backing[16:32])}
+	if err := libshalom.CheckSBatchAliasing(disjoint); err != nil {
+		t.Fatalf("CheckSBatchAliasing rejected disjoint views: %v", err)
+	}
+	if err := ctx.SGEMMBatch(libshalom.NN, disjoint); err != nil {
+		t.Fatalf("disjoint batch rejected: %v", err)
+	}
+	overlap := []libshalom.SBatchEntry{mk(backing[0:16]), mk(backing[8:24])}
+	if err := libshalom.CheckSBatchAliasing(overlap); !errors.Is(err, libshalom.ErrAliasedBatch) {
+		t.Fatalf("CheckSBatchAliasing = %v, want ErrAliasedBatch", err)
+	}
+	if err := ctx.SGEMMBatch(libshalom.NN, overlap); !errors.Is(err, libshalom.ErrAliasedBatch) {
+		t.Fatalf("aliased batch: err = %v, want ErrAliasedBatch", err)
+	}
+	// FP64 flavour of the exported check.
+	dBacking := make([]float64, 32)
+	dmk := func(c []float64) libshalom.DBatchEntry {
+		return libshalom.DBatchEntry{M: 4, N: 4, K: 4, Alpha: 1,
+			A: make([]float64, 16), LDA: 4, B: make([]float64, 16), LDB: 4, Beta: 0, C: c, LDC: 4}
+	}
+	if err := libshalom.CheckDBatchAliasing([]libshalom.DBatchEntry{dmk(dBacking[0:16]), dmk(dBacking[8:24])}); !errors.Is(err, libshalom.ErrAliasedBatch) {
+		t.Fatalf("CheckDBatchAliasing = %v, want ErrAliasedBatch", err)
+	}
+}
+
+// SGEMMBatchCtx with a cancelled context returns context.Canceled through a
+// *BatchCancelError and runs nothing.
+func TestPublicBatchCtxCancelled(t *testing.T) {
+	c := libshalom.New(libshalom.WithThreads(2))
+	defer c.Close()
+	a := make([]float32, 36)
+	fill(a, 5)
+	out := make([]float32, 36)
+	batch := []libshalom.SBatchEntry{{M: 6, N: 6, K: 6, Alpha: 1,
+		A: a, LDA: 6, B: a, LDB: 6, Beta: 0, C: out, LDC: 6}}
+	cctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := c.SGEMMBatchCtx(cctx, libshalom.NN, batch)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	var bce *libshalom.BatchCancelError
+	if !errors.As(err, &bce) || bce.Completed != 0 || bce.Total != 1 {
+		t.Fatalf("err = %v, want *BatchCancelError with 0/1 accounting", err)
+	}
+	for i, v := range out {
+		if v != 0 {
+			t.Fatalf("entry ran under a cancelled context (out[%d]=%v)", i, v)
+		}
+	}
+	// The same call with a live context completes and matches the oracle.
+	if err := c.SGEMMBatchCtx(context.Background(), libshalom.NN, batch); err != nil {
+		t.Fatalf("live-context batch failed: %v", err)
+	}
+	want := make([]float32, 36)
+	refGEMM(6, 6, 6, 1, a, a, 0, want)
+	for i := range out {
+		if math.Abs(float64(out[i]-want[i])) > 1e-4 {
+			t.Fatalf("out[%d] = %v, want %v", i, out[i], want[i])
+		}
+	}
+}
+
+// WithNumericGuard on a healthy library: results unchanged, nothing
+// demoted, and the degradation surface is reachable through the public API.
+func TestPublicNumericGuardHealthyPath(t *testing.T) {
+	libshalom.ResetDegradations()
+	defer libshalom.ResetDegradations()
+	c := libshalom.New(libshalom.WithNumericGuard(), libshalom.WithThreads(1))
+	defer c.Close()
+	m, n, k := 17, 13, 9
+	a := make([]float32, m*k)
+	b := make([]float32, k*n)
+	out := make([]float32, m*n)
+	fill(a, 7)
+	fill(b, 9)
+	if err := c.SGEMM(libshalom.NN, m, n, k, 1, a, k, b, n, 0, out, n); err != nil {
+		t.Fatalf("guarded SGEMM failed: %v", err)
+	}
+	want := make([]float32, m*n)
+	refGEMM(m, n, k, 1, a, b, 0, want)
+	for i := range out {
+		if math.Abs(float64(out[i]-want[i])) > 1e-4 {
+			t.Fatalf("out[%d] = %v, want %v", i, out[i], want[i])
+		}
+	}
+	if ds := libshalom.Degradations(); len(ds) != 0 {
+		t.Fatalf("healthy guarded run demoted kernels: %+v", ds)
+	}
+	if ds := libshalom.DegradationsFor(libshalom.KP920()); len(ds) != 0 {
+		t.Fatalf("DegradationsFor reports demotions: %+v", ds)
+	}
+}

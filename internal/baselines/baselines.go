@@ -211,8 +211,7 @@ func blGemm[T core.Float](lib Lib, plat *platform.Platform, threads int, mode co
 					gotoGemm(spec, plat, mode, blk.M, blk.N, k, alpha, a[aOff:], lda, b[bOff:], ldb, beta, c[blk.I0*ldc+blk.J0:], ldc, o)
 				}
 			}
-			pool.Run(tasks)
-			return nil
+			return pool.Run(tasks)
 		}
 	}
 	gotoGemm(spec, plat, mode, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc, o)

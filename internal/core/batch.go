@@ -1,11 +1,14 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"unsafe"
 
 	"libshalom/internal/analytic"
+	"libshalom/internal/guard"
 	"libshalom/internal/parallel"
 )
 
@@ -26,47 +29,114 @@ type BatchEntry[T Float] struct {
 	LDC     int
 }
 
+// BatchCancelError reports a batch call abandoned because its context was
+// cancelled: Completed entries ran to completion (their results are exactly
+// what the uncancelled run would have produced — entries never run
+// partially), the remaining Total-Completed entries were not started.
+// Unwrap returns the context's error, so errors.Is(err, context.Canceled)
+// and errors.Is(err, context.DeadlineExceeded) work as expected.
+type BatchCancelError struct {
+	Completed, Total int
+	Cause            error
+}
+
+func (e *BatchCancelError) Error() string {
+	return fmt.Sprintf("core: batch cancelled after %d/%d entries: %v", e.Completed, e.Total, e.Cause)
+}
+
+// Unwrap returns the context error that caused the cancellation.
+func (e *BatchCancelError) Unwrap() error { return e.Cause }
+
 // SGEMMBatch executes a batch of independent FP32 GEMMs, all under the same
 // transposition mode. Entries are validated up front; execution is
 // all-or-nothing with respect to validation (no entry runs if any is
 // malformed), and per-entry results are independent.
 func SGEMMBatch(cfg Config, mode Mode, batch []BatchEntry[float32]) error {
-	return gemmBatch(cfg, f32Kernels(), mode, batch)
+	return gemmBatch(context.Background(), cfg, f32Kernels(), mode, batch)
 }
 
 // DGEMMBatch is the FP64 counterpart of SGEMMBatch.
 func DGEMMBatch(cfg Config, mode Mode, batch []BatchEntry[float64]) error {
-	return gemmBatch(cfg, f64Kernels(), mode, batch)
+	return gemmBatch(context.Background(), cfg, f64Kernels(), mode, batch)
 }
 
-func gemmBatch[T Float](cfg Config, ks kernelSet[T], mode Mode, batch []BatchEntry[T]) error {
+// SGEMMBatchCtx is SGEMMBatch with cooperative cancellation: the runtime
+// polls ctx between entries (never inside one), and a cancelled context
+// aborts the remaining entries with a *BatchCancelError carrying
+// partial-completion accounting.
+func SGEMMBatchCtx(ctx context.Context, cfg Config, mode Mode, batch []BatchEntry[float32]) error {
+	return gemmBatch(ctx, cfg, f32Kernels(), mode, batch)
+}
+
+// DGEMMBatchCtx is the FP64 counterpart of SGEMMBatchCtx.
+func DGEMMBatchCtx(ctx context.Context, cfg Config, mode Mode, batch []BatchEntry[float64]) error {
+	return gemmBatch(ctx, cfg, f64Kernels(), mode, batch)
+}
+
+func gemmBatch[T Float](ctx context.Context, cfg Config, ks kernelSet[T], mode Mode, batch []BatchEntry[T]) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	for i, e := range batch {
 		if err := checkArgs(mode, e.M, e.N, e.K, e.A, e.LDA, e.B, e.LDB, e.C, e.LDC); err != nil {
 			return fmt.Errorf("core: batch entry %d: %w", i, err)
+		}
+	}
+	if cfg.CheckAlias {
+		if err := CheckBatchAliasing(batch); err != nil {
+			return err
 		}
 	}
 	if len(batch) == 0 {
 		return nil
 	}
 	plat := cfg.platform()
+	guard.VerifyContracts(plat)
+	demoted := guard.IsDemoted(plat.Name, guard.PathFor(ks.elemBytes))
 	tile := analytic.SolveForElem(ks.elemBytes)
 	blk := analytic.BlockingFor(plat, ks.elemBytes)
 
-	runOne := func(e BatchEntry[T]) {
+	// completed counts entries that ran to the end; entries run whole or
+	// not at all, so completed-entry results are identical to an
+	// uncancelled run's.
+	var completed atomic.Int64
+
+	execOne := func(i int, e BatchEntry[T]) error {
 		if e.M == 0 || e.N == 0 {
-			return
+			return nil
 		}
 		if e.Alpha == 0 || e.K == 0 {
 			scaleAll(ks, e.M, e.N, e.Beta, e.C, e.LDC)
-			return
+			return nil
 		}
-		gemmST(ks, plat, tile, blk, mode, e.M, e.N, e.K, e.Alpha, e.A, e.LDA, e.B, e.LDB, e.Beta, e.C, e.LDC)
+		if demoted {
+			ks.ref(mode.TransA(), mode.TransB(), e.M, e.N, e.K, e.Alpha, e.A, e.LDA, e.B, e.LDB, e.Beta, e.C, e.LDC)
+			return nil
+		}
+		bl := parallel.Block{I0: 0, J0: 0, M: e.M, N: e.N}
+		return runBlock(cfg, ks, plat, tile, blk, mode, bl, i, e.K,
+			e.Alpha, e.A, e.LDA, e.B, e.LDB, e.Beta, e.C, e.LDC)
+	}
+	runOne := func(i int, e BatchEntry[T]) error {
+		if err := execOne(i, e); err != nil {
+			return err
+		}
+		completed.Add(1)
+		return nil
+	}
+	cancelErr := func() error {
+		return &BatchCancelError{Completed: int(completed.Load()), Total: len(batch), Cause: ctx.Err()}
 	}
 
 	threads := cfg.Threads
 	if threads <= 1 || len(batch) == 1 {
-		for _, e := range batch {
-			runOne(e)
+		for i, e := range batch {
+			if ctx.Err() != nil {
+				return cancelErr()
+			}
+			if err := runOne(i, e); err != nil {
+				return err
+			}
 		}
 		return nil
 	}
@@ -81,19 +151,39 @@ func gemmBatch[T Float](cfg Config, ks kernelSet[T], mode Mode, batch []BatchEnt
 		chunk = 1
 	}
 	var tasks []func()
+	var errSlots []error
 	for lo := 0; lo < len(batch); lo += chunk {
 		hi := lo + chunk
 		if hi > len(batch) {
 			hi = len(batch)
 		}
-		sub := batch[lo:hi]
+		lo, hi := lo, hi
+		slot := len(errSlots)
+		errSlots = append(errSlots, nil)
 		tasks = append(tasks, func() {
-			for _, e := range sub {
-				runOne(e)
+			for i := lo; i < hi; i++ {
+				if ctx.Err() != nil {
+					return
+				}
+				if err := runOne(i, batch[i]); err != nil {
+					errSlots[slot] = err
+					return
+				}
 			}
 		})
 	}
-	pool.Run(tasks)
+	poolErr := pool.Run(tasks)
+	for _, err := range errSlots {
+		if err != nil {
+			return err
+		}
+	}
+	if poolErr != nil {
+		return poolErr
+	}
+	if ctx.Err() != nil {
+		return cancelErr()
+	}
 	return nil
 }
 
@@ -104,7 +194,9 @@ var ErrAliasedBatch = errors.New("core: batch entries write overlapping C storag
 // CheckBatchAliasing detects entries whose C slices share underlying
 // storage regions. The batch runner does not synchronize between entries,
 // so aliased outputs race; callers can run this check in tests or debug
-// builds. Detection compares the address extents of the C slices.
+// builds, and batch calls run it up front when Config.CheckAlias is set.
+// Detection compares the address extents of the C slices, so
+// adjacent-but-disjoint views of one backing array pass.
 func CheckBatchAliasing[T Float](batch []BatchEntry[T]) error {
 	type extent struct{ lo, hi uintptr }
 	var elem T

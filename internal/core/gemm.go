@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"libshalom/internal/analytic"
+	"libshalom/internal/guard"
 	"libshalom/internal/kernels"
 	"libshalom/internal/pack"
 	"libshalom/internal/parallel"
@@ -23,6 +24,15 @@ type Config struct {
 	// Pool optionally supplies a shared worker pool. When nil and
 	// Threads > 1 a transient pool is created for the call.
 	Pool *parallel.Pool
+	// NumericGuard enables the runtime numeric guard: operand and result
+	// blocks are scanned for NaN/Inf, and a fast path that panics or
+	// manufactures non-finite values from finite inputs is demoted to the
+	// portable reference path (the call still succeeds, degraded).
+	NumericGuard bool
+	// CheckAlias makes batch calls validate up front that no two entries
+	// write overlapping C storage, returning ErrAliasedBatch instead of
+	// racing.
+	CheckAlias bool
 }
 
 func (c Config) platform() *platform.Platform {
@@ -46,6 +56,9 @@ type kernelSet[T Float] struct {
 	ntPack    func(mr, nr, kc int, alpha T, a []T, lda int, bT []T, ldbT int, beta T, c []T, ldc int, bc []T, nrTotal, jOff int)
 	scale     func(mr, nr int, beta T, c []T, ldc int)
 	packAT    func(dst []T, at []T, ldat, i0, k0, mc, kc int)
+	// ref is the portable reference GEMM the guard demotes to when the
+	// fast-path kernel family misbehaves (internal/guard fallback chain).
+	ref func(transA, transB bool, m, n, k int, alpha T, a []T, lda int, b []T, ldb int, beta T, c []T, ldc int)
 }
 
 func f32Kernels() kernelSet[float32] {
@@ -57,6 +70,7 @@ func f32Kernels() kernelSet[float32] {
 		ntPack:    kernels.SGEMMMicroNTPack,
 		scale:     kernels.SScaleRows,
 		packAT:    pack.PackATransposedF32,
+		ref:       kernels.SGEMMRef,
 	}
 }
 
@@ -69,6 +83,7 @@ func f64Kernels() kernelSet[float64] {
 		ntPack:    kernels.DGEMMMicroNTPack,
 		scale:     kernels.DScaleRows,
 		packAT:    pack.PackATransposedF64,
+		ref:       kernels.DGEMMRef,
 	}
 }
 
@@ -130,8 +145,26 @@ func gemm[T Float](cfg Config, ks kernelSet[T], mode Mode, m, n, k int, alpha T,
 		return nil
 	}
 	plat := cfg.platform()
+	// Registration-time leg of the fallback chain: statically verify the
+	// kernel catalogue's contracts for this platform (memoised per
+	// platform), demoting any kernel family that fails.
+	guard.VerifyContracts(plat)
+	if guard.IsDemoted(plat.Name, guard.PathFor(ks.elemBytes)) {
+		ks.ref(mode.TransA(), mode.TransB(), m, n, k, alpha, a, lda, b, ldb, beta, c, ldc)
+		return nil
+	}
 	tile := analytic.SolveForElem(ks.elemBytes)
 	blk := analytic.BlockingFor(plat, ks.elemBytes)
+
+	// runOne executes one C sub-block through the hardened block runner;
+	// operand origins shift per block and mode.
+	runOne := func(bl parallel.Block) error {
+		aOff, ldaEff := threadAOffset(mode, bl.I0, lda)
+		bOff := threadBOffset(mode, bl.J0, ldb)
+		return runBlock(cfg, ks, plat, tile, blk, mode, bl, -1, k,
+			alpha, a[aOff:], ldaEff, b[bOff:], ldb,
+			beta, c[bl.I0*ldc+bl.J0:], ldc)
+	}
 
 	if cfg.Threads > 1 {
 		part := analytic.PartitionFor(m, n, cfg.Threads)
@@ -142,25 +175,24 @@ func gemm[T Float](cfg Config, ks kernelSet[T], mode Mode, m, n, k int, alpha T,
 				pool = parallel.NewPool(cfg.Threads)
 				defer pool.Close()
 			}
+			// Each task owns a disjoint C sub-block, so per-task error
+			// slots need no synchronization beyond the pool's join.
+			errs := make([]error, len(blocks))
 			tasks := make([]func(), len(blocks))
 			for bi, blkC := range blocks {
-				blkC := blkC
-				tasks[bi] = func() {
-					// Each thread owns a disjoint C sub-block and walks the
-					// full K; operand origins shift per block and mode.
-					aOff, ldaEff := threadAOffset(mode, blkC.I0, lda)
-					bOff := threadBOffset(mode, blkC.J0, ldb)
-					gemmST(ks, plat, tile, blk, mode, blkC.M, blkC.N, k,
-						alpha, a[aOff:], ldaEff, b[bOff:], ldb,
-						beta, c[blkC.I0*ldc+blkC.J0:], ldc)
+				bi, blkC := bi, blkC
+				tasks[bi] = func() { errs[bi] = runOne(blkC) }
+			}
+			poolErr := pool.Run(tasks)
+			for _, err := range errs {
+				if err != nil {
+					return err
 				}
 			}
-			pool.Run(tasks)
-			return nil
+			return poolErr
 		}
 	}
-	gemmST(ks, plat, tile, blk, mode, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc)
-	return nil
+	return runOne(parallel.Block{I0: 0, J0: 0, M: m, N: n})
 }
 
 // threadAOffset returns the element offset into A for a thread whose C block

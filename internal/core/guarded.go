@@ -1,0 +1,166 @@
+package core
+
+import (
+	"math"
+	"runtime/debug"
+
+	"libshalom/internal/analytic"
+	"libshalom/internal/faults"
+	"libshalom/internal/guard"
+	"libshalom/internal/parallel"
+	"libshalom/internal/platform"
+)
+
+// This file is the dynamic-hardening layer of the driver: every block
+// computation (a thread's C sub-block, or one batch entry) runs through
+// runBlock, which provides
+//
+//   - panic isolation, always on: a panicking fast path is recovered and
+//     surfaced as a *guard.KernelPanicError instead of crashing the process
+//     or killing a pool worker;
+//   - the numeric guard, when Config.NumericGuard is set: if the fast path
+//     panics or introduces NaN/Inf into a C block whose inputs were all
+//     finite, the (platform, precision) kernel family is demoted, the block
+//     is restored from a snapshot and recomputed on the portable reference
+//     path, and the call still succeeds — degraded, recorded, correct.
+//
+// The faults package's injection points live here (and only fire when a
+// test armed them), so the chaos suite exercises exactly the machinery
+// production calls use.
+
+// runBlock executes the fast path for one C block with panic isolation and
+// (optionally) the numeric guard. a, b and c are the block-relative operand
+// views the caller derived (the same views gemmST consumes); bl carries the
+// absolute block coordinates for error reporting, and entry the batch entry
+// index (-1 outside batch calls).
+func runBlock[T Float](cfg Config, ks kernelSet[T], plat *platform.Platform, tile analytic.Tile, blk analytic.Blocking, mode Mode, bl parallel.Block, entry, k int, alpha T, a []T, lda int, b []T, ldb int, beta T, c []T, ldc int) error {
+	m, n := bl.M, bl.N
+	ksEff := ks
+	var inputsFinite bool
+	var snap []T
+	if cfg.NumericGuard {
+		if faults.Armed(faults.CorruptPack) {
+			ksEff = corruptPackKernels(ks)
+		}
+		inputsFinite = finiteOperands(mode, m, n, k, a, lda, b, ldb, beta, c, ldc)
+		snap = snapshotC(c, m, n, ldc)
+	}
+	panicErr := protect(plat, mode, ks.elemBytes, bl, entry, func() {
+		if faults.Fire(faults.PanicInKernel) {
+			panic(faults.InjectedPanicMsg)
+		}
+		gemmST(ksEff, plat, tile, blk, mode, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc)
+		if cfg.NumericGuard && faults.Fire(faults.SpuriousNaN) {
+			c[0] = T(math.NaN())
+		}
+	})
+	if !cfg.NumericGuard {
+		return panicErr
+	}
+	path := guard.PathFor(ks.elemBytes)
+	switch {
+	case panicErr != nil:
+		guard.Demote(plat.Name, path, guard.ReasonPanic, panicErr.Error())
+	case inputsFinite && !finiteRect(c, m, n, ldc):
+		guard.Demote(plat.Name, path, guard.ReasonNumeric,
+			"fast path produced NaN/Inf from all-finite inputs")
+	default:
+		return nil
+	}
+	// Demoted: restore the block and recompute on the reference path. The
+	// degraded call succeeds; the degradation registry records why.
+	restoreC(c, snap, m, n, ldc)
+	ks.ref(mode.TransA(), mode.TransB(), m, n, k, alpha, a, lda, b, ldb, beta, c, ldc)
+	return nil
+}
+
+// protect runs f, converting a panic into a structured KernelPanicError.
+func protect(plat *platform.Platform, mode Mode, elemBytes int, bl parallel.Block, entry int, f func()) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &guard.KernelPanicError{
+				Platform: plat.Name,
+				Mode:     mode.String(),
+				Kernel:   guard.PathFor(elemBytes),
+				I0:       bl.I0, J0: bl.J0, M: bl.M, N: bl.N,
+				Entry: entry,
+				Value: r,
+				Stack: debug.Stack(),
+			}
+		}
+	}()
+	f()
+	return nil
+}
+
+// corruptPackKernels wraps the packing micro-kernels so the CorruptPack
+// injection point can poison the packed-B panel right after it is filled.
+func corruptPackKernels[T Float](ks kernelSet[T]) kernelSet[T] {
+	packB, ntPack := ks.packB, ks.ntPack
+	ks.packB = func(mr, nr, kc int, alpha T, a []T, lda int, b []T, ldb int, beta T, c []T, ldc int, bc []T, nrTotal, jOff int) {
+		packB(mr, nr, kc, alpha, a, lda, b, ldb, beta, c, ldc, bc, nrTotal, jOff)
+		if len(bc) > 0 && faults.Fire(faults.CorruptPack) {
+			bc[0] = T(math.NaN())
+		}
+	}
+	ks.ntPack = func(mr, nr, kc int, alpha T, a []T, lda int, bT []T, ldbT int, beta T, c []T, ldc int, bc []T, nrTotal, jOff int) {
+		ntPack(mr, nr, kc, alpha, a, lda, bT, ldbT, beta, c, ldc, bc, nrTotal, jOff)
+		if len(bc) > 0 && faults.Fire(faults.CorruptPack) {
+			bc[0] = T(math.NaN())
+		}
+	}
+	return ks
+}
+
+// finiteOperands scans the operand views of one block for NaN/Inf. The scan
+// covers the rectangle each effective operand occupies (rows × cols through
+// its leading dimension); C is scanned only when beta != 0, since beta == 0
+// overwrites C without reading it.
+func finiteOperands[T Float](mode Mode, m, n, k int, a []T, lda int, b []T, ldb int, beta T, c []T, ldc int) bool {
+	arows, acols := m, k
+	if mode.TransA() {
+		arows, acols = k, m
+	}
+	brows, bcols := k, n
+	if mode.TransB() {
+		brows, bcols = n, k
+	}
+	if !finiteRect(a, arows, acols, lda) || !finiteRect(b, brows, bcols, ldb) {
+		return false
+	}
+	if beta != 0 && !finiteRect(c, m, n, ldc) {
+		return false
+	}
+	return true
+}
+
+// finiteRect reports whether every element of the rows×cols rectangle with
+// leading dimension ld is finite.
+func finiteRect[T Float](s []T, rows, cols, ld int) bool {
+	for i := 0; i < rows; i++ {
+		row := s[i*ld : i*ld+cols]
+		for _, v := range row {
+			f := float64(v)
+			if math.IsNaN(f) || math.IsInf(f, 0) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// snapshotC copies the m×n C block out of its strided storage.
+func snapshotC[T Float](c []T, m, n, ld int) []T {
+	snap := make([]T, m*n)
+	for i := 0; i < m; i++ {
+		copy(snap[i*n:(i+1)*n], c[i*ld:i*ld+n])
+	}
+	return snap
+}
+
+// restoreC writes a snapshot back into the strided C block.
+func restoreC[T Float](c, snap []T, m, n, ld int) {
+	for i := 0; i < m; i++ {
+		copy(c[i*ld:i*ld+n], snap[i*n:(i+1)*n])
+	}
+}

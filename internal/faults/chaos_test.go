@@ -1,0 +1,298 @@
+// The chaos suite: every injection point in the registry is armed against
+// real driver calls, and the hardened runtime must turn each fault into a
+// typed error or a correct degraded result — never a process crash, never a
+// silently wrong answer. The suite runs under -race via `make test-chaos`.
+package faults_test
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"libshalom/internal/core"
+	"libshalom/internal/faults"
+	"libshalom/internal/guard"
+	"libshalom/internal/mat"
+	"libshalom/internal/platform"
+)
+
+type problem struct {
+	m, n, k     int
+	mode        core.Mode
+	alpha, beta float32
+	a, b, c     *mat.F32
+	want        *mat.F32
+}
+
+// newProblem builds a random GEMM problem and its oracle result.
+func newProblem(seed uint64, mode core.Mode, m, n, k int) *problem {
+	rng := mat.NewRNG(seed)
+	p := &problem{m: m, n: n, k: k, mode: mode, alpha: 1.25, beta: 0.5}
+	arows, acols := m, k
+	if mode.TransA() {
+		arows, acols = k, m
+	}
+	brows, bcols := k, n
+	if mode.TransB() {
+		brows, bcols = n, k
+	}
+	p.a = mat.RandomF32(arows, acols, rng)
+	p.b = mat.RandomF32(brows, bcols, rng)
+	p.c = mat.RandomF32(m, n, rng)
+	p.want = p.c.Clone()
+	mat.RefGEMMF32(mat.Trans(mode.TransA()), mat.Trans(mode.TransB()),
+		p.alpha, p.a, p.b, p.beta, p.want)
+	return p
+}
+
+func (p *problem) run(cfg core.Config) error {
+	return core.SGEMM(cfg, p.mode, p.m, p.n, p.k, p.alpha,
+		p.a.Data, p.a.Stride, p.b.Data, p.b.Stride, p.beta, p.c.Data, p.c.Stride)
+}
+
+func (p *problem) assertCorrect(t *testing.T, what string) {
+	t.Helper()
+	for i := 0; i < p.m; i++ {
+		for j := 0; j < p.n; j++ {
+			got, want := p.c.At(i, j), p.want.At(i, j)
+			if math.Abs(float64(got-want)) > 1e-3*(1+math.Abs(float64(want))) {
+				t.Fatalf("%s: C(%d,%d) = %v, want %v", what, i, j, got, want)
+			}
+		}
+	}
+}
+
+func resetAll() {
+	faults.Reset()
+	guard.Reset()
+}
+
+// A kernel panic without the numeric guard surfaces as a typed
+// *guard.KernelPanicError — on the pooled path and the single-threaded
+// path — and the runtime stays fully usable afterwards.
+func TestChaosPanicYieldsTypedError(t *testing.T) {
+	resetAll()
+	defer resetAll()
+	for _, threads := range []int{1, 4} {
+		faults.Arm(faults.PanicInKernel, 1)
+		p := newProblem(1, core.NN, 128, 128, 32)
+		err := p.run(core.Config{Plat: platform.KP920(), Threads: threads})
+		var kpe *guard.KernelPanicError
+		if !errors.As(err, &kpe) {
+			t.Fatalf("threads=%d: err = %v (%T), want *guard.KernelPanicError", threads, err, err)
+		}
+		if kpe.Value != faults.InjectedPanicMsg {
+			t.Fatalf("threads=%d: panic value = %v", threads, kpe.Value)
+		}
+		if kpe.Platform != platform.KP920().Name || kpe.Kernel != guard.PathF32 || kpe.Mode != "NN" {
+			t.Fatalf("threads=%d: error context = %+v", threads, kpe)
+		}
+		if len(kpe.Stack) == 0 {
+			t.Fatalf("threads=%d: no stack captured", threads)
+		}
+		if len(guard.List("")) != 0 {
+			t.Fatalf("threads=%d: demotion recorded without the guard", threads)
+		}
+		// The fault is spent; the same runtime must answer correctly now.
+		p2 := newProblem(2, core.NN, 128, 128, 32)
+		if err := p2.run(core.Config{Plat: platform.KP920(), Threads: threads}); err != nil {
+			t.Fatalf("threads=%d: call after recovered panic failed: %v", threads, err)
+		}
+		p2.assertCorrect(t, "call after recovered panic")
+	}
+}
+
+// With the numeric guard, a kernel panic demotes the kernel family and the
+// call still answers correctly through the reference path.
+func TestChaosPanicDegradesUnderGuard(t *testing.T) {
+	resetAll()
+	defer resetAll()
+	faults.Arm(faults.PanicInKernel, 1)
+	p := newProblem(3, core.NN, 64, 48, 24)
+	cfg := core.Config{Plat: platform.KP920(), Threads: 1, NumericGuard: true}
+	if err := p.run(cfg); err != nil {
+		t.Fatalf("guarded call returned error: %v", err)
+	}
+	p.assertCorrect(t, "degraded result after panic")
+	d, ok := guard.Demotion(platform.KP920().Name, guard.PathF32)
+	if !ok || d.Reason != guard.ReasonPanic {
+		t.Fatalf("demotion = %+v, %v; want ReasonPanic", d, ok)
+	}
+	// Demoted: later calls keep answering (reference path), still correct.
+	p2 := newProblem(4, core.TN, 33, 29, 17)
+	if err := p2.run(cfg); err != nil {
+		t.Fatalf("post-demotion call failed: %v", err)
+	}
+	p2.assertCorrect(t, "post-demotion call")
+}
+
+// A corrupted packed-B panel (NaN written into Bc after the packing kernel
+// fills it) must be caught by the numeric guard: demote + correct recompute.
+func TestChaosCorruptPackDegrades(t *testing.T) {
+	resetAll()
+	defer resetAll()
+	faults.Arm(faults.CorruptPack, 1)
+	// NT mode always packs B, and m > mr guarantees the poisoned panel is
+	// consumed by later micro-tiles.
+	p := newProblem(5, core.NT, 32, 24, 16)
+	cfg := core.Config{Plat: platform.KP920(), Threads: 1, NumericGuard: true}
+	if err := p.run(cfg); err != nil {
+		t.Fatalf("guarded call returned error: %v", err)
+	}
+	p.assertCorrect(t, "degraded result after pack corruption")
+	if d, ok := guard.Demotion(platform.KP920().Name, guard.PathF32); !ok || d.Reason != guard.ReasonNumeric {
+		t.Fatalf("demotion = %+v, %v; want ReasonNumeric", d, ok)
+	}
+}
+
+// A spurious NaN poked into C after the fast path completes must likewise
+// demote and be recomputed away.
+func TestChaosSpuriousNaNDegrades(t *testing.T) {
+	resetAll()
+	defer resetAll()
+	faults.Arm(faults.SpuriousNaN, 1)
+	p := newProblem(6, core.NN, 21, 25, 30)
+	cfg := core.Config{Plat: platform.KP920(), Threads: 1, NumericGuard: true}
+	if err := p.run(cfg); err != nil {
+		t.Fatalf("guarded call returned error: %v", err)
+	}
+	p.assertCorrect(t, "degraded result after spurious NaN")
+	if d, ok := guard.Demotion(platform.KP920().Name, guard.PathF32); !ok || d.Reason != guard.ReasonNumeric {
+		t.Fatalf("demotion = %+v, %v; want ReasonNumeric", d, ok)
+	}
+}
+
+// Legitimate NaN inputs must pass through untouched: IEEE propagation is
+// the contract, not a fault — no demotion, no recompute.
+func TestChaosNaNInputIsNotAFault(t *testing.T) {
+	resetAll()
+	defer resetAll()
+	p := newProblem(7, core.NN, 14, 12, 9)
+	p.a.Set(3, 2, float32(math.NaN()))
+	cfg := core.Config{Plat: platform.KP920(), Threads: 1, NumericGuard: true}
+	if err := p.run(cfg); err != nil {
+		t.Fatalf("call with NaN input failed: %v", err)
+	}
+	if !math.IsNaN(float64(p.c.At(3, 0))) {
+		t.Fatal("NaN input did not propagate to C")
+	}
+	if len(guard.List("")) != 0 {
+		t.Fatalf("NaN input caused a demotion: %+v", guard.List(""))
+	}
+}
+
+// Slow workers perturb scheduling only: the batch must still produce
+// correct results for every entry.
+func TestChaosSlowWorkerStaysCorrect(t *testing.T) {
+	resetAll()
+	defer resetAll()
+	faults.Arm(faults.SlowWorker, 8)
+	rng := mat.NewRNG(8)
+	const entries = 32
+	batch := make([]core.BatchEntry[float32], entries)
+	cs := make([]*mat.F32, entries)
+	wants := make([]*mat.F32, entries)
+	for i := range batch {
+		m, n, k := 8+i%5, 9+i%4, 7+i%6
+		a := mat.RandomF32(m, k, rng)
+		b := mat.RandomF32(k, n, rng)
+		c := mat.RandomF32(m, n, rng)
+		w := c.Clone()
+		mat.RefGEMMF32(mat.NoTrans, mat.NoTrans, 1, a, b, 0.25, w)
+		cs[i], wants[i] = c, w
+		batch[i] = core.BatchEntry[float32]{M: m, N: n, K: k, Alpha: 1,
+			A: a.Data, LDA: a.Stride, B: b.Data, LDB: b.Stride,
+			Beta: 0.25, C: c.Data, LDC: c.Stride}
+	}
+	if err := core.SGEMMBatch(core.Config{Plat: platform.KP920(), Threads: 4}, core.NN, batch); err != nil {
+		t.Fatalf("batch with slow workers failed: %v", err)
+	}
+	for i := range cs {
+		for j := range cs[i].Data {
+			got, want := cs[i].Data[j], wants[i].Data[j]
+			if math.Abs(float64(got-want)) > 1e-4*(1+math.Abs(float64(want))) {
+				t.Fatalf("entry %d element %d = %v, want %v", i, j, got, want)
+			}
+		}
+	}
+}
+
+// Slow workers plus cancellation: the batch either finishes or reports
+// context.Canceled with accounting that exactly matches the entries whose
+// output was written — no partial entries, no lost updates.
+func TestChaosSlowWorkerWithCancellation(t *testing.T) {
+	resetAll()
+	defer resetAll()
+	faults.Arm(faults.SlowWorker, faults.Unlimited)
+	rng := mat.NewRNG(9)
+	const entries = 48
+	batch := make([]core.BatchEntry[float32], entries)
+	cs := make([]*mat.F32, entries)
+	before := make([]*mat.F32, entries)
+	for i := range batch {
+		m, n, k := 10, 10, 10
+		a := mat.RandomF32(m, k, rng)
+		b := mat.RandomF32(k, n, rng)
+		c := mat.RandomF32(m, n, rng)
+		cs[i], before[i] = c, c.Clone()
+		batch[i] = core.BatchEntry[float32]{M: m, N: n, K: k, Alpha: 1,
+			A: a.Data, LDA: a.Stride, B: b.Data, LDB: b.Stride,
+			Beta: 0.5, C: c.Data, LDC: c.Stride}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(3 * time.Millisecond)
+		cancel()
+	}()
+	err := core.SGEMMBatchCtx(ctx, core.Config{Plat: platform.KP920(), Threads: 4}, core.NN, batch)
+	touched := 0
+	for i := range cs {
+		for j := range cs[i].Data {
+			if cs[i].Data[j] != before[i].Data[j] {
+				touched++
+				break
+			}
+		}
+	}
+	if err == nil {
+		if touched != entries {
+			t.Fatalf("nil error but %d/%d entries ran", touched, entries)
+		}
+		return
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	var bce *core.BatchCancelError
+	if !errors.As(err, &bce) {
+		t.Fatalf("err = %T, want *BatchCancelError", err)
+	}
+	if bce.Completed != touched {
+		t.Fatalf("accounting says %d, but %d entries were written", bce.Completed, touched)
+	}
+}
+
+// Sweep: every registered fault point, armed against a guarded threaded
+// call, must end in a usable runtime and a correct answer on the very next
+// call — the blanket no-crash/no-silent-corruption property.
+func TestChaosEveryPointLeavesRuntimeUsable(t *testing.T) {
+	for _, pt := range faults.Points() {
+		resetAll()
+		faults.Arm(pt, 1)
+		p := newProblem(uint64(10+pt), core.NT, 64, 36, 16)
+		cfg := core.Config{Plat: platform.KP920(), Threads: 4, NumericGuard: true}
+		if err := p.run(cfg); err != nil {
+			t.Fatalf("%v: guarded call errored: %v", pt, err)
+		}
+		p.assertCorrect(t, pt.String()+": guarded call")
+		faults.Reset()
+		p2 := newProblem(uint64(20+pt), core.NT, 64, 36, 16)
+		if err := p2.run(cfg); err != nil {
+			t.Fatalf("%v: follow-up call errored: %v", pt, err)
+		}
+		p2.assertCorrect(t, pt.String()+": follow-up call")
+	}
+	resetAll()
+}

@@ -1,0 +1,140 @@
+// Package faults is the reproduction's fault-injection registry: a set of
+// named injection points compiled into the execution runtime whose disarmed
+// cost is a single atomic load. Tests arm a point with a fire budget, run a
+// workload through the public API, and assert the hardened runtime turns
+// the fault into a typed error or a correct degraded result — never a
+// process crash, never a silently wrong answer. Production code never arms
+// a point; the package has no build tags because the disarmed fast path is
+// cheap enough to live in the hot loop.
+package faults
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Point names one injection site in the execution runtime.
+type Point uint8
+
+const (
+	// PanicInKernel panics inside the fast-path block computation, standing
+	// in for a generated kernel violating memory safety or asserting.
+	PanicInKernel Point = iota
+	// CorruptPack overwrites the first element of the packed-B panel with
+	// NaN right after a packing micro-kernel fills it, standing in for a
+	// packing kernel writing garbage.
+	CorruptPack
+	// SlowWorker delays a worker task by ~1ms, standing in for a stalled
+	// core or a noisy neighbour; it perturbs scheduling, never results.
+	SlowWorker
+	// SpuriousNaN pokes NaN into the C block after the fast path completes,
+	// standing in for a kernel computing a wrong non-finite value.
+	SpuriousNaN
+
+	numPoints
+)
+
+// String names the point for logs and test failures.
+func (p Point) String() string {
+	switch p {
+	case PanicInKernel:
+		return "panic-in-kernel"
+	case CorruptPack:
+		return "corrupt-pack"
+	case SlowWorker:
+		return "slow-worker"
+	case SpuriousNaN:
+		return "spurious-nan"
+	}
+	return "unknown-fault"
+}
+
+// Points lists every injection point, for suites that iterate the registry.
+func Points() []Point {
+	return []Point{PanicInKernel, CorruptPack, SlowWorker, SpuriousNaN}
+}
+
+// InjectedPanicMsg is the panic value used by the PanicInKernel point, so
+// tests can recognise their own injection in a KernelPanicError.
+const InjectedPanicMsg = "faults: injected kernel panic"
+
+// Unlimited arms a point with no fire budget.
+const Unlimited = -1
+
+var (
+	// anyArmed short-circuits every hook while the registry is idle.
+	anyArmed atomic.Bool
+	// counts[p]: 0 disarmed, n>0 fires remaining, Unlimited always fires.
+	counts [numPoints]atomic.Int64
+)
+
+// Arm enables a point for the given number of fires; times <= 0 arms it
+// without a budget (every Fire succeeds until Disarm/Reset).
+func Arm(p Point, times int) {
+	if times <= 0 {
+		counts[p].Store(Unlimited)
+	} else {
+		counts[p].Store(int64(times))
+	}
+	anyArmed.Store(true)
+}
+
+// Disarm disables one point.
+func Disarm(p Point) {
+	counts[p].Store(0)
+	refreshAnyArmed()
+}
+
+// Reset disarms every point.
+func Reset() {
+	for i := range counts {
+		counts[i].Store(0)
+	}
+	anyArmed.Store(false)
+}
+
+func refreshAnyArmed() {
+	for i := range counts {
+		if counts[i].Load() != 0 {
+			anyArmed.Store(true)
+			return
+		}
+	}
+	anyArmed.Store(false)
+}
+
+// Armed reports whether the point would fire, without consuming a fire.
+func Armed(p Point) bool {
+	return anyArmed.Load() && counts[p].Load() != 0
+}
+
+// Fire consumes one fire from the point's budget and reports whether the
+// fault should trigger. The disarmed cost is one atomic load.
+func Fire(p Point) bool {
+	if !anyArmed.Load() {
+		return false
+	}
+	c := &counts[p]
+	for {
+		v := c.Load()
+		if v == 0 {
+			return false
+		}
+		if v == Unlimited {
+			return true
+		}
+		if c.CompareAndSwap(v, v-1) {
+			if v == 1 {
+				refreshAnyArmed()
+			}
+			return true
+		}
+	}
+}
+
+// SleepIfArmed implements the SlowWorker point: a short delay when armed.
+func SleepIfArmed(p Point) {
+	if Fire(p) {
+		time.Sleep(time.Millisecond)
+	}
+}

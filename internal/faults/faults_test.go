@@ -1,0 +1,101 @@
+package faults
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestDisarmedByDefault(t *testing.T) {
+	Reset()
+	for _, p := range Points() {
+		if Armed(p) {
+			t.Fatalf("%v armed with a fresh registry", p)
+		}
+		if Fire(p) {
+			t.Fatalf("%v fired while disarmed", p)
+		}
+	}
+}
+
+func TestArmBudgetIsConsumedExactly(t *testing.T) {
+	Reset()
+	defer Reset()
+	Arm(PanicInKernel, 3)
+	fires := 0
+	for i := 0; i < 10; i++ {
+		if Fire(PanicInKernel) {
+			fires++
+		}
+	}
+	if fires != 3 {
+		t.Fatalf("fired %d times with a budget of 3", fires)
+	}
+	if Armed(PanicInKernel) {
+		t.Fatal("point still armed after its budget drained")
+	}
+}
+
+func TestUnlimitedArm(t *testing.T) {
+	Reset()
+	defer Reset()
+	Arm(SpuriousNaN, Unlimited)
+	for i := 0; i < 100; i++ {
+		if !Fire(SpuriousNaN) {
+			t.Fatal("unlimited arm stopped firing")
+		}
+	}
+	Disarm(SpuriousNaN)
+	if Fire(SpuriousNaN) {
+		t.Fatal("fired after Disarm")
+	}
+	if Armed(SpuriousNaN) {
+		t.Fatal("armed after Disarm")
+	}
+}
+
+func TestPointsAreIndependent(t *testing.T) {
+	Reset()
+	defer Reset()
+	Arm(CorruptPack, 1)
+	if Fire(SlowWorker) {
+		t.Fatal("arming CorruptPack fired SlowWorker")
+	}
+	if !Fire(CorruptPack) {
+		t.Fatal("armed point did not fire")
+	}
+}
+
+// The budget must hold under concurrent Fire calls (the pool's workers all
+// pass through the hooks); run with -race in the chaos target.
+func TestConcurrentFiresRespectBudget(t *testing.T) {
+	Reset()
+	defer Reset()
+	const budget = 100
+	Arm(SlowWorker, budget)
+	var fires atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if Fire(SlowWorker) {
+					fires.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if fires.Load() != budget {
+		t.Fatalf("concurrent fires = %d, want exactly %d", fires.Load(), budget)
+	}
+}
+
+func TestPointNames(t *testing.T) {
+	for _, p := range Points() {
+		if p.String() == "unknown-fault" {
+			t.Fatalf("point %d has no name", p)
+		}
+	}
+}

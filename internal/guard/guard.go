@@ -1,0 +1,152 @@
+// Package guard is the dynamic counterpart of internal/isacheck: where
+// isacheck proves kernel properties statically, guard defends the execution
+// path at runtime. It maintains the per-(platform, kernel-path) degradation
+// registry behind LibShalom's fallback chain — a kernel that fails its
+// static contract, panics at runtime, or trips the numeric guard is demoted
+// to the portable reference path and the library keeps answering — and it
+// defines the structured error types the hardened runtime surfaces instead
+// of crashing the process.
+package guard
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Reason classifies why a kernel path was demoted to the reference path.
+type Reason string
+
+const (
+	// ReasonContract: the kernel failed one of the five isacheck passes for
+	// the platform at (lazy) registration verification.
+	ReasonContract Reason = "contract-violation"
+	// ReasonPanic: the fast path panicked at runtime under the guard.
+	ReasonPanic Reason = "runtime-panic"
+	// ReasonNumeric: the fast path produced NaN/Inf from all-finite inputs.
+	ReasonNumeric Reason = "numeric-guard"
+)
+
+// Kernel-path identifiers: the unit of demotion. The driver's fast path is
+// a coupled family of micro-kernels (main, packing, edge) per precision, so
+// demotion is per precision per platform — one misbehaving member retires
+// the whole generated family in favour of the reference path.
+const (
+	PathF32 = "gemm-f32"
+	PathF64 = "gemm-f64"
+)
+
+// PathFor maps an element size in bytes to its kernel-path identifier.
+func PathFor(elemBytes int) string {
+	if elemBytes == 8 {
+		return PathF64
+	}
+	return PathF32
+}
+
+// Degradation records one demotion: which kernel path on which platform,
+// why, and a human-readable detail (first finding, panic message, …).
+type Degradation struct {
+	Platform string `json:"platform"`
+	Kernel   string `json:"kernel"`
+	Reason   Reason `json:"reason"`
+	Detail   string `json:"detail,omitempty"`
+}
+
+func (d Degradation) String() string {
+	return fmt.Sprintf("%s/%s: %s (%s)", d.Platform, d.Kernel, d.Reason, d.Detail)
+}
+
+var (
+	mu       sync.Mutex
+	demoted  = map[string]Degradation{} // key: platform + "\x00" + kernel
+	verified = map[string]bool{}        // platforms whose contracts were checked
+)
+
+func key(platform, kernel string) string { return platform + "\x00" + kernel }
+
+// Demote records a degradation. The first demotion of a (platform, kernel)
+// pair wins; later demotions of the same pair keep the original reason, so
+// the registry reports the root cause rather than the latest symptom.
+func Demote(platform, kernel string, reason Reason, detail string) {
+	mu.Lock()
+	defer mu.Unlock()
+	k := key(platform, kernel)
+	if _, dup := demoted[k]; dup {
+		return
+	}
+	demoted[k] = Degradation{Platform: platform, Kernel: kernel, Reason: reason, Detail: detail}
+}
+
+// IsDemoted reports whether the kernel path is degraded on the platform.
+func IsDemoted(platform, kernel string) bool {
+	mu.Lock()
+	defer mu.Unlock()
+	_, ok := demoted[key(platform, kernel)]
+	return ok
+}
+
+// Demotion returns the recorded degradation for a (platform, kernel) pair.
+func Demotion(platform, kernel string) (Degradation, bool) {
+	mu.Lock()
+	defer mu.Unlock()
+	d, ok := demoted[key(platform, kernel)]
+	return d, ok
+}
+
+// List returns the degradations for one platform, or for every platform
+// when platform is empty, sorted by (platform, kernel).
+func List(platform string) []Degradation {
+	mu.Lock()
+	defer mu.Unlock()
+	out := make([]Degradation, 0, len(demoted))
+	for _, d := range demoted {
+		if platform == "" || d.Platform == platform {
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Platform != out[j].Platform {
+			return out[i].Platform < out[j].Platform
+		}
+		return out[i].Kernel < out[j].Kernel
+	})
+	return out
+}
+
+// Reset clears every demotion and the per-platform verification memo, so
+// the next dispatch re-verifies contracts. Intended for tests and for
+// operators re-promoting kernels after an investigated incident.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	demoted = map[string]Degradation{}
+	verified = map[string]bool{}
+}
+
+// KernelPanicError is the structured error the hardened runtime returns
+// when a fast-path block computation panics: the pool worker recovers, the
+// remaining blocks are cancelled, and the caller receives this instead of a
+// process crash.
+type KernelPanicError struct {
+	Platform string // platform model name
+	Mode     string // GEMM mode ("NN", "NT", …)
+	Kernel   string // kernel-path identifier (PathF32/PathF64)
+	// I0, J0, M, N locate the C sub-block whose computation panicked.
+	I0, J0, M, N int
+	// Entry is the batch entry index, or -1 for a non-batch call.
+	Entry int
+	// Value is the recovered panic value; Stack the goroutine stack at the
+	// point of recovery.
+	Value any
+	Stack []byte
+}
+
+func (e *KernelPanicError) Error() string {
+	where := fmt.Sprintf("block (%d,%d) %dx%d", e.I0, e.J0, e.M, e.N)
+	if e.Entry >= 0 {
+		where = fmt.Sprintf("batch entry %d, %s", e.Entry, where)
+	}
+	return fmt.Sprintf("guard: kernel panic on %s/%s mode %s at %s: %v",
+		e.Platform, e.Kernel, e.Mode, where, e.Value)
+}

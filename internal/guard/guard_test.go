@@ -1,0 +1,114 @@
+package guard
+
+import (
+	"strings"
+	"testing"
+
+	"libshalom/internal/isa"
+	"libshalom/internal/isacheck"
+	"libshalom/internal/kernels"
+	"libshalom/internal/platform"
+)
+
+func TestPathFor(t *testing.T) {
+	if PathFor(4) != PathF32 || PathFor(8) != PathF64 {
+		t.Fatalf("PathFor: %q / %q", PathFor(4), PathFor(8))
+	}
+}
+
+func TestDemoteRegistry(t *testing.T) {
+	Reset()
+	defer Reset()
+	if IsDemoted("KP920", PathF32) {
+		t.Fatal("fresh registry reports a demotion")
+	}
+	Demote("KP920", PathF32, ReasonNumeric, "NaN out of finite inputs")
+	Demote("Phytium 2000+", PathF64, ReasonPanic, "index out of range")
+	if !IsDemoted("KP920", PathF32) || IsDemoted("KP920", PathF64) {
+		t.Fatal("demotion keyed wrong")
+	}
+	d, ok := Demotion("KP920", PathF32)
+	if !ok || d.Reason != ReasonNumeric {
+		t.Fatalf("Demotion = %+v, %v", d, ok)
+	}
+	// First demotion wins: a later symptom must not mask the root cause.
+	Demote("KP920", PathF32, ReasonPanic, "later symptom")
+	if d, _ := Demotion("KP920", PathF32); d.Reason != ReasonNumeric {
+		t.Fatalf("second Demote overwrote the root cause: %+v", d)
+	}
+	all := List("")
+	if len(all) != 2 {
+		t.Fatalf("List(\"\") = %d entries, want 2", len(all))
+	}
+	if all[0].Platform > all[1].Platform {
+		t.Fatal("List not sorted")
+	}
+	one := List("KP920")
+	if len(one) != 1 || one[0].Kernel != PathF32 {
+		t.Fatalf("List(KP920) = %+v", one)
+	}
+	Reset()
+	if len(List("")) != 0 {
+		t.Fatal("Reset left demotions behind")
+	}
+}
+
+func TestKernelPanicErrorMessage(t *testing.T) {
+	e := &KernelPanicError{
+		Platform: "KP920", Mode: "NT", Kernel: PathF32,
+		I0: 14, J0: 24, M: 7, N: 12, Entry: -1,
+		Value: "index out of range",
+	}
+	msg := e.Error()
+	for _, want := range []string{"KP920", "NT", PathF32, "(14,24)", "7x12", "index out of range"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("error %q missing %q", msg, want)
+		}
+	}
+	e.Entry = 3
+	if !strings.Contains(e.Error(), "batch entry 3") {
+		t.Fatalf("batch entry index missing from %q", e.Error())
+	}
+}
+
+// A kernel whose emitted program does not match its declared contract must
+// demote its runtime path at verification. The broken entry claims a
+// non-accumulating main kernel but builds the accumulating one, which the
+// footprint pass catches.
+func TestVerifyContractsDemotesBrokenKernel(t *testing.T) {
+	isacheck.Register(isacheck.Entry{
+		Name:   "libshalom/zz-broken-main-7x12-f32",
+		Family: "libshalom",
+		Contract: isacheck.Contract{
+			Kind: isacheck.KindMain, Elem: 4,
+			MR: 7, NR: 12, KC: 8,
+			LDA: 8, LDB: 12, LDC: 12,
+			Accumulate: false,
+		},
+		Build: func() *isa.Program {
+			return kernels.BuildMain(kernels.MainSpec{Elem: 4, MR: 7, NR: 12, KC: 8,
+				LDA: 8, LDB: 12, LDC: 12, Accumulate: true, Schedule: kernels.Pipelined})
+		},
+	})
+	Reset()
+	defer Reset()
+	plat := platform.Phytium2000()
+	VerifyContracts(plat)
+	d, ok := Demotion(plat.Name, PathF32)
+	if !ok {
+		t.Fatal("contract-violating kernel did not demote its path")
+	}
+	if d.Reason != ReasonContract {
+		t.Fatalf("reason = %s, want %s", d.Reason, ReasonContract)
+	}
+	if !strings.Contains(d.Detail, "zz-broken") {
+		t.Fatalf("detail %q does not name the failing kernel", d.Detail)
+	}
+	// Memoised: a second call is a no-op (would re-demote if it re-ran,
+	// which the first-wins rule hides; instead check the memo directly by
+	// verifying a clean reset re-verifies).
+	VerifyContracts(plat)
+	if got := List(plat.Name); len(got) != 1 {
+		t.Fatalf("re-verification changed the registry: %+v", got)
+	}
+}

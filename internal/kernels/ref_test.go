@@ -1,0 +1,84 @@
+package kernels
+
+import (
+	"math"
+	"testing"
+
+	"libshalom/internal/mat"
+)
+
+// The reference path is the demotion target of the fallback chain, so its
+// own correctness is load-bearing: cross-check it against the internal/mat
+// oracle over every mode, with strided operands and both beta semantics.
+func TestGEMMRefMatchesOracleF32(t *testing.T) {
+	rng := mat.NewRNG(7)
+	for _, tr := range []struct{ ta, tb bool }{{false, false}, {false, true}, {true, false}, {true, true}} {
+		for _, beta := range []float32{0, 1, -0.5} {
+			m, n, k := 13, 9, 17
+			arows, acols := m, k
+			if tr.ta {
+				arows, acols = k, m
+			}
+			brows, bcols := k, n
+			if tr.tb {
+				brows, bcols = n, k
+			}
+			a := mat.RandomF32(arows, acols, rng)
+			b := mat.RandomF32(brows, bcols, rng)
+			c := mat.RandomF32(m, n, rng)
+			want := c.Clone()
+			mat.RefGEMMF32(mat.Trans(tr.ta), mat.Trans(tr.tb), 1.25, a, b, beta, want)
+			SGEMMRef(tr.ta, tr.tb, m, n, k, 1.25, a.Data, a.Stride, b.Data, b.Stride, beta, c.Data, c.Stride)
+			for i := 0; i < m; i++ {
+				for j := 0; j < n; j++ {
+					got, exp := c.At(i, j), want.At(i, j)
+					if math.Abs(float64(got-exp)) > 1e-4 {
+						t.Fatalf("ta=%v tb=%v beta=%v: C(%d,%d) = %v, want %v", tr.ta, tr.tb, beta, i, j, got, exp)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestGEMMRefMatchesOracleF64(t *testing.T) {
+	rng := mat.NewRNG(11)
+	m, n, k := 8, 15, 6
+	a := mat.RandomF64(k, m, rng) // TA stored K×M
+	b := mat.RandomF64(n, k, rng) // TB stored N×K
+	c := mat.RandomF64(m, n, rng)
+	want := c.Clone()
+	mat.RefGEMMF64(mat.Transpose, mat.Transpose, -0.75, a, b, 2, want)
+	DGEMMRef(true, true, m, n, k, -0.75, a.Data, a.Stride, b.Data, b.Stride, 2, c.Data, c.Stride)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			if math.Abs(c.At(i, j)-want.At(i, j)) > 1e-12 {
+				t.Fatalf("C(%d,%d) = %v, want %v", i, j, c.At(i, j), want.At(i, j))
+			}
+		}
+	}
+}
+
+// beta == 0 must overwrite C without reading it: NaN garbage in an
+// uninitialised output buffer must not leak into the result.
+func TestGEMMRefBetaZeroOverwritesNaN(t *testing.T) {
+	m, n, k := 3, 4, 5
+	a := make([]float32, m*k)
+	b := make([]float32, k*n)
+	c := make([]float32, m*n)
+	for i := range a {
+		a[i] = 1
+	}
+	for i := range b {
+		b[i] = 2
+	}
+	for i := range c {
+		c[i] = float32(math.NaN())
+	}
+	SGEMMRef(false, false, m, n, k, 1, a, k, b, n, 0, c, n)
+	for i, v := range c {
+		if v != float32(2*k) {
+			t.Fatalf("c[%d] = %v, want %v", i, v, float32(2*k))
+		}
+	}
+}

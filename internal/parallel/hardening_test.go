@@ -1,0 +1,112 @@
+package parallel
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+// Regression: Run on a closed pool used to panic (parallel.go:121 of the
+// seed); the hardened pool reports ErrClosed instead.
+func TestRunOnClosedPoolReturnsError(t *testing.T) {
+	p := NewPool(2)
+	p.Close()
+	var ran atomic.Bool
+	err := p.Run([]func(){func() { ran.Store(true) }})
+	if !errors.Is(err, ErrClosed) {
+		t.Fatalf("Run on closed pool: err = %v, want ErrClosed", err)
+	}
+	if ran.Load() {
+		t.Fatal("task ran on a closed pool")
+	}
+	if !p.Closed() {
+		t.Fatal("Closed() = false after Close")
+	}
+}
+
+func TestDoubleCloseStaysNoop(t *testing.T) {
+	p := NewPool(2)
+	p.Close()
+	p.Close() // must not panic
+	if err := p.Run([]func(){func() {}}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Run after double close: err = %v, want ErrClosed", err)
+	}
+}
+
+// A panicking task must not kill its worker or the process: Run returns a
+// typed *PanicError and the pool remains fully usable.
+func TestTaskPanicIsolated(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	err := p.Run([]func(){
+		func() {},
+		func() { panic("kernel exploded") },
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v (%T), want *PanicError", err, err)
+	}
+	if pe.Task != 1 {
+		t.Fatalf("PanicError.Task = %d, want 1", pe.Task)
+	}
+	if pe.Value != "kernel exploded" {
+		t.Fatalf("PanicError.Value = %v", pe.Value)
+	}
+	if len(pe.Stack) == 0 {
+		t.Fatal("PanicError.Stack empty")
+	}
+	// Pool stays usable after the panic.
+	var count atomic.Int64
+	if err := p.Run([]func(){func() { count.Add(1) }, func() { count.Add(1) }}); err != nil {
+		t.Fatalf("Run after panic: %v", err)
+	}
+	if count.Load() != 2 {
+		t.Fatalf("pool ran %d of 2 tasks after a panic", count.Load())
+	}
+}
+
+// After the first panic, tasks of the same Run call that have not started
+// are cancelled. With one worker the schedule is deterministic: the panic
+// in task 0 lands before tasks 1..n are picked up.
+func TestRunCancelsRemainingAfterPanic(t *testing.T) {
+	p := NewPool(1)
+	defer p.Close()
+	var ran atomic.Int64
+	tasks := []func(){
+		func() { panic("first") },
+		func() { ran.Add(1) },
+		func() { ran.Add(1) },
+		func() { ran.Add(1) },
+	}
+	err := p.Run(tasks)
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Task != 0 {
+		t.Fatalf("err = %v, want *PanicError for task 0", err)
+	}
+	if ran.Load() != 0 {
+		t.Fatalf("%d tasks ran after the panic; want 0 (cancelled)", ran.Load())
+	}
+}
+
+// Concurrent Run calls stay independent: a panic in one call must not
+// cancel or fail the other.
+func TestPanicDoesNotLeakAcrossRuns(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	done := make(chan error, 1)
+	var count atomic.Int64
+	go func() {
+		tasks := make([]func(), 50)
+		for i := range tasks {
+			tasks[i] = func() { count.Add(1) }
+		}
+		done <- p.Run(tasks)
+	}()
+	_ = p.Run([]func(){func() { panic("boom") }})
+	if err := <-done; err != nil {
+		t.Fatalf("healthy Run failed: %v", err)
+	}
+	if count.Load() != 50 {
+		t.Fatalf("healthy Run completed %d of 50 tasks", count.Load())
+	}
+}

@@ -7,10 +7,14 @@
 package parallel
 
 import (
+	"errors"
+	"fmt"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
 	"libshalom/internal/analytic"
+	"libshalom/internal/faults"
 )
 
 // Block is one thread's sub-block of C.
@@ -110,33 +114,105 @@ func NewPool(workers int) *Pool {
 // Workers returns the pool size.
 func (p *Pool) Workers() int { return p.workers }
 
+// ErrClosed is returned by Run on a pool whose Close has been called.
+var ErrClosed = errors.New("parallel: Run on closed pool")
+
+// PanicError is returned by Run when a task panics: the worker goroutine
+// recovers (the pool stays usable), tasks of the same Run call that have
+// not started yet are cancelled, and the first panic is reported with the
+// goroutine stack captured at the point of recovery.
+type PanicError struct {
+	Task  int // index into the Run call's task slice
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("parallel: task %d panicked: %v", e.Task, e.Value)
+}
+
 // Run executes all tasks on the pool and blocks until every one has
-// completed (the join of fork-join). Each call owns its own join state, so
-// concurrent Run calls on one pool are independent.
-func (p *Pool) Run(tasks []func()) {
+// completed or been cancelled (the join of fork-join). Each call owns its
+// own join state, so concurrent Run calls on one pool are independent.
+//
+// A panicking task does not kill its worker or the process: the panic is
+// recovered, remaining unstarted tasks of this Run call are skipped, and
+// Run returns a *PanicError describing the first panic. Run on a closed
+// pool returns ErrClosed.
+func (p *Pool) Run(tasks []func()) error {
 	if len(tasks) == 0 {
-		return
+		return nil
 	}
 	if p.closed.Load() {
-		panic("parallel: Run on closed pool")
+		return ErrClosed
 	}
-	var wg sync.WaitGroup
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		failed   atomic.Bool
+	)
+	// fail records the first failure and raises the cancellation flag; the
+	// flag is stored after the error under the same lock, so any goroutine
+	// observing failed==true also observes firstErr through the mutex.
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		failed.Store(true)
+		mu.Unlock()
+	}
 	wg.Add(len(tasks))
 	go func() {
-		for _, t := range tasks {
-			t := t
-			p.tasks <- func() {
-				t()
-				wg.Done()
+		handed := 0
+		// A Close racing an in-flight Run (a documented misuse) panics the
+		// send below; convert that into ErrClosed and release the join
+		// instead of crashing the process or deadlocking the caller.
+		defer func() {
+			if r := recover(); r != nil {
+				fail(ErrClosed)
+				for i := handed; i < len(tasks); i++ {
+					wg.Done()
+				}
 			}
+		}()
+		for i, t := range tasks {
+			if failed.Load() {
+				wg.Done()
+				handed++
+				continue
+			}
+			i, t := i, t
+			p.tasks <- func() {
+				defer wg.Done()
+				defer func() {
+					if r := recover(); r != nil {
+						fail(&PanicError{Task: i, Value: r, Stack: debug.Stack()})
+					}
+				}()
+				if failed.Load() {
+					return // cancelled after an earlier task failed
+				}
+				faults.SleepIfArmed(faults.SlowWorker)
+				t()
+			}
+			handed++
 		}
 	}()
 	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	return firstErr
 }
 
-// Close terminates the worker goroutines. The pool must be idle.
+// Close terminates the worker goroutines. The pool must be idle; closing a
+// pool twice is a no-op.
 func (p *Pool) Close() {
 	if p.closed.CompareAndSwap(false, true) {
 		close(p.tasks)
 	}
 }
+
+// Closed reports whether Close has been called.
+func (p *Pool) Closed() bool { return p.closed.Load() }

@@ -69,8 +69,10 @@ var (
 // ready to use; call New. A Context is safe for concurrent use: GEMM calls
 // from multiple goroutines share its worker pool.
 type Context struct {
-	plat    *Platform
-	threads int // 0 = automatic policy
+	plat       *Platform
+	threads    int // 0 = automatic policy
+	guard      bool
+	aliasCheck bool
 
 	mu   sync.Mutex
 	pool *parallel.Pool
@@ -90,6 +92,24 @@ func WithPlatform(p *Platform) Option {
 // (§7.4). One disables parallelism.
 func WithThreads(n int) Option {
 	return func(c *Context) { c.threads = n }
+}
+
+// WithNumericGuard enables the runtime numeric guard: the driver scans
+// operand and result blocks for NaN/Inf, and a fast-path kernel that panics
+// or manufactures non-finite values from all-finite inputs is demoted — per
+// (platform, precision) — to the portable reference path. The degraded call
+// still succeeds; Degradations reports what was demoted and why. The scans
+// cost a pass over the operands, so this is a debug/hardening option, not
+// the default.
+func WithNumericGuard() Option {
+	return func(c *Context) { c.guard = true }
+}
+
+// WithAliasCheck makes batch calls validate up front that no two entries
+// write overlapping C storage, returning ErrAliasedBatch instead of racing.
+// Adjacent-but-disjoint views of one backing array are allowed.
+func WithAliasCheck() Option {
+	return func(c *Context) { c.aliasCheck = true }
 }
 
 // New builds a Context.
@@ -151,15 +171,26 @@ func (c *Context) ensurePool(threads int) *parallel.Pool {
 // op(A) is m×k and op(B) is k×n.
 func (c *Context) SGEMM(mode Mode, m, n, k int, alpha float32, a []float32, lda int, b []float32, ldb int, beta float32, cOut []float32, ldc int) error {
 	threads := c.threadsFor(m, n, k)
-	cfg := core.Config{Plat: c.plat, Threads: threads, Pool: c.ensurePool(threads)}
+	cfg := c.config(threads)
 	return core.SGEMM(cfg, mode, m, n, k, alpha, a, lda, b, ldb, beta, cOut, ldc)
 }
 
 // DGEMM computes C = alpha·op(A)·op(B) + beta·C in double precision.
 func (c *Context) DGEMM(mode Mode, m, n, k int, alpha float64, a []float64, lda int, b []float64, ldb int, beta float64, cOut []float64, ldc int) error {
 	threads := c.threadsFor(m, n, k)
-	cfg := core.Config{Plat: c.plat, Threads: threads, Pool: c.ensurePool(threads)}
+	cfg := c.config(threads)
 	return core.DGEMM(cfg, mode, m, n, k, alpha, a, lda, b, ldb, beta, cOut, ldc)
+}
+
+// config assembles the per-call driver configuration.
+func (c *Context) config(threads int) core.Config {
+	return core.Config{
+		Plat:         c.plat,
+		Threads:      threads,
+		Pool:         c.ensurePool(threads),
+		NumericGuard: c.guard,
+		CheckAlias:   c.aliasCheck,
+	}
 }
 
 var defaultCtx = New()
