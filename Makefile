@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race lint check fuzz test-chaos
+.PHONY: build test vet race lint check fuzz test-chaos probe trace-smoke
 
 build:
 	$(GO) build ./...
@@ -23,6 +23,21 @@ race:
 test-chaos:
 	$(GO) test -race ./internal/faults/... ./internal/guard/... ./internal/parallel/...
 
+# Telemetry overhead budget, enforced by counting instead of timing: the
+# telemetryprobe build tag compiles a counter into every telemetry
+# atomic-write site, and the probe test requires exactly zero writes on the
+# telemetry-off hot path (plus >0 on the enabled path, so the probe itself
+# is known to be wired).
+probe:
+	$(GO) test -tags telemetryprobe -run 'TestTelemetryProbe' ./...
+
+# Trace smoke test: drive a small workload mix through a telemetry-enabled
+# context, export the Chrome trace_event JSON, and validate it (well-formed,
+# per-lane monotonic timestamps, balanced name-matched B/E pairs).
+trace-smoke:
+	$(GO) run ./cmd/shalom-top -once -duration 200ms -mix small \
+		-trace $${TMPDIR:-/tmp}/shalom-trace-smoke.json -validate
+
 # Static kernel verification: every registered micro-kernel must clear all
 # five isacheck passes on every modelled platform.
 lint:
@@ -34,4 +49,4 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzAnalyze -fuzztime=10s ./internal/isa/
 
 # The CI gate.
-check: vet build test race test-chaos lint
+check: vet build test race test-chaos probe trace-smoke lint

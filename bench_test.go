@@ -52,6 +52,34 @@ func BenchmarkSGEMMSmall32NT(b *testing.B) { benchSGEMM(b, NT, 32, 32, 32, 1) }
 func BenchmarkSGEMMIrregular(b *testing.B)         { benchSGEMM(b, NT, 32, 2048, 512, 1) }
 func BenchmarkSGEMMIrregularParallel(b *testing.B) { benchSGEMM(b, NT, 64, 4096, 576, 0) }
 
+// BenchmarkTelemetryOff/On compare the 64x64x64 SGEMM hot path without and
+// with the telemetry layer. The overhead budget is <2% for the disabled
+// path; wall-clock deltas at that scale are noise on shared CI machines, so
+// the budget is enforced non-flakily by the telemetryprobe build tag
+// instead (TestTelemetryProbe: the disabled path performs exactly zero
+// telemetry atomic writes, and TestTelemetryOffHotPathAllocs: zero
+// allocations). These benchmarks exist to measure the enabled path's real
+// cost locally: `go test -bench 'TelemetryO(n|ff)' -count 10`.
+func BenchmarkTelemetryOff(b *testing.B) { benchTelemetry(b, New(WithThreads(1))) }
+func BenchmarkTelemetryOn(b *testing.B)  { benchTelemetry(b, New(WithThreads(1), WithTelemetry())) }
+
+func benchTelemetry(b *testing.B, ctx *Context) {
+	b.Helper()
+	defer ctx.Close()
+	rng := mat.NewRNG(1)
+	A := mat.RandomF32(64, 64, rng)
+	B := mat.RandomF32(64, 64, rng)
+	C := mat.NewF32(64, 64)
+	b.SetBytes(2 * 64 * 64 * 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ctx.SGEMM(NN, 64, 64, 64, 1, A.Data, A.Stride, B.Data, B.Stride, 0, C.Data, C.Stride); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkDGEMMCP2K(b *testing.B) {
 	rng := mat.NewRNG(2)
 	for _, sh := range workloads.CP2K() {

@@ -26,12 +26,16 @@ func printDegraded(plats []*platform.Platform) {
 		guard.VerifyContracts(p)
 	}
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "platform\tkernel path\treason\tdetail")
+	fmt.Fprintln(tw, "seq\tplatform\tkernel path\treason\tfirst shape\tdetail")
 	any := false
 	for _, p := range plats {
 		for _, d := range guard.List(p.Name) {
 			any = true
-			fmt.Fprintf(tw, "%s\t%s\t%s\t%s\n", d.Platform, d.Kernel, d.Reason, d.Detail)
+			shape := d.Shape
+			if shape == "" {
+				shape = "-"
+			}
+			fmt.Fprintf(tw, "#%d\t%s\t%s\t%s\t%s\t%s\n", d.Seq, d.Platform, d.Kernel, d.Reason, shape, d.Detail)
 		}
 	}
 	tw.Flush()

@@ -1,0 +1,223 @@
+// Command shalom-top runs a GEMM workload mix on a telemetry-enabled
+// context and live-renders its metrics — a top(1)-style view of what the
+// runtime is doing per (precision, mode, shape class, kernel, outcome),
+// plus pool scheduling and thread-policy gauges. With -trace it also
+// exports the phase spans of the run as Chrome trace_event JSON for
+// chrome://tracing or ui.perfetto.dev, and -validate checks the exported
+// file the same way `make trace-smoke` does.
+//
+// Usage:
+//
+//	shalom-top [-mix small|irregular|mixed] [-duration 5s] [-interval 500ms]
+//	           [-threads N] [-once] [-trace FILE] [-validate]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"libshalom"
+	"libshalom/internal/mat"
+	"libshalom/internal/telemetry"
+	"libshalom/internal/workloads"
+)
+
+// job is one pre-allocated GEMM problem the driver loop replays.
+type job struct {
+	mode          libshalom.Mode
+	shape         workloads.Shape
+	f64           bool
+	a32, b32, c32 []float32
+	a64, b64, c64 []float64
+}
+
+func main() {
+	mix := flag.String("mix", "mixed", "workload mix: small, irregular, or mixed")
+	threads := flag.Int("threads", 0, "thread width (0 = automatic §7.4 policy)")
+	duration := flag.Duration("duration", 5*time.Second, "how long to drive the workload")
+	interval := flag.Duration("interval", 500*time.Millisecond, "refresh interval of the live table")
+	once := flag.Bool("once", false, "run for -duration, print the table once, exit")
+	tracePath := flag.String("trace", "", "write Chrome trace_event JSON to this file at exit")
+	validate := flag.Bool("validate", false, "validate the exported trace (requires -trace)")
+	flag.Parse()
+
+	if *validate && *tracePath == "" {
+		fmt.Fprintln(os.Stderr, "shalom-top: -validate requires -trace FILE")
+		os.Exit(2)
+	}
+	jobs, err := buildJobs(*mix)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "shalom-top:", err)
+		os.Exit(2)
+	}
+
+	ctx := libshalom.New(libshalom.WithTelemetry(), libshalom.WithThreads(*threads))
+	defer ctx.Close()
+
+	deadline := time.Now().Add(*duration)
+	nextRender := time.Now().Add(*interval)
+	for i := 0; time.Now().Before(deadline); i++ {
+		j := jobs[i%len(jobs)]
+		if err := runJob(ctx, j); err != nil {
+			fmt.Fprintln(os.Stderr, "shalom-top: gemm failed:", err)
+			os.Exit(1)
+		}
+		if !*once && time.Now().After(nextRender) {
+			fmt.Print("\x1b[H\x1b[2J")
+			render(os.Stdout, ctx.Snapshot(), *mix)
+			nextRender = time.Now().Add(*interval)
+		}
+	}
+	if !*once {
+		fmt.Print("\x1b[H\x1b[2J")
+	}
+	render(os.Stdout, ctx.Snapshot(), *mix)
+
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "shalom-top:", err)
+			os.Exit(1)
+		}
+		if err := ctx.ExportTrace(f); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "shalom-top: trace export:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "shalom-top:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\ntrace written to %s\n", *tracePath)
+		if *validate {
+			f, err := os.Open(*tracePath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "shalom-top:", err)
+				os.Exit(1)
+			}
+			err = telemetry.ValidateTrace(f)
+			f.Close()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "shalom-top: trace validation FAILED:", err)
+				os.Exit(1)
+			}
+			fmt.Println("trace validated: well-formed JSON, monotonic timestamps, balanced B/E pairs")
+		}
+	}
+}
+
+// buildJobs pre-allocates the operand matrices of the chosen mix so the
+// driver loop measures GEMM, not allocation. Modes rotate across jobs so
+// every transposition path shows up in the table.
+func buildJobs(mix string) ([]job, error) {
+	var shapes []workloads.Shape
+	var f64From int // index of the first FP64 job; len(shapes) = none
+	switch mix {
+	case "small":
+		shapes = workloads.SmallSquareSweep()
+		f64From = len(shapes)
+	case "irregular":
+		// Panel-shaped problems in the §6 regime, scaled so one pass stays
+		// interactive; the full Fig 9 sweeps belong to the bench harness.
+		shapes = []workloads.Shape{
+			{Name: "tall", M: 1024, N: 64, K: 64},
+			{Name: "wide", M: 64, N: 1024, K: 64},
+			{Name: "tall-deep", M: 2048, N: 32, K: 128},
+			{Name: "wide-deep", M: 32, N: 2048, K: 128},
+		}
+		f64From = len(shapes)
+	case "mixed":
+		shapes = append(shapes, workloads.SmallSquareSweep()[:8]...)
+		shapes = append(shapes,
+			workloads.Shape{Name: "tall", M: 1024, N: 64, K: 64},
+			workloads.Shape{Name: "wide", M: 64, N: 1024, K: 64},
+			workloads.Shape{Name: "medium", M: 160, N: 160, K: 160},
+		)
+		f64From = len(shapes)
+		shapes = append(shapes, workloads.CP2K()...) // FP64, CP2K §7.3 sizes
+	default:
+		return nil, fmt.Errorf("unknown -mix %q (want small, irregular, or mixed)", mix)
+	}
+	modes := []libshalom.Mode{libshalom.NN, libshalom.NT, libshalom.TN, libshalom.TT}
+	rng := mat.NewRNG(1)
+	jobs := make([]job, 0, len(shapes))
+	for i, s := range shapes {
+		j := job{mode: modes[i%len(modes)], shape: s, f64: i >= f64From}
+		if j.f64 {
+			j.a64 = mat.RandomF64(s.M, s.K, rng).Data
+			j.b64 = mat.RandomF64(s.K, s.N, rng).Data
+			j.c64 = make([]float64, s.M*s.N)
+		} else {
+			j.a32 = mat.RandomF32(s.M, s.K, rng).Data
+			j.b32 = mat.RandomF32(s.K, s.N, rng).Data
+			j.c32 = make([]float32, s.M*s.N)
+		}
+		jobs = append(jobs, j)
+	}
+	return jobs, nil
+}
+
+// runJob issues one GEMM. Operands were allocated for the NN layout; the
+// transposed modes reinterpret the same buffers (A is M×K or K×M with the
+// matching leading dimension), which is exactly the reinterpretation the
+// BLAS interface permits.
+func runJob(ctx *libshalom.Context, j job) error {
+	s := j.shape
+	lda, ldb := s.K, s.N
+	if j.mode.TransA() {
+		lda = s.M
+	}
+	if j.mode.TransB() {
+		ldb = s.K
+	}
+	if j.f64 {
+		return ctx.DGEMM(j.mode, s.M, s.N, s.K, 1, j.a64, lda, j.b64, ldb, 0, j.c64, s.N)
+	}
+	return ctx.SGEMM(j.mode, s.M, s.N, s.K, 1, j.a32, lda, j.b32, ldb, 0, j.c32, s.N)
+}
+
+func render(w *os.File, s libshalom.TelemetrySnapshot, mix string) {
+	var totalCalls uint64
+	for _, cs := range s.Calls {
+		totalCalls += cs.Count
+	}
+	fmt.Fprintf(w, "shalom-top — mix %s — %d calls\n\n", mix, totalCalls)
+	fmt.Fprintf(w, "%-5s %-4s %-9s %-6s %-9s %10s %12s %10s\n",
+		"prec", "mode", "class", "kern", "outcome", "calls", "mean-lat", "GFLOPS")
+	rows := append([]libshalom.TelemetryCallStat(nil), s.Calls...)
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Count > rows[j].Count })
+	for _, cs := range rows {
+		meanLat := time.Duration(0)
+		if cs.Count > 0 {
+			meanLat = time.Duration(cs.DurNs / cs.Count)
+		}
+		fmt.Fprintf(w, "%-5s %-4s %-9s %-6s %-9s %10d %12s %10.2f\n",
+			cs.Precision, cs.Mode, cs.ShapeClass, cs.Kernel, cs.Outcome,
+			cs.Count, meanLat, cs.MeanGFLOPS())
+	}
+	fmt.Fprintf(w, "\npool: queued %d, started %d, done %d, in-flight %d, queue-wait %s, busy %s\n",
+		s.Pool.TasksQueued, s.Pool.TasksStarted, s.Pool.TasksDone, s.Pool.InFlight,
+		time.Duration(s.Pool.QueueWaitNs), time.Duration(s.Pool.BusyNs))
+	t := s.Threads
+	meanReq, meanChose := 0.0, 0.0
+	if t.Calls > 0 {
+		meanReq = float64(t.RequestedSum) / float64(t.Calls)
+		meanChose = float64(t.ChosenSum) / float64(t.Calls)
+	}
+	fmt.Fprintf(w, "threads: %d policy calls, mean requested %.1f, mean chosen %.1f, clamped %d\n",
+		t.Calls, meanReq, meanChose, t.ClampedCalls)
+	if len(s.Degradations) > 0 || len(s.Faults) > 0 {
+		fmt.Fprintf(w, "events:")
+		for _, e := range s.Degradations {
+			fmt.Fprintf(w, " degraded/%s=%d", e.Name, e.Count)
+		}
+		for _, e := range s.Faults {
+			fmt.Fprintf(w, " fault/%s=%d", e.Name, e.Count)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "trace: %d spans buffered, %d dropped\n", s.TraceSpans, s.TraceDropped)
+}

@@ -10,6 +10,7 @@ import (
 	"libshalom/internal/analytic"
 	"libshalom/internal/guard"
 	"libshalom/internal/parallel"
+	"libshalom/internal/telemetry"
 )
 
 // BatchEntry is one independent GEMM of a batch. The paper's small-GEMM
@@ -96,35 +97,74 @@ func gemmBatch[T Float](ctx context.Context, cfg Config, ks kernelSet[T], mode M
 	tile := analytic.SolveForElem(ks.elemBytes)
 	blk := analytic.BlockingFor(plat, ks.elemBytes)
 
+	tel := cfg.Tel
+	prec := telemetry.PrecFor(ks.elemBytes)
+	callTid := tel.CallTid()
+
 	// completed counts entries that ran to the end; entries run whole or
 	// not at all, so completed-entry results are identical to an
-	// uncancelled run's.
+	// uncancelled run's. ran marks which entries those are (slots are
+	// written by exactly one task each and read only after the join), so
+	// cancellation telemetry can label the abandoned entries precisely.
 	var completed atomic.Int64
+	var ran []bool
+	if tel != nil {
+		ran = make([]bool, len(batch))
+	}
 
-	execOne := func(i int, e BatchEntry[T]) error {
+	execOne := func(worker, i int, e BatchEntry[T]) (bool, uint8, error) {
 		if e.M == 0 || e.N == 0 {
-			return nil
+			return false, telemetry.KernelFast, nil
 		}
 		if e.Alpha == 0 || e.K == 0 {
 			scaleAll(ks, e.M, e.N, e.Beta, e.C, e.LDC)
-			return nil
+			return false, telemetry.KernelFast, nil
 		}
 		if demoted {
 			ks.ref(mode.TransA(), mode.TransB(), e.M, e.N, e.K, e.Alpha, e.A, e.LDA, e.B, e.LDB, e.Beta, e.C, e.LDC)
-			return nil
+			return false, telemetry.KernelRef, nil
 		}
 		bl := parallel.Block{I0: 0, J0: 0, M: e.M, N: e.N}
-		return runBlock(cfg, ks, plat, tile, blk, mode, bl, i, e.K,
+		degraded, err := runBlock(cfg, ks, plat, tile, blk, mode, bl, i,
+			telemetry.WorkerTid(worker, callTid), e.K,
 			e.Alpha, e.A, e.LDA, e.B, e.LDB, e.Beta, e.C, e.LDC)
+		return degraded, telemetry.KernelFast, err
 	}
-	runOne := func(i int, e BatchEntry[T]) error {
-		if err := execOne(i, e); err != nil {
+	runOne := func(worker, i int, e BatchEntry[T]) error {
+		start := tel.Now()
+		degraded, kernel, err := execOne(worker, i, e)
+		if tel != nil {
+			class := uint8(telemetry.ClassifyShape(e.M, e.N, e.K))
+			flops := 2 * float64(e.M) * float64(e.N) * float64(e.K)
+			outcome := telemetry.OutcomeOK
+			switch {
+			case err != nil:
+				outcome = telemetry.OutcomePanic
+			case degraded:
+				outcome, kernel = telemetry.OutcomeDegraded, telemetry.KernelRef
+			}
+			tel.CallDone(prec, uint8(mode), class, kernel, outcome, start, flops)
+		}
+		if err != nil {
 			return err
+		}
+		if ran != nil {
+			ran[i] = true
 		}
 		completed.Add(1)
 		return nil
 	}
 	cancelErr := func() error {
+		// Entries the cancellation abandoned are counted with outcome
+		// "cancelled" so snapshot call totals always match entries issued.
+		for i := range ran {
+			if !ran[i] {
+				e := batch[i]
+				tel.CallEvent(prec, uint8(mode),
+					uint8(telemetry.ClassifyShape(e.M, e.N, e.K)),
+					telemetry.KernelFast, telemetry.OutcomeCancelled)
+			}
+		}
 		return &BatchCancelError{Completed: int(completed.Load()), Total: len(batch), Cause: ctx.Err()}
 	}
 
@@ -134,7 +174,7 @@ func gemmBatch[T Float](ctx context.Context, cfg Config, ks kernelSet[T], mode M
 			if ctx.Err() != nil {
 				return cancelErr()
 			}
-			if err := runOne(i, e); err != nil {
+			if err := runOne(-1, i, e); err != nil {
 				return err
 			}
 		}
@@ -142,7 +182,7 @@ func gemmBatch[T Float](ctx context.Context, cfg Config, ks kernelSet[T], mode M
 	}
 	pool := cfg.Pool
 	if pool == nil {
-		pool = parallel.NewPool(threads)
+		pool = parallel.NewPoolObserved(threads, cfg.poolObserver())
 		defer pool.Close()
 	}
 	// Chunk entries so tiny problems do not drown in task dispatch.
@@ -150,7 +190,7 @@ func gemmBatch[T Float](ctx context.Context, cfg Config, ks kernelSet[T], mode M
 	if chunk < 1 {
 		chunk = 1
 	}
-	var tasks []func()
+	var tasks []func(int)
 	var errSlots []error
 	for lo := 0; lo < len(batch); lo += chunk {
 		hi := lo + chunk
@@ -160,19 +200,21 @@ func gemmBatch[T Float](ctx context.Context, cfg Config, ks kernelSet[T], mode M
 		lo, hi := lo, hi
 		slot := len(errSlots)
 		errSlots = append(errSlots, nil)
-		tasks = append(tasks, func() {
+		tasks = append(tasks, func(worker int) {
 			for i := lo; i < hi; i++ {
 				if ctx.Err() != nil {
 					return
 				}
-				if err := runOne(i, batch[i]); err != nil {
+				if err := runOne(worker, i, batch[i]); err != nil {
 					errSlots[slot] = err
 					return
 				}
 			}
 		})
 	}
-	poolErr := pool.Run(tasks)
+	barrierStart := tel.Now()
+	poolErr := pool.RunWorker(tasks)
+	tel.Span(telemetry.PhaseBarrier, callTid, barrierStart, uint8(mode), prec, len(batch), 0, 0)
 	for _, err := range errSlots {
 		if err != nil {
 			return err

@@ -9,6 +9,7 @@ import (
 	"libshalom/internal/pack"
 	"libshalom/internal/parallel"
 	"libshalom/internal/platform"
+	"libshalom/internal/telemetry"
 )
 
 // Config carries the per-call execution parameters of the driver.
@@ -33,6 +34,20 @@ type Config struct {
 	// write overlapping C storage, returning ErrAliasedBatch instead of
 	// racing.
 	CheckAlias bool
+	// Tel is the optional telemetry recorder the call reports into: per-
+	// shape metrics, phase trace spans, pool gauges. nil disables the layer;
+	// the disabled hot path performs zero atomic writes and zero
+	// allocations (probe-verified, see internal/telemetry).
+	Tel *telemetry.Recorder
+}
+
+// poolObserver adapts cfg.Tel into the pool's Observer hook without handing
+// the pool a typed-nil interface when telemetry is off.
+func (c Config) poolObserver() parallel.Observer {
+	if c.Tel == nil {
+		return nil
+	}
+	return c.Tel
 }
 
 func (c Config) platform() *platform.Platform {
@@ -137,33 +152,52 @@ func gemm[T Float](cfg Config, ks kernelSet[T], mode Mode, m, n, k int, alpha T,
 	if err := checkArgs(mode, m, n, k, a, lda, b, ldb, c, ldc); err != nil {
 		return err
 	}
+	tel := cfg.Tel
+	prec := telemetry.PrecFor(ks.elemBytes)
+	class := uint8(telemetry.ClassifyShape(m, n, k))
+	flops := 2 * float64(m) * float64(n) * float64(k)
+	callStart := tel.Now()
+	callTid := tel.CallTid()
+	finish := func(kernel, outcome uint8, err error) error {
+		tel.CallDone(prec, uint8(mode), class, kernel, outcome, callStart, flops)
+		tel.Span(telemetry.PhaseCall, callTid, callStart, uint8(mode), prec, m, n, k)
+		return err
+	}
 	if m == 0 || n == 0 {
-		return nil
+		return finish(telemetry.KernelFast, telemetry.OutcomeOK, nil)
 	}
 	if alpha == 0 || k == 0 {
 		scaleAll(ks, m, n, beta, c, ldc)
-		return nil
+		return finish(telemetry.KernelFast, telemetry.OutcomeOK, nil)
 	}
 	plat := cfg.platform()
-	// Registration-time leg of the fallback chain: statically verify the
-	// kernel catalogue's contracts for this platform (memoised per
-	// platform), demoting any kernel family that fails.
+	// The plan phase: contract verification (memoised per platform — the
+	// registration-time leg of the fallback chain, demoting any kernel
+	// family that fails), the tile solve and the blocking derivation.
+	planStart := tel.Now()
 	guard.VerifyContracts(plat)
 	if guard.IsDemoted(plat.Name, guard.PathFor(ks.elemBytes)) {
+		tel.Span(telemetry.PhasePlan, callTid, planStart, uint8(mode), prec, m, n, k)
 		ks.ref(mode.TransA(), mode.TransB(), m, n, k, alpha, a, lda, b, ldb, beta, c, ldc)
-		return nil
+		return finish(telemetry.KernelRef, telemetry.OutcomeOK, nil)
 	}
 	tile := analytic.SolveForElem(ks.elemBytes)
 	blk := analytic.BlockingFor(plat, ks.elemBytes)
+	tel.Span(telemetry.PhasePlan, callTid, planStart, uint8(mode), prec, m, n, k)
 
-	// runOne executes one C sub-block through the hardened block runner;
-	// operand origins shift per block and mode.
-	runOne := func(bl parallel.Block) error {
-		aOff, ldaEff := threadAOffset(mode, bl.I0, lda)
-		bOff := threadBOffset(mode, bl.J0, ldb)
-		return runBlock(cfg, ks, plat, tile, blk, mode, bl, -1, k,
-			alpha, a[aOff:], ldaEff, b[bOff:], ldb,
-			beta, c[bl.I0*ldc+bl.J0:], ldc)
+	report := func(degraded bool, err error) error {
+		switch {
+		case err != nil:
+			if _, ok := err.(*guard.KernelPanicError); ok {
+				return finish(telemetry.KernelFast, telemetry.OutcomePanic, err)
+			}
+			// Pool misuse (ErrClosed): the work never ran.
+			return finish(telemetry.KernelFast, telemetry.OutcomeCancelled, err)
+		case degraded:
+			return finish(telemetry.KernelRef, telemetry.OutcomeDegraded, nil)
+		default:
+			return finish(telemetry.KernelFast, telemetry.OutcomeOK, nil)
+		}
 	}
 
 	if cfg.Threads > 1 {
@@ -172,27 +206,53 @@ func gemm[T Float](cfg Config, ks kernelSet[T], mode Mode, m, n, k int, alpha T,
 		if len(blocks) > 1 {
 			pool := cfg.Pool
 			if pool == nil {
-				pool = parallel.NewPool(cfg.Threads)
+				pool = parallel.NewPoolObserved(cfg.Threads, cfg.poolObserver())
 				defer pool.Close()
 			}
-			// Each task owns a disjoint C sub-block, so per-task error
-			// slots need no synchronization beyond the pool's join.
+			// Each task owns a disjoint C sub-block, so per-task error and
+			// degradation slots need no synchronization beyond the pool's
+			// join.
 			errs := make([]error, len(blocks))
-			tasks := make([]func(), len(blocks))
+			degr := make([]bool, len(blocks))
+			tasks := make([]func(int), len(blocks))
 			for bi, blkC := range blocks {
 				bi, blkC := bi, blkC
-				tasks[bi] = func() { errs[bi] = runOne(blkC) }
-			}
-			poolErr := pool.Run(tasks)
-			for _, err := range errs {
-				if err != nil {
-					return err
+				tasks[bi] = func(worker int) {
+					degr[bi], errs[bi] = runGemmBlock(cfg, ks, plat, tile, blk, mode,
+						blkC, worker, callTid, k, alpha, a, lda, b, ldb, beta, c, ldc)
 				}
 			}
-			return poolErr
+			barrierStart := tel.Now()
+			poolErr := pool.RunWorker(tasks)
+			tel.Span(telemetry.PhaseBarrier, callTid, barrierStart, uint8(mode), prec, m, n, k)
+			degraded := false
+			for bi, err := range errs {
+				if err != nil {
+					return report(false, err)
+				}
+				degraded = degraded || degr[bi]
+			}
+			return report(degraded, poolErr)
 		}
 	}
-	return runOne(parallel.Block{I0: 0, J0: 0, M: m, N: n})
+	return report(runGemmBlock(cfg, ks, plat, tile, blk, mode,
+		parallel.Block{I0: 0, J0: 0, M: m, N: n}, -1, callTid,
+		k, alpha, a, lda, b, ldb, beta, c, ldc))
+}
+
+// runGemmBlock executes one C sub-block of a non-batch call through the
+// hardened block runner; operand origins shift per block and mode. worker <
+// 0 is the calling goroutine (single-threaded path). A plain function
+// rather than a shared closure: the threaded tasks above would make such a
+// closure escape, and that heap allocation would tax the single-threaded
+// hot path too.
+func runGemmBlock[T Float](cfg Config, ks kernelSet[T], plat *platform.Platform, tile analytic.Tile, blk analytic.Blocking, mode Mode, bl parallel.Block, worker int, callTid int32, k int, alpha T, a []T, lda int, b []T, ldb int, beta T, c []T, ldc int) (bool, error) {
+	aOff, ldaEff := threadAOffset(mode, bl.I0, lda)
+	bOff := threadBOffset(mode, bl.J0, ldb)
+	return runBlock(cfg, ks, plat, tile, blk, mode, bl, -1,
+		telemetry.WorkerTid(worker, callTid), k,
+		alpha, a[aOff:], ldaEff, b[bOff:], ldb,
+		beta, c[bl.I0*ldc+bl.J0:], ldc)
 }
 
 // threadAOffset returns the element offset into A for a thread whose C block
@@ -220,10 +280,16 @@ func scaleAll[T Float](ks kernelSet[T], m, n int, beta T, c []T, ldc int) {
 	ks.scale(m, n, beta, c, ldc)
 }
 
-// gemmST is the single-threaded Algorithm 1 loop nest for one C block.
-func gemmST[T Float](ks kernelSet[T], plat *platform.Platform, tile analytic.Tile, blk analytic.Blocking, mode Mode, m, n, k int, alpha T, a []T, lda int, b []T, ldb int, beta T, c []T, ldc int) {
+// gemmST is the single-threaded Algorithm 1 loop nest for one C block. tel
+// and tid carry the telemetry recorder (nil when disabled) and the trace
+// lane of the executing worker; spans are recorded per kc-block — pack
+// spans around the explicit A gather, kernel-batch spans around the
+// micro-tile sweep (which includes the §5.3 fused B packing) — coarse
+// enough to stay off the micro-tile critical path.
+func gemmST[T Float](tel *telemetry.Recorder, tid int32, ks kernelSet[T], plat *platform.Platform, tile analytic.Tile, blk analytic.Blocking, mode Mode, m, n, k int, alpha T, a []T, lda int, b []T, ldb int, beta T, c []T, ldc int) {
 	mr, nr := tile.MR, tile.NR
 	mc, kc, nc := blk.MC, blk.KC, blk.NC
+	prec := telemetry.PrecFor(ks.elemBytes)
 
 	// §4.2 packing decision for B (NN/TN); NT/TT always pack (§4.3).
 	sizeB := n * k * ks.elemBytes
@@ -258,11 +324,14 @@ func gemmST[T Float](ks kernelSet[T], plat *platform.Platform, tile analytic.Til
 				if mode.TransA() {
 					// §4.3: TN/TT gather the transposed A block into a
 					// row-major buffer (the NT-style packing of A).
+					packStart := tel.Now()
 					ks.packAT(aBuf, a, lda, ii, kk, mcb, kcb)
+					tel.Span(telemetry.PhasePack, tid, packStart, uint8(mode), prec, mcb, 0, kcb)
 					aBlk, ldaEff = aBuf, kcb
 				} else {
 					aBlk, ldaEff = a[ii*lda+kk:], lda
 				}
+				kernStart := tel.Now()
 				for j := 0; j < ncb; j += nr {
 					nrb := min(nr, ncb-j)
 					jAbs := jj + j
@@ -305,6 +374,7 @@ func gemmST[T Float](ks kernelSet[T], plat *platform.Platform, tile analytic.Til
 						}
 					}
 				}
+				tel.Span(telemetry.PhaseKernelBatch, tid, kernStart, uint8(mode), prec, mcb, ncb, kcb)
 			}
 		}
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math"
 	"runtime/debug"
 
@@ -9,6 +10,7 @@ import (
 	"libshalom/internal/guard"
 	"libshalom/internal/parallel"
 	"libshalom/internal/platform"
+	"libshalom/internal/telemetry"
 )
 
 // This file is the dynamic-hardening layer of the driver: every block
@@ -31,47 +33,61 @@ import (
 // runBlock executes the fast path for one C block with panic isolation and
 // (optionally) the numeric guard. a, b and c are the block-relative operand
 // views the caller derived (the same views gemmST consumes); bl carries the
-// absolute block coordinates for error reporting, and entry the batch entry
-// index (-1 outside batch calls).
-func runBlock[T Float](cfg Config, ks kernelSet[T], plat *platform.Platform, tile analytic.Tile, blk analytic.Blocking, mode Mode, bl parallel.Block, entry, k int, alpha T, a []T, lda int, b []T, ldb int, beta T, c []T, ldc int) error {
+// absolute block coordinates for error reporting, entry the batch entry
+// index (-1 outside batch calls), and tid the trace lane of the executing
+// worker. The first return value reports whether the block was recomputed
+// on the reference path after a demotion (the call degraded but succeeded).
+func runBlock[T Float](cfg Config, ks kernelSet[T], plat *platform.Platform, tile analytic.Tile, blk analytic.Blocking, mode Mode, bl parallel.Block, entry int, tid int32, k int, alpha T, a []T, lda int, b []T, ldb int, beta T, c []T, ldc int) (degraded bool, err error) {
+	tel := cfg.Tel
 	m, n := bl.M, bl.N
+	blockStart := tel.Now()
+	defer func() {
+		tel.Span(telemetry.PhaseBlock, tid, blockStart, uint8(mode), telemetry.PrecFor(ks.elemBytes), m, n, k)
+	}()
 	ksEff := ks
 	var inputsFinite bool
 	var snap []T
 	if cfg.NumericGuard {
 		if faults.Armed(faults.CorruptPack) {
-			ksEff = corruptPackKernels(ks)
+			ksEff = corruptPackKernels(ks, tel)
 		}
 		inputsFinite = finiteOperands(mode, m, n, k, a, lda, b, ldb, beta, c, ldc)
 		snap = snapshotC(c, m, n, ldc)
 	}
 	panicErr := protect(plat, mode, ks.elemBytes, bl, entry, func() {
 		if faults.Fire(faults.PanicInKernel) {
+			tel.FaultInjected(faults.PanicInKernel)
 			panic(faults.InjectedPanicMsg)
 		}
-		gemmST(ksEff, plat, tile, blk, mode, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc)
+		gemmST(tel, tid, ksEff, plat, tile, blk, mode, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc)
 		if cfg.NumericGuard && faults.Fire(faults.SpuriousNaN) {
+			tel.FaultInjected(faults.SpuriousNaN)
 			c[0] = T(math.NaN())
 		}
 	})
 	if !cfg.NumericGuard {
-		return panicErr
+		return false, panicErr
 	}
 	path := guard.PathFor(ks.elemBytes)
+	// shape is only rendered on the demotion paths; the healthy path stays
+	// allocation-free beyond the guard's own snapshot.
+	shape := func() string { return fmt.Sprintf("%s %dx%dx%d", mode, m, n, k) }
 	switch {
 	case panicErr != nil:
-		guard.Demote(plat.Name, path, guard.ReasonPanic, panicErr.Error())
+		guard.DemoteShape(plat.Name, path, guard.ReasonPanic, panicErr.Error(), shape())
+		tel.DegradationEvent(telemetry.DegrPanic)
 	case inputsFinite && !finiteRect(c, m, n, ldc):
-		guard.Demote(plat.Name, path, guard.ReasonNumeric,
-			"fast path produced NaN/Inf from all-finite inputs")
+		guard.DemoteShape(plat.Name, path, guard.ReasonNumeric,
+			"fast path produced NaN/Inf from all-finite inputs", shape())
+		tel.DegradationEvent(telemetry.DegrNumeric)
 	default:
-		return nil
+		return false, nil
 	}
 	// Demoted: restore the block and recompute on the reference path. The
 	// degraded call succeeds; the degradation registry records why.
 	restoreC(c, snap, m, n, ldc)
 	ks.ref(mode.TransA(), mode.TransB(), m, n, k, alpha, a, lda, b, ldb, beta, c, ldc)
-	return nil
+	return true, nil
 }
 
 // protect runs f, converting a panic into a structured KernelPanicError.
@@ -94,18 +110,22 @@ func protect(plat *platform.Platform, mode Mode, elemBytes int, bl parallel.Bloc
 }
 
 // corruptPackKernels wraps the packing micro-kernels so the CorruptPack
-// injection point can poison the packed-B panel right after it is filled.
-func corruptPackKernels[T Float](ks kernelSet[T]) kernelSet[T] {
+// injection point can poison the packed-B panel right after it is filled;
+// each fire is reported to tel (nil-safe) so the chaos suite can assert a
+// one-to-one fault-to-event mapping.
+func corruptPackKernels[T Float](ks kernelSet[T], tel *telemetry.Recorder) kernelSet[T] {
 	packB, ntPack := ks.packB, ks.ntPack
 	ks.packB = func(mr, nr, kc int, alpha T, a []T, lda int, b []T, ldb int, beta T, c []T, ldc int, bc []T, nrTotal, jOff int) {
 		packB(mr, nr, kc, alpha, a, lda, b, ldb, beta, c, ldc, bc, nrTotal, jOff)
 		if len(bc) > 0 && faults.Fire(faults.CorruptPack) {
+			tel.FaultInjected(faults.CorruptPack)
 			bc[0] = T(math.NaN())
 		}
 	}
 	ks.ntPack = func(mr, nr, kc int, alpha T, a []T, lda int, bT []T, ldbT int, beta T, c []T, ldc int, bc []T, nrTotal, jOff int) {
 		ntPack(mr, nr, kc, alpha, a, lda, bT, ldbT, beta, c, ldc, bc, nrTotal, jOff)
 		if len(bc) > 0 && faults.Fire(faults.CorruptPack) {
+			tel.FaultInjected(faults.CorruptPack)
 			bc[0] = T(math.NaN())
 		}
 	}

@@ -7,6 +7,7 @@ import (
 	"libshalom/internal/analytic"
 	"libshalom/internal/pack"
 	"libshalom/internal/parallel"
+	"libshalom/internal/telemetry"
 )
 
 // Plan describes every decision the driver will take for a GEMM call,
@@ -23,6 +24,9 @@ type Plan struct {
 	ElemBytes int
 	Tile      analytic.Tile
 	Blocking  analytic.Blocking
+	// ShapeClass is the telemetry workload regime of the problem — the
+	// shape_class label its metrics are keyed by.
+	ShapeClass telemetry.ShapeClass
 
 	// BStrategy is the §4 decision for the whole problem's B footprint.
 	BStrategy pack.Strategy
@@ -44,12 +48,13 @@ type Plan struct {
 func PlanFor(cfg Config, mode Mode, m, n, k, elemBytes int) Plan {
 	plat := cfg.platform()
 	p := Plan{
-		Mode:      mode,
-		ElemBytes: elemBytes,
-		Tile:      analytic.SolveForElem(elemBytes),
-		Blocking:  analytic.BlockingFor(plat, elemBytes),
-		PackA:     mode.TransA(),
-		Threads:   1,
+		Mode:       mode,
+		ElemBytes:  elemBytes,
+		Tile:       analytic.SolveForElem(elemBytes),
+		Blocking:   analytic.BlockingFor(plat, elemBytes),
+		ShapeClass: telemetry.ClassifyShape(m, n, k),
+		PackA:      mode.TransA(),
+		Threads:    1,
 	}
 	decide := func(nn, kk int) pack.Strategy {
 		if mode.TransB() {
@@ -85,7 +90,7 @@ func PlanFor(cfg Config, mode Mode, m, n, k, elemBytes int) Plan {
 // String renders the plan for humans.
 func (p Plan) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "mode %s, %d-byte elements\n", p.Mode, p.ElemBytes)
+	fmt.Fprintf(&b, "mode %s, %d-byte elements, shape class %s\n", p.Mode, p.ElemBytes, p.ShapeClass)
 	fmt.Fprintf(&b, "micro-kernel tile: %dx%d (CMR %.2f, %d registers)\n", p.Tile.MR, p.Tile.NR, p.Tile.CMR, p.Tile.Regs)
 	fmt.Fprintf(&b, "blocking: mc=%d kc=%d nc=%d\n", p.Blocking.MC, p.Blocking.KC, p.Blocking.NC)
 	fmt.Fprintf(&b, "B packing: %s (lookahead t=%d)", p.BStrategy, int(p.Depth))

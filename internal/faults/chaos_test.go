@@ -16,6 +16,7 @@ import (
 	"libshalom/internal/guard"
 	"libshalom/internal/mat"
 	"libshalom/internal/platform"
+	"libshalom/internal/telemetry"
 )
 
 type problem struct {
@@ -271,6 +272,85 @@ func TestChaosSlowWorkerWithCancellation(t *testing.T) {
 	}
 	if bce.Completed != touched {
 		t.Fatalf("accounting says %d, but %d entries were written", bce.Completed, touched)
+	}
+}
+
+// Telemetry contract of the chaos machinery: every injection point, fired
+// exactly once against a telemetry-enabled guarded call, must emit exactly
+// one fault event under its own name, and the call must land in the
+// snapshot under the outcome label the fault implies — no double counting,
+// no lost events, no mislabelled outcomes.
+func TestChaosTelemetryOneEventPerInjection(t *testing.T) {
+	wantOutcome := map[faults.Point]string{
+		faults.PanicInKernel: "degraded", // guard demotes and recomputes
+		faults.CorruptPack:   "degraded",
+		faults.SpuriousNaN:   "degraded",
+		faults.SlowWorker:    "ok", // scheduling perturbation only
+	}
+	for _, pt := range faults.Points() {
+		resetAll()
+		faults.Arm(pt, 1)
+		tel := telemetry.New(telemetry.Options{})
+		// NT with m > mr so a corrupted packed panel is consumed; threads 4
+		// so SlowWorker's pool dispatch site is on the path.
+		p := newProblem(uint64(30+pt), core.NT, 64, 36, 16)
+		cfg := core.Config{Plat: platform.KP920(), Threads: 4, NumericGuard: true, Tel: tel}
+		if err := p.run(cfg); err != nil {
+			t.Fatalf("%v: guarded call errored: %v", pt, err)
+		}
+		p.assertCorrect(t, pt.String()+": guarded call")
+		snap := tel.Snapshot()
+		if len(snap.Faults) != 1 || snap.Faults[0].Name != pt.String() || snap.Faults[0].Count != 1 {
+			t.Fatalf("%v: fault events = %+v, want exactly one %q event", pt, snap.Faults, pt.String())
+		}
+		if got := snap.CallsTotal(""); got != 1 {
+			t.Fatalf("%v: snapshot records %d calls, want 1", pt, got)
+		}
+		if outcome := snap.Calls[0].Outcome; outcome != wantOutcome[pt] {
+			t.Fatalf("%v: call outcome = %q, want %q", pt, outcome, wantOutcome[pt])
+		}
+		if wantOutcome[pt] == "degraded" {
+			if snap.Calls[0].Kernel != "ref" {
+				t.Fatalf("%v: degraded call labelled kernel %q, want \"ref\"", pt, snap.Calls[0].Kernel)
+			}
+			if len(snap.Degradations) != 1 || snap.Degradations[0].Count != 1 {
+				t.Fatalf("%v: degradation events = %+v, want exactly one", pt, snap.Degradations)
+			}
+			// The guard registry must carry the triggering shape and a
+			// non-zero sequence number for the same incident.
+			d, ok := guard.Demotion(platform.KP920().Name, guard.PathF32)
+			if !ok || d.Seq == 0 || d.Shape == "" {
+				t.Fatalf("%v: registry entry = %+v, %v; want shape and seq recorded", pt, d, ok)
+			}
+		} else if len(snap.Degradations) != 0 {
+			t.Fatalf("%v: unexpected degradation events %+v", pt, snap.Degradations)
+		}
+	}
+	resetAll()
+}
+
+// An unguarded injected panic must be labelled outcome "panic" — the error
+// path and the metric label tell the same story.
+func TestChaosTelemetryPanicOutcome(t *testing.T) {
+	resetAll()
+	defer resetAll()
+	faults.Arm(faults.PanicInKernel, 1)
+	tel := telemetry.New(telemetry.Options{})
+	p := newProblem(40, core.NN, 64, 48, 24)
+	err := p.run(core.Config{Plat: platform.KP920(), Threads: 1, Tel: tel})
+	var kpe *guard.KernelPanicError
+	if !errors.As(err, &kpe) {
+		t.Fatalf("err = %v, want *guard.KernelPanicError", err)
+	}
+	snap := tel.Snapshot()
+	if len(snap.Faults) != 1 || snap.Faults[0].Name != faults.PanicInKernel.String() || snap.Faults[0].Count != 1 {
+		t.Fatalf("fault events = %+v, want exactly one panic-in-kernel", snap.Faults)
+	}
+	if got := snap.CallsTotal(""); got != 1 || snap.Calls[0].Outcome != "panic" {
+		t.Fatalf("calls = %+v, want one call with outcome \"panic\"", snap.Calls)
+	}
+	if len(snap.Degradations) != 0 {
+		t.Fatalf("unguarded panic recorded degradations: %+v", snap.Degradations)
 	}
 }
 

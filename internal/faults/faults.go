@@ -49,6 +49,10 @@ func (p Point) String() string {
 	return "unknown-fault"
 }
 
+// NumPoints is the number of registered injection points, for packages
+// (telemetry) that keep a counter per point.
+const NumPoints = int(numPoints)
+
 // Points lists every injection point, for suites that iterate the registry.
 func Points() []Point {
 	return []Point{PanicInKernel, CorruptPack, SlowWorker, SpuriousNaN}

@@ -46,36 +46,68 @@ func PathFor(elemBytes int) string {
 
 // Degradation records one demotion: which kernel path on which platform,
 // why, and a human-readable detail (first finding, panic message, …).
+// Shape and Seq were added for incident triage; the original fields keep
+// their meaning, so existing consumers are unaffected.
 type Degradation struct {
 	Platform string `json:"platform"`
 	Kernel   string `json:"kernel"`
 	Reason   Reason `json:"reason"`
 	Detail   string `json:"detail,omitempty"`
+	// Shape is the call that first triggered the demotion, as "MODE MxNxK"
+	// (e.g. "NT 64x48x24"); empty for registration-time contract demotions,
+	// which no call provoked.
+	Shape string `json:"shape,omitempty"`
+	// Seq is a process-wide monotonic sequence number: demotion n happened
+	// before demotion n+1, whatever platform or kernel they hit — the
+	// ordering an operator needs to find the first domino.
+	Seq uint64 `json:"seq"`
 }
 
 func (d Degradation) String() string {
-	return fmt.Sprintf("%s/%s: %s (%s)", d.Platform, d.Kernel, d.Reason, d.Detail)
+	s := fmt.Sprintf("#%d %s/%s: %s (%s)", d.Seq, d.Platform, d.Kernel, d.Reason, d.Detail)
+	if d.Shape != "" {
+		s += fmt.Sprintf(" first triggered by %s", d.Shape)
+	}
+	return s
 }
 
 var (
-	mu       sync.Mutex
-	demoted  = map[string]Degradation{} // key: platform + "\x00" + kernel
-	verified = map[string]bool{}        // platforms whose contracts were checked
+	mu  sync.Mutex
+	seq uint64 // monotonic demotion counter, under mu
+	// demoted is keyed by a composite value type (not a concatenated
+	// string) so the per-call IsDemoted lookup on the GEMM hot path
+	// allocates nothing.
+	demoted  = map[pathKey]Degradation{}
+	verified = map[string]bool{} // platforms whose contracts were checked
 )
 
-func key(platform, kernel string) string { return platform + "\x00" + kernel }
+type pathKey struct{ platform, kernel string }
 
-// Demote records a degradation. The first demotion of a (platform, kernel)
-// pair wins; later demotions of the same pair keep the original reason, so
-// the registry reports the root cause rather than the latest symptom.
+func key(platform, kernel string) pathKey { return pathKey{platform, kernel} }
+
+// Demote records a degradation with no triggering-call context (the
+// registration-time contract leg). The first demotion of a (platform,
+// kernel) pair wins; later demotions of the same pair keep the original
+// reason, so the registry reports the root cause rather than the latest
+// symptom.
 func Demote(platform, kernel string, reason Reason, detail string) {
+	DemoteShape(platform, kernel, reason, detail, "")
+}
+
+// DemoteShape is Demote carrying the mode and dimensions of the call that
+// tripped the guard, recorded on the first demotion of the pair.
+func DemoteShape(platform, kernel string, reason Reason, detail, shape string) {
 	mu.Lock()
 	defer mu.Unlock()
 	k := key(platform, kernel)
 	if _, dup := demoted[k]; dup {
 		return
 	}
-	demoted[k] = Degradation{Platform: platform, Kernel: kernel, Reason: reason, Detail: detail}
+	seq++
+	demoted[k] = Degradation{
+		Platform: platform, Kernel: kernel, Reason: reason, Detail: detail,
+		Shape: shape, Seq: seq,
+	}
 }
 
 // IsDemoted reports whether the kernel path is degraded on the platform.
@@ -120,8 +152,9 @@ func List(platform string) []Degradation {
 func Reset() {
 	mu.Lock()
 	defer mu.Unlock()
-	demoted = map[string]Degradation{}
+	demoted = map[pathKey]Degradation{}
 	verified = map[string]bool{}
+	seq = 0
 }
 
 // KernelPanicError is the structured error the hardened runtime returns

@@ -12,6 +12,7 @@ import (
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"libshalom/internal/analytic"
 	"libshalom/internal/faults"
@@ -84,27 +85,51 @@ func splitAligned(extent, parts, unit int) []span {
 	return spans
 }
 
+// Observer receives the pool's scheduling events — the hook the telemetry
+// layer plugs into. Implementations must be safe for concurrent use from
+// every worker; all methods are called on hot scheduling paths, so they
+// should be a handful of atomic operations at most. telemetry.Recorder
+// implements Observer.
+type Observer interface {
+	// TaskQueued reports n tasks submitted to the pool by one Run call.
+	TaskQueued(n int)
+	// TaskStart reports a task beginning execution after queueWaitNs in
+	// the run queue.
+	TaskStart(queueWaitNs int64)
+	// TaskDone reports a task finishing after busyNs of execution.
+	TaskDone(busyNs int64)
+	// FaultInjected reports a fired fault-injection point inside the pool
+	// (the SlowWorker chaos point).
+	FaultInjected(p faults.Point)
+}
+
 // Pool is a fork-join worker pool with persistent goroutines, standing in
 // for the fork-join threading primitive the paper's runtime uses. A Pool is
 // safe for concurrent Run calls (each call joins only its own tasks), which
 // is how a shared Context serves simultaneous GEMMs.
 type Pool struct {
 	workers int
-	tasks   chan func()
+	tasks   chan func(worker int)
 	closed  atomic.Bool
+	obs     Observer // nil: scheduling is not instrumented
 }
 
 // NewPool starts a pool with the given number of worker goroutines
 // (minimum 1).
-func NewPool(workers int) *Pool {
+func NewPool(workers int) *Pool { return NewPoolObserved(workers, nil) }
+
+// NewPoolObserved starts a pool whose scheduling events feed obs; a nil
+// observer leaves the pool exactly as cheap as NewPool's.
+func NewPoolObserved(workers int, obs Observer) *Pool {
 	if workers < 1 {
 		workers = 1
 	}
-	p := &Pool{workers: workers, tasks: make(chan func())}
+	p := &Pool{workers: workers, tasks: make(chan func(worker int)), obs: obs}
 	for i := 0; i < workers; i++ {
+		i := i
 		go func() {
 			for f := range p.tasks {
-				f()
+				f(i)
 			}
 		}()
 	}
@@ -140,11 +165,26 @@ func (e *PanicError) Error() string {
 // Run returns a *PanicError describing the first panic. Run on a closed
 // pool returns ErrClosed.
 func (p *Pool) Run(tasks []func()) error {
+	wrapped := make([]func(worker int), len(tasks))
+	for i, t := range tasks {
+		t := t
+		wrapped[i] = func(int) { t() }
+	}
+	return p.RunWorker(wrapped)
+}
+
+// RunWorker is Run for tasks that want to know which worker executes them
+// (the GEMM driver uses the index for trace-lane attribution). Worker
+// indices are 0..Workers()-1.
+func (p *Pool) RunWorker(tasks []func(worker int)) error {
 	if len(tasks) == 0 {
 		return nil
 	}
 	if p.closed.Load() {
 		return ErrClosed
+	}
+	if p.obs != nil {
+		p.obs.TaskQueued(len(tasks))
 	}
 	var (
 		wg       sync.WaitGroup
@@ -184,18 +224,33 @@ func (p *Pool) Run(tasks []func()) error {
 				continue
 			}
 			i, t := i, t
-			p.tasks <- func() {
+			var enqueued time.Time
+			if p.obs != nil {
+				enqueued = time.Now()
+			}
+			p.tasks <- func(worker int) {
 				defer wg.Done()
 				defer func() {
 					if r := recover(); r != nil {
 						fail(&PanicError{Task: i, Value: r, Stack: debug.Stack()})
 					}
 				}()
+				var began time.Time
+				if p.obs != nil {
+					began = time.Now()
+					p.obs.TaskStart(began.Sub(enqueued).Nanoseconds())
+					defer func() { p.obs.TaskDone(time.Since(began).Nanoseconds()) }()
+				}
 				if failed.Load() {
 					return // cancelled after an earlier task failed
 				}
-				faults.SleepIfArmed(faults.SlowWorker)
-				t()
+				if faults.Fire(faults.SlowWorker) {
+					if p.obs != nil {
+						p.obs.FaultInjected(faults.SlowWorker)
+					}
+					time.Sleep(time.Millisecond)
+				}
+				t(worker)
 			}
 			handed++
 		}

@@ -1,0 +1,10 @@
+//go:build !telemetryprobe
+
+package telemetry
+
+// probeAtomicWrite is compiled out in normal builds; under the
+// telemetryprobe build tag it counts every atomic write the telemetry layer
+// performs, letting a test assert the disabled hot path performs exactly
+// zero of them (the <2% overhead budget of DESIGN.md §8, enforced without
+// wall-clock flakiness).
+func probeAtomicWrite() {}

@@ -1,0 +1,22 @@
+//go:build telemetryprobe
+
+package telemetry
+
+import "sync/atomic"
+
+// The telemetryprobe build: every telemetry atomic-write site calls
+// probeAtomicWrite, so `go test -tags telemetryprobe` can assert the
+// telemetry-off hot path performs zero atomic writes (and, with
+// testing.AllocsPerRun, zero allocations) — the overhead budget enforced as
+// an exact count instead of a flaky wall-clock ratio.
+
+var probeWrites atomic.Uint64
+
+func probeAtomicWrite() { probeWrites.Add(1) }
+
+// ProbeAtomicWrites returns the number of telemetry atomic writes since the
+// last ProbeReset. Only exists under the telemetryprobe tag.
+func ProbeAtomicWrites() uint64 { return probeWrites.Load() }
+
+// ProbeReset zeroes the probe counter.
+func ProbeReset() { probeWrites.Store(0) }

@@ -1,0 +1,118 @@
+package telemetry
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format (version 0.0.4): counters for calls/faults/degradations, native
+// log-bucketed histograms for latency and achieved GFLOPS, and gauges for
+// the pool and thread-policy state. Output is deterministic: keys appear in
+// dense-index order.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	bw := &errWriter{w: w}
+
+	bw.printf("# HELP libshalom_gemm_calls_total GEMM calls by precision, mode, shape class, kernel path and outcome.\n")
+	bw.printf("# TYPE libshalom_gemm_calls_total counter\n")
+	for _, c := range s.Calls {
+		bw.printf("libshalom_gemm_calls_total%s %d\n", c.labels(""), c.Count)
+	}
+
+	bw.printf("# HELP libshalom_gemm_latency_seconds GEMM call latency, log2-bucketed.\n")
+	bw.printf("# TYPE libshalom_gemm_latency_seconds histogram\n")
+	for _, c := range s.Calls {
+		var cum uint64
+		for b, n := range c.LatencyBuckets {
+			cum += n
+			if n == 0 && b != len(c.LatencyBuckets)-1 {
+				continue
+			}
+			le := strconv.FormatFloat(float64(uint64(1)<<uint(b))/1e9, 'g', -1, 64)
+			bw.printf("libshalom_gemm_latency_seconds_bucket%s %d\n", c.labels(le), cum)
+		}
+		bw.printf("libshalom_gemm_latency_seconds_bucket%s %d\n", c.labels("+Inf"), cum)
+		bw.printf("libshalom_gemm_latency_seconds_sum%s %g\n", c.labels(""), float64(c.DurNs)/1e9)
+		bw.printf("libshalom_gemm_latency_seconds_count%s %d\n", c.labels(""), cum)
+	}
+
+	bw.printf("# HELP libshalom_gemm_gflops Achieved GFLOPS per call, log2-bucketed on quarter-GFLOPS.\n")
+	bw.printf("# TYPE libshalom_gemm_gflops histogram\n")
+	for _, c := range s.Calls {
+		var cum uint64
+		for b, n := range c.GFLOPSBuckets {
+			cum += n
+			if n == 0 && b != len(c.GFLOPSBuckets)-1 {
+				continue
+			}
+			le := strconv.FormatFloat(float64(uint64(1)<<uint(b))/4, 'g', -1, 64)
+			bw.printf("libshalom_gemm_gflops_bucket%s %d\n", c.labels(le), cum)
+		}
+		bw.printf("libshalom_gemm_gflops_bucket%s %d\n", c.labels("+Inf"), cum)
+		bw.printf("libshalom_gemm_gflops_sum%s %g\n", c.labels(""), c.MeanGFLOPS()*float64(cum))
+		bw.printf("libshalom_gemm_gflops_count%s %d\n", c.labels(""), cum)
+	}
+
+	gauge := func(name, help string, v any) {
+		bw.printf("# HELP %s %s\n# TYPE %s gauge\n%s %v\n", name, help, name, name, v)
+	}
+	counter := func(name, help string, v uint64) {
+		bw.printf("# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counter("libshalom_pool_tasks_queued_total", "Tasks submitted to the worker pool.", s.Pool.TasksQueued)
+	counter("libshalom_pool_tasks_started_total", "Tasks begun by pool workers.", s.Pool.TasksStarted)
+	counter("libshalom_pool_tasks_done_total", "Tasks completed by pool workers.", s.Pool.TasksDone)
+	gauge("libshalom_pool_tasks_in_flight", "Tasks started but not yet finished.", s.Pool.InFlight)
+	counter("libshalom_pool_queue_wait_seconds_total_ns", "Summed task queue wait in nanoseconds.", s.Pool.QueueWaitNs)
+	counter("libshalom_pool_worker_busy_seconds_total_ns", "Summed task execution time in nanoseconds.", s.Pool.BusyNs)
+	counter("libshalom_threads_policy_calls_total", "Calls routed through the thread policy.", s.Threads.Calls)
+	counter("libshalom_threads_requested_total", "Summed requested thread widths.", s.Threads.RequestedSum)
+	counter("libshalom_threads_chosen_total", "Summed chosen thread widths.", s.Threads.ChosenSum)
+	counter("libshalom_threads_clamped_calls_total", "Calls whose width the small-GEMM policy clamped.", s.Threads.ClampedCalls)
+
+	bw.printf("# HELP libshalom_fault_events_total Fired fault-injection points.\n")
+	bw.printf("# TYPE libshalom_fault_events_total counter\n")
+	for _, f := range s.Faults {
+		bw.printf("libshalom_fault_events_total{point=%q} %d\n", f.Name, f.Count)
+	}
+	bw.printf("# HELP libshalom_degradation_events_total Kernel-path demotions observed by the runtime.\n")
+	bw.printf("# TYPE libshalom_degradation_events_total counter\n")
+	for _, d := range s.Degradations {
+		bw.printf("libshalom_degradation_events_total{reason=%q} %d\n", d.Name, d.Count)
+	}
+	counter("libshalom_trace_spans_total", "Phase spans recorded into the trace ring.", s.TraceSpans)
+	counter("libshalom_trace_spans_dropped_total", "Spans overwritten by ring wraparound.", s.TraceDropped)
+	return bw.err
+}
+
+// labels renders the key's label set; le, when non-empty, is appended as a
+// histogram bucket boundary.
+func (c CallStat) labels(le string) string {
+	s := fmt.Sprintf(`{precision=%q,mode=%q,shape_class=%q,kernel=%q,outcome=%q`,
+		c.Precision, c.Mode, c.ShapeClass, c.Kernel, c.Outcome)
+	if le != "" {
+		s += fmt.Sprintf(",le=%q", le)
+	}
+	return s + "}"
+}
+
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) printf(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}
+
+// PublishExpvar publishes the recorder under the given expvar name; the
+// standard /debug/vars endpoint then serves the live Snapshot as JSON.
+// expvar panics on duplicate names, so publish once per process per name.
+func PublishExpvar(name string, r *Recorder) {
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}

@@ -1,0 +1,80 @@
+package telemetry
+
+import "sync"
+
+// Trace phases, in the order the driver passes through them. Phase spans
+// nest: a gemm call span encloses plan and barrier spans on the caller's
+// lane; each block span encloses its pack and kernel-batch spans on the
+// executing worker's lane.
+const (
+	PhaseCall uint8 = iota
+	PhasePlan
+	PhaseBarrier
+	PhaseBlock
+	PhasePack
+	PhaseKernelBatch
+	numPhases
+)
+
+var phaseNames = [numPhases]string{
+	"gemm", "plan", "barrier", "block", "pack", "kernel-batch",
+}
+
+// PhaseName returns the trace_event name of a phase.
+func PhaseName(p uint8) string {
+	if p < numPhases {
+		return phaseNames[p]
+	}
+	return "unknown"
+}
+
+// event is one completed span. Spans are recorded at completion (begin
+// timestamp plus duration), so the ring never holds half-open spans and the
+// exporter can always emit balanced B/E pairs.
+type event struct {
+	start, dur int64 // ns since the recorder epoch
+	m, n, k    int32
+	tid        int32
+	phase      uint8
+	mode       uint8
+	prec       uint8
+}
+
+// ring is a fixed-capacity span buffer that overwrites its oldest entries:
+// tracing a long-running service keeps the most recent window instead of
+// growing without bound. A mutex serializes writers; spans are recorded at
+// block/phase granularity (not per micro-tile), so contention is far off
+// the critical path, and the mutex makes the concurrent read in snapshot
+// exact under the race detector.
+type ring struct {
+	mu      sync.Mutex
+	buf     []event
+	written uint64 // total spans ever recorded
+}
+
+func newRing(capacity int) *ring {
+	return &ring{buf: make([]event, 0, capacity)}
+}
+
+func (r *ring) add(ev event) {
+	r.mu.Lock()
+	if len(r.buf) < cap(r.buf) {
+		r.buf = r.buf[:len(r.buf)+1]
+	}
+	r.buf[r.written%uint64(cap(r.buf))] = ev
+	r.written++
+	r.mu.Unlock()
+}
+
+// snapshot copies the buffered spans out (unordered) and reports the total
+// recorded and dropped-by-overwrite counts.
+func (r *ring) snapshot() (evs []event, written, dropped uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	evs = make([]event, len(r.buf))
+	copy(evs, r.buf)
+	if over := r.written - uint64(len(r.buf)); over > 0 {
+		dropped = over
+	}
+	return evs, r.written, dropped
+}

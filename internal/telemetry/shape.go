@@ -1,0 +1,60 @@
+package telemetry
+
+// ShapeClass buckets a GEMM problem into the paper's workload regimes so
+// per-shape metrics stay low-cardinality: "small" is the §7.2 small-GEMM
+// regime (every dimension ≤ 128, the SeisSol/NekBox sizes), "irregular" the
+// §6 regime (one C dimension much larger than the other — the thresholds
+// match the driver's threadsFor policy), "large" the conventionally
+// BLAS-friendly regime, and "tiny"/"medium"/"empty" the remainder.
+type ShapeClass uint8
+
+// Shape classes, densest first.
+const (
+	ShapeEmpty ShapeClass = iota
+	ShapeTiny
+	ShapeSmall
+	ShapeMedium
+	ShapeLarge
+	ShapeIrregular
+	numShapeClasses
+)
+
+var shapeClassNames = [numShapeClasses]string{
+	"empty", "tiny", "small", "medium", "large", "irregular",
+}
+
+// String names the class as exposed in metric labels.
+func (c ShapeClass) String() string {
+	if c < numShapeClasses {
+		return shapeClassNames[c]
+	}
+	return "unknown"
+}
+
+// ShapeClasses lists every class in label order.
+func ShapeClasses() []ShapeClass {
+	out := make([]ShapeClass, numShapeClasses)
+	for i := range out {
+		out[i] = ShapeClass(i)
+	}
+	return out
+}
+
+// ClassifyShape assigns an M×N×K problem to its class. Pure arithmetic —
+// safe on the telemetry-off hot path.
+func ClassifyShape(m, n, k int) ShapeClass {
+	switch {
+	case m <= 0 || n <= 0 || k <= 0:
+		return ShapeEmpty
+	case m <= 16 && n <= 16 && k <= 16:
+		return ShapeTiny
+	case m <= 128 && n <= 128 && k <= 128:
+		return ShapeSmall
+	case (m >= 8*n || n >= 8*m) && (m >= 512 || n >= 512):
+		return ShapeIrregular
+	case m >= 256 && n >= 256:
+		return ShapeLarge
+	default:
+		return ShapeMedium
+	}
+}

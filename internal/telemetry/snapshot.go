@@ -1,0 +1,172 @@
+package telemetry
+
+import "libshalom/internal/faults"
+
+// CallStat is the aggregated record of one (precision, mode, shape class,
+// kernel, outcome) key with at least one observed call.
+type CallStat struct {
+	Precision  string `json:"precision"`
+	Mode       string `json:"mode"`
+	ShapeClass string `json:"shape_class"`
+	Kernel     string `json:"kernel"`
+	Outcome    string `json:"outcome"`
+
+	Count uint64 `json:"count"`
+	// DurNs and Flops are sums over the counted calls; Count>0 calls that
+	// never ran (cancelled entries) contribute zero to both.
+	DurNs uint64 `json:"dur_ns"`
+	Flops uint64 `json:"flops"`
+	// LatencyBuckets[i] counts calls with duration in [2^(i-1), 2^i) ns;
+	// GFLOPSBuckets[i] counts calls achieving [2^(i-1)/4, 2^i/4) GFLOPS.
+	LatencyBuckets [NumLatencyBuckets]uint64 `json:"latency_buckets"`
+	GFLOPSBuckets  [NumGFLOPSBuckets]uint64  `json:"gflops_buckets"`
+}
+
+// MeanGFLOPS returns the time-weighted mean achieved rate of the key.
+func (s CallStat) MeanGFLOPS() float64 {
+	if s.DurNs == 0 {
+		return 0
+	}
+	return float64(s.Flops) / float64(s.DurNs)
+}
+
+// PoolStats aggregates the worker-pool scheduling gauges.
+type PoolStats struct {
+	TasksQueued  uint64 `json:"tasks_queued"`
+	TasksStarted uint64 `json:"tasks_started"`
+	TasksDone    uint64 `json:"tasks_done"`
+	// InFlight is a point-in-time gauge: tasks started but not finished.
+	InFlight int64 `json:"in_flight"`
+	// QueueWaitNs sums the time tasks spent between submission and start;
+	// BusyNs sums task execution time (worker utilization = BusyNs over
+	// workers × wall time).
+	QueueWaitNs uint64 `json:"queue_wait_ns"`
+	BusyNs      uint64 `json:"busy_ns"`
+}
+
+// ThreadStats exposes the §7.4 thread-policy decisions: how many calls went
+// through the policy, the summed requested and chosen widths, and how many
+// calls the small-GEMM rule clamped below their request.
+type ThreadStats struct {
+	Calls        uint64 `json:"calls"`
+	RequestedSum uint64 `json:"requested_sum"`
+	ChosenSum    uint64 `json:"chosen_sum"`
+	ClampedCalls uint64 `json:"clamped_calls"`
+}
+
+// EventCount is one named event counter (fault point or degradation reason).
+type EventCount struct {
+	Name  string `json:"name"`
+	Count uint64 `json:"count"`
+}
+
+// Snapshot is a consistent-enough copy of a Recorder's state: counters are
+// read atomically, so concurrent calls may be torn across keys but never
+// within one, and every completed call is visible to a later snapshot.
+type Snapshot struct {
+	Calls   []CallStat   `json:"calls"`
+	Pool    PoolStats    `json:"pool"`
+	Threads ThreadStats  `json:"threads"`
+	Faults  []EventCount `json:"faults,omitempty"`
+	// Degradations counts demotion events the runtime observed (by reason);
+	// the guard registry remains the source of truth for current state.
+	Degradations []EventCount `json:"degradations,omitempty"`
+	// TraceSpans/TraceDropped report ring-buffer occupancy: spans ever
+	// recorded and spans overwritten by newer ones.
+	TraceSpans   uint64 `json:"trace_spans"`
+	TraceDropped uint64 `json:"trace_dropped"`
+}
+
+// Snapshot aggregates the recorder into an exposition-ready value. A nil
+// recorder yields the zero Snapshot.
+func (r *Recorder) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	for idx := 0; idx < numKeys; idx++ {
+		var count uint64
+		for sh := range r.shards {
+			count += r.shards[sh].calls[idx].Load()
+		}
+		if count == 0 {
+			continue
+		}
+		prec, mode, class, kernel, outcome := unpackKey(idx)
+		st := CallStat{
+			Precision:  precNames[prec],
+			Mode:       modeNames[mode],
+			ShapeClass: ShapeClass(class).String(),
+			Kernel:     kernelNames[kernel],
+			Outcome:    outcomeNames[outcome],
+			Count:      count,
+			DurNs:      r.durNs[idx].Load(),
+			Flops:      r.flops[idx].Load(),
+		}
+		for b := range st.LatencyBuckets {
+			st.LatencyBuckets[b] = r.latHist[idx][b].Load()
+		}
+		for b := range st.GFLOPSBuckets {
+			st.GFLOPSBuckets[b] = r.gfHist[idx][b].Load()
+		}
+		s.Calls = append(s.Calls, st)
+	}
+	s.Pool = PoolStats{
+		TasksQueued:  r.tasksQueued.Load(),
+		TasksStarted: r.tasksStarted.Load(),
+		TasksDone:    r.tasksDone.Load(),
+		InFlight:     r.inFlight.Load(),
+		QueueWaitNs:  r.queueWaitNs.Load(),
+		BusyNs:       r.busyNs.Load(),
+	}
+	s.Threads = ThreadStats{
+		Calls:        r.threadCalls.Load(),
+		RequestedSum: r.threadsReq.Load(),
+		ChosenSum:    r.threadsChose.Load(),
+		ClampedCalls: r.clampedCalls.Load(),
+	}
+	for p := 0; p < faults.NumPoints; p++ {
+		if c := r.faultEvents[p].Load(); c > 0 {
+			s.Faults = append(s.Faults, EventCount{Name: faults.Point(p).String(), Count: c})
+		}
+	}
+	for d := uint8(0); d < numDegrReasons; d++ {
+		if c := r.degrEvents[d].Load(); c > 0 {
+			s.Degradations = append(s.Degradations, EventCount{Name: degrNames[d], Count: c})
+		}
+	}
+	if r.trace != nil {
+		r.trace.mu.Lock()
+		s.TraceSpans = r.trace.written
+		if over := r.trace.written - uint64(len(r.trace.buf)); over > 0 {
+			s.TraceDropped = over
+		}
+		r.trace.mu.Unlock()
+	}
+	return s
+}
+
+func unpackKey(idx int) (prec, mode, class, kernel, outcome uint8) {
+	outcome = uint8(idx % int(numOutcome))
+	idx /= int(numOutcome)
+	kernel = uint8(idx % int(numKernel))
+	idx /= int(numKernel)
+	class = uint8(idx % int(numShapeClasses))
+	idx /= int(numShapeClasses)
+	mode = uint8(idx % numMode)
+	idx /= numMode
+	prec = uint8(idx)
+	return
+}
+
+// CallsTotal sums call counts across every key, optionally filtered by
+// shape class name ("" matches all).
+func (s Snapshot) CallsTotal(shapeClass string) uint64 {
+	var total uint64
+	for _, c := range s.Calls {
+		if shapeClass == "" || c.ShapeClass == shapeClass {
+			total += c.Count
+		}
+	}
+	return total
+}

@@ -1,0 +1,364 @@
+// Package telemetry is LibShalom's runtime observability layer: an
+// always-compiled instrumentation surface the execution path (public API →
+// core driver → parallel pool → micro-kernel loop) reports into, costing
+// near zero when disabled.
+//
+// The layer has three parts:
+//
+//   - Metrics: sharded atomic counters and log-bucketed latency/GFLOPS
+//     histograms keyed by (precision, mode, shape class, kernel path,
+//     outcome), pool scheduling gauges (queue wait, tasks in flight, worker
+//     busy time), thread-policy accounting (requested vs. chosen width,
+//     §7.4 clamping), and degradation/fault-injection event counters.
+//   - Tracing: per-call phase spans (plan → pack → block loop →
+//     micro-kernel batches → barrier, with worker attribution) recorded
+//     into a fixed-size ring buffer, exportable as Chrome trace_event JSON
+//     loadable in chrome://tracing or Perfetto.
+//   - Exposition: Snapshot aggregation, Prometheus text format, expvar
+//     publication, and an HTTP handler (see snapshot.go, prometheus.go,
+//     http.go).
+//
+// The disabled contract: every recording method is a method on *Recorder
+// with a nil-receiver fast path, so a driver configured without telemetry
+// performs zero atomic writes and zero allocations on the hot path. The
+// telemetryprobe build tag compiles a probe counter into every atomic-write
+// site so a test can verify that contract directly instead of relying on
+// flaky wall-clock comparisons (see probe_on.go).
+package telemetry
+
+import (
+	"sync/atomic"
+	"time"
+	"unsafe"
+
+	"libshalom/internal/faults"
+)
+
+// Key dimensions. Values are dense indices into the counter arrays; the
+// *Names tables give the label values used in exposition.
+
+// Precisions.
+const (
+	PrecF32 uint8 = iota
+	PrecF64
+	numPrec
+)
+
+// Kernel paths: the generated fast path vs. the portable reference path the
+// guard demotes to.
+const (
+	KernelFast uint8 = iota
+	KernelRef
+	numKernel
+)
+
+// Outcomes of one GEMM call (or one batch entry).
+const (
+	OutcomeOK uint8 = iota
+	OutcomeDegraded
+	OutcomePanic
+	OutcomeCancelled
+	numOutcome
+)
+
+// numMode mirrors core.Mode's four values (NN/NT/TN/TT); telemetry cannot
+// import core (core imports telemetry), so the driver passes uint8(mode).
+const numMode = 4
+
+var (
+	precNames    = [numPrec]string{"f32", "f64"}
+	modeNames    = [numMode]string{"NN", "NT", "TN", "TT"}
+	kernelNames  = [numKernel]string{"fast", "ref"}
+	outcomeNames = [numOutcome]string{"ok", "degraded", "panic", "cancelled"}
+)
+
+// PrecFor maps an element size in bytes to a precision index.
+func PrecFor(elemBytes int) uint8 {
+	if elemBytes == 8 {
+		return PrecF64
+	}
+	return PrecF32
+}
+
+// numKeys is the size of the dense (precision, mode, class, kernel,
+// outcome) key space.
+const numKeys = int(numPrec) * numMode * int(numShapeClasses) * int(numKernel) * int(numOutcome)
+
+func keyIndex(prec, mode, class, kernel, outcome uint8) int {
+	return ((((int(prec)*numMode+int(mode))*int(numShapeClasses))+int(class))*int(numKernel)+int(kernel))*int(numOutcome) + int(outcome)
+}
+
+// Histogram geometry. Latency buckets are log2 on nanoseconds: bucket i
+// counts durations in [2^(i-1), 2^i) ns, so le boundaries run 1ns … ~8.8s.
+// GFLOPS buckets are log2 on quarter-GFLOPS: bucket i counts rates in
+// [2^(i-1)/4, 2^i/4) GFLOPS, so le boundaries run 0.25 … 2048 GFLOPS.
+const (
+	NumLatencyBuckets = 34
+	NumGFLOPSBuckets  = 14
+)
+
+// bucketLog2 returns the log-bucket index of v (bits.Len64 without the
+// import): the number of bits needed to represent v, clamped to [0, n).
+func bucketLog2(v uint64, n int) int {
+	b := 0
+	for v != 0 {
+		v >>= 1
+		b++
+	}
+	if b >= n {
+		b = n - 1
+	}
+	return b
+}
+
+// numShards spreads the per-key call counters across independent cache
+// lines so concurrent GEMM callers do not serialize on one counter word.
+// Must be a power of two.
+const numShards = 8
+
+// shard is one slice of the sharded counter space, padded to keep shards on
+// distinct cache lines.
+type shard struct {
+	calls [numKeys]atomic.Uint64
+	_     [64]byte
+}
+
+// Recorder accumulates metrics and trace spans for one Context. The zero
+// value is not useful; call New. A nil *Recorder is the disabled layer:
+// every method no-ops without touching memory.
+type Recorder struct {
+	epoch time.Time // monotonic base for Now()
+
+	shards [numShards]shard
+
+	// Unsharded per-key aggregates: one atomic add per completed call, far
+	// below contention concern.
+	durNs   [numKeys]atomic.Uint64
+	flops   [numKeys]atomic.Uint64
+	latHist [numKeys][NumLatencyBuckets]atomic.Uint64
+	gfHist  [numKeys][NumGFLOPSBuckets]atomic.Uint64
+
+	// Pool scheduling gauges (fed through the parallel.Observer interface).
+	tasksQueued  atomic.Uint64
+	tasksStarted atomic.Uint64
+	tasksDone    atomic.Uint64
+	inFlight     atomic.Int64
+	queueWaitNs  atomic.Uint64
+	busyNs       atomic.Uint64
+
+	// Thread-policy accounting (§7.4 clamping visibility).
+	threadCalls  atomic.Uint64
+	threadsReq   atomic.Uint64
+	threadsChose atomic.Uint64
+	clampedCalls atomic.Uint64
+
+	// Event counters: fault injections by point, degradations by reason.
+	faultEvents [faults.NumPoints]atomic.Uint64
+	degrEvents  [numDegrReasons]atomic.Uint64
+
+	callSeq atomic.Uint64 // caller trace-lane allocator
+
+	trace *ring // nil when tracing is disabled
+}
+
+// Options configures a Recorder.
+type Options struct {
+	// TraceEvents is the span ring-buffer capacity; 0 selects the default
+	// (8192 spans), negative disables tracing entirely.
+	TraceEvents int
+}
+
+// New builds an enabled Recorder.
+func New(o Options) *Recorder {
+	r := &Recorder{epoch: time.Now()}
+	n := o.TraceEvents
+	if n == 0 {
+		n = 8192
+	}
+	if n > 0 {
+		r.trace = newRing(n)
+	}
+	return r
+}
+
+// Enabled reports whether the recorder is live.
+func (r *Recorder) Enabled() bool { return r != nil }
+
+// Now returns nanoseconds since the recorder's epoch, or 0 when disabled.
+// The driver brackets phases with Now()/Span() pairs; the disabled path
+// never reads the clock.
+func (r *Recorder) Now() int64 {
+	if r == nil {
+		return 0
+	}
+	return int64(time.Since(r.epoch))
+}
+
+// CallTid allocates a trace lane for one public GEMM call. Caller lanes
+// start at 1000 so they render apart from worker lanes (1..N); concurrent
+// calls rotate over 64 lanes.
+func (r *Recorder) CallTid() int32 {
+	if r == nil {
+		return 0
+	}
+	probeAtomicWrite()
+	s := r.callSeq.Add(1)
+	return int32(1000 + (s-1)%64)
+}
+
+// WorkerTid maps a pool worker index to its trace lane; callers pass the
+// enclosing call's lane for worker < 0 (the single-threaded path).
+func WorkerTid(worker int, callTid int32) int32 {
+	if worker < 0 {
+		return callTid
+	}
+	return int32(worker + 1)
+}
+
+// shardFor picks a shard from the address of a caller stack slot — distinct
+// goroutines get distinct stacks, so concurrent callers spread across
+// shards without any goroutine-local storage.
+func shardFor() int {
+	var probe byte
+	return int(uintptr(unsafe.Pointer(&probe))>>6) & (numShards - 1)
+}
+
+// CallDone records one completed GEMM call (or batch entry): counter,
+// latency histogram, achieved-GFLOPS histogram, and the duration/flop sums
+// behind average-rate exposition. start is the Now() taken at call entry;
+// flops the 2·M·N·K operation count.
+func (r *Recorder) CallDone(prec, mode, class, kernel, outcome uint8, start int64, flops float64) {
+	if r == nil {
+		return
+	}
+	dur := r.Now() - start
+	if dur < 1 {
+		dur = 1
+	}
+	idx := keyIndex(prec, mode, class, kernel, outcome)
+	probeAtomicWrite()
+	r.shards[shardFor()].calls[idx].Add(1)
+	probeAtomicWrite()
+	r.durNs[idx].Add(uint64(dur))
+	probeAtomicWrite()
+	r.flops[idx].Add(uint64(flops))
+	probeAtomicWrite()
+	r.latHist[idx][bucketLog2(uint64(dur), NumLatencyBuckets)].Add(1)
+	gf := flops / float64(dur) // flops per ns == GFLOPS
+	probeAtomicWrite()
+	r.gfHist[idx][bucketLog2(uint64(gf*4), NumGFLOPSBuckets)].Add(1)
+}
+
+// CallEvent records a call that never ran (e.g. a batch entry abandoned on
+// cancellation): counter only, no timing.
+func (r *Recorder) CallEvent(prec, mode, class, kernel, outcome uint8) {
+	if r == nil {
+		return
+	}
+	probeAtomicWrite()
+	r.shards[shardFor()].calls[keyIndex(prec, mode, class, kernel, outcome)].Add(1)
+}
+
+// ThreadChoice records the §7.4 thread policy's decision for one call:
+// requested is the width the caller asked for (WithThreads, or GOMAXPROCS
+// under the automatic policy), chosen what the policy granted.
+func (r *Recorder) ThreadChoice(requested, chosen int) {
+	if r == nil {
+		return
+	}
+	probeAtomicWrite()
+	r.threadCalls.Add(1)
+	probeAtomicWrite()
+	r.threadsReq.Add(uint64(requested))
+	probeAtomicWrite()
+	r.threadsChose.Add(uint64(chosen))
+	if chosen < requested {
+		probeAtomicWrite()
+		r.clampedCalls.Add(1)
+	}
+}
+
+// Degradation reasons, mirroring guard.Reason (telemetry cannot import
+// guard without dragging the static verifier into every binary).
+const (
+	DegrContract uint8 = iota
+	DegrPanic
+	DegrNumeric
+	numDegrReasons
+)
+
+var degrNames = [numDegrReasons]string{"contract-violation", "runtime-panic", "numeric-guard"}
+
+// DegradationEvent counts one kernel-path demotion observed by the runtime.
+func (r *Recorder) DegradationEvent(reason uint8) {
+	if r == nil || reason >= numDegrReasons {
+		return
+	}
+	probeAtomicWrite()
+	r.degrEvents[reason].Add(1)
+}
+
+// FaultInjected counts one fired fault-injection point. Together with
+// TaskQueued/TaskStart/TaskDone it satisfies parallel.Observer, so a
+// Recorder plugs directly into the worker pool.
+func (r *Recorder) FaultInjected(p faults.Point) {
+	if r == nil || int(p) >= faults.NumPoints {
+		return
+	}
+	probeAtomicWrite()
+	r.faultEvents[p].Add(1)
+}
+
+// TaskQueued records n tasks submitted to the pool.
+func (r *Recorder) TaskQueued(n int) {
+	if r == nil {
+		return
+	}
+	probeAtomicWrite()
+	r.tasksQueued.Add(uint64(n))
+}
+
+// TaskStart records a pool task beginning execution after waiting
+// queueWaitNs in the run queue.
+func (r *Recorder) TaskStart(queueWaitNs int64) {
+	if r == nil {
+		return
+	}
+	probeAtomicWrite()
+	r.tasksStarted.Add(1)
+	probeAtomicWrite()
+	r.inFlight.Add(1)
+	probeAtomicWrite()
+	r.queueWaitNs.Add(uint64(queueWaitNs))
+}
+
+// TaskDone records a pool task finishing after busyNs of execution.
+func (r *Recorder) TaskDone(busyNs int64) {
+	if r == nil {
+		return
+	}
+	probeAtomicWrite()
+	r.tasksDone.Add(1)
+	probeAtomicWrite()
+	r.inFlight.Add(-1)
+	probeAtomicWrite()
+	r.busyNs.Add(uint64(busyNs))
+}
+
+// Span records one completed phase span into the trace ring: phase on lane
+// tid, begun at the Now() value start, covering an m×n×k extent. No-op when
+// the recorder or tracing is disabled.
+func (r *Recorder) Span(phase uint8, tid int32, start int64, mode, prec uint8, m, n, k int) {
+	if r == nil || r.trace == nil {
+		return
+	}
+	dur := r.Now() - start
+	if dur < 1 {
+		dur = 1 // clock granularity: keep every span's E strictly after its B
+	}
+	r.trace.add(event{
+		start: start, dur: dur,
+		m: int32(m), n: int32(n), k: int32(k),
+		tid: tid, phase: phase, mode: mode, prec: prec,
+	})
+}

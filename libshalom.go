@@ -35,6 +35,7 @@ import (
 	"libshalom/internal/parallel"
 	"libshalom/internal/perfsim"
 	"libshalom/internal/platform"
+	"libshalom/internal/telemetry"
 	"libshalom/internal/tuner"
 )
 
@@ -73,6 +74,7 @@ type Context struct {
 	threads    int // 0 = automatic policy
 	guard      bool
 	aliasCheck bool
+	tel        *telemetry.Recorder // nil: telemetry disabled
 
 	mu   sync.Mutex
 	pool *parallel.Pool
@@ -142,6 +144,12 @@ func gomaxprocs() int { return runtime.GOMAXPROCS(0) }
 // (parallelism across independent problems is the caller's job); irregular
 // or large GEMM uses every core.
 func (c *Context) threadsFor(m, n, k int) int {
+	// A degenerate problem that fits inside one micro-tile cannot be
+	// partitioned (the C split is over m×n), so no width — configured or
+	// automatic — ever justifies spinning up the pool for it.
+	if m <= 4 && n <= 4 {
+		return 1
+	}
 	if c.threads > 0 {
 		return c.threads
 	}
@@ -162,22 +170,42 @@ func (c *Context) ensurePool(threads int) *parallel.Pool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.pool == nil {
-		c.pool = parallel.NewPool(threads)
+		var obs parallel.Observer
+		if c.tel != nil {
+			obs = c.tel
+		}
+		c.pool = parallel.NewPoolObserved(threads, obs)
 	}
 	return c.pool
+}
+
+// chooseThreads runs the §7.4 policy and records its decision: requested is
+// the width the caller configured (WithThreads) or the machine's
+// parallelism under the automatic policy, chosen what the policy granted —
+// the visibility needed to see whether clamping ever starves large shapes.
+func (c *Context) chooseThreads(m, n, k int) int {
+	chosen := c.threadsFor(m, n, k)
+	if c.tel != nil {
+		requested := c.threads
+		if requested == 0 {
+			requested = gomaxprocs()
+		}
+		c.tel.ThreadChoice(requested, chosen)
+	}
+	return chosen
 }
 
 // SGEMM computes C = alpha·op(A)·op(B) + beta·C in single precision.
 // op(A) is m×k and op(B) is k×n.
 func (c *Context) SGEMM(mode Mode, m, n, k int, alpha float32, a []float32, lda int, b []float32, ldb int, beta float32, cOut []float32, ldc int) error {
-	threads := c.threadsFor(m, n, k)
+	threads := c.chooseThreads(m, n, k)
 	cfg := c.config(threads)
 	return core.SGEMM(cfg, mode, m, n, k, alpha, a, lda, b, ldb, beta, cOut, ldc)
 }
 
 // DGEMM computes C = alpha·op(A)·op(B) + beta·C in double precision.
 func (c *Context) DGEMM(mode Mode, m, n, k int, alpha float64, a []float64, lda int, b []float64, ldb int, beta float64, cOut []float64, ldc int) error {
-	threads := c.threadsFor(m, n, k)
+	threads := c.chooseThreads(m, n, k)
 	cfg := c.config(threads)
 	return core.DGEMM(cfg, mode, m, n, k, alpha, a, lda, b, ldb, beta, cOut, ldc)
 }
@@ -190,6 +218,7 @@ func (c *Context) config(threads int) core.Config {
 		Pool:         c.ensurePool(threads),
 		NumericGuard: c.guard,
 		CheckAlias:   c.aliasCheck,
+		Tel:          c.tel,
 	}
 }
 

@@ -1,0 +1,53 @@
+//go:build telemetryprobe
+
+package libshalom
+
+// The telemetryprobe build tag compiles a counter into every telemetry
+// atomic-write site (see internal/telemetry/probe_on.go). This test is the
+// non-flaky enforcement of the overhead budget: instead of comparing
+// wall-clock times — noise at the <2% scale on shared CI machines — it
+// counts the writes directly and requires exactly zero on the disabled
+// path. Run via `make probe`:
+//
+//	go test -tags telemetryprobe -run TestTelemetryProbe ./...
+
+import (
+	"testing"
+
+	"libshalom/internal/mat"
+	"libshalom/internal/telemetry"
+)
+
+func TestTelemetryProbe(t *testing.T) {
+	rng := mat.NewRNG(11)
+	A := mat.RandomF32(64, 64, rng)
+	B := mat.RandomF32(64, 64, rng)
+	C := mat.NewF32(64, 64)
+	run := func(ctx *Context) {
+		t.Helper()
+		if err := ctx.SGEMM(NN, 64, 64, 64, 1, A.Data, A.Stride, B.Data, B.Stride, 0, C.Data, C.Stride); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	off := New(WithThreads(1))
+	defer off.Close()
+	run(off) // warm up one-time work (contract verification)
+	telemetry.ProbeReset()
+	for i := 0; i < 10; i++ {
+		run(off)
+	}
+	if n := telemetry.ProbeAtomicWrites(); n != 0 {
+		t.Fatalf("telemetry-off SGEMM performed %d telemetry atomic writes, want exactly 0", n)
+	}
+
+	// Sanity-check the probe itself: the enabled path must register writes,
+	// otherwise a broken probe would vacuously pass the assertion above.
+	on := New(WithThreads(1), WithTelemetry())
+	defer on.Close()
+	telemetry.ProbeReset()
+	run(on)
+	if n := telemetry.ProbeAtomicWrites(); n == 0 {
+		t.Fatal("telemetry-on SGEMM registered no probe writes; probe sites are miswired")
+	}
+}
