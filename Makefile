@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race lint check fuzz test-chaos probe trace-smoke
+.PHONY: build test vet race lint check fuzz test-chaos test-soak probe trace-smoke
 
 build:
 	$(GO) build ./...
@@ -14,7 +14,7 @@ test:
 # The concurrency-sensitive packages run again under the race detector:
 # the thread pool and the blocked GEMM driver that feeds it.
 race:
-	$(GO) test -race ./internal/parallel/... ./internal/core/...
+	$(GO) test -race ./internal/parallel/... ./internal/core/... ./internal/heal/...
 
 # Fault-injection chaos suite: every injected fault (kernel panic, corrupt
 # packing buffer, slow worker, spurious NaN) must surface as a typed error
@@ -22,6 +22,14 @@ race:
 # Runs under the race detector because the faults fire inside pool workers.
 test-chaos:
 	$(GO) test -race ./internal/faults/... ./internal/guard/... ./internal/parallel/...
+
+# Self-healing soak: a few seconds of public-API calls under a randomized
+# fault schedule (SHALOM_SOAK_SEED reproduces a run, SHALOM_SOAK_SECONDS
+# stretches it). Every nil error must be numerically correct, every non-nil
+# error typed, and all breakers must converge back to healthy once the
+# schedule stops.
+test-soak:
+	SHALOM_SOAK=1 $(GO) test -count=1 -run TestSoakRandomFaultSchedule -v ./internal/heal/
 
 # Telemetry overhead budget, enforced by counting instead of timing: the
 # telemetryprobe build tag compiles a counter into every telemetry
@@ -49,4 +57,4 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzAnalyze -fuzztime=10s ./internal/isa/
 
 # The CI gate.
-check: vet build test race test-chaos probe trace-smoke lint
+check: vet build test race test-chaos test-soak probe trace-smoke lint

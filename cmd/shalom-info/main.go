@@ -14,9 +14,20 @@ import (
 	"libshalom/internal/analytic"
 	"libshalom/internal/bench"
 	"libshalom/internal/guard"
+	"libshalom/internal/heal"
 	_ "libshalom/internal/kernels" // registers the micro-kernel catalogue
 	"libshalom/internal/platform"
 )
+
+// printHealth runs contract verification and renders the self-healing view:
+// the active policy, every circuit-breaker record with its state and trip
+// count, and the trip history.
+func printHealth(plats []*platform.Platform) {
+	for _, p := range plats {
+		guard.VerifyContracts(p)
+	}
+	heal.Snapshot().Write(os.Stdout)
+}
 
 // printDegraded runs the registration-time contract verification for each
 // platform and reports any kernel paths demoted to the reference
@@ -48,6 +59,7 @@ func main() {
 	table1 := flag.Bool("table1", false, "print only the Table 1 platform table")
 	platName := flag.String("platform", "", "restrict the report to one platform (e.g. kp920, phytium2000, thunderx2)")
 	degraded := flag.Bool("degraded", false, "print only the degraded-kernel report")
+	health := flag.Bool("health", false, "print only the self-healing circuit-breaker report")
 	flag.Parse()
 
 	plats := platform.All()
@@ -66,6 +78,10 @@ func main() {
 	}
 	if *degraded {
 		printDegraded(plats)
+		return
+	}
+	if *health {
+		printHealth(plats)
 		return
 	}
 

@@ -3,15 +3,18 @@ package libshalom
 import (
 	"libshalom/internal/core"
 	"libshalom/internal/guard"
+	"libshalom/internal/heal"
 )
 
 // Failure behaviour of the hardened runtime. LibShalom never lets a
 // misbehaving kernel take down the process: panics inside the execution
-// path are recovered and surfaced as *KernelPanicError, and under
-// WithNumericGuard a kernel family that panics or produces NaN/Inf from
-// finite inputs is demoted — per (platform, precision) — to the portable
-// reference path, after which calls keep succeeding with a recorded
-// Degradation. See DESIGN.md, "Degradation model and error taxonomy".
+// path are recovered and retried once on the reference path (transient
+// retry, on by default), a kernel family that keeps misbehaving trips its
+// per-(platform, precision) circuit breaker to the portable reference path,
+// and — unlike the earlier sticky demotion — the breaker heals itself:
+// after a cooldown it probes with canary calls (fast path shadowed by the
+// reference, compared element-wise) and re-promotes the fast path once
+// enough consecutive canaries agree. See DESIGN.md, "Self-healing model".
 
 // KernelPanicError is returned when a fast-path block computation panics
 // and the numeric guard is not enabled: the worker recovered, the pool
@@ -29,7 +32,27 @@ const (
 	DegradedContract = guard.ReasonContract
 	DegradedPanic    = guard.ReasonPanic
 	DegradedNumeric  = guard.ReasonNumeric
+	DegradedCanary   = guard.ReasonCanary
 )
+
+// BreakerState is a circuit breaker's position in the self-healing state
+// machine: healthy (fast path in use) → open (reference path until the
+// cooldown expires) → probing (canary verification) → healthy.
+type BreakerState = guard.State
+
+// Breaker states.
+const (
+	BreakerHealthy = guard.StateHealthy
+	BreakerOpen    = guard.StateOpen
+	BreakerProbing = guard.StateProbing
+)
+
+// StuckWorkerError is returned when a call configured WithDeadline finds a
+// worker exceeding its per-block budget: remaining blocks are cancelled and
+// the call returns this typed error instead of hanging. The output buffer
+// must then be treated as undefined. It implements Timeout() for
+// net.Error-style checks.
+type StuckWorkerError = guard.StuckWorkerError
 
 // Degradation records one demotion of a kernel path to the reference path.
 type Degradation = guard.Degradation
@@ -51,11 +74,37 @@ func Degradations() []Degradation { return guard.List("") }
 // DegradationsFor lists the demotions recorded for one platform.
 func DegradationsFor(p *Platform) []Degradation { return guard.List(p.Name) }
 
+// DegradationHistory returns every breaker trip ever recorded, in sequence
+// order — the full domino chain across re-opens and resets, where
+// Degradations shows only what is degraded right now. Sequence numbers are
+// monotonic for the process lifetime and survive ResetDegradations.
+func DegradationHistory() []Degradation { return guard.History() }
+
 // ResetDegradations clears the degradation registry and the per-platform
 // contract-verification memo, re-promoting every kernel path. Meant for
 // tests and for operators re-arming the fast path after an investigated
-// incident.
+// incident. Trip sequence numbers are not reset.
 func ResetDegradations() { guard.Reset() }
+
+// HealingConfig is the self-healing policy: the base open→probing cooldown
+// (doubled per re-trip), how many consecutive agreeing canaries close a
+// probing breaker, and what fraction of probing calls pay the canary shadow
+// cost. Zero fields select the documented defaults.
+type HealingConfig = heal.Config
+
+// ConfigureHealing installs a process-global self-healing policy and
+// returns the previous one. Like the breaker registry it governs, the
+// policy is shared by every Context.
+func ConfigureHealing(c HealingConfig) HealingConfig { return heal.Configure(c) }
+
+// HealthReport is a point-in-time view of the self-healing runtime: the
+// active policy, every breaker record (including healed ones, whose trip
+// count still drives backoff) and the full trip history.
+type HealthReport = heal.Report
+
+// Health assembles the current health report; shalom-info -health renders
+// the same view on the command line.
+func Health() HealthReport { return heal.Snapshot() }
 
 // CheckSBatchAliasing reports ErrAliasedBatch if two FP32 batch entries
 // write overlapping C storage. Adjacent-but-disjoint views of one backing

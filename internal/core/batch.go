@@ -9,6 +9,7 @@ import (
 
 	"libshalom/internal/analytic"
 	"libshalom/internal/guard"
+	"libshalom/internal/heal"
 	"libshalom/internal/parallel"
 	"libshalom/internal/telemetry"
 )
@@ -91,9 +92,14 @@ func gemmBatch[T Float](ctx context.Context, cfg Config, ks kernelSet[T], mode M
 	if len(batch) == 0 {
 		return nil
 	}
+	if cfg.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.Deadline)
+		defer cancel()
+	}
 	plat := cfg.platform()
 	guard.VerifyContracts(plat)
-	demoted := guard.IsDemoted(plat.Name, guard.PathFor(ks.elemBytes))
+	path := guard.PathFor(ks.elemBytes)
 	tile := analytic.SolveForElem(ks.elemBytes)
 	blk := analytic.BlockingFor(plat, ks.elemBytes)
 
@@ -120,9 +126,22 @@ func gemmBatch[T Float](ctx context.Context, cfg Config, ks kernelSet[T], mode M
 			scaleAll(ks, e.M, e.N, e.Beta, e.C, e.LDC)
 			return false, telemetry.KernelFast, nil
 		}
-		if demoted {
+		// Routing is per entry, not per batch: a breaker that heals (or
+		// trips) mid-batch takes effect from the next entry on.
+		route, beganProbe := heal.RouteFor(plat.Name, path)
+		if beganProbe {
+			tel.HealEvent(telemetry.HealBreakerProbe)
+			tel.BreakerTransition(telemetry.BreakerOpen, telemetry.BreakerProbing)
+		}
+		switch route {
+		case heal.RouteRef:
 			ks.ref(mode.TransA(), mode.TransB(), e.M, e.N, e.K, e.Alpha, e.A, e.LDA, e.B, e.LDB, e.Beta, e.C, e.LDC)
 			return false, telemetry.KernelRef, nil
+		case heal.RouteCanary:
+			degraded := runCanary(cfg, ks, plat, tile, blk, mode,
+				telemetry.WorkerTid(worker, callTid),
+				e.M, e.N, e.K, e.Alpha, e.A, e.LDA, e.B, e.LDB, e.Beta, e.C, e.LDC)
+			return degraded, telemetry.KernelFast, nil
 		}
 		bl := parallel.Block{I0: 0, J0: 0, M: e.M, N: e.N}
 		degraded, err := runBlock(cfg, ks, plat, tile, blk, mode, bl, i,
@@ -213,14 +232,25 @@ func gemmBatch[T Float](ctx context.Context, cfg Config, ks kernelSet[T], mode M
 		})
 	}
 	barrierStart := tel.Now()
-	poolErr := pool.RunWorker(tasks)
+	poolErr := pool.RunWorkerCfg(parallel.RunConfig{Ctx: ctx, TaskBudget: cfg.Deadline}, tasks)
 	tel.Span(telemetry.PhaseBarrier, callTid, barrierStart, uint8(mode), prec, len(batch), 0, 0)
+	var stuck *guard.StuckWorkerError
+	if errors.As(poolErr, &stuck) {
+		// Watchdog early return: stragglers may still be writing errSlots
+		// and the ran/completed accounting, so none of it may be read —
+		// surface the typed error immediately.
+		tel.HealEvent(telemetry.HealStuckWorker)
+		return poolErr
+	}
 	for _, err := range errSlots {
 		if err != nil {
 			return err
 		}
 	}
 	if poolErr != nil {
+		if cause := ctx.Err(); cause != nil && errors.Is(poolErr, cause) {
+			return cancelErr()
+		}
 		return poolErr
 	}
 	if ctx.Err() != nil {

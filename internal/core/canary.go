@@ -1,0 +1,73 @@
+package core
+
+import (
+	"fmt"
+
+	"libshalom/internal/analytic"
+	"libshalom/internal/faults"
+	"libshalom/internal/guard"
+	"libshalom/internal/heal"
+	"libshalom/internal/parallel"
+	"libshalom/internal/platform"
+	"libshalom/internal/telemetry"
+)
+
+// runCanary executes one call while its breaker is probing: the reference
+// path runs first into a cloned shadow of the C rectangle, then the fast
+// path runs into the real C (single-threaded, under panic isolation), and
+// the two results are compared element-wise under the precision's tolerance.
+//
+// On agreement the canary counts toward closing the breaker. On any
+// disagreement — a fast-path panic, an element outside tolerance, or the
+// CanaryMismatch injection point firing — the shadow (the correct reference
+// result) is copied into C, so the caller always receives a correct answer,
+// and the breaker re-opens with a doubled cooldown. The returned degraded
+// flag reports whether the call fell back to the reference result.
+func runCanary[T Float](cfg Config, ks kernelSet[T], plat *platform.Platform, tile analytic.Tile, blk analytic.Blocking, mode Mode, tid int32, m, n, k int, alpha T, a []T, lda int, b []T, ldb int, beta T, c []T, ldc int) (degraded bool) {
+	tel := cfg.Tel
+	path := guard.PathFor(ks.elemBytes)
+	tel.HealEvent(telemetry.HealCanaryRun)
+
+	// The shadow starts as a clone of C (dense, leading dimension n) so the
+	// reference path sees the same beta·C term the fast path does.
+	shadow := snapshotC(c, m, n, ldc)
+	ks.ref(mode.TransA(), mode.TransB(), m, n, k, alpha, a, lda, b, ldb, beta, shadow, n)
+
+	bl := parallel.Block{I0: 0, J0: 0, M: m, N: n}
+	panicErr := protect(plat, mode, ks.elemBytes, bl, -1, func() {
+		if faults.Fire(faults.PanicInKernel) {
+			tel.FaultInjected(faults.PanicInKernel)
+			panic(faults.InjectedPanicMsg)
+		}
+		gemmST(tel, tid, ks, plat, tile, blk, mode, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc)
+	})
+
+	mismatch := ""
+	switch {
+	case panicErr != nil:
+		mismatch = panicErr.Error()
+	case !heal.Agrees(c, ldc, shadow, n, m, n, heal.Tolerance(ks.elemBytes)):
+		mismatch = "canary disagreed with reference shadow"
+	case faults.Fire(faults.CanaryMismatch):
+		tel.FaultInjected(faults.CanaryMismatch)
+		mismatch = "injected canary mismatch"
+	}
+	if mismatch != "" {
+		// The reference shadow is the correct result; the call still succeeds.
+		restoreC(c, shadow, m, n, ldc)
+		shape := fmt.Sprintf("%s %dx%dx%d", mode, m, n, k)
+		if heal.ReportMismatch(plat.Name, path, mismatch, shape) {
+			tel.HealEvent(telemetry.HealBreakerOpen)
+			tel.BreakerTransition(telemetry.BreakerProbing, telemetry.BreakerOpen)
+		}
+		tel.HealEvent(telemetry.HealCanaryMismatch)
+		tel.DegradationEvent(telemetry.DegrCanary)
+		return true
+	}
+	tel.HealEvent(telemetry.HealCanaryAgree)
+	if heal.ReportAgree(plat.Name, path) {
+		tel.HealEvent(telemetry.HealBreakerClose)
+		tel.BreakerTransition(telemetry.BreakerProbing, telemetry.BreakerHealthy)
+	}
+	return false
+}

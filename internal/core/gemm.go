@@ -1,10 +1,13 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+	"time"
 
 	"libshalom/internal/analytic"
 	"libshalom/internal/guard"
+	"libshalom/internal/heal"
 	"libshalom/internal/kernels"
 	"libshalom/internal/pack"
 	"libshalom/internal/parallel"
@@ -34,6 +37,18 @@ type Config struct {
 	// write overlapping C storage, returning ErrAliasedBatch instead of
 	// racing.
 	CheckAlias bool
+	// Deadline, when positive, bounds the call: parallel runs arm the
+	// stuck-worker watchdog with it as the per-block budget (a block
+	// exceeding it converts the call into a *guard.StuckWorkerError instead
+	// of a hang), and batch calls additionally wrap their context with it so
+	// unstarted entries are abandoned once it expires.
+	Deadline time.Duration
+	// RetryTransient retries a transiently failed block once on the
+	// reference path instead of surfacing the failure: a fast path that
+	// panics trips the breaker and the block is recomputed transparently —
+	// the call succeeds, degraded. NumericGuard implies the same recovery
+	// plus the NaN/Inf scan.
+	RetryTransient bool
 	// Tel is the optional telemetry recorder the call reports into: per-
 	// shape metrics, phase trace spans, pool gauges. nil disables the layer;
 	// the disabled hot path performs zero atomic writes and zero
@@ -172,11 +187,17 @@ func gemm[T Float](cfg Config, ks kernelSet[T], mode Mode, m, n, k int, alpha T,
 	}
 	plat := cfg.platform()
 	// The plan phase: contract verification (memoised per platform — the
-	// registration-time leg of the fallback chain, demoting any kernel
-	// family that fails), the tile solve and the blocking derivation.
+	// registration-time leg of the fallback chain, tripping the breaker of
+	// any kernel family that fails), the breaker routing decision, the tile
+	// solve and the blocking derivation.
 	planStart := tel.Now()
 	guard.VerifyContracts(plat)
-	if guard.IsDemoted(plat.Name, guard.PathFor(ks.elemBytes)) {
+	route, beganProbe := heal.RouteFor(plat.Name, guard.PathFor(ks.elemBytes))
+	if beganProbe {
+		tel.HealEvent(telemetry.HealBreakerProbe)
+		tel.BreakerTransition(telemetry.BreakerOpen, telemetry.BreakerProbing)
+	}
+	if route == heal.RouteRef {
 		tel.Span(telemetry.PhasePlan, callTid, planStart, uint8(mode), prec, m, n, k)
 		ks.ref(mode.TransA(), mode.TransB(), m, n, k, alpha, a, lda, b, ldb, beta, c, ldc)
 		return finish(telemetry.KernelRef, telemetry.OutcomeOK, nil)
@@ -185,9 +206,24 @@ func gemm[T Float](cfg Config, ks kernelSet[T], mode Mode, m, n, k int, alpha T,
 	blk := analytic.BlockingFor(plat, ks.elemBytes)
 	tel.Span(telemetry.PhasePlan, callTid, planStart, uint8(mode), prec, m, n, k)
 
+	if route == heal.RouteCanary {
+		// Probing breaker: fast path shadowed by the reference, compared.
+		// Canaries run single-threaded — the shadow doubles the work anyway,
+		// and the probing window is short.
+		if runCanary(cfg, ks, plat, tile, blk, mode, callTid, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc) {
+			return finish(telemetry.KernelRef, telemetry.OutcomeDegraded, nil)
+		}
+		return finish(telemetry.KernelFast, telemetry.OutcomeOK, nil)
+	}
+
 	report := func(degraded bool, err error) error {
 		switch {
 		case err != nil:
+			var stuck *guard.StuckWorkerError
+			if errors.As(err, &stuck) {
+				tel.HealEvent(telemetry.HealStuckWorker)
+				return finish(telemetry.KernelFast, telemetry.OutcomeStuck, err)
+			}
 			if _, ok := err.(*guard.KernelPanicError); ok {
 				return finish(telemetry.KernelFast, telemetry.OutcomePanic, err)
 			}
@@ -223,8 +259,14 @@ func gemm[T Float](cfg Config, ks kernelSet[T], mode Mode, m, n, k int, alpha T,
 				}
 			}
 			barrierStart := tel.Now()
-			poolErr := pool.RunWorker(tasks)
+			poolErr := pool.RunWorkerCfg(parallel.RunConfig{TaskBudget: cfg.Deadline}, tasks)
 			tel.Span(telemetry.PhaseBarrier, callTid, barrierStart, uint8(mode), prec, m, n, k)
+			if poolErr != nil {
+				// On a watchdog early return stragglers may still be writing
+				// their errs/degr slots; the pool error must win before those
+				// slices are read.
+				return report(false, poolErr)
+			}
 			degraded := false
 			for bi, err := range errs {
 				if err != nil {
@@ -232,7 +274,7 @@ func gemm[T Float](cfg Config, ks kernelSet[T], mode Mode, m, n, k int, alpha T,
 				}
 				degraded = degraded || degr[bi]
 			}
-			return report(degraded, poolErr)
+			return report(degraded, nil)
 		}
 	}
 	return report(runGemmBlock(cfg, ks, plat, tile, blk, mode,

@@ -8,6 +8,7 @@ import (
 	"libshalom/internal/analytic"
 	"libshalom/internal/faults"
 	"libshalom/internal/guard"
+	"libshalom/internal/heal"
 	"libshalom/internal/parallel"
 	"libshalom/internal/platform"
 	"libshalom/internal/telemetry"
@@ -47,11 +48,17 @@ func runBlock[T Float](cfg Config, ks kernelSet[T], plat *platform.Platform, til
 	ksEff := ks
 	var inputsFinite bool
 	var snap []T
+	// The snapshot exists to undo a partial fast-path write before the
+	// reference recompute. RetryTransient alone only needs it when beta != 0:
+	// with beta == 0 the reference path overwrites C without reading it, so
+	// no restore is required.
 	if cfg.NumericGuard {
 		if faults.Armed(faults.CorruptPack) {
 			ksEff = corruptPackKernels(ks, tel)
 		}
 		inputsFinite = finiteOperands(mode, m, n, k, a, lda, b, ldb, beta, c, ldc)
+		snap = snapshotC(c, m, n, ldc)
+	} else if cfg.RetryTransient && beta != 0 {
 		snap = snapshotC(c, m, n, ldc)
 	}
 	panicErr := protect(plat, mode, ks.elemBytes, bl, entry, func() {
@@ -65,27 +72,39 @@ func runBlock[T Float](cfg Config, ks kernelSet[T], plat *platform.Platform, til
 			c[0] = T(math.NaN())
 		}
 	})
-	if !cfg.NumericGuard {
+	if !cfg.NumericGuard && !cfg.RetryTransient {
 		return false, panicErr
 	}
 	path := guard.PathFor(ks.elemBytes)
 	// shape is only rendered on the demotion paths; the healthy path stays
 	// allocation-free beyond the guard's own snapshot.
 	shape := func() string { return fmt.Sprintf("%s %dx%dx%d", mode, m, n, k) }
+	// trip opens the breaker and emits the open events exactly once even
+	// when several blocks of one call fail concurrently (Trip reports
+	// whether this call recorded the trip).
+	trip := func(reason guard.Reason, detail string, degr uint8) {
+		if heal.Trip(plat.Name, path, reason, detail, shape()) {
+			tel.HealEvent(telemetry.HealBreakerOpen)
+			tel.BreakerTransition(telemetry.BreakerHealthy, telemetry.BreakerOpen)
+		}
+		tel.DegradationEvent(degr)
+	}
 	switch {
 	case panicErr != nil:
-		guard.DemoteShape(plat.Name, path, guard.ReasonPanic, panicErr.Error(), shape())
-		tel.DegradationEvent(telemetry.DegrPanic)
-	case inputsFinite && !finiteRect(c, m, n, ldc):
-		guard.DemoteShape(plat.Name, path, guard.ReasonNumeric,
-			"fast path produced NaN/Inf from all-finite inputs", shape())
-		tel.DegradationEvent(telemetry.DegrNumeric)
+		trip(guard.ReasonPanic, panicErr.Error(), telemetry.DegrPanic)
+	case cfg.NumericGuard && inputsFinite && !finiteRect(c, m, n, ldc):
+		trip(guard.ReasonNumeric, "fast path produced NaN/Inf from all-finite inputs",
+			telemetry.DegrNumeric)
 	default:
 		return false, nil
 	}
-	// Demoted: restore the block and recompute on the reference path. The
-	// degraded call succeeds; the degradation registry records why.
-	restoreC(c, snap, m, n, ldc)
+	// Tripped: restore the block and recompute once on the reference path —
+	// the transient retry. The degraded call succeeds; the registry records
+	// why, and the breaker keeps later calls off the fast path.
+	tel.HealEvent(telemetry.HealRetry)
+	if snap != nil {
+		restoreC(c, snap, m, n, ldc)
+	}
 	ks.ref(mode.TransA(), mode.TransB(), m, n, k, alpha, a, lda, b, ldb, beta, c, ldc)
 	return true, nil
 }

@@ -14,6 +14,7 @@ import (
 	"libshalom/internal/core"
 	"libshalom/internal/faults"
 	"libshalom/internal/guard"
+	"libshalom/internal/heal"
 	"libshalom/internal/mat"
 	"libshalom/internal/platform"
 	"libshalom/internal/telemetry"
@@ -279,54 +280,177 @@ func TestChaosSlowWorkerWithCancellation(t *testing.T) {
 // exactly once against a telemetry-enabled guarded call, must emit exactly
 // one fault event under its own name, and the call must land in the
 // snapshot under the outcome label the fault implies — no double counting,
-// no lost events, no mislabelled outcomes.
+// no lost events, no mislabelled outcomes. Every registered point must have
+// a scenario here; adding a point without one fails the suite.
 func TestChaosTelemetryOneEventPerInjection(t *testing.T) {
-	wantOutcome := map[faults.Point]string{
-		faults.PanicInKernel: "degraded", // guard demotes and recomputes
-		faults.CorruptPack:   "degraded",
-		faults.SpuriousNaN:   "degraded",
-		faults.SlowWorker:    "ok", // scheduling perturbation only
+	type scenario struct {
+		outcome string
+		// setup prepares runtime state the point needs to fire (e.g. a
+		// probing breaker for CanaryMismatch) and returns its cleanup.
+		setup func() func()
+	}
+	scenarios := map[faults.Point]scenario{
+		faults.PanicInKernel: {outcome: "degraded"}, // guard trips the breaker and recomputes
+		faults.CorruptPack:   {outcome: "degraded"},
+		faults.SpuriousNaN:   {outcome: "degraded"},
+		faults.SlowWorker:    {outcome: "ok"}, // scheduling perturbation only
+		// A stuck worker without a configured deadline is a delay, not a
+		// failure: the call completes, slowly but correctly.
+		faults.StuckWorker: {outcome: "ok"},
+		// CanaryMismatch fires only inside a canary comparison, so the
+		// breaker must be probing when the call runs: trip it with a
+		// microscopic cooldown and wait the cooldown out.
+		faults.CanaryMismatch: {outcome: "degraded", setup: func() func() {
+			prev := heal.Configure(heal.Config{Cooldown: time.Millisecond, CanaryStride: 1})
+			heal.Trip(platform.KP920().Name, guard.PathF32, guard.ReasonPanic, "chaos setup", "")
+			time.Sleep(5 * time.Millisecond)
+			return func() { heal.Configure(prev) }
+		}},
 	}
 	for _, pt := range faults.Points() {
-		resetAll()
-		faults.Arm(pt, 1)
-		tel := telemetry.New(telemetry.Options{})
-		// NT with m > mr so a corrupted packed panel is consumed; threads 4
-		// so SlowWorker's pool dispatch site is on the path.
-		p := newProblem(uint64(30+pt), core.NT, 64, 36, 16)
-		cfg := core.Config{Plat: platform.KP920(), Threads: 4, NumericGuard: true, Tel: tel}
-		if err := p.run(cfg); err != nil {
-			t.Fatalf("%v: guarded call errored: %v", pt, err)
+		sc, ok := scenarios[pt]
+		if !ok {
+			t.Fatalf("injection point %v has no chaos telemetry scenario", pt)
 		}
-		p.assertCorrect(t, pt.String()+": guarded call")
-		snap := tel.Snapshot()
-		if len(snap.Faults) != 1 || snap.Faults[0].Name != pt.String() || snap.Faults[0].Count != 1 {
-			t.Fatalf("%v: fault events = %+v, want exactly one %q event", pt, snap.Faults, pt.String())
-		}
-		if got := snap.CallsTotal(""); got != 1 {
-			t.Fatalf("%v: snapshot records %d calls, want 1", pt, got)
-		}
-		if outcome := snap.Calls[0].Outcome; outcome != wantOutcome[pt] {
-			t.Fatalf("%v: call outcome = %q, want %q", pt, outcome, wantOutcome[pt])
-		}
-		if wantOutcome[pt] == "degraded" {
-			if snap.Calls[0].Kernel != "ref" {
-				t.Fatalf("%v: degraded call labelled kernel %q, want \"ref\"", pt, snap.Calls[0].Kernel)
+		t.Run(pt.String(), func(t *testing.T) {
+			resetAll()
+			defer resetAll()
+			if sc.setup != nil {
+				defer sc.setup()()
 			}
-			if len(snap.Degradations) != 1 || snap.Degradations[0].Count != 1 {
-				t.Fatalf("%v: degradation events = %+v, want exactly one", pt, snap.Degradations)
+			faults.Arm(pt, 1)
+			tel := telemetry.New(telemetry.Options{})
+			// NT with m > mr so a corrupted packed panel is consumed; threads 4
+			// so the pool injection sites are on the path.
+			p := newProblem(uint64(30+pt), core.NT, 64, 36, 16)
+			cfg := core.Config{Plat: platform.KP920(), Threads: 4, NumericGuard: true, Tel: tel}
+			if err := p.run(cfg); err != nil {
+				t.Fatalf("%v: guarded call errored: %v", pt, err)
 			}
-			// The guard registry must carry the triggering shape and a
-			// non-zero sequence number for the same incident.
-			d, ok := guard.Demotion(platform.KP920().Name, guard.PathF32)
-			if !ok || d.Seq == 0 || d.Shape == "" {
-				t.Fatalf("%v: registry entry = %+v, %v; want shape and seq recorded", pt, d, ok)
+			p.assertCorrect(t, pt.String()+": guarded call")
+			snap := tel.Snapshot()
+			if len(snap.Faults) != 1 || snap.Faults[0].Name != pt.String() || snap.Faults[0].Count != 1 {
+				t.Fatalf("%v: fault events = %+v, want exactly one %q event", pt, snap.Faults, pt.String())
 			}
-		} else if len(snap.Degradations) != 0 {
-			t.Fatalf("%v: unexpected degradation events %+v", pt, snap.Degradations)
+			if got := snap.CallsTotal(""); got != 1 {
+				t.Fatalf("%v: snapshot records %d calls, want 1", pt, got)
+			}
+			if outcome := snap.Calls[0].Outcome; outcome != sc.outcome {
+				t.Fatalf("%v: call outcome = %q, want %q", pt, outcome, sc.outcome)
+			}
+			if sc.outcome == "degraded" {
+				if snap.Calls[0].Kernel != "ref" {
+					t.Fatalf("%v: degraded call labelled kernel %q, want \"ref\"", pt, snap.Calls[0].Kernel)
+				}
+				if len(snap.Degradations) != 1 || snap.Degradations[0].Count != 1 {
+					t.Fatalf("%v: degradation events = %+v, want exactly one", pt, snap.Degradations)
+				}
+				// The guard registry must carry the triggering shape and a
+				// non-zero sequence number for the same incident.
+				d, ok := guard.Demotion(platform.KP920().Name, guard.PathF32)
+				if !ok || d.Seq == 0 || d.Shape == "" {
+					t.Fatalf("%v: registry entry = %+v, %v; want shape and seq recorded", pt, d, ok)
+				}
+			} else if len(snap.Degradations) != 0 {
+				t.Fatalf("%v: unexpected degradation events %+v", pt, snap.Degradations)
+			}
+		})
+	}
+}
+
+// The stuck-worker watchdog acceptance: with a configured deadline, a
+// stalled worker (StuckSleep = 400ms against a 100ms budget) converts the
+// call into a typed *guard.StuckWorkerError well before the stall drains —
+// within 2× the budget — instead of hanging the caller.
+func TestChaosStuckWorkerConvertsToTypedError(t *testing.T) {
+	resetAll()
+	defer resetAll()
+	faults.Arm(faults.StuckWorker, 1)
+	const budget = 100 * time.Millisecond
+	p := newProblem(50, core.NN, 256, 256, 32)
+	done := make(chan error, 1)
+	start := time.Now()
+	go func() {
+		done <- p.run(core.Config{Plat: platform.KP920(), Threads: 4, Deadline: budget})
+	}()
+	select {
+	case err := <-done:
+		elapsed := time.Since(start)
+		var swe *guard.StuckWorkerError
+		if !errors.As(err, &swe) {
+			t.Fatalf("err = %v (%T), want *guard.StuckWorkerError", err, err)
+		}
+		if !swe.Timeout() {
+			t.Fatal("StuckWorkerError.Timeout() = false")
+		}
+		if swe.Budget != budget || swe.Elapsed < budget {
+			t.Fatalf("error reports budget %v elapsed %v, want budget %v and elapsed >= budget", swe.Budget, swe.Elapsed, budget)
+		}
+		if elapsed >= 2*budget {
+			t.Fatalf("watchdog took %v, want < 2x the %v budget", elapsed, budget)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("stuck worker hung the call past the test cap")
+	}
+	// Let the stalled straggler drain before the registry reset races it.
+	time.Sleep(faults.StuckSleep)
+}
+
+// Per-call deadlines propagate into batch execution: entries not started
+// when the deadline expires are abandoned with a *BatchCancelError that
+// unwraps to context.DeadlineExceeded, and accounting matches the entries
+// actually written.
+func TestChaosBatchDeadlineExpires(t *testing.T) {
+	resetAll()
+	defer resetAll()
+	faults.Arm(faults.SlowWorker, faults.Unlimited)
+	rng := mat.NewRNG(51)
+	const entries = 64
+	batch := make([]core.BatchEntry[float32], entries)
+	cs := make([]*mat.F32, entries)
+	before := make([]*mat.F32, entries)
+	for i := range batch {
+		m, n, k := 10, 10, 10
+		a := mat.RandomF32(m, k, rng)
+		b := mat.RandomF32(k, n, rng)
+		c := mat.RandomF32(m, n, rng)
+		cs[i], before[i] = c, c.Clone()
+		batch[i] = core.BatchEntry[float32]{M: m, N: n, K: k, Alpha: 1,
+			A: a.Data, LDA: a.Stride, B: b.Data, LDB: b.Stride,
+			Beta: 0.5, C: c.Data, LDC: c.Stride}
+	}
+	cfg := core.Config{Plat: platform.KP920(), Threads: 4, Deadline: 3 * time.Millisecond}
+	err := core.SGEMMBatch(cfg, core.NN, batch)
+	if err == nil {
+		return // the machine outran the deadline: legitimate
+	}
+	var swe *guard.StuckWorkerError
+	if errors.As(err, &swe) {
+		// The deadline doubles as the per-block watchdog budget, so a chunk
+		// that the slow-worker fault stretches past it converts to the
+		// typed stuck error instead — also a prompt, typed termination. The
+		// straggler may still be writing, so the buffers are not inspected.
+		return
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded through the chain", err)
+	}
+	var bce *core.BatchCancelError
+	if !errors.As(err, &bce) {
+		t.Fatalf("err = %T, want *BatchCancelError", err)
+	}
+	touched := 0
+	for i := range cs {
+		for j := range cs[i].Data {
+			if cs[i].Data[j] != before[i].Data[j] {
+				touched++
+				break
+			}
 		}
 	}
-	resetAll()
+	if bce.Completed != touched {
+		t.Fatalf("accounting says %d, but %d entries were written", bce.Completed, touched)
+	}
 }
 
 // An unguarded injected panic must be labelled outcome "panic" — the error

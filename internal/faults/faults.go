@@ -9,6 +9,7 @@
 package faults
 
 import (
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -30,6 +31,16 @@ const (
 	// SpuriousNaN pokes NaN into the C block after the fast path completes,
 	// standing in for a kernel computing a wrong non-finite value.
 	SpuriousNaN
+	// CanaryMismatch forces a canary comparison to disagree while a circuit
+	// breaker is probing, standing in for a fast path that is still wrong
+	// after its cooldown; the shadow reference result rescues the call and
+	// the breaker re-opens with a doubled cooldown.
+	CanaryMismatch
+	// StuckWorker stalls a worker task for StuckSleep (hundreds of
+	// milliseconds — far past any per-block budget), standing in for a hung
+	// core; with a deadline configured the watchdog converts it into a
+	// typed guard.StuckWorkerError instead of hanging the caller.
+	StuckWorker
 
 	numPoints
 )
@@ -45,6 +56,10 @@ func (p Point) String() string {
 		return "slow-worker"
 	case SpuriousNaN:
 		return "spurious-nan"
+	case CanaryMismatch:
+		return "canary-mismatch"
+	case StuckWorker:
+		return "stuck-worker"
 	}
 	return "unknown-fault"
 }
@@ -55,17 +70,28 @@ const NumPoints = int(numPoints)
 
 // Points lists every injection point, for suites that iterate the registry.
 func Points() []Point {
-	return []Point{PanicInKernel, CorruptPack, SlowWorker, SpuriousNaN}
+	return []Point{PanicInKernel, CorruptPack, SlowWorker, SpuriousNaN, CanaryMismatch, StuckWorker}
 }
 
 // InjectedPanicMsg is the panic value used by the PanicInKernel point, so
 // tests can recognise their own injection in a KernelPanicError.
 const InjectedPanicMsg = "faults: injected kernel panic"
 
+// StuckSleep is how long the StuckWorker point stalls a task: long enough
+// that any realistic per-block budget expires first, short enough that a
+// test without a watchdog still terminates.
+const StuckSleep = 400 * time.Millisecond
+
 // Unlimited arms a point with no fire budget.
 const Unlimited = -1
 
 var (
+	// armMu serialises every mutation of the registry (Arm/Disarm/Reset and
+	// the post-exhaustion refresh), so a refresh scan can never clobber a
+	// concurrent Arm's anyArmed.Store(true). Fire and Armed stay lock-free:
+	// they only load, and the one Fire that exhausts a budget takes the lock
+	// exactly once, off the disarmed fast path.
+	armMu sync.Mutex
 	// anyArmed short-circuits every hook while the registry is idle.
 	anyArmed atomic.Bool
 	// counts[p]: 0 disarmed, n>0 fires remaining, Unlimited always fires.
@@ -75,6 +101,8 @@ var (
 // Arm enables a point for the given number of fires; times <= 0 arms it
 // without a budget (every Fire succeeds until Disarm/Reset).
 func Arm(p Point, times int) {
+	armMu.Lock()
+	defer armMu.Unlock()
 	if times <= 0 {
 		counts[p].Store(Unlimited)
 	} else {
@@ -85,19 +113,25 @@ func Arm(p Point, times int) {
 
 // Disarm disables one point.
 func Disarm(p Point) {
+	armMu.Lock()
+	defer armMu.Unlock()
 	counts[p].Store(0)
-	refreshAnyArmed()
+	refreshAnyArmedLocked()
 }
 
 // Reset disarms every point.
 func Reset() {
+	armMu.Lock()
+	defer armMu.Unlock()
 	for i := range counts {
 		counts[i].Store(0)
 	}
 	anyArmed.Store(false)
 }
 
-func refreshAnyArmed() {
+// refreshAnyArmedLocked recomputes the registry-idle short-circuit under
+// armMu, so the scan-then-store cannot race an Arm.
+func refreshAnyArmedLocked() {
 	for i := range counts {
 		if counts[i].Load() != 0 {
 			anyArmed.Store(true)
@@ -129,7 +163,9 @@ func Fire(p Point) bool {
 		}
 		if c.CompareAndSwap(v, v-1) {
 			if v == 1 {
-				refreshAnyArmed()
+				armMu.Lock()
+				refreshAnyArmedLocked()
+				armMu.Unlock()
 			}
 			return true
 		}

@@ -99,3 +99,89 @@ func TestPointNames(t *testing.T) {
 		}
 	}
 }
+
+// The arm/disarm race fixed in the registry rewrite: refreshing the
+// anyArmed short-circuit used to scan-then-store without a lock, so a
+// concurrent Arm could be clobbered into an armed-but-invisible state.
+// Under the mutex, a point armed with an unlimited budget must keep firing
+// no matter how much concurrent arm/disarm churn hits other points. Run
+// with -race via make race / make test-chaos.
+func TestArmDisarmRaceKeepsArmedPointVisible(t *testing.T) {
+	Reset()
+	defer Reset()
+	Arm(PanicInKernel, Unlimited)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	churn := []Point{SpuriousNaN, CorruptPack, SlowWorker, StuckWorker, CanaryMismatch}
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				p := churn[(g+i)%len(churn)]
+				switch i % 3 {
+				case 0:
+					Arm(p, i%5+1)
+				case 1:
+					Disarm(p)
+				case 2:
+					Fire(p)
+				}
+			}
+		}(g)
+	}
+	for i := 0; i < 5000; i++ {
+		if !Fire(PanicInKernel) {
+			close(stop)
+			wg.Wait()
+			t.Fatalf("unlimited-armed point stopped firing after %d fires amid arm/disarm churn", i)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// Reset during concurrent fires must also be race-free and leave every
+// point disarmed.
+func TestResetRaceLeavesAllDisarmed(t *testing.T) {
+	Reset()
+	defer Reset()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				Arm(SlowWorker, 2)
+				Fire(SlowWorker)
+				Reset()
+			}
+		}()
+	}
+	wg.Wait()
+	for _, p := range Points() {
+		if Armed(p) || Fire(p) {
+			t.Fatalf("%v armed after the final Reset", p)
+		}
+	}
+}
+
+func TestNewPointsRegistered(t *testing.T) {
+	found := map[string]bool{}
+	for _, p := range Points() {
+		found[p.String()] = true
+	}
+	for _, want := range []string{"canary-mismatch", "stuck-worker"} {
+		if !found[want] {
+			t.Fatalf("point %q missing from Points(): %v", want, Points())
+		}
+	}
+	if NumPoints != len(Points()) {
+		t.Fatalf("NumPoints = %d, Points() has %d", NumPoints, len(Points()))
+	}
+}

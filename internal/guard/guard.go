@@ -1,17 +1,34 @@
 // Package guard is the dynamic counterpart of internal/isacheck: where
 // isacheck proves kernel properties statically, guard defends the execution
-// path at runtime. It maintains the per-(platform, kernel-path) degradation
-// registry behind LibShalom's fallback chain — a kernel that fails its
-// static contract, panics at runtime, or trips the numeric guard is demoted
-// to the portable reference path and the library keeps answering — and it
-// defines the structured error types the hardened runtime surfaces instead
-// of crashing the process.
+// path at runtime. It maintains the per-(platform, kernel-path) circuit
+// breaker registry behind LibShalom's fallback chain — a kernel that fails
+// its static contract, panics at runtime, trips the numeric guard or loses
+// a canary comparison is demoted to the portable reference path and the
+// library keeps answering — and it defines the structured error types the
+// hardened runtime surfaces instead of crashing the process.
+//
+// Demotion is no longer sticky: each (platform, kernel) pair carries an
+// explicit state machine
+//
+//	healthy → open (demoted) → probing → healthy
+//	                 ↑            |
+//	                 └── mismatch ┘   (re-open, doubled cooldown)
+//
+// An open breaker routes every call to the reference path until its
+// cooldown expires; it then moves to probing, where internal/heal shadows a
+// bounded fraction of real calls with the reference path and compares the
+// results. Enough consecutive agreeing canaries close the breaker (the fast
+// path is re-promoted); any disagreement re-opens it with an exponentially
+// longer cooldown. Contract demotions are the exception: a kernel that
+// fails static verification never auto-probes — only an operator Reset
+// re-arms it.
 package guard
 
 import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 )
 
 // Reason classifies why a kernel path was demoted to the reference path.
@@ -25,6 +42,23 @@ const (
 	ReasonPanic Reason = "runtime-panic"
 	// ReasonNumeric: the fast path produced NaN/Inf from all-finite inputs.
 	ReasonNumeric Reason = "numeric-guard"
+	// ReasonCanary: while the breaker was probing, a shadowed canary call
+	// disagreed with the reference path.
+	ReasonCanary Reason = "canary-mismatch"
+)
+
+// State is a circuit breaker's position in the self-healing state machine.
+type State string
+
+const (
+	// StateHealthy: the fast path is in use (breaker closed).
+	StateHealthy State = "healthy"
+	// StateOpen: the fast path is demoted; every call runs the reference
+	// path until the cooldown expires.
+	StateOpen State = "open"
+	// StateProbing: the cooldown expired; a bounded fraction of calls run
+	// the fast path shadowed by the reference path to prove recovery.
+	StateProbing State = "probing"
 )
 
 // Kernel-path identifiers: the unit of demotion. The driver's fast path is
@@ -45,39 +79,70 @@ func PathFor(elemBytes int) string {
 }
 
 // Degradation records one demotion: which kernel path on which platform,
-// why, and a human-readable detail (first finding, panic message, …).
-// Shape and Seq were added for incident triage; the original fields keep
-// their meaning, so existing consumers are unaffected.
+// why, a human-readable detail (first finding, panic message, …), and the
+// breaker's self-healing state. Shape and Seq were added for incident
+// triage; State, Trips and ReopenedAt for the circuit-breaker model. The
+// original fields keep their meaning, so existing consumers are unaffected.
 type Degradation struct {
 	Platform string `json:"platform"`
 	Kernel   string `json:"kernel"`
 	Reason   Reason `json:"reason"`
 	Detail   string `json:"detail,omitempty"`
-	// Shape is the call that first triggered the demotion, as "MODE MxNxK"
+	// Shape is the call that triggered this trip, as "MODE MxNxK"
 	// (e.g. "NT 64x48x24"); empty for registration-time contract demotions,
 	// which no call provoked.
 	Shape string `json:"shape,omitempty"`
 	// Seq is a process-wide monotonic sequence number: demotion n happened
 	// before demotion n+1, whatever platform or kernel they hit — the
-	// ordering an operator needs to find the first domino.
+	// ordering an operator needs to find the first domino. Seq survives
+	// Reset, so post-reset trips never reuse numbers.
 	Seq uint64 `json:"seq"`
+	// State is the breaker's current position in the healing state machine.
+	State State `json:"state,omitempty"`
+	// Trips counts how many times this (platform, kernel) pair has tripped
+	// over the process lifetime; the re-open cooldown doubles per trip.
+	Trips int `json:"trips,omitempty"`
+	// ReopenedAt is when the breaker last entered the open state.
+	ReopenedAt time.Time `json:"reopened_at,omitempty"`
 }
 
 func (d Degradation) String() string {
 	s := fmt.Sprintf("#%d %s/%s: %s (%s)", d.Seq, d.Platform, d.Kernel, d.Reason, d.Detail)
 	if d.Shape != "" {
-		s += fmt.Sprintf(" first triggered by %s", d.Shape)
+		s += fmt.Sprintf(" triggered by %s", d.Shape)
+	}
+	if d.State != "" && d.State != StateOpen {
+		s += fmt.Sprintf(" [%s]", d.State)
+	}
+	if d.Trips > 1 {
+		s += fmt.Sprintf(" (trip %d)", d.Trips)
 	}
 	return s
 }
 
+// DefaultCooldown is the base open→probing cooldown used by the
+// compatibility Demote/DemoteShape entry points; internal/heal passes its
+// configured cooldown explicitly. The effective cooldown doubles per trip,
+// capped at DefaultCooldown << maxBackoffShift.
+const DefaultCooldown = 5 * time.Second
+
+// maxBackoffShift caps the exponential re-open backoff at base << shift.
+const maxBackoffShift = 6
+
 var (
-	mu  sync.Mutex
-	seq uint64 // monotonic demotion counter, under mu
-	// demoted is keyed by a composite value type (not a concatenated
-	// string) so the per-call IsDemoted lookup on the GEMM hot path
-	// allocates nothing.
-	demoted  = map[pathKey]Degradation{}
+	mu sync.Mutex
+	// seq is the process-lifetime monotonic trip counter. Reset deliberately
+	// does NOT zero it: an operator re-promotion must not make later trips
+	// reuse sequence numbers and scramble first-domino ordering.
+	seq uint64
+	// breakers is keyed by a composite value type (not a concatenated
+	// string) so the per-call Dispatch lookup on the GEMM hot path
+	// allocates nothing. Records persist after a breaker closes (state
+	// healthy) so repeat offenders keep their trip count and backoff.
+	breakers = map[pathKey]*breaker{}
+	// history is every trip ever recorded, in Seq order — the full domino
+	// chain, not just the first.
+	history  []Degradation
 	verified = map[string]bool{} // platforms whose contracts were checked
 )
 
@@ -85,76 +150,244 @@ type pathKey struct{ platform, kernel string }
 
 func key(platform, kernel string) pathKey { return pathKey{platform, kernel} }
 
+// breaker is the per-(platform, kernel) state machine record, under mu.
+type breaker struct {
+	d             Degradation
+	cooldownUntil time.Time
+	noProbe       bool   // contract demotions never auto-probe
+	agree         int    // consecutive agreeing canaries while probing
+	probeTick     uint64 // canary sampling counter while probing
+}
+
 // Demote records a degradation with no triggering-call context (the
-// registration-time contract leg). The first demotion of a (platform,
-// kernel) pair wins; later demotions of the same pair keep the original
-// reason, so the registry reports the root cause rather than the latest
-// symptom.
+// registration-time contract leg), opening the breaker with the default
+// cooldown.
 func Demote(platform, kernel string, reason Reason, detail string) {
-	DemoteShape(platform, kernel, reason, detail, "")
+	Trip(platform, kernel, reason, detail, "", DefaultCooldown)
 }
 
 // DemoteShape is Demote carrying the mode and dimensions of the call that
-// tripped the guard, recorded on the first demotion of the pair.
+// tripped the guard.
 func DemoteShape(platform, kernel string, reason Reason, detail, shape string) {
+	Trip(platform, kernel, reason, detail, shape, DefaultCooldown)
+}
+
+// Trip opens (or re-opens) the breaker for a (platform, kernel) pair and
+// reports whether a new trip was recorded. A Trip while the breaker is
+// already open is a no-op returning false — concurrent blocks of one call
+// demoting the same pair record one trip, and the first reason of each trip
+// is the root cause the registry reports. The effective cooldown is
+// cooldown << (trips-1), capped at << maxBackoffShift; contract trips never
+// cool down (static failures need a code change, not a retry).
+func Trip(platform, kernel string, reason Reason, detail, shape string, cooldown time.Duration) bool {
 	mu.Lock()
 	defer mu.Unlock()
 	k := key(platform, kernel)
-	if _, dup := demoted[k]; dup {
-		return
+	br := breakers[k]
+	if br == nil {
+		br = &breaker{d: Degradation{Platform: platform, Kernel: kernel}}
+		breakers[k] = br
+	}
+	if br.d.State == StateOpen {
+		return false
 	}
 	seq++
-	demoted[k] = Degradation{
-		Platform: platform, Kernel: kernel, Reason: reason, Detail: detail,
-		Shape: shape, Seq: seq,
+	br.d.Reason, br.d.Detail, br.d.Shape = reason, detail, shape
+	br.d.Seq = seq
+	br.d.State = StateOpen
+	br.d.Trips++
+	br.d.ReopenedAt = time.Now()
+	br.noProbe = reason == ReasonContract
+	shift := br.d.Trips - 1
+	if shift > maxBackoffShift {
+		shift = maxBackoffShift
 	}
+	if cooldown <= 0 {
+		cooldown = DefaultCooldown
+	}
+	br.cooldownUntil = br.d.ReopenedAt.Add(cooldown << shift)
+	br.agree, br.probeTick = 0, 0
+	history = append(history, br.d)
+	return true
 }
 
-// IsDemoted reports whether the kernel path is degraded on the platform.
+// Disposition is the routing decision Dispatch takes for one call.
+type Disposition uint8
+
+const (
+	// DispatchFast: breaker closed — run the generated fast path.
+	DispatchFast Disposition = iota
+	// DispatchRef: breaker open (or probing off-sample) — run the portable
+	// reference path.
+	DispatchRef
+	// DispatchCanary: breaker probing — run the fast path shadowed by the
+	// reference path and compare.
+	DispatchCanary
+)
+
+// Dispatch is the hot-path routing decision for a (platform, kernel) pair:
+// healthy pairs go fast; open pairs go to the reference path until their
+// cooldown expires, at which point the breaker moves to probing (reported
+// via beganProbe, exactly once per transition); probing pairs send one of
+// every stride calls through the canary shadow and the rest to the
+// reference path. The healthy-path cost is one mutex acquisition and a map
+// lookup, the same as the pre-breaker IsDemoted check, with no allocation.
+func Dispatch(platform, kernel string, stride int) (d Disposition, beganProbe bool) {
+	mu.Lock()
+	defer mu.Unlock()
+	br := breakers[key(platform, kernel)]
+	if br == nil || br.d.State == StateHealthy {
+		return DispatchFast, false
+	}
+	if br.d.State == StateOpen {
+		if br.noProbe || time.Now().Before(br.cooldownUntil) {
+			return DispatchRef, false
+		}
+		br.d.State = StateProbing
+		br.agree, br.probeTick = 0, 0
+		beganProbe = true
+	}
+	if stride < 1 {
+		stride = 1
+	}
+	tick := br.probeTick
+	br.probeTick++
+	if tick%uint64(stride) == 0 {
+		return DispatchCanary, beganProbe
+	}
+	return DispatchRef, beganProbe
+}
+
+// CanaryAgree records one agreeing canary for a probing breaker and closes
+// it (returning true) once target consecutive canaries have agreed. The
+// record survives closure with its trip count, so a repeat offense resumes
+// the exponential backoff where it left off.
+func CanaryAgree(platform, kernel string, target int) (closed bool) {
+	mu.Lock()
+	defer mu.Unlock()
+	br := breakers[key(platform, kernel)]
+	if br == nil || br.d.State != StateProbing {
+		return false
+	}
+	br.agree++
+	if br.agree >= target {
+		br.d.State = StateHealthy
+		br.agree, br.probeTick = 0, 0
+		return true
+	}
+	return false
+}
+
+// StateOf reports the breaker state of a (platform, kernel) pair; pairs
+// that never tripped are healthy.
+func StateOf(platform, kernel string) State {
+	mu.Lock()
+	defer mu.Unlock()
+	br := breakers[key(platform, kernel)]
+	if br == nil {
+		return StateHealthy
+	}
+	return br.d.State
+}
+
+// IsDemoted reports whether the kernel path is currently degraded (breaker
+// open or probing) on the platform.
 func IsDemoted(platform, kernel string) bool {
 	mu.Lock()
 	defer mu.Unlock()
-	_, ok := demoted[key(platform, kernel)]
-	return ok
+	br, ok := breakers[key(platform, kernel)]
+	return ok && br.d.State != StateHealthy
 }
 
-// Demotion returns the recorded degradation for a (platform, kernel) pair.
+// Demotion returns the current degradation for a (platform, kernel) pair;
+// ok is false for pairs that are healthy (including healed pairs).
 func Demotion(platform, kernel string) (Degradation, bool) {
 	mu.Lock()
 	defer mu.Unlock()
-	d, ok := demoted[key(platform, kernel)]
-	return d, ok
+	br, ok := breakers[key(platform, kernel)]
+	if !ok || br.d.State == StateHealthy {
+		return Degradation{}, false
+	}
+	return br.d, true
 }
 
-// List returns the degradations for one platform, or for every platform
-// when platform is empty, sorted by (platform, kernel).
+// List returns the currently degraded (open or probing) pairs for one
+// platform, or for every platform when platform is empty, sorted by
+// (platform, kernel).
 func List(platform string) []Degradation {
 	mu.Lock()
 	defer mu.Unlock()
-	out := make([]Degradation, 0, len(demoted))
-	for _, d := range demoted {
-		if platform == "" || d.Platform == platform {
-			out = append(out, d)
+	out := make([]Degradation, 0, len(breakers))
+	for _, br := range breakers {
+		if br.d.State == StateHealthy {
+			continue
+		}
+		if platform == "" || br.d.Platform == platform {
+			out = append(out, br.d)
 		}
 	}
+	sortByPair(out)
+	return out
+}
+
+// Breakers returns every breaker record — including healed pairs, whose
+// trip count still drives backoff — sorted by (platform, kernel). This is
+// the health report's view; List remains the "what is degraded right now"
+// view.
+func Breakers() []Degradation {
+	mu.Lock()
+	defer mu.Unlock()
+	out := make([]Degradation, 0, len(breakers))
+	for _, br := range breakers {
+		out = append(out, br.d)
+	}
+	sortByPair(out)
+	return out
+}
+
+// History returns every trip ever recorded, in Seq order — the full domino
+// chain across re-opens and operator resets.
+func History() []Degradation {
+	mu.Lock()
+	defer mu.Unlock()
+	out := make([]Degradation, len(history))
+	copy(out, history)
+	return out
+}
+
+// CooldownUntil reports when an open breaker becomes eligible to probe;
+// ok is false when the pair is not open (or never cools down).
+func CooldownUntil(platform, kernel string) (t time.Time, ok bool) {
+	mu.Lock()
+	defer mu.Unlock()
+	br, found := breakers[key(platform, kernel)]
+	if !found || br.d.State != StateOpen || br.noProbe {
+		return time.Time{}, false
+	}
+	return br.cooldownUntil, true
+}
+
+func sortByPair(out []Degradation) {
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Platform != out[j].Platform {
 			return out[i].Platform < out[j].Platform
 		}
 		return out[i].Kernel < out[j].Kernel
 	})
-	return out
 }
 
-// Reset clears every demotion and the per-platform verification memo, so
-// the next dispatch re-verifies contracts. Intended for tests and for
-// operators re-promoting kernels after an investigated incident.
+// Reset clears every breaker, the trip history and the per-platform
+// verification memo, so the next dispatch re-verifies contracts. The seq
+// counter is NOT reset: it is monotonic for the process lifetime, so trips
+// recorded after an operator re-promotion continue the global ordering.
+// Intended for tests and for operators re-promoting kernels after an
+// investigated incident.
 func Reset() {
 	mu.Lock()
 	defer mu.Unlock()
-	demoted = map[pathKey]Degradation{}
+	breakers = map[pathKey]*breaker{}
+	history = nil
 	verified = map[string]bool{}
-	seq = 0
 }
 
 // KernelPanicError is the structured error the hardened runtime returns
@@ -183,3 +416,25 @@ func (e *KernelPanicError) Error() string {
 	return fmt.Sprintf("guard: kernel panic on %s/%s mode %s at %s: %v",
 		e.Platform, e.Kernel, e.Mode, where, e.Value)
 }
+
+// StuckWorkerError is returned when the parallel runtime's watchdog finds a
+// worker exceeding its per-block budget (a stalled core, a hung kernel):
+// remaining blocks are cancelled and the caller gets this typed error
+// instead of hanging. The output buffer must be treated as undefined — the
+// stuck goroutine cannot be killed and may still write to it after the
+// call returns.
+type StuckWorkerError struct {
+	// Task is the index of the stuck task in the run's task slice.
+	Task int
+	// Budget is the configured per-block deadline; Elapsed how long the
+	// task had been running when the watchdog fired.
+	Budget, Elapsed time.Duration
+}
+
+func (e *StuckWorkerError) Error() string {
+	return fmt.Sprintf("guard: worker stuck on task %d: %v elapsed against a %v budget",
+		e.Task, e.Elapsed, e.Budget)
+}
+
+// Timeout marks the error as a timeout for net.Error-style checks.
+func (e *StuckWorkerError) Timeout() bool { return true }

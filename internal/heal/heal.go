@@ -1,0 +1,182 @@
+// Package heal is the self-healing policy layer over the guard registry:
+// where guard stores the per-(platform, kernel-path) circuit-breaker state,
+// heal decides how the state machine moves — how long an open breaker cools
+// down, what fraction of probing calls run the canary shadow, and how many
+// consecutive agreeing canaries prove recovery. The driver (internal/core)
+// asks RouteFor where to send each call, reports canary outcomes through
+// ReportAgree/ReportMismatch, and trips breakers through Trip; everything
+// else — cloning the output, running the reference shadow, comparing — is
+// the driver's job, because only it holds the kernels.
+//
+// The design follows the generated-kernel stacks in the related work (Exo,
+// the TVM generator family): a fast generated path backed by a verified
+// reference, where recovery is proved on live shapes by shadow execution,
+// never assumed from the passage of time alone.
+package heal
+
+import (
+	"sync"
+	"time"
+
+	"libshalom/internal/guard"
+)
+
+// Config is the self-healing policy. The zero value of any field selects
+// its default.
+type Config struct {
+	// Cooldown is the base open→probing cooldown. Each re-trip of the same
+	// (platform, kernel) pair doubles the effective cooldown, up to 64×.
+	// Default 5s.
+	Cooldown time.Duration
+	// CanaryTarget is how many consecutive agreeing canaries close a
+	// probing breaker. Default 8.
+	CanaryTarget int
+	// CanaryStride bounds the canary fraction while probing: one of every
+	// CanaryStride calls runs the fast path shadowed by the reference path;
+	// the rest run the reference path alone. Default 2 (half the probing
+	// traffic pays the shadow cost).
+	CanaryStride int
+}
+
+// Defaults for zero Config fields.
+const (
+	DefaultCanaryTarget = 8
+	DefaultCanaryStride = 2
+)
+
+var (
+	cfgMu sync.Mutex
+	cfg   = Config{}
+)
+
+// normalized returns c with zero fields replaced by defaults.
+func (c Config) normalized() Config {
+	if c.Cooldown <= 0 {
+		c.Cooldown = guard.DefaultCooldown
+	}
+	if c.CanaryTarget <= 0 {
+		c.CanaryTarget = DefaultCanaryTarget
+	}
+	if c.CanaryStride <= 0 {
+		c.CanaryStride = DefaultCanaryStride
+	}
+	return c
+}
+
+// Configure installs a new healing policy and returns the previous one.
+// Zero fields of c select their documented defaults. The policy is
+// process-global, like the guard registry it governs.
+func Configure(c Config) Config {
+	cfgMu.Lock()
+	defer cfgMu.Unlock()
+	prev := cfg.normalized()
+	cfg = c.normalized()
+	return prev
+}
+
+// Current returns the active healing policy with defaults resolved.
+func Current() Config {
+	cfgMu.Lock()
+	defer cfgMu.Unlock()
+	return cfg.normalized()
+}
+
+// Route is where RouteFor sends one call.
+type Route uint8
+
+const (
+	// RouteFast: breaker closed — the generated fast path.
+	RouteFast Route = iota
+	// RouteRef: breaker open or probing off-sample — the reference path.
+	RouteRef
+	// RouteCanary: breaker probing — fast path shadowed by the reference
+	// path on a cloned output, compared element-wise.
+	RouteCanary
+)
+
+// RouteFor is the per-call dispatch decision for a kernel path on a
+// platform. beganProbe reports (exactly once per open→probing transition)
+// that this call moved the breaker into the probing state, so the caller
+// can emit the corresponding telemetry event.
+func RouteFor(platform, kernel string) (r Route, beganProbe bool) {
+	d, began := guard.Dispatch(platform, kernel, Current().CanaryStride)
+	switch d {
+	case guard.DispatchRef:
+		return RouteRef, began
+	case guard.DispatchCanary:
+		return RouteCanary, began
+	default:
+		return RouteFast, began
+	}
+}
+
+// Trip opens (or re-opens) the breaker with the configured base cooldown,
+// reporting whether a new trip was recorded (false: it was already open).
+func Trip(platform, kernel string, reason guard.Reason, detail, shape string) bool {
+	return guard.Trip(platform, kernel, reason, detail, shape, Current().Cooldown)
+}
+
+// ReportAgree records one agreeing canary; closed reports that the breaker
+// healed (the fast path is re-promoted).
+func ReportAgree(platform, kernel string) (closed bool) {
+	return guard.CanaryAgree(platform, kernel, Current().CanaryTarget)
+}
+
+// ReportMismatch records a canary disagreement: the breaker re-opens as a
+// new trip (doubling its cooldown). Returns whether a trip was recorded.
+func ReportMismatch(platform, kernel, detail, shape string) bool {
+	return Trip(platform, kernel, guard.ReasonCanary, detail, shape)
+}
+
+// Tolerance is the canary comparison tolerance for an element size: the
+// same order as the numeric accuracy the test suite holds the fast path to
+// against the reference implementation.
+func Tolerance(elemBytes int) float64 {
+	if elemBytes == 8 {
+		return 1e-10
+	}
+	return 1e-4
+}
+
+// Agrees compares an m×n fast-path result (leading dimension ldGot) against
+// the reference shadow (leading dimension ldWant) element-wise under a
+// relative tolerance: |got-want| ≤ tol·(1+|want|). NaN or Inf on one side
+// only is a disagreement; matching non-finite values (legitimate IEEE
+// propagation from non-finite inputs) agree.
+func Agrees[T ~float32 | ~float64](got []T, ldGot int, want []T, ldWant, m, n int, tol float64) bool {
+	for i := 0; i < m; i++ {
+		gr := got[i*ldGot : i*ldGot+n]
+		wr := want[i*ldWant : i*ldWant+n]
+		for j := 0; j < n; j++ {
+			g, w := float64(gr[j]), float64(wr[j])
+			if g == w { // covers matching ±Inf and exact agreement
+				continue
+			}
+			if g != g && w != w { // both NaN: legitimate propagation
+				continue
+			}
+			// Any other non-finite pairing — NaN on one side, Inf against a
+			// finite value, or ±Inf with flipped signs — is a disagreement;
+			// the relative test below would let Inf-vs-Inf slip through
+			// (Inf <= Inf holds).
+			if !isFinite(g) || !isFinite(w) {
+				return false
+			}
+			diff := g - w
+			if diff < 0 {
+				diff = -diff
+			}
+			lim := w
+			if lim < 0 {
+				lim = -lim
+			}
+			if diff > tol*(1+lim) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// isFinite reports whether f is neither NaN nor ±Inf.
+func isFinite(f float64) bool { return f-f == 0 }

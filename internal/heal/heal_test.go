@@ -1,0 +1,143 @@
+package heal
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"libshalom/internal/guard"
+)
+
+func withConfig(t *testing.T, c Config) {
+	t.Helper()
+	prev := Configure(c)
+	t.Cleanup(func() { Configure(prev) })
+}
+
+func TestConfigDefaults(t *testing.T) {
+	withConfig(t, Config{})
+	c := Current()
+	if c.Cooldown != guard.DefaultCooldown || c.CanaryTarget != DefaultCanaryTarget || c.CanaryStride != DefaultCanaryStride {
+		t.Fatalf("defaults = %+v", c)
+	}
+	withConfig(t, Config{Cooldown: time.Minute, CanaryTarget: 3, CanaryStride: 4})
+	c = Current()
+	if c.Cooldown != time.Minute || c.CanaryTarget != 3 || c.CanaryStride != 4 {
+		t.Fatalf("configured = %+v", c)
+	}
+}
+
+// The policy drives the full loop: Trip opens with the configured cooldown,
+// RouteFor moves to canary after it expires, target agreements close.
+func TestPolicyDrivesGuardLoop(t *testing.T) {
+	guard.Reset()
+	defer guard.Reset()
+	withConfig(t, Config{Cooldown: time.Millisecond, CanaryTarget: 2, CanaryStride: 1})
+	const plat, kern = "heal-plat", guard.PathF32
+	if r, _ := RouteFor(plat, kern); r != RouteFast {
+		t.Fatalf("healthy route = %v", r)
+	}
+	if !Trip(plat, kern, guard.ReasonPanic, "boom", "NN 8x8x8") {
+		t.Fatal("Trip not recorded")
+	}
+	if r, _ := RouteFor(plat, kern); r != RouteRef {
+		t.Fatalf("open route = %v, want ref", r)
+	}
+	time.Sleep(3 * time.Millisecond)
+	r, began := RouteFor(plat, kern)
+	if r != RouteCanary || !began {
+		t.Fatalf("post-cooldown route = %v, began=%v", r, began)
+	}
+	if ReportAgree(plat, kern) {
+		t.Fatal("closed before the agreement target")
+	}
+	if !ReportAgree(plat, kern) {
+		t.Fatal("did not close at the agreement target")
+	}
+	if guard.StateOf(plat, kern) != guard.StateHealthy {
+		t.Fatalf("state = %v after close", guard.StateOf(plat, kern))
+	}
+}
+
+// A mismatch re-opens as a fresh trip with the doubled cooldown.
+func TestReportMismatchReopens(t *testing.T) {
+	guard.Reset()
+	defer guard.Reset()
+	withConfig(t, Config{Cooldown: time.Millisecond, CanaryTarget: 8, CanaryStride: 1})
+	const plat, kern = "heal-plat", guard.PathF64
+	Trip(plat, kern, guard.ReasonPanic, "boom", "")
+	time.Sleep(3 * time.Millisecond)
+	if r, _ := RouteFor(plat, kern); r != RouteCanary {
+		t.Fatalf("route = %v, want canary", r)
+	}
+	if !ReportMismatch(plat, kern, "disagreed", "NN 4x4x4") {
+		t.Fatal("mismatch did not re-open")
+	}
+	d, ok := guard.Demotion(plat, kern)
+	if !ok || d.Reason != guard.ReasonCanary || d.Trips != 2 || d.State != guard.StateOpen {
+		t.Fatalf("re-opened record = %+v, %v", d, ok)
+	}
+}
+
+func TestTolerance(t *testing.T) {
+	if Tolerance(4) != 1e-4 || Tolerance(8) != 1e-10 {
+		t.Fatalf("tolerances = %g / %g", Tolerance(4), Tolerance(8))
+	}
+}
+
+func TestAgrees(t *testing.T) {
+	nan := math.NaN()
+	cases := []struct {
+		name      string
+		got, want []float64
+		ok        bool
+	}{
+		{"exact", []float64{1, 2, 3, 4}, []float64{1, 2, 3, 4}, true},
+		{"within-tol", []float64{1 + 1e-12, 2, 3, 4}, []float64{1, 2, 3, 4}, true},
+		{"outside-tol", []float64{1.1, 2, 3, 4}, []float64{1, 2, 3, 4}, false},
+		{"both-nan", []float64{nan, 2, 3, 4}, []float64{nan, 2, 3, 4}, true},
+		{"nan-got-only", []float64{nan, 2, 3, 4}, []float64{1, 2, 3, 4}, false},
+		{"nan-want-only", []float64{1, 2, 3, 4}, []float64{nan, 2, 3, 4}, false},
+		{"both-inf", []float64{math.Inf(1), 2, 3, 4}, []float64{math.Inf(1), 2, 3, 4}, true},
+		{"inf-sign-flip", []float64{math.Inf(1), 2, 3, 4}, []float64{math.Inf(-1), 2, 3, 4}, false},
+	}
+	for _, tc := range cases {
+		if got := Agrees(tc.got, 2, tc.want, 2, 2, 2, 1e-10); got != tc.ok {
+			t.Errorf("%s: Agrees = %v, want %v", tc.name, got, tc.ok)
+		}
+	}
+	// Strided views: only the first n of each row are compared.
+	got := []float64{1, 99, 2, 98}
+	want := []float64{1, 2}
+	if !Agrees(got, 2, want, 1, 2, 1, 1e-10) {
+		t.Fatal("strided comparison read past the row extent")
+	}
+}
+
+func TestReportRendersBreakersAndHistory(t *testing.T) {
+	guard.Reset()
+	defer guard.Reset()
+	withConfig(t, Config{Cooldown: time.Second, CanaryTarget: 8, CanaryStride: 2})
+	var sb strings.Builder
+	Snapshot().Write(&sb)
+	if !strings.Contains(sb.String(), "none tripped") {
+		t.Fatalf("healthy report = %q", sb.String())
+	}
+	if !Snapshot().Healthy() {
+		t.Fatal("fresh registry not Healthy")
+	}
+	Trip("rep-plat", guard.PathF32, guard.ReasonPanic, "boom", "NN 8x8x8")
+	rep := Snapshot()
+	if rep.Healthy() {
+		t.Fatal("tripped registry reports Healthy")
+	}
+	sb.Reset()
+	rep.Write(&sb)
+	out := sb.String()
+	for _, want := range []string{"rep-plat", guard.PathF32, "open", "runtime-panic", "NN 8x8x8", "trip history"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}

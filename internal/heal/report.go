@@ -1,0 +1,70 @@
+package heal
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+	"time"
+
+	"libshalom/internal/guard"
+)
+
+// Report is a point-in-time health view of the self-healing runtime: the
+// active policy, every breaker record (including healed pairs, whose trip
+// count still drives backoff), and the full trip history.
+type Report struct {
+	Config   Config              `json:"config"`
+	Breakers []guard.Degradation `json:"breakers,omitempty"`
+	History  []guard.Degradation `json:"history,omitempty"`
+}
+
+// Snapshot assembles the health report.
+func Snapshot() Report {
+	return Report{
+		Config:   Current(),
+		Breakers: guard.Breakers(),
+		History:  guard.History(),
+	}
+}
+
+// Healthy reports whether no breaker is currently open or probing.
+func (r Report) Healthy() bool {
+	for _, b := range r.Breakers {
+		if b.State != guard.StateHealthy {
+			return false
+		}
+	}
+	return true
+}
+
+// Write renders the report as the human-readable health summary shalom-info
+// -health prints.
+func (r Report) Write(w io.Writer) {
+	fmt.Fprintf(w, "healing policy: cooldown %v (doubles per trip), close after %d agreeing canaries, 1-in-%d canary sampling\n",
+		r.Config.Cooldown, r.Config.CanaryTarget, r.Config.CanaryStride)
+	if len(r.Breakers) == 0 {
+		fmt.Fprintln(w, "breakers: none tripped — every kernel path healthy on the fast path")
+		return
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "platform\tkernel path\tstate\ttrips\tlast opened\treason\tshape\tdetail")
+	for _, b := range r.Breakers {
+		shape := b.Shape
+		if shape == "" {
+			shape = "-"
+		}
+		opened := "-"
+		if !b.ReopenedAt.IsZero() {
+			opened = b.ReopenedAt.Format(time.RFC3339)
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%s\t%s\t%s\t%s\n",
+			b.Platform, b.Kernel, b.State, b.Trips, opened, b.Reason, shape, b.Detail)
+	}
+	tw.Flush()
+	if len(r.History) > 0 {
+		fmt.Fprintln(w, "trip history (first domino first):")
+		for _, d := range r.History {
+			fmt.Fprintf(w, "  %s\n", d.String())
+		}
+	}
+}

@@ -7,6 +7,7 @@
 package parallel
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime/debug"
@@ -16,6 +17,7 @@ import (
 
 	"libshalom/internal/analytic"
 	"libshalom/internal/faults"
+	"libshalom/internal/guard"
 )
 
 // Block is one thread's sub-block of C.
@@ -173,15 +175,43 @@ func (p *Pool) Run(tasks []func()) error {
 	return p.RunWorker(wrapped)
 }
 
+// RunConfig carries the optional deadline machinery of one Run call.
+type RunConfig struct {
+	// Ctx, when non-nil, cancels cooperatively: tasks not yet handed to a
+	// worker are skipped once the context is done, started tasks still run
+	// to completion (the join is preserved), and the run fails with the
+	// context's error. This is how per-call deadlines propagate into the
+	// pool without abandoning in-flight writers.
+	Ctx context.Context
+	// TaskBudget, when positive, arms the stuck-worker watchdog: a task
+	// running longer than the budget fails the run with a typed
+	// *guard.StuckWorkerError and releases the join immediately — the one
+	// case where Run returns before every task has finished, because a
+	// stuck goroutine cannot be killed. The caller must then treat the
+	// tasks' output as undefined (the straggler may still write).
+	TaskBudget time.Duration
+}
+
 // RunWorker is Run for tasks that want to know which worker executes them
 // (the GEMM driver uses the index for trace-lane attribution). Worker
 // indices are 0..Workers()-1.
 func (p *Pool) RunWorker(tasks []func(worker int)) error {
+	return p.RunWorkerCfg(RunConfig{}, tasks)
+}
+
+// RunWorkerCfg is RunWorker with cooperative cancellation and the
+// stuck-worker watchdog; see RunConfig.
+func (p *Pool) RunWorkerCfg(rc RunConfig, tasks []func(worker int)) error {
 	if len(tasks) == 0 {
 		return nil
 	}
 	if p.closed.Load() {
 		return ErrClosed
+	}
+	if rc.Ctx != nil {
+		if err := rc.Ctx.Err(); err != nil {
+			return err
+		}
 	}
 	if p.obs != nil {
 		p.obs.TaskQueued(len(tasks))
@@ -203,6 +233,18 @@ func (p *Pool) RunWorker(tasks []func(worker int)) error {
 		failed.Store(true)
 		mu.Unlock()
 	}
+	firstError := func() error {
+		mu.Lock()
+		defer mu.Unlock()
+		return firstErr
+	}
+	// starts[i] is the UnixNano at which task i began executing, 0 before,
+	// -1 after — the watchdog's view of who is in flight and for how long.
+	watched := rc.TaskBudget > 0
+	var starts []atomic.Int64
+	if watched {
+		starts = make([]atomic.Int64, len(tasks))
+	}
 	wg.Add(len(tasks))
 	go func() {
 		handed := 0
@@ -218,6 +260,13 @@ func (p *Pool) RunWorker(tasks []func(worker int)) error {
 			}
 		}()
 		for i, t := range tasks {
+			if rc.Ctx != nil && !failed.Load() {
+				select {
+				case <-rc.Ctx.Done():
+					fail(rc.Ctx.Err())
+				default:
+				}
+			}
 			if failed.Load() {
 				wg.Done()
 				handed++
@@ -235,6 +284,10 @@ func (p *Pool) RunWorker(tasks []func(worker int)) error {
 						fail(&PanicError{Task: i, Value: r, Stack: debug.Stack()})
 					}
 				}()
+				if watched {
+					starts[i].Store(time.Now().UnixNano())
+					defer starts[i].Store(-1)
+				}
 				var began time.Time
 				if p.obs != nil {
 					began = time.Now()
@@ -250,15 +303,55 @@ func (p *Pool) RunWorker(tasks []func(worker int)) error {
 					}
 					time.Sleep(time.Millisecond)
 				}
+				if faults.Fire(faults.StuckWorker) {
+					if p.obs != nil {
+						p.obs.FaultInjected(faults.StuckWorker)
+					}
+					time.Sleep(faults.StuckSleep)
+				}
 				t(worker)
 			}
 			handed++
 		}
 	}()
-	wg.Wait()
-	mu.Lock()
-	defer mu.Unlock()
-	return firstErr
+	if !watched {
+		wg.Wait()
+		return firstError()
+	}
+	// Watchdog join: wait for completion, but scan in-flight tasks every
+	// quarter budget; the first task over budget converts the run into a
+	// typed StuckWorkerError without waiting for the stuck goroutine.
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	tick := rc.TaskBudget / 4
+	if tick < 100*time.Microsecond {
+		tick = 100 * time.Microsecond
+	}
+	ticker := time.NewTicker(tick)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-done:
+			return firstError()
+		case <-ticker.C:
+			now := time.Now().UnixNano()
+			for i := range starts {
+				s := starts[i].Load()
+				if s <= 0 || now-s <= int64(rc.TaskBudget) {
+					continue
+				}
+				fail(&guard.StuckWorkerError{
+					Task:    i,
+					Budget:  rc.TaskBudget,
+					Elapsed: time.Duration(now - s),
+				})
+				return firstError()
+			}
+		}
+	}
 }
 
 // Close terminates the worker goroutines. The pool must be idle; closing a

@@ -82,6 +82,13 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 	for _, d := range s.Degradations {
 		bw.printf("libshalom_degradation_events_total{reason=%q} %d\n", d.Name, d.Count)
 	}
+	bw.printf("# HELP libshalom_heal_events_total Self-healing events: breaker lifecycle, canary verdicts, watchdog conversions, transient retries.\n")
+	bw.printf("# TYPE libshalom_heal_events_total counter\n")
+	for _, h := range s.Heal {
+		bw.printf("libshalom_heal_events_total{event=%q} %d\n", h.Name, h.Count)
+	}
+	gauge("libshalom_breakers_open", "Circuit breakers currently open (reference path in use), as observed through this recorder.", s.BreakersOpen)
+	gauge("libshalom_breakers_probing", "Circuit breakers currently probing (canary re-promotion in progress), as observed through this recorder.", s.BreakersProbing)
 	counter("libshalom_trace_spans_total", "Phase spans recorded into the trace ring.", s.TraceSpans)
 	counter("libshalom_trace_spans_dropped_total", "Spans overwritten by ring wraparound.", s.TraceDropped)
 	return bw.err

@@ -71,6 +71,13 @@ type Snapshot struct {
 	// Degradations counts demotion events the runtime observed (by reason);
 	// the guard registry remains the source of truth for current state.
 	Degradations []EventCount `json:"degradations,omitempty"`
+	// Heal counts self-healing events: breaker opens/probes/closes, canary
+	// runs and verdicts, watchdog conversions and transient retries.
+	Heal []EventCount `json:"heal,omitempty"`
+	// BreakersOpen/BreakersProbing are the breaker state gauges as observed
+	// through this recorder's transitions.
+	BreakersOpen    int64 `json:"breakers_open"`
+	BreakersProbing int64 `json:"breakers_probing"`
 	// TraceSpans/TraceDropped report ring-buffer occupancy: spans ever
 	// recorded and spans overwritten by newer ones.
 	TraceSpans   uint64 `json:"trace_spans"`
@@ -135,6 +142,13 @@ func (r *Recorder) Snapshot() Snapshot {
 			s.Degradations = append(s.Degradations, EventCount{Name: degrNames[d], Count: c})
 		}
 	}
+	for h := uint8(0); h < numHealEvents; h++ {
+		if c := r.healEvents[h].Load(); c > 0 {
+			s.Heal = append(s.Heal, EventCount{Name: healNames[h], Count: c})
+		}
+	}
+	s.BreakersOpen = r.breakersOpen.Load()
+	s.BreakersProbing = r.breakersProbing.Load()
 	if r.trace != nil {
 		r.trace.mu.Lock()
 		s.TraceSpans = r.trace.written
@@ -157,6 +171,30 @@ func unpackKey(idx int) (prec, mode, class, kernel, outcome uint8) {
 	idx /= numMode
 	prec = uint8(idx)
 	return
+}
+
+// HealCount returns the count of one named self-healing event (zero when
+// the event never fired).
+func (s Snapshot) HealCount(name string) uint64 {
+	for _, e := range s.Heal {
+		if e.Name == name {
+			return e.Count
+		}
+	}
+	return 0
+}
+
+// KernelCalls sums call counts for one kernel-path label ("fast" or "ref"),
+// the counter pair the healing acceptance tests read to prove the fast path
+// is measurably back in use after a breaker closes.
+func (s Snapshot) KernelCalls(kernel string) uint64 {
+	var total uint64
+	for _, c := range s.Calls {
+		if c.Kernel == kernel {
+			total += c.Count
+		}
+	}
+	return total
 }
 
 // CallsTotal sums call counts across every key, optionally filtered by

@@ -58,6 +58,9 @@ const (
 	OutcomeDegraded
 	OutcomePanic
 	OutcomeCancelled
+	// OutcomeStuck: the watchdog converted a worker exceeding its per-block
+	// budget into a guard.StuckWorkerError.
+	OutcomeStuck
 	numOutcome
 )
 
@@ -69,7 +72,7 @@ var (
 	precNames    = [numPrec]string{"f32", "f64"}
 	modeNames    = [numMode]string{"NN", "NT", "TN", "TT"}
 	kernelNames  = [numKernel]string{"fast", "ref"}
-	outcomeNames = [numOutcome]string{"ok", "degraded", "panic", "cancelled"}
+	outcomeNames = [numOutcome]string{"ok", "degraded", "panic", "cancelled", "stuck"}
 )
 
 // PrecFor maps an element size in bytes to a precision index.
@@ -152,9 +155,19 @@ type Recorder struct {
 	threadsChose atomic.Uint64
 	clampedCalls atomic.Uint64
 
-	// Event counters: fault injections by point, degradations by reason.
+	// Event counters: fault injections by point, degradations by reason,
+	// self-healing events by kind.
 	faultEvents [faults.NumPoints]atomic.Uint64
 	degrEvents  [numDegrReasons]atomic.Uint64
+	healEvents  [numHealEvents]atomic.Uint64
+
+	// Breaker state gauges: how many (platform, kernel) breakers this
+	// recorder has observed transitioning into the open/probing states and
+	// not yet out. The guard registry is the source of truth for current
+	// state; these gauges track what flowed through contexts sharing this
+	// recorder, for exposition next to the event counters.
+	breakersOpen    atomic.Int64
+	breakersProbing atomic.Int64
 
 	callSeq atomic.Uint64 // caller trace-lane allocator
 
@@ -284,10 +297,77 @@ const (
 	DegrContract uint8 = iota
 	DegrPanic
 	DegrNumeric
+	DegrCanary
 	numDegrReasons
 )
 
-var degrNames = [numDegrReasons]string{"contract-violation", "runtime-panic", "numeric-guard"}
+var degrNames = [numDegrReasons]string{"contract-violation", "runtime-panic", "numeric-guard", "canary-mismatch"}
+
+// Self-healing event kinds: the circuit-breaker lifecycle and the canary
+// protocol, counted per event so the healing loop is observable end to end.
+const (
+	// HealBreakerOpen: a breaker tripped (healthy→open or probing→open).
+	HealBreakerOpen uint8 = iota
+	// HealBreakerProbe: an open breaker's cooldown expired (open→probing).
+	HealBreakerProbe
+	// HealBreakerClose: enough canaries agreed; fast path re-promoted.
+	HealBreakerClose
+	// HealCanaryRun: one probing call ran the fast path shadowed by the
+	// reference path.
+	HealCanaryRun
+	// HealCanaryAgree / HealCanaryMismatch: the comparison verdicts.
+	HealCanaryAgree
+	HealCanaryMismatch
+	// HealStuckWorker: the watchdog converted a stalled worker into a
+	// typed StuckWorkerError.
+	HealStuckWorker
+	// HealRetry: a transient fault was retried transparently on the
+	// reference path (outside the numeric guard's demote-and-recompute).
+	HealRetry
+	numHealEvents
+)
+
+var healNames = [numHealEvents]string{
+	"breaker-open", "breaker-probe", "breaker-close",
+	"canary-run", "canary-agree", "canary-mismatch",
+	"stuck-worker", "transient-retry",
+}
+
+// HealEvent counts one self-healing event.
+func (r *Recorder) HealEvent(kind uint8) {
+	if r == nil || kind >= numHealEvents {
+		return
+	}
+	probeAtomicWrite()
+	r.healEvents[kind].Add(1)
+}
+
+// Breaker states for BreakerTransition, mirroring guard.State.
+const (
+	BreakerHealthy uint8 = iota
+	BreakerOpen
+	BreakerProbing
+)
+
+// BreakerTransition moves the breaker state gauges: one breaker left the
+// from state and entered the to state.
+func (r *Recorder) BreakerTransition(from, to uint8) {
+	if r == nil {
+		return
+	}
+	adj := func(state uint8, delta int64) {
+		switch state {
+		case BreakerOpen:
+			probeAtomicWrite()
+			r.breakersOpen.Add(delta)
+		case BreakerProbing:
+			probeAtomicWrite()
+			r.breakersProbing.Add(delta)
+		}
+	}
+	adj(from, -1)
+	adj(to, 1)
+}
 
 // DegradationEvent counts one kernel-path demotion observed by the runtime.
 func (r *Recorder) DegradationEvent(reason uint8) {

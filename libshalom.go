@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"libshalom/internal/analytic"
 	"libshalom/internal/baselines"
@@ -74,6 +75,8 @@ type Context struct {
 	threads    int // 0 = automatic policy
 	guard      bool
 	aliasCheck bool
+	deadline   time.Duration
+	retry      bool
 	tel        *telemetry.Recorder // nil: telemetry disabled
 
 	mu   sync.Mutex
@@ -114,9 +117,30 @@ func WithAliasCheck() Option {
 	return func(c *Context) { c.aliasCheck = true }
 }
 
+// WithDeadline bounds every call made through the context. Parallel calls
+// arm the stuck-worker watchdog with d as the per-block budget: a worker
+// exceeding it converts the call into a *StuckWorkerError instead of a hang
+// (the output buffer is then undefined — the stuck goroutine cannot be
+// killed). Batch calls additionally abandon unstarted entries once d
+// expires, surfacing a *BatchCancelError that unwraps to
+// context.DeadlineExceeded. Zero disables the bound (the default).
+func WithDeadline(d time.Duration) Option {
+	return func(c *Context) { c.deadline = d }
+}
+
+// WithoutTransientRetry disables the transparent transient-fault retry. By
+// default a fast path that panics trips its circuit breaker and the failed
+// block is recomputed once on the reference path — the call succeeds,
+// degraded. Without the retry, such a panic surfaces as *KernelPanicError
+// (the pre-self-healing behaviour, useful when callers want to observe raw
+// failures).
+func WithoutTransientRetry() Option {
+	return func(c *Context) { c.retry = false }
+}
+
 // New builds a Context.
 func New(opts ...Option) *Context {
-	c := &Context{plat: platform.KP920()}
+	c := &Context{plat: platform.KP920(), retry: true}
 	for _, o := range opts {
 		o(c)
 	}
@@ -213,12 +237,14 @@ func (c *Context) DGEMM(mode Mode, m, n, k int, alpha float64, a []float64, lda 
 // config assembles the per-call driver configuration.
 func (c *Context) config(threads int) core.Config {
 	return core.Config{
-		Plat:         c.plat,
-		Threads:      threads,
-		Pool:         c.ensurePool(threads),
-		NumericGuard: c.guard,
-		CheckAlias:   c.aliasCheck,
-		Tel:          c.tel,
+		Plat:           c.plat,
+		Threads:        threads,
+		Pool:           c.ensurePool(threads),
+		NumericGuard:   c.guard,
+		CheckAlias:     c.aliasCheck,
+		Deadline:       c.deadline,
+		RetryTransient: c.retry,
+		Tel:            c.tel,
 	}
 }
 
