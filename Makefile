@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race lint check fuzz test-chaos test-soak probe trace-smoke
+.PHONY: build test vet race lint check fuzz test-chaos test-soak probe trace-smoke serve-smoke
 
 build:
 	$(GO) build ./...
@@ -12,9 +12,10 @@ test:
 	$(GO) test ./...
 
 # The concurrency-sensitive packages run again under the race detector:
-# the thread pool and the blocked GEMM driver that feeds it.
+# the thread pool, the blocked GEMM driver that feeds it, and the serving
+# front end that coalesces concurrent requests onto the batch path.
 race:
-	$(GO) test -race ./internal/parallel/... ./internal/core/... ./internal/heal/...
+	$(GO) test -race ./internal/parallel/... ./internal/core/... ./internal/heal/... ./internal/server/...
 
 # Fault-injection chaos suite: every injected fault (kernel panic, corrupt
 # packing buffer, slow worker, spurious NaN) must surface as a typed error
@@ -46,6 +47,14 @@ trace-smoke:
 	$(GO) run ./cmd/shalom-top -once -duration 200ms -mix small \
 		-trace $${TMPDIR:-/tmp}/shalom-trace-smoke.json -validate
 
+# Serving-layer smoke test: race-enabled shalom-serve on an ephemeral port,
+# a closed-loop shalom-load storm (64 requests, 16 workers), asserting every
+# request answered, the /metrics coalesce counter > 0 (at least one flush of
+# batch size > 1), and a clean SIGTERM drain with zero dropped admitted
+# requests.
+serve-smoke:
+	sh scripts/serve-smoke.sh
+
 # Static kernel verification: every registered micro-kernel must clear all
 # five isacheck passes on every modelled platform.
 lint:
@@ -57,4 +66,4 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzAnalyze -fuzztime=10s ./internal/isa/
 
 # The CI gate.
-check: vet build test race test-chaos test-soak probe trace-smoke lint
+check: vet build test race test-chaos test-soak probe trace-smoke serve-smoke lint

@@ -35,20 +35,12 @@ func (c *Context) DGEMMBatch(mode Mode, batch []DBatchEntry) error {
 // errors.Is(err, context.Canceled) holds, Completed counts entries whose
 // results are exactly those of an uncancelled run.
 func (c *Context) SGEMMBatchCtx(ctx context.Context, mode Mode, batch []SBatchEntry) error {
-	threads := c.threads
-	if threads == 0 {
-		threads = batchThreads(len(batch))
-	}
-	return core.SGEMMBatchCtx(ctx, c.config(threads), mode, batch)
+	return core.SGEMMBatchCtx(ctx, c.config(batchWidth(c, batch)), mode, batch)
 }
 
 // DGEMMBatchCtx is the FP64 counterpart of SGEMMBatchCtx.
 func (c *Context) DGEMMBatchCtx(ctx context.Context, mode Mode, batch []DBatchEntry) error {
-	threads := c.threads
-	if threads == 0 {
-		threads = batchThreads(len(batch))
-	}
-	return core.DGEMMBatchCtx(ctx, c.config(threads), mode, batch)
+	return core.DGEMMBatchCtx(ctx, c.config(batchWidth(c, batch)), mode, batch)
 }
 
 // batchThreads is the automatic policy for batch calls: one thread for a
@@ -62,4 +54,42 @@ func batchThreads(entries int) int {
 		return p
 	}
 	return entries
+}
+
+// batchWidth resolves the thread width of one batch call and records the
+// decision in the thread-policy telemetry, mirroring chooseThreads for the
+// single-call path. The degenerate clamp overrides even a configured width:
+// a batch whose every entry fits inside one micro-tile (m, n ≤ 4) carries so
+// little work per entry that task dispatch would dominate — such a batch
+// never spins up the pool, whatever width was requested.
+func batchWidth[T core.Float](c *Context, batch []core.BatchEntry[T]) int {
+	chosen := c.threads
+	if chosen == 0 {
+		chosen = batchThreads(len(batch))
+	}
+	if chosen > 1 && allDegenerate(batch) {
+		chosen = 1
+	}
+	if c.tel != nil {
+		requested := c.threads
+		if requested == 0 {
+			requested = gomaxprocs()
+		}
+		c.tel.ThreadChoice(requested, chosen)
+	}
+	return chosen
+}
+
+// allDegenerate reports whether every entry of a non-empty batch is
+// micro-tile-degenerate (the same m, n ≤ 4 bound threadsFor clamps on).
+func allDegenerate[T core.Float](batch []core.BatchEntry[T]) bool {
+	if len(batch) == 0 {
+		return false
+	}
+	for _, e := range batch {
+		if e.M > 4 || e.N > 4 {
+			return false
+		}
+	}
+	return true
 }

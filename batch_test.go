@@ -89,3 +89,46 @@ func TestMicroKernelTileForVectorExport(t *testing.T) {
 		t.Fatal("A64FX lanes wrong")
 	}
 }
+
+// A batch of micro-tile-degenerate entries (every m, n <= 4) must never spin
+// the worker pool, whatever width was requested: the per-entry work is
+// smaller than a task dispatch. This is the batch-path counterpart of the
+// single-call degenerate clamp in threadsFor — the assertion the serving
+// path relies on when a storm of 1x1x1 requests coalesces into one flush.
+func TestBatchDegenerateClampSkipsPool(t *testing.T) {
+	ctx := New(WithThreads(8), WithTelemetry())
+	defer ctx.Close()
+	rng := mat.NewRNG(11)
+	const count = 64
+	batch := make([]SBatchEntry, count)
+	for i := range batch {
+		a := mat.RandomF32(1, 1, rng)
+		b := mat.RandomF32(1, 1, rng)
+		c := mat.NewF32(1, 1)
+		batch[i] = SBatchEntry{M: 1, N: 1, K: 1, Alpha: 1,
+			A: a.Data, LDA: 1, B: b.Data, LDB: 1, Beta: 0, C: c.Data, LDC: 1}
+	}
+	if err := ctx.SGEMMBatch(NN, batch); err != nil {
+		t.Fatal(err)
+	}
+	snap := ctx.Snapshot()
+	if snap.Pool.TasksQueued != 0 {
+		t.Fatalf("degenerate batch queued %d pool tasks, want 0", snap.Pool.TasksQueued)
+	}
+	if snap.Threads.Calls != 1 || snap.Threads.ClampedCalls != 1 || snap.Threads.ChosenSum != 1 {
+		t.Fatalf("thread policy record = %+v, want one clamped call of width 1", snap.Threads)
+	}
+
+	// One non-degenerate entry lifts the clamp: the batch may parallelize.
+	big := mat.RandomF32(8, 8, rng)
+	bigC := mat.NewF32(8, 8)
+	mixed := append(batch[:8:8], SBatchEntry{M: 8, N: 8, K: 8, Alpha: 1,
+		A: big.Data, LDA: big.Stride, B: big.Data, LDB: big.Stride, Beta: 0, C: bigC.Data, LDC: bigC.Stride})
+	if err := ctx.SGEMMBatch(NN, mixed); err != nil {
+		t.Fatal(err)
+	}
+	snap = ctx.Snapshot()
+	if snap.Pool.TasksQueued == 0 {
+		t.Fatal("mixed batch never used the pool; the clamp is overreaching")
+	}
+}

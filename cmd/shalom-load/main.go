@@ -1,0 +1,298 @@
+// Command shalom-load is the closed-loop load generator for shalom-serve:
+// it replays internal/workloads shape mixes against the serving front end
+// from -c concurrent connections and reports achieved GFLOPS, p50/p99
+// latency, shed rate and the observed coalescing (mean batch size, fraction
+// of requests that shared a flush) — the repo's first end-to-end throughput
+// benchmark.
+//
+// Usage:
+//
+//	shalom-load -addr http://127.0.0.1:8080 [-n 1024] [-c 16]
+//	            [-mix tiny|small|cp2k|mixed] [-timeout-ms 0]
+//	            [-json FILE] [-assert-coalesced] [-fail-on-shed]
+//
+// -assert-coalesced scrapes /metrics after the run and fails unless the
+// server's coalesce counter moved — the check `make serve-smoke` gates on.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"libshalom/internal/mat"
+	"libshalom/internal/server"
+	"libshalom/internal/workloads"
+)
+
+// job is one pre-encoded request the workers replay.
+type job struct {
+	name  string
+	body  []byte
+	m, n  int
+	f64   bool
+	flops float64
+}
+
+// report is the machine-readable result (-json writes it verbatim).
+type report struct {
+	Addr        string  `json:"addr"`
+	Mix         string  `json:"mix"`
+	Requests    int     `json:"requests"`
+	Concurrency int     `json:"concurrency"`
+
+	OK     int `json:"ok"`
+	Shed   int `json:"shed"`
+	Errors int `json:"errors"`
+
+	WallSeconds  float64 `json:"wall_seconds"`
+	GFLOPS       float64 `json:"gflops"`
+	P50MS        float64 `json:"p50_ms"`
+	P99MS        float64 `json:"p99_ms"`
+	MeanBatch    float64 `json:"mean_batch_size"`
+	CoalescedPct float64 `json:"coalesced_pct"`
+	ShedPct      float64 `json:"shed_pct"`
+}
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8080", "server base URL")
+	n := flag.Int("n", 1024, "total requests to issue")
+	c := flag.Int("c", 16, "concurrent closed-loop workers")
+	mix := flag.String("mix", "tiny", "workload mix: tiny, small, cp2k, or mixed")
+	timeoutMS := flag.Int("timeout-ms", 0, "per-request deadline in ms (0 = server default)")
+	jsonPath := flag.String("json", "", "write the report as JSON to this file")
+	assertCoalesced := flag.Bool("assert-coalesced", false, "scrape /metrics after the run and fail unless the coalesce counter > 0")
+	failOnShed := flag.Bool("fail-on-shed", false, "exit non-zero if any request was shed or errored")
+	flag.Parse()
+
+	base := strings.TrimSuffix(*addr, "/")
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	jobs, err := buildJobs(*mix, *timeoutMS)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "shalom-load:", err)
+		os.Exit(2)
+	}
+
+	var (
+		issued    atomic.Int64
+		okCount   atomic.Int64
+		shedCount atomic.Int64
+		errCount  atomic.Int64
+		flopsOK   atomic.Int64
+		batchSum  atomic.Int64
+		coalesced atomic.Int64
+		latMu     sync.Mutex
+		lats      []time.Duration
+	)
+	client := &http.Client{}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < *c; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				i := int(issued.Add(1)) - 1
+				if i >= *n {
+					return
+				}
+				j := jobs[i%len(jobs)]
+				t0 := time.Now()
+				resp, err := client.Post(base+"/v1/gemm", "application/octet-stream", bytes.NewReader(j.body))
+				if err != nil {
+					errCount.Add(1)
+					fmt.Fprintln(os.Stderr, "shalom-load:", err)
+					continue
+				}
+				switch resp.StatusCode {
+				case http.StatusOK:
+					rh, _, _, err := server.DecodeResponse(resp.Body, j.m, j.n, j.f64)
+					resp.Body.Close()
+					if err != nil {
+						errCount.Add(1)
+						continue
+					}
+					okCount.Add(1)
+					flopsOK.Add(int64(j.flops))
+					batchSum.Add(int64(rh.BatchSize))
+					if rh.BatchSize > 1 {
+						coalesced.Add(1)
+					}
+					lat := time.Since(t0)
+					latMu.Lock()
+					lats = append(lats, lat)
+					latMu.Unlock()
+				case http.StatusTooManyRequests:
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					shedCount.Add(1)
+				default:
+					body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+					resp.Body.Close()
+					errCount.Add(1)
+					fmt.Fprintf(os.Stderr, "shalom-load: HTTP %d: %s\n", resp.StatusCode, strings.TrimSpace(string(body)))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	r := report{
+		Addr: base, Mix: *mix, Requests: *n, Concurrency: *c,
+		OK: int(okCount.Load()), Shed: int(shedCount.Load()), Errors: int(errCount.Load()),
+		WallSeconds: wall.Seconds(),
+	}
+	if wall > 0 {
+		r.GFLOPS = float64(flopsOK.Load()) / wall.Seconds() / 1e9
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	if len(lats) > 0 {
+		r.P50MS = float64(lats[len(lats)/2].Microseconds()) / 1e3
+		r.P99MS = float64(lats[len(lats)*99/100].Microseconds()) / 1e3
+		r.MeanBatch = float64(batchSum.Load()) / float64(len(lats))
+		r.CoalescedPct = 100 * float64(coalesced.Load()) / float64(len(lats))
+	}
+	if *n > 0 {
+		r.ShedPct = 100 * float64(r.Shed) / float64(*n)
+	}
+
+	fmt.Printf("shalom-load: %d requests (%s mix, %d workers) in %v\n", *n, *mix, *c, wall.Round(time.Millisecond))
+	fmt.Printf("  ok %d, shed %d (%.1f%%), errors %d\n", r.OK, r.Shed, r.ShedPct, r.Errors)
+	fmt.Printf("  throughput %.3f GFLOPS, latency p50 %.3fms p99 %.3fms\n", r.GFLOPS, r.P50MS, r.P99MS)
+	fmt.Printf("  coalescing: mean batch size %.1f, %.1f%% of requests shared a flush\n", r.MeanBatch, r.CoalescedPct)
+
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(r, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*jsonPath, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "shalom-load:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("  report written to %s\n", *jsonPath)
+	}
+
+	exit := 0
+	if *assertCoalesced {
+		count, err := scrapeCoalesced(client, base)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "shalom-load: metrics scrape:", err)
+			exit = 1
+		} else {
+			fmt.Printf("  /metrics: libshalom_server_coalesced_requests_total = %d\n", count)
+			if count == 0 {
+				fmt.Fprintln(os.Stderr, "shalom-load: FAIL: no coalescing observed (counter is zero)")
+				exit = 1
+			}
+		}
+	}
+	if *failOnShed && (r.Shed > 0 || r.Errors > 0) {
+		fmt.Fprintf(os.Stderr, "shalom-load: FAIL: %d shed, %d errors\n", r.Shed, r.Errors)
+		exit = 1
+	}
+	if r.Errors > 0 && r.OK == 0 {
+		exit = 1
+	}
+	os.Exit(exit)
+}
+
+// buildJobs pre-encodes the request bodies of the chosen mix, so workers
+// replay bytes instead of re-marshalling per request.
+func buildJobs(mix string, timeoutMS int) ([]job, error) {
+	var f32Shapes, f64Shapes []workloads.Shape
+	switch mix {
+	case "tiny":
+		// The §7.2 small-GEMM regime's lower edge: the sizes where per-call
+		// overhead dominates hardest and coalescing pays most.
+		f32Shapes = []workloads.Shape{
+			{M: 8, N: 8, K: 8}, {M: 16, N: 16, K: 16}, {M: 12, N: 12, K: 12},
+		}
+	case "small":
+		f32Shapes = workloads.SmallSquareSweep()
+	case "cp2k":
+		f64Shapes = workloads.CP2K()
+	case "mixed":
+		f32Shapes = workloads.SmallSquareSweep()[:8]
+		f64Shapes = workloads.CP2K()
+	default:
+		return nil, fmt.Errorf("unknown -mix %q (want tiny, small, cp2k, or mixed)", mix)
+	}
+	rng := mat.NewRNG(1)
+	var jobs []job
+	add := func(s workloads.Shape, f64 bool) error {
+		prec := "f32"
+		if f64 {
+			prec = "f64"
+		}
+		h := server.Header{
+			Precision: prec, Mode: "NN",
+			M: s.M, N: s.N, K: s.K,
+			Alpha: 1, Beta: 0, TimeoutMS: timeoutMS,
+		}
+		var buf bytes.Buffer
+		var err error
+		if f64 {
+			a := mat.RandomF64(s.M, s.K, rng).Data
+			b := mat.RandomF64(s.K, s.N, rng).Data
+			err = server.EncodeRequest(&buf, h, nil, nil, nil, a, b, nil)
+		} else {
+			a := mat.RandomF32(s.M, s.K, rng).Data
+			b := mat.RandomF32(s.K, s.N, rng).Data
+			err = server.EncodeRequest(&buf, h, a, b, nil, nil, nil, nil)
+		}
+		if err != nil {
+			return err
+		}
+		jobs = append(jobs, job{
+			name: s.String(), body: buf.Bytes(),
+			m: s.M, n: s.N, f64: f64, flops: s.Flops(),
+		})
+		return nil
+	}
+	for _, s := range f32Shapes {
+		if err := add(s, false); err != nil {
+			return nil, err
+		}
+	}
+	for _, s := range f64Shapes {
+		if err := add(s, true); err != nil {
+			return nil, err
+		}
+	}
+	return jobs, nil
+}
+
+var coalescedRE = regexp.MustCompile(`(?m)^libshalom_server_coalesced_requests_total\s+(\d+)$`)
+
+// scrapeCoalesced reads the server's coalesce counter off /metrics.
+func scrapeCoalesced(client *http.Client, base string) (uint64, error) {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+	if err != nil {
+		return 0, err
+	}
+	m := coalescedRE.FindSubmatch(body)
+	if m == nil {
+		return 0, fmt.Errorf("libshalom_server_coalesced_requests_total not found in /metrics (no flush with batch size > 1 yet)")
+	}
+	return strconv.ParseUint(string(m[1]), 10, 64)
+}

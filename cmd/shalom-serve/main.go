@@ -1,0 +1,128 @@
+// Command shalom-serve runs the GEMM serving front end: an HTTP server that
+// accepts small and irregular GEMM requests (JSON header + little-endian
+// binary payload, see internal/server), coalesces concurrent requests of
+// one (precision, mode, shape class) into single batch dispatches on a
+// shared Context, sheds load once its admission bounds fill, and drains
+// gracefully on SIGINT/SIGTERM — stop accepting, flush resident batches,
+// answer every admitted request, close the Context.
+//
+// Usage:
+//
+//	shalom-serve [-addr 127.0.0.1:8080] [-addr-file FILE]
+//	             [-platform kp920] [-threads N]
+//	             [-window 200us] [-max-batch 64] [-max-queue 1024]
+//	             [-max-inflight-flops 4e9] [-default-timeout 0]
+//	             [-deadline 0] [-no-retry]
+//
+// The server always runs with telemetry: GET /metrics serves the Prometheus
+// exposition (driver metrics plus the serving-layer counters), /healthz the
+// self-healing breaker state (503 while any breaker is open on the serving
+// platform), /snapshot and /trace the usual telemetry views.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"libshalom"
+	"libshalom/internal/platform"
+	"libshalom/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address (port 0 picks an ephemeral port)")
+	addrFile := flag.String("addr-file", "", "write the bound address to this file once listening (for scripts using port 0)")
+	platName := flag.String("platform", "kp920", "platform model (kp920, phytium2000, thunderx2)")
+	threads := flag.Int("threads", 0, "thread width of the shared context (0 = automatic policy)")
+	window := flag.Duration("window", 200*time.Microsecond, "coalescing window")
+	maxBatch := flag.Int("max-batch", 64, "flush a class queue at this many resident requests")
+	maxQueue := flag.Int("max-queue", 1024, "per-class admission queue bound (shed beyond it)")
+	maxInFlight := flag.Float64("max-inflight-flops", 4e9, "admitted-but-unanswered flops bound (shed beyond it)")
+	defaultTimeout := flag.Duration("default-timeout", 0, "deadline for requests that carry none (0 = unbounded)")
+	deadline := flag.Duration("deadline", 0, "per-call watchdog budget on the shared context (0 = off)")
+	noRetry := flag.Bool("no-retry", false, "disable the transient-fault retry: kernel panics fail the batch instead of degrading it")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long a signal-triggered drain may take")
+	flag.Parse()
+
+	plat := platform.ByName(*platName)
+	if plat == nil {
+		fmt.Fprintf(os.Stderr, "shalom-serve: unknown platform %q\n", *platName)
+		os.Exit(2)
+	}
+	opts := []libshalom.Option{
+		libshalom.WithPlatform(plat),
+		libshalom.WithTelemetry(),
+		libshalom.WithThreads(*threads),
+	}
+	if *deadline > 0 {
+		opts = append(opts, libshalom.WithDeadline(*deadline))
+	}
+	if *noRetry {
+		opts = append(opts, libshalom.WithoutTransientRetry())
+	}
+	lib := libshalom.New(opts...)
+
+	srv := server.New(lib, server.Config{
+		Window:           *window,
+		MaxBatch:         *maxBatch,
+		MaxQueue:         *maxQueue,
+		MaxInFlightFlops: int64(*maxInFlight),
+		DefaultTimeout:   *defaultTimeout,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "shalom-serve:", err)
+		os.Exit(1)
+	}
+	bound := ln.Addr().String()
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(bound), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "shalom-serve:", err)
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("shalom-serve: listening on %s (platform %s, window %v, max-batch %d)\n",
+		bound, plat.Name, *window, *maxBatch)
+
+	httpSrv := &http.Server{Handler: srv}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		fmt.Printf("shalom-serve: %v — draining\n", sig)
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "shalom-serve:", err)
+		os.Exit(1)
+	}
+
+	// The drain protocol: stop admitting and answer every admitted request
+	// first, then shut the listener down (handlers are only writing
+	// responses by then), then release the context's pool.
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "shalom-serve: drain:", err)
+		os.Exit(1)
+	}
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "shalom-serve: shutdown:", err)
+		os.Exit(1)
+	}
+	lib.Close()
+
+	snap := lib.Snapshot()
+	sv := snap.Server
+	fmt.Printf("shalom-serve: drained — accepted %d, coalesced %d, shed %d, expired %d, rejected %d, flushes %d\n",
+		sv.Accepted, sv.Coalesced, sv.Shed, sv.Expired, sv.Rejected, sv.Flushes)
+}

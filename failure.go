@@ -1,6 +1,8 @@
 package libshalom
 
 import (
+	"errors"
+
 	"libshalom/internal/core"
 	"libshalom/internal/guard"
 	"libshalom/internal/heal"
@@ -66,6 +68,21 @@ type BatchCancelError = core.BatchCancelError
 // storage (checked by CheckSBatchAliasing/CheckDBatchAliasing, and up front
 // by batch calls on a Context built WithAliasCheck).
 var ErrAliasedBatch = core.ErrAliasedBatch
+
+// BatchCompleted unwraps a batch call's error into per-entry completion
+// accounting: done[i] reports whether entry i ran to completion (its C holds
+// exactly the uncancelled result; un-done entries' C is untouched). ok is
+// true when err is (or wraps) a *BatchCancelError — the partial-completion
+// case a serving layer must split into per-request outcomes instead of
+// failing the whole batch. A nil err means every entry completed; callers
+// handle that case (and non-batch errors) before asking.
+func BatchCompleted(err error) (done []bool, ok bool) {
+	var bce *BatchCancelError
+	if !errors.As(err, &bce) {
+		return nil, false
+	}
+	return bce.Done, true
+}
 
 // Degradations lists every kernel path currently demoted to the reference
 // path, across all platforms, sorted by (platform, kernel).

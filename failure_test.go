@@ -3,6 +3,7 @@ package libshalom_test
 import (
 	"context"
 	"errors"
+	"fmt"
 	"math"
 	"testing"
 
@@ -135,5 +136,52 @@ func TestPublicNumericGuardHealthyPath(t *testing.T) {
 	}
 	if ds := libshalom.DegradationsFor(libshalom.KP920()); len(ds) != 0 {
 		t.Fatalf("DegradationsFor reports demotions: %+v", ds)
+	}
+}
+
+// BatchCompleted unwraps a cancelled batch's per-entry accounting: Done
+// marks exactly the entries that ran, wrapped errors unwrap, and non-batch
+// errors report !ok.
+func TestBatchCompletedUnwrapsAccounting(t *testing.T) {
+	c := libshalom.New(libshalom.WithThreads(1))
+	defer c.Close()
+	a := make([]float32, 36)
+	fill(a, 11)
+	outs := make([][]float32, 3)
+	batch := make([]libshalom.SBatchEntry, 3)
+	for i := range batch {
+		outs[i] = make([]float32, 36)
+		batch[i] = libshalom.SBatchEntry{M: 6, N: 6, K: 6, Alpha: 1,
+			A: a, LDA: 6, B: a, LDB: 6, Beta: 0, C: outs[i], LDC: 6}
+	}
+	cctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := c.SGEMMBatchCtx(cctx, libshalom.NN, batch)
+	done, ok := libshalom.BatchCompleted(err)
+	if !ok {
+		t.Fatalf("BatchCompleted did not recognise %v", err)
+	}
+	if len(done) != len(batch) {
+		t.Fatalf("len(done) = %d, want %d", len(done), len(batch))
+	}
+	for i, d := range done {
+		if d {
+			t.Fatalf("entry %d marked done under a pre-cancelled context", i)
+		}
+		for j, v := range outs[i] {
+			if v != 0 {
+				t.Fatalf("un-done entry %d has written C[%d]=%v", i, j, v)
+			}
+		}
+	}
+	// Wrapped errors still unwrap; unrelated errors do not.
+	if _, ok := libshalom.BatchCompleted(fmt.Errorf("flush: %w", err)); !ok {
+		t.Fatal("BatchCompleted does not see through wrapping")
+	}
+	if _, ok := libshalom.BatchCompleted(errors.New("unrelated")); ok {
+		t.Fatal("BatchCompleted claimed an unrelated error")
+	}
+	if _, ok := libshalom.BatchCompleted(nil); ok {
+		t.Fatal("BatchCompleted claimed a nil error")
 	}
 }

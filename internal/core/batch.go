@@ -39,7 +39,12 @@ type BatchEntry[T Float] struct {
 // and errors.Is(err, context.DeadlineExceeded) work as expected.
 type BatchCancelError struct {
 	Completed, Total int
-	Cause            error
+	// Done[i] reports whether entry i ran to completion; len(Done) == Total.
+	// Entries run whole or not at all, so a Done entry's C holds exactly the
+	// uncancelled result and an un-Done entry's C is untouched — the per-entry
+	// accounting a serving layer needs to answer each request individually.
+	Done  []bool
+	Cause error
 }
 
 func (e *BatchCancelError) Error() string {
@@ -111,12 +116,10 @@ func gemmBatch[T Float](ctx context.Context, cfg Config, ks kernelSet[T], mode M
 	// not at all, so completed-entry results are identical to an
 	// uncancelled run's. ran marks which entries those are (slots are
 	// written by exactly one task each and read only after the join), so
-	// cancellation telemetry can label the abandoned entries precisely.
+	// cancellation telemetry can label the abandoned entries precisely and
+	// BatchCancelError can carry per-entry accounting.
 	var completed atomic.Int64
-	var ran []bool
-	if tel != nil {
-		ran = make([]bool, len(batch))
-	}
+	ran := make([]bool, len(batch))
 
 	execOne := func(worker, i int, e BatchEntry[T]) (bool, uint8, error) {
 		if e.M == 0 || e.N == 0 {
@@ -167,9 +170,7 @@ func gemmBatch[T Float](ctx context.Context, cfg Config, ks kernelSet[T], mode M
 		if err != nil {
 			return err
 		}
-		if ran != nil {
-			ran[i] = true
-		}
+		ran[i] = true
 		completed.Add(1)
 		return nil
 	}
@@ -184,7 +185,7 @@ func gemmBatch[T Float](ctx context.Context, cfg Config, ks kernelSet[T], mode M
 					telemetry.KernelFast, telemetry.OutcomeCancelled)
 			}
 		}
-		return &BatchCancelError{Completed: int(completed.Load()), Total: len(batch), Cause: ctx.Err()}
+		return &BatchCancelError{Completed: int(completed.Load()), Total: len(batch), Done: ran, Cause: ctx.Err()}
 	}
 
 	threads := cfg.Threads

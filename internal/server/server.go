@@ -1,0 +1,267 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"libshalom"
+	"libshalom/internal/guard"
+	"libshalom/internal/heal"
+	"libshalom/internal/telemetry"
+)
+
+// Config is the serving policy. Zero fields select the documented defaults.
+type Config struct {
+	// Window is the coalescing window: how long the first request of an
+	// empty class queue waits for company before its batch flushes.
+	// Default 200µs.
+	Window time.Duration
+	// MaxBatch flushes a class queue as soon as this many requests are
+	// resident, without waiting out the window. Default 64.
+	MaxBatch int
+	// MaxBatchFlops flushes a class queue as soon as its queued work
+	// exceeds this many flops — large requests should not wait for company
+	// they do not need. Default 32e6.
+	MaxBatchFlops float64
+	// MaxQueue bounds each class queue; requests beyond it are shed with
+	// HTTP 429. Default 1024.
+	MaxQueue int
+	// MaxInFlightFlops bounds the total flops of admitted-but-unanswered
+	// requests across all classes — the backpressure signal. Requests
+	// beyond it are shed with HTTP 429. Default 4e9.
+	MaxInFlightFlops int64
+	// DefaultTimeout applies to requests that do not carry a timeout_ms;
+	// zero means no deadline.
+	DefaultTimeout time.Duration
+	// RetryAfter is the Retry-After hint on shed responses, in seconds.
+	// Default 1.
+	RetryAfter int
+	// MaxDim caps each of m, n, k at decode time. Default 4096.
+	MaxDim int
+	// MaxPayloadBytes caps a request's operand payload. Default 64 MiB.
+	MaxPayloadBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Window <= 0 {
+		c.Window = 200 * time.Microsecond
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	if c.MaxBatchFlops <= 0 {
+		c.MaxBatchFlops = 32e6
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 1024
+	}
+	if c.MaxInFlightFlops <= 0 {
+		c.MaxInFlightFlops = 4e9
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = 1
+	}
+	if c.MaxDim <= 0 {
+		c.MaxDim = DefaultMaxDim
+	}
+	if c.MaxPayloadBytes <= 0 {
+		c.MaxPayloadBytes = DefaultMaxPayloadBytes
+	}
+	return c
+}
+
+// Server is the GEMM serving front end. It implements http.Handler:
+//
+//	POST /v1/gemm   one GEMM request (wire format in wire.go)
+//	GET  /healthz   200 healthy / 503 while any breaker is open on the
+//	                serving platform's kernel paths
+//	GET  /metrics   Prometheus exposition (when the Context has telemetry)
+//	GET  /snapshot  telemetry snapshot as JSON
+//	GET  /trace     Chrome trace_event JSON
+//
+// Build it over a Context the caller owns; the caller closes that Context
+// after Drain.
+type Server struct {
+	lib      *libshalom.Context
+	cfg      Config
+	tel      *telemetry.Recorder
+	co       *coalescer
+	mux      *http.ServeMux
+	draining atomic.Bool
+}
+
+// New builds a Server over lib. The Context's options shape the serving
+// behaviour: WithTelemetry feeds /metrics, WithDeadline arms the
+// stuck-worker watchdog under every flush, WithoutTransientRetry surfaces
+// kernel panics as batch failures instead of degraded successes.
+func New(lib *libshalom.Context, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		lib: lib,
+		cfg: cfg,
+		tel: lib.TelemetryRecorder(),
+		co:  newCoalescer(lib, cfg),
+		mux: http.NewServeMux(),
+	}
+	s.mux.HandleFunc("/v1/gemm", s.handleGEMM)
+	s.mux.HandleFunc("/healthz", s.handleHealth)
+	if h, ok := lib.TelemetryHandler(); ok {
+		s.mux.Handle("/metrics", h)
+		s.mux.Handle("/snapshot", h)
+		s.mux.Handle("/trace", h)
+	}
+	return s
+}
+
+// ServeHTTP dispatches to the server's endpoints.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// handleGEMM is the request path: decode, admit, wait for the coalesced
+// flush, answer.
+func (s *Server) handleGEMM(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "server: POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	if s.draining.Load() {
+		http.Error(w, "server: draining", http.StatusServiceUnavailable)
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, int64(MaxHeaderBytes)+s.cfg.MaxPayloadBytes)
+	req, err := DecodeRequest(body, s.cfg.MaxDim, s.cfg.MaxPayloadBytes)
+	if err != nil {
+		s.tel.ServerRejected()
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	now := time.Now()
+	p := &pending{
+		req:  req,
+		enq:  now,
+		done: make(chan result, 1),
+	}
+	timeout := req.Timeout
+	if timeout == 0 {
+		timeout = s.cfg.DefaultTimeout
+	}
+	if timeout > 0 {
+		p.deadline = now.Add(timeout)
+	}
+	if !s.co.submit(p) {
+		s.tel.ServerShed()
+		w.Header().Set("Retry-After", strconv.Itoa(s.cfg.RetryAfter))
+		http.Error(w, "server: overloaded, request shed", http.StatusTooManyRequests)
+		return
+	}
+	s.tel.ServerAccepted()
+	res := <-p.done
+	if res.status != http.StatusOK {
+		http.Error(w, res.msg, res.status)
+		return
+	}
+	s.writeResult(w, req, res)
+}
+
+// writeResult streams a 200 response: the JSON header line, then the m×n C
+// payload.
+func (s *Server) writeResult(w http.ResponseWriter, req *Request, res result) {
+	w.Header().Set("Content-Type", "application/octet-stream")
+	rh := ResponseHeader{
+		Status:      "ok",
+		BatchSize:   res.batchSize,
+		QueueWaitUS: res.queueWait.Microseconds(),
+	}
+	line, err := json.Marshal(rh)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	if _, err := w.Write(append(line, '\n')); err != nil {
+		return
+	}
+	if req.F64 {
+		_ = writeF64s(w, req.C64)
+		return
+	}
+	_ = writeF32s(w, req.C32)
+}
+
+// healthzBody is the /healthz response.
+type healthzBody struct {
+	Status   string              `json:"status"` // "ok", "probing" or "degraded"
+	Platform string              `json:"platform"`
+	Draining bool                `json:"draining"`
+	Breakers []guard.Degradation `json:"breakers,omitempty"`
+}
+
+// handleHealth reports the self-healing state of the serving platform's
+// kernel paths: 503 while any breaker is open (the fast path is demoted and
+// not yet probing its way back), 200 otherwise — a probing breaker still
+// answers every request, so it degrades the status without failing the
+// check.
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	plat := s.lib.Platform().Name
+	body := healthzBody{Status: "ok", Platform: plat, Draining: s.draining.Load()}
+	for _, path := range []string{guard.PathF32, guard.PathF64} {
+		switch guard.StateOf(plat, path) {
+		case guard.StateOpen:
+			body.Status = "degraded"
+		case guard.StateProbing:
+			if body.Status == "ok" {
+				body.Status = "probing"
+			}
+		}
+	}
+	for _, b := range heal.Snapshot().Breakers {
+		if b.Platform == plat && (b.Kernel == guard.PathF32 || b.Kernel == guard.PathF64) {
+			body.Breakers = append(body.Breakers, b)
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if body.Status == "degraded" {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	_ = json.NewEncoder(w).Encode(body)
+}
+
+// Drain is the graceful-shutdown protocol: stop admitting (new requests see
+// 503), force-flush every resident batch, and wait until every admitted
+// request has been answered. After Drain returns the caller shuts the HTTP
+// listener down (handlers are only writing responses at that point) and
+// closes the Context. ctx bounds the wait.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	for {
+		s.co.flushAll()
+		done := make(chan struct{})
+		go func() {
+			s.co.flushes.Wait()
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-ctx.Done():
+			return fmt.Errorf("server: drain interrupted with %d flops in flight: %w",
+				s.co.inFlight.Load(), ctx.Err())
+		}
+		// A submit that raced the draining flag may have queued after the
+		// sweep; loop until the in-flight reservation reaches zero.
+		if s.co.inFlight.Load() == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("server: drain interrupted with %d flops in flight: %w",
+				s.co.inFlight.Load(), ctx.Err())
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+// Draining reports whether the server has stopped admitting requests.
+func (s *Server) Draining() bool { return s.draining.Load() }

@@ -91,6 +91,42 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 	gauge("libshalom_breakers_probing", "Circuit breakers currently probing (canary re-promotion in progress), as observed through this recorder.", s.BreakersProbing)
 	counter("libshalom_trace_spans_total", "Phase spans recorded into the trace ring.", s.TraceSpans)
 	counter("libshalom_trace_spans_dropped_total", "Spans overwritten by ring wraparound.", s.TraceDropped)
+
+	if s.Server.Active() {
+		sv := s.Server
+		counter("libshalom_server_requests_accepted_total", "Requests admitted into a coalescing queue.", sv.Accepted)
+		counter("libshalom_server_requests_shed_total", "Requests refused by admission control (HTTP 429).", sv.Shed)
+		counter("libshalom_server_requests_expired_total", "Admitted requests dropped before flush on an already-passed deadline.", sv.Expired)
+		counter("libshalom_server_requests_rejected_total", "Requests refused at decode time (HTTP 400).", sv.Rejected)
+		counter("libshalom_server_coalesced_requests_total", "Requests that shared a flush with at least one other request.", sv.Coalesced)
+		bw.printf("# HELP libshalom_server_batch_size Coalescer flush sizes, log2-bucketed.\n")
+		bw.printf("# TYPE libshalom_server_batch_size histogram\n")
+		var cum uint64
+		for b, n := range sv.BatchSizeBuckets {
+			cum += n
+			if n == 0 && b != len(sv.BatchSizeBuckets)-1 {
+				continue
+			}
+			bw.printf("libshalom_server_batch_size_bucket{le=%q} %d\n",
+				strconv.FormatUint(uint64(1)<<uint(b), 10), cum)
+		}
+		bw.printf("libshalom_server_batch_size_bucket{le=\"+Inf\"} %d\n", cum)
+		bw.printf("libshalom_server_batch_size_count %d\n", cum)
+		bw.printf("# HELP libshalom_server_queue_wait_seconds Request wait in the coalescing queue, log2-bucketed.\n")
+		bw.printf("# TYPE libshalom_server_queue_wait_seconds histogram\n")
+		cum = 0
+		for b, n := range sv.QueueWaitBuckets {
+			cum += n
+			if n == 0 && b != len(sv.QueueWaitBuckets)-1 {
+				continue
+			}
+			le := strconv.FormatFloat(float64(uint64(1)<<uint(b))/1e9, 'g', -1, 64)
+			bw.printf("libshalom_server_queue_wait_seconds_bucket{le=%q} %d\n", le, cum)
+		}
+		bw.printf("libshalom_server_queue_wait_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+		bw.printf("libshalom_server_queue_wait_seconds_sum %g\n", float64(sv.QueueWaitNs)/1e9)
+		bw.printf("libshalom_server_queue_wait_seconds_count %d\n", cum)
+	}
 	return bw.err
 }
 

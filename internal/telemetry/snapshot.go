@@ -82,6 +82,9 @@ type Snapshot struct {
 	// recorded and spans overwritten by newer ones.
 	TraceSpans   uint64 `json:"trace_spans"`
 	TraceDropped uint64 `json:"trace_dropped"`
+	// Server is the serving-layer section (admission, shedding, coalescing);
+	// zero outside a serving process.
+	Server ServerStats `json:"server"`
 }
 
 // Snapshot aggregates the recorder into an exposition-ready value. A nil
@@ -149,6 +152,7 @@ func (r *Recorder) Snapshot() Snapshot {
 	}
 	s.BreakersOpen = r.breakersOpen.Load()
 	s.BreakersProbing = r.breakersProbing.Load()
+	s.Server = r.serverSnapshot()
 	if r.trace != nil {
 		r.trace.mu.Lock()
 		s.TraceSpans = r.trace.written

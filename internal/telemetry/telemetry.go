@@ -169,6 +169,9 @@ type Recorder struct {
 	breakersOpen    atomic.Int64
 	breakersProbing atomic.Int64
 
+	// Serving-layer counters (fed by internal/server; see server.go).
+	server serverStats
+
 	callSeq atomic.Uint64 // caller trace-lane allocator
 
 	trace *ring // nil when tracing is disabled

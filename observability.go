@@ -52,6 +52,13 @@ func WithTelemetryOptions(o TelemetryOptions) Option {
 // TelemetryEnabled reports whether the context records telemetry.
 func (c *Context) TelemetryEnabled() bool { return c.tel != nil }
 
+// TelemetryRecorder exposes the context's recorder to in-module subsystems
+// (internal/server) that record their own events — admission, shedding,
+// coalescing — next to the driver's, so one scrape shows the whole pipeline.
+// Returns nil when telemetry is disabled; every recorder method no-ops on a
+// nil receiver, so callers need not check.
+func (c *Context) TelemetryRecorder() *telemetry.Recorder { return c.tel }
+
 // Snapshot aggregates the context's telemetry into an exposition-ready
 // value; Snapshot on a context without telemetry returns the zero value.
 // Safe to call while GEMM traffic is in flight.
