@@ -1,12 +1,23 @@
 GO ?= go
 
-.PHONY: build test vet race lint check fuzz test-chaos test-soak probe trace-smoke serve-smoke
+.PHONY: build test vet staticlint race lint check fuzz test-chaos test-soak probe trace-smoke serve-smoke
 
 build:
 	$(GO) build ./...
 
+# go vet runs twice: once on the default build, once under the
+# telemetryprobe tag so the probe-only sources stay vetted and compiling.
 vet:
 	$(GO) vet ./...
+	$(GO) vet -tags telemetryprobe ./...
+
+# The project's own analyzers (cmd/shalom-vet): hot-path invariants
+# (//shalom:hotpath), telemetry nil-guard discipline, context propagation,
+# and atomic access discipline. Runs on the default build and under the
+# telemetryprobe tag, where the probe sources join the hot paths.
+staticlint:
+	$(GO) run ./cmd/shalom-vet ./...
+	$(GO) run ./cmd/shalom-vet -tags telemetryprobe ./...
 
 test:
 	$(GO) test ./...
@@ -38,6 +49,7 @@ test-soak:
 # telemetry-off hot path (plus >0 on the enabled path, so the probe itself
 # is known to be wired).
 probe:
+	$(GO) test -tags telemetryprobe -run '^$$' -count=1 ./...
 	$(GO) test -tags telemetryprobe -run 'TestTelemetryProbe' ./...
 
 # Trace smoke test: drive a small workload mix through a telemetry-enabled
@@ -56,7 +68,8 @@ serve-smoke:
 	sh scripts/serve-smoke.sh
 
 # Static kernel verification: every registered micro-kernel must clear all
-# five isacheck passes on every modelled platform.
+# six isacheck passes (including the symbolic footprint proof) on every
+# modelled platform.
 lint:
 	$(GO) run ./cmd/shalom-lint -all
 
@@ -66,4 +79,4 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzAnalyze -fuzztime=10s ./internal/isa/
 
 # The CI gate.
-check: vet build test race test-chaos test-soak probe trace-smoke serve-smoke lint
+check: vet staticlint build test race test-chaos test-soak probe trace-smoke serve-smoke lint

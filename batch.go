@@ -21,11 +21,13 @@ type DBatchEntry = core.BatchEntry[float64]
 // Entries must not write overlapping C storage; CheckSBatchAliasing checks
 // that, and a Context built WithAliasCheck validates it on every batch call.
 func (c *Context) SGEMMBatch(mode Mode, batch []SBatchEntry) error {
+	//shalom:allow ctxflow — the no-context convenience API is itself the root
 	return c.SGEMMBatchCtx(context.Background(), mode, batch)
 }
 
 // DGEMMBatch is the FP64 counterpart of SGEMMBatch.
 func (c *Context) DGEMMBatch(mode Mode, batch []DBatchEntry) error {
+	//shalom:allow ctxflow — the no-context convenience API is itself the root
 	return c.DGEMMBatchCtx(context.Background(), mode, batch)
 }
 

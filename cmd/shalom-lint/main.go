@@ -1,8 +1,9 @@
 // shalom-lint runs the static kernel verifier (internal/isacheck) over every
 // registered micro-kernel on every modelled platform and reports a verdict
 // table. It is the build gate `make check` runs: a generator change that
-// breaks a footprint, batches loads in a pipelined kernel, or drifts from its
-// Eq. 1 register tiling fails the build before any benchmark runs.
+// breaks a footprint, batches loads in a pipelined kernel, drifts from its
+// Eq. 1 register tiling, or escapes its symbolic panel-span proof fails the
+// build before any benchmark runs.
 //
 // Usage:
 //
@@ -11,12 +12,15 @@
 //	shalom-lint -platform KP920   restrict to one platform
 //	shalom-lint -json             machine-readable results on stdout
 //	shalom-lint -q                only print failures
+//
+// Exit codes: 0 clean, 1 findings, 2 usage error.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"text/tabwriter"
@@ -28,19 +32,27 @@ import (
 )
 
 func main() {
-	all := flag.Bool("all", false, "verify every registered kernel (default when no -kernel is given)")
-	kernel := flag.String("kernel", "", "verify only kernels whose name contains this substring")
-	plat := flag.String("platform", "", "restrict to the platform with this exact name")
-	asJSON := flag.Bool("json", false, "emit results as JSON")
-	quiet := flag.Bool("q", false, "only print failing (kernel, platform) pairs")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("shalom-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	all := fs.Bool("all", false, "verify every registered kernel (default when no -kernel is given)")
+	kernel := fs.String("kernel", "", "verify only kernels whose name contains this substring")
+	plat := fs.String("platform", "", "restrict to the platform with this exact name")
+	asJSON := fs.Bool("json", false, "emit results as JSON")
+	quiet := fs.Bool("q", false, "only print failing (kernel, platform) pairs")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	plats := platform.All()
 	if *plat != "" {
 		p := platform.ByName(*plat)
 		if p == nil {
-			fmt.Fprintf(os.Stderr, "shalom-lint: unknown platform %q\n", *plat)
-			os.Exit(2)
+			fmt.Fprintf(stderr, "shalom-lint: unknown platform %q\n", *plat)
+			return 2
 		}
 		plats = []*platform.Platform{p}
 	}
@@ -56,8 +68,8 @@ func main() {
 		entries = sel
 	}
 	if len(entries) == 0 {
-		fmt.Fprintln(os.Stderr, "shalom-lint: no kernels selected")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "shalom-lint: no kernels selected")
+		return 2
 	}
 
 	var results []isacheck.KernelResult
@@ -69,23 +81,24 @@ func main() {
 	ok, fail := isacheck.Summarize(results)
 
 	if *asJSON {
-		enc := json.NewEncoder(os.Stdout)
+		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(results); err != nil {
-			fmt.Fprintf(os.Stderr, "shalom-lint: %v\n", err)
-			os.Exit(2)
+			fmt.Fprintf(stderr, "shalom-lint: %v\n", err)
+			return 2
 		}
 	} else {
-		printTable(results, *quiet)
-		fmt.Printf("\n%d checked, %d ok, %d failing\n", len(results), ok, fail)
+		printTable(stdout, results, *quiet)
+		fmt.Fprintf(stdout, "\n%d checked, %d ok, %d failing\n", len(results), ok, fail)
 	}
 	if fail > 0 {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
-func printTable(results []isacheck.KernelResult, quiet bool) {
-	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+func printTable(stdout io.Writer, results []isacheck.KernelResult, quiet bool) {
+	w := tabwriter.NewWriter(stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "KERNEL\tPLATFORM\tVERDICT\tPASSES\tREGS\tMINDIST\tLOADRUN\tLOADPRESS")
 	for _, r := range results {
 		if quiet && r.OK {
@@ -115,9 +128,9 @@ func printTable(results []isacheck.KernelResult, quiet bool) {
 		if r.OK {
 			continue
 		}
-		fmt.Printf("\n%s on %s:\n", r.Kernel, r.Platform)
+		fmt.Fprintf(stdout, "\n%s on %s:\n", r.Kernel, r.Platform)
 		for _, f := range r.Findings() {
-			fmt.Printf("  %s\n", f)
+			fmt.Fprintf(stdout, "  %s\n", f)
 		}
 	}
 }

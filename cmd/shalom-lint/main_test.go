@@ -1,0 +1,65 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"libshalom/internal/isacheck"
+)
+
+func runLint(args ...string) (int, string, string) {
+	var out, errb bytes.Buffer
+	code := run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestLintCleanCatalogue(t *testing.T) {
+	code, out, errb := runLint()
+	if code != 0 {
+		t.Fatalf("catalogue should verify: code %d\nstdout:\n%s\nstderr:\n%s", code, out, errb)
+	}
+	if !strings.Contains(out, "0 failing") {
+		t.Errorf("summary line missing:\n%s", out)
+	}
+	// The symbolic footprint pass must appear for every entry: 6/6 passes.
+	if !strings.Contains(out, "6/6") {
+		t.Errorf("expected 6/6 pass columns (symfoot wired in):\n%s", out)
+	}
+}
+
+func TestLintJSON(t *testing.T) {
+	code, out, _ := runLint("-json", "-kernel", "main-7x12")
+	if code != 0 {
+		t.Fatalf("code %d", code)
+	}
+	var results []isacheck.KernelResult
+	if err := json.Unmarshal([]byte(out), &results); err != nil {
+		t.Fatalf("output is not the documented JSON: %v", err)
+	}
+	if len(results) == 0 {
+		t.Fatal("no results decoded")
+	}
+	var symfoot bool
+	for _, p := range results[0].Passes {
+		if p.Pass == "symfoot" {
+			symfoot = true
+		}
+	}
+	if !symfoot {
+		t.Errorf("symfoot pass missing from %s", results[0].Kernel)
+	}
+}
+
+func TestLintUsageErrors(t *testing.T) {
+	if code, _, _ := runLint("-platform", "nosuch"); code != 2 {
+		t.Errorf("unknown platform: code %d, want 2", code)
+	}
+	if code, _, _ := runLint("-kernel", "nosuchkernel"); code != 2 {
+		t.Errorf("empty selection: code %d, want 2", code)
+	}
+	if code, _, _ := runLint("-nosuchflag"); code != 2 {
+		t.Errorf("bad flag: code %d, want 2", code)
+	}
+}

@@ -47,10 +47,10 @@ type job struct {
 
 // report is the machine-readable result (-json writes it verbatim).
 type report struct {
-	Addr        string  `json:"addr"`
-	Mix         string  `json:"mix"`
-	Requests    int     `json:"requests"`
-	Concurrency int     `json:"concurrency"`
+	Addr        string `json:"addr"`
+	Mix         string `json:"mix"`
+	Requests    int    `json:"requests"`
+	Concurrency int    `json:"concurrency"`
 
 	OK     int `json:"ok"`
 	Shed   int `json:"shed"`

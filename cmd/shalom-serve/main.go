@@ -69,12 +69,21 @@ func main() {
 	}
 	lib := libshalom.New(opts...)
 
+	// The lifecycle context parents every flush's batch context. It is NOT
+	// the signal context: a drain triggered by SIGTERM still has to run its
+	// final flushes, so it only cancels after the drain completes (process
+	// exit). This is the root the ctxflow analyzer makes library code
+	// inherit instead of minting its own.
+	lifecycle, stop := context.WithCancel(context.Background())
+	defer stop()
+
 	srv := server.New(lib, server.Config{
 		Window:           *window,
 		MaxBatch:         *maxBatch,
 		MaxQueue:         *maxQueue,
 		MaxInFlightFlops: int64(*maxInFlight),
 		DefaultTimeout:   *defaultTimeout,
+		BaseContext:      lifecycle,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

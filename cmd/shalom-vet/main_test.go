@@ -1,0 +1,43 @@
+package main
+
+import (
+	"bytes"
+	"sort"
+	"strings"
+	"testing"
+
+	"libshalom/internal/staticlint"
+)
+
+const fixtures = "../../internal/staticlint"
+
+func runVet(args ...string) (int, string, string) {
+	var out, errb bytes.Buffer
+	code := staticlint.Main(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestVetExitCodes(t *testing.T) {
+	if code, out, _ := runVet("-dir", fixtures, "./testdata/src/hotclean"); code != staticlint.ExitClean {
+		t.Errorf("clean fixture: code %d, out %q", code, out)
+	}
+	code, out, _ := runVet("-dir", fixtures, "./testdata/src/hotbad")
+	if code != staticlint.ExitFindings {
+		t.Errorf("violating fixture: code %d, want %d", code, staticlint.ExitFindings)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) == 0 || !sort.StringsAreSorted(lines) {
+		t.Errorf("findings not sorted:\n%s", out)
+	}
+	for _, l := range lines {
+		if !strings.Contains(l, ": hotpath: ") {
+			t.Errorf("line not in file:line:col: analyzer: message form: %q", l)
+		}
+	}
+	if code, _, _ := runVet("-nosuchflag"); code != staticlint.ExitUsage {
+		t.Errorf("bad flag: code %d, want %d", code, staticlint.ExitUsage)
+	}
+	if code, _, _ := runVet("-dir", fixtures, "./testdata/src/nosuchpkg"); code != staticlint.ExitUsage {
+		t.Errorf("unloadable pattern: code %d, want %d", code, staticlint.ExitUsage)
+	}
+}

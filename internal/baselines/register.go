@@ -16,8 +16,10 @@ func init() {
 	// OpenBLAS's ARMv8 8×4 edge kernel: batch-scheduled ldp/ldr loads
 	// ahead of each iteration's FMA block (Fig 6a).
 	isacheck.Register(isacheck.Entry{
-		Name:   "baseline/openblas-edge-8x4-batch-f32",
-		Family: "baseline",
+		Name:      "baseline/openblas-edge-8x4-batch-f32",
+		Family:    "baseline",
+		SymFamily: "edge-batch-f32",
+		SymShape:  isacheck.Shape{MR: 8, NR: 4, KC: 16},
 		Contract: isacheck.Contract{
 			Kind: isacheck.KindEdge, Elem: 4,
 			MR: 8, NR: 4, KC: 16,
@@ -30,8 +32,10 @@ func init() {
 	})
 	// OpenBLAS's 8×4 main kernel shape in the batch schedule.
 	isacheck.Register(isacheck.Entry{
-		Name:   "baseline/openblas-main-8x4-f32",
-		Family: "baseline",
+		Name:      "baseline/openblas-main-8x4-f32",
+		Family:    "baseline",
+		SymFamily: "main-batch-f32",
+		SymShape:  isacheck.Shape{MR: 8, NR: 4, KC: 8},
 		Contract: isacheck.Contract{
 			Kind: isacheck.KindMain, Elem: 4,
 			MR: 8, NR: 4, KC: 8,
@@ -45,8 +49,10 @@ func init() {
 	})
 	// ARMPL's 8×8 main kernel shape (26 registers under Eq. 1).
 	isacheck.Register(isacheck.Entry{
-		Name:   "baseline/armpl-main-8x8-f32",
-		Family: "baseline",
+		Name:      "baseline/armpl-main-8x8-f32",
+		Family:    "baseline",
+		SymFamily: "main-batch-f32",
+		SymShape:  isacheck.Shape{MR: 8, NR: 8, KC: 8},
 		Contract: isacheck.Contract{
 			Kind: isacheck.KindMain, Elem: 4,
 			MR: 8, NR: 8, KC: 8,

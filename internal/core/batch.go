@@ -59,11 +59,13 @@ func (e *BatchCancelError) Unwrap() error { return e.Cause }
 // all-or-nothing with respect to validation (no entry runs if any is
 // malformed), and per-entry results are independent.
 func SGEMMBatch(cfg Config, mode Mode, batch []BatchEntry[float32]) error {
+	//shalom:allow ctxflow — the no-context convenience API is itself the root
 	return gemmBatch(context.Background(), cfg, f32Kernels(), mode, batch)
 }
 
 // DGEMMBatch is the FP64 counterpart of SGEMMBatch.
 func DGEMMBatch(cfg Config, mode Mode, batch []BatchEntry[float64]) error {
+	//shalom:allow ctxflow — the no-context convenience API is itself the root
 	return gemmBatch(context.Background(), cfg, f64Kernels(), mode, batch)
 }
 
@@ -82,7 +84,7 @@ func DGEMMBatchCtx(ctx context.Context, cfg Config, mode Mode, batch []BatchEntr
 
 func gemmBatch[T Float](ctx context.Context, cfg Config, ks kernelSet[T], mode Mode, batch []BatchEntry[T]) error {
 	if ctx == nil {
-		ctx = context.Background()
+		ctx = context.Background() //shalom:allow ctxflow — nil-ctx callers opted out of cancellation
 	}
 	for i, e := range batch {
 		if err := checkArgs(mode, e.M, e.N, e.K, e.A, e.LDA, e.B, e.LDB, e.C, e.LDC); err != nil {

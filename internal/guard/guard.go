@@ -232,6 +232,8 @@ const (
 // every stride calls through the canary shadow and the rest to the
 // reference path. The healthy-path cost is one mutex acquisition and a map
 // lookup, the same as the pre-breaker IsDemoted check, with no allocation.
+//
+//shalom:hotpath noalloc
 func Dispatch(platform, kernel string, stride int) (d Disposition, beganProbe bool) {
 	mu.Lock()
 	defer mu.Unlock()

@@ -8,7 +8,7 @@
 // exactly satisfy Eq. 1 — and before this package those properties were only
 // checked dynamically (vexec execution, uarch simulation) or not at all.
 //
-// Five passes run per (kernel, platform):
+// Six passes run per (kernel, platform):
 //
 //   - dataflow: the internal/isa analyzer's invariants (no undefined register
 //     reads, bounded dead writes, peak pressure within the register file,
@@ -30,6 +30,14 @@
 //   - tiling: the peak register pressure measured by liveness analysis must
 //     equal the Eq. 1 model's prediction for the declared (mr, nr, j), and
 //     the declared tiling itself must be feasible (§5.2).
+//   - symfoot: the symbolic footprint proof (symbolic.go). Where the
+//     footprint pass enumerates the access set of the one registered
+//     (mr, nr, kc) instance, this pass proves panel containment and
+//     coverage for EVERY shape in the generator family's domain, by
+//     reducing span inclusion to polynomial inequalities over (mr, nr, kc)
+//     decided exactly at the domain box's corners, and anchors the declared
+//     emission model to the real generator at the corners. Runs for entries
+//     that name their family (Entry.SymFamily).
 //
 // Kernel generators in internal/kernels and internal/baselines self-register
 // (Register) with their contracts; cmd/shalom-lint runs every pass over every

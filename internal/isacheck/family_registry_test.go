@@ -1,0 +1,54 @@
+package isacheck_test
+
+import (
+	"testing"
+
+	_ "libshalom/internal/baselines" // register baseline kernels
+	"libshalom/internal/isacheck"
+	_ "libshalom/internal/kernels" // register libshalom kernels
+)
+
+// TestEveryKernelDeclaresAFamily enforces the pass-#6 coverage floor: every
+// registered kernel names a registered generator family, sits inside its
+// domain, and registers a contract the family derivation agrees with — so
+// the symbolic proof quantifies over every kernel the catalogue ships.
+func TestEveryKernelDeclaresAFamily(t *testing.T) {
+	entries := isacheck.Registered()
+	if len(entries) == 0 {
+		t.Fatal("no kernels registered")
+	}
+	for _, e := range entries {
+		if e.SymFamily == "" {
+			t.Errorf("%s: no SymFamily — the symbolic footprint pass cannot cover it", e.Name)
+			continue
+		}
+		f, ok := isacheck.FamilyByName(e.SymFamily)
+		if !ok {
+			t.Errorf("%s: SymFamily %q is not registered", e.Name, e.SymFamily)
+			continue
+		}
+		got := f.ContractAt(e.SymShape)
+		want := e.Contract
+		if got.Elem != want.Elem || got.MR != want.MR || got.NR != want.NR ||
+			got.KC != want.KC || got.LDA != want.LDA || got.LDB != want.LDB ||
+			got.LDC != want.LDC || got.NRTotal != want.NRTotal || got.JOff != want.JOff ||
+			got.Kind != want.Kind || got.Accumulate != want.Accumulate || got.PackB != want.PackB {
+			t.Errorf("%s: contract drift: family %s at %s derives %+v, entry declares %+v",
+				e.Name, f.Name, e.SymShape, got, want)
+		}
+	}
+}
+
+// TestEveryFamilyProves runs the symbolic pass over the whole registered
+// catalogue of families — the same proofs `make check` gates on.
+func TestEveryFamilyProves(t *testing.T) {
+	fams := isacheck.Families()
+	if len(fams) == 0 {
+		t.Fatal("no families registered")
+	}
+	for _, f := range fams {
+		if fs := isacheck.CheckSymbolicFootprint(f); len(fs) != 0 {
+			t.Errorf("family %s: %d finding(s): %v", f.Name, len(fs), fs)
+		}
+	}
+}

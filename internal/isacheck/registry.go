@@ -18,6 +18,14 @@ type Entry struct {
 	Family   string // "libshalom" or "baseline"
 	Contract Contract
 	Build    func() *isa.Program
+
+	// SymFamily names the generator family (RegisterFamily) this entry is
+	// one instance of, and SymShape the shape instantiating it. When set,
+	// the runner adds the symbolic footprint pass (#6), which proves the
+	// family's panel containment for every shape in its domain — not just
+	// this one — and checks that ContractAt(SymShape) agrees with Contract.
+	SymFamily string
+	SymShape  Shape
 }
 
 var (

@@ -1,6 +1,8 @@
 package isacheck
 
 import (
+	"fmt"
+
 	"libshalom/internal/isa"
 	"libshalom/internal/platform"
 )
@@ -34,7 +36,9 @@ func (kr KernelResult) Findings() []Finding {
 	return fs
 }
 
-// Run executes all five verifier passes for one kernel on one platform.
+// Run executes the verifier passes for one kernel on one platform: the five
+// concrete passes always, plus the symbolic footprint pass (#6) when the
+// entry names its generator family.
 func Run(e Entry, plat *platform.Platform) KernelResult {
 	kr := KernelResult{Kernel: e.Name, Family: e.Family, Platform: plat.Name,
 		Metrics: map[string]float64{}}
@@ -77,11 +81,79 @@ func Run(e Entry, plat *platform.Platform) KernelResult {
 	tl := CheckTiling(prog, c, rep)
 	kr.Passes = append(kr.Passes, PassResult{Pass: "tiling", OK: len(tl) == 0, Findings: tl})
 
+	// symfoot: whole-domain symbolic footprint proof, for entries that name
+	// their generator family. The family proof is platform-independent and
+	// memoized; what is per-entry is the consistency of this entry's
+	// contract with the family's derived contract at its shape.
+	if e.SymFamily != "" {
+		sf := runSymFoot(e)
+		kr.Passes = append(kr.Passes, PassResult{Pass: "symfoot", OK: len(sf) == 0, Findings: sf})
+	}
+
 	kr.OK = true
 	for _, p := range kr.Passes {
 		kr.OK = kr.OK && p.OK
 	}
 	return kr
+}
+
+// runSymFoot executes pass #6 for one entry: the (memoized) family-wide
+// symbolic proof plus this entry's shape-membership and contract-agreement
+// checks.
+func runSymFoot(e Entry) []Finding {
+	const pass = "symfoot"
+	f, ok := FamilyByName(e.SymFamily)
+	if !ok {
+		return []Finding{{Pass: pass, Msg: fmt.Sprintf(
+			"entry %s names unregistered family %q", e.Name, e.SymFamily)}}
+	}
+	var fs []Finding
+	if !shapeInDomain(e.SymShape, f.Domain) {
+		fs = append(fs, Finding{Pass: pass, Msg: fmt.Sprintf(
+			"entry %s shape %s outside family %s domain", e.Name, e.SymShape, f.Name)})
+	} else if d := contractDrift(f.ContractAt(e.SymShape), e.Contract); d != "" {
+		fs = append(fs, Finding{Pass: pass, Msg: fmt.Sprintf(
+			"entry %s contract disagrees with family %s at %s: %s", e.Name, f.Name, e.SymShape, d)})
+	}
+	return append(fs, checkFamilyMemo(f)...)
+}
+
+func shapeInDomain(s Shape, d Domain) bool {
+	in := func(v int, r Range) bool {
+		return v >= r.Min && v <= r.Max && (v-r.Min)%r.step() == 0
+	}
+	return in(s.MR, d.MR) && in(s.NR, d.NR) && in(s.KC, d.KC)
+}
+
+// contractDrift compares the structural fields of a family-derived contract
+// against an entry's registered one (schedule thresholds are per-entry and
+// not compared). Empty string means agreement.
+func contractDrift(got, want Contract) string {
+	type field struct {
+		name   string
+		gv, wv int
+	}
+	checks := []field{
+		{"Elem", got.Elem, want.Elem},
+		{"MR", got.MR, want.MR}, {"NR", got.NR, want.NR}, {"KC", got.KC, want.KC},
+		{"LDA", got.LDA, want.LDA}, {"LDB", got.LDB, want.LDB}, {"LDC", got.LDC, want.LDC},
+		{"NRTotal", got.NRTotal, want.NRTotal}, {"JOff", got.JOff, want.JOff},
+	}
+	for _, f := range checks {
+		if f.gv != f.wv {
+			return fmt.Sprintf("%s: family derives %d, entry declares %d", f.name, f.gv, f.wv)
+		}
+	}
+	if got.Kind != want.Kind {
+		return fmt.Sprintf("Kind: family derives %v, entry declares %v", got.Kind, want.Kind)
+	}
+	if got.Accumulate != want.Accumulate {
+		return "Accumulate flag disagrees"
+	}
+	if got.PackB != want.PackB {
+		return "PackB flag disagrees"
+	}
+	return ""
 }
 
 // RunAll verifies every registered kernel on every given platform.

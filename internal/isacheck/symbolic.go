@@ -1,0 +1,811 @@
+// Pass #6 (symfoot): symbolic footprint verification over a whole shape
+// domain. The concrete footprint pass (footprint.go) enumerates the element
+// offsets of ONE registered (mr, nr, kc) instance; this pass proves the
+// containment property for EVERY shape a generator family admits.
+//
+// The object of proof is a Family: a kernel generator together with
+//
+//   - a box Domain over the shape variables (mr, nr, kc), with per-variable
+//     step congruences for lane-multiple constraints,
+//   - leading-dimension expressions (LDA, LDB, ... as polynomials over the
+//     shape variables), from which the per-shape Contract is derived, and
+//   - a declared emission model: per stream, the symbolic spans
+//     {r·Stride + c : 0 ≤ r < Count, Lo ≤ c < Hi} the generator claims its
+//     loads and stores cover, written from the generator's loop structure.
+//
+// The pass discharges three obligations:
+//
+//  1. Containment, symbolically: every model span embeds into the contract's
+//     span set for all shapes in the domain. An embedding shifts the model
+//     span by q whole target rows (q a small constant) and reduces to
+//     polynomial inequalities over (mr, nr, kc). Each inequality is decided
+//     exactly: the polynomials in play are multilinear (degree ≤ 1 per
+//     variable), so their extrema over the box lie at its corners; a
+//     non-multilinear expression falls back to a full sweep of the finite
+//     shape lattice, which is still a complete proof, just slower. A failed
+//     proof is reported with a concrete witness shape when one exists — the
+//     off-by-one shape a sampled sweep never visited.
+//  2. Coverage, symbolically: every contract span embeds into the model's
+//     span set, so the proof of "no gaps" also holds for all shapes.
+//  3. Anchoring, concretely: the declared model is only trustworthy if it is
+//     what the generator actually emits. At every corner of the domain the
+//     program is built, analyzed, and its per-stream access sets compared
+//     element-for-element against the model; the concrete footprint pass
+//     also runs at each corner. A model that diverges from the generator
+//     anywhere on the probe set fails the pass.
+//
+// Green therefore means: the emission model equals the generator's behaviour
+// on the probe set, and the model provably stays inside (and covers) the
+// contract panels at every shape in the domain — not just swept ones.
+package isacheck
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"libshalom/internal/isa"
+)
+
+// Shape is one point of a family's domain: the register tile and K extent a
+// generator is instantiated at.
+type Shape struct {
+	MR, NR, KC int
+}
+
+func (s Shape) String() string { return fmt.Sprintf("(mr=%d,nr=%d,kc=%d)", s.MR, s.NR, s.KC) }
+
+// mono is one monomial mr^M · nr^N · kc^K.
+type mono struct {
+	m, n, k uint8
+}
+
+// Expr is a polynomial over the shape variables with integer coefficients.
+// The zero value is the constant 0. Expressions are immutable; operations
+// return new values.
+type Expr struct {
+	t map[mono]int
+}
+
+// EConst returns the constant expression c.
+func EConst(c int) Expr { return Expr{}.addTerm(mono{}, c) }
+
+// EMR, ENR and EKC return the shape-variable expressions.
+func EMR() Expr { return Expr{}.addTerm(mono{m: 1}, 1) }
+func ENR() Expr { return Expr{}.addTerm(mono{n: 1}, 1) }
+func EKC() Expr { return Expr{}.addTerm(mono{k: 1}, 1) }
+
+func (e Expr) addTerm(mo mono, c int) Expr {
+	out := Expr{t: make(map[mono]int, len(e.t)+1)}
+	for k, v := range e.t {
+		out.t[k] = v
+	}
+	out.t[mo] += c
+	if out.t[mo] == 0 {
+		delete(out.t, mo)
+	}
+	return out
+}
+
+// Add returns e + o.
+func (e Expr) Add(o Expr) Expr {
+	out := e
+	for mo, c := range o.t {
+		out = out.addTerm(mo, c)
+	}
+	return out
+}
+
+// Sub returns e - o.
+func (e Expr) Sub(o Expr) Expr {
+	out := e
+	for mo, c := range o.t {
+		out = out.addTerm(mo, -c)
+	}
+	return out
+}
+
+// MulC returns e scaled by the constant c.
+func (e Expr) MulC(c int) Expr {
+	out := Expr{t: map[mono]int{}}
+	if c == 0 {
+		return out
+	}
+	for mo, v := range e.t {
+		out.t[mo] = v * c
+	}
+	return out
+}
+
+// Mul returns the product e·o.
+func (e Expr) Mul(o Expr) Expr {
+	out := Expr{t: map[mono]int{}}
+	for a, ca := range e.t {
+		for b, cb := range o.t {
+			p := mono{m: a.m + b.m, n: a.n + b.n, k: a.k + b.k}
+			out.t[p] += ca * cb
+			if out.t[p] == 0 {
+				delete(out.t, p)
+			}
+		}
+	}
+	return out
+}
+
+// AddC returns e + c.
+func (e Expr) AddC(c int) Expr { return e.addTerm(mono{}, c) }
+
+// Eval evaluates the polynomial at shape s.
+func (e Expr) Eval(s Shape) int {
+	total := 0
+	for mo, c := range e.t {
+		v := c
+		for i := uint8(0); i < mo.m; i++ {
+			v *= s.MR
+		}
+		for i := uint8(0); i < mo.n; i++ {
+			v *= s.NR
+		}
+		for i := uint8(0); i < mo.k; i++ {
+			v *= s.KC
+		}
+		total += v
+	}
+	return total
+}
+
+// Equal reports exact polynomial identity.
+func (e Expr) Equal(o Expr) bool {
+	if len(e.t) != len(o.t) {
+		return false
+	}
+	for mo, c := range e.t {
+		if o.t[mo] != c {
+			return false
+		}
+	}
+	return true
+}
+
+// IsConst reports whether e is a constant, and its value.
+func (e Expr) IsConst() (int, bool) {
+	switch len(e.t) {
+	case 0:
+		return 0, true
+	case 1:
+		if c, ok := e.t[mono{}]; ok {
+			return c, true
+		}
+	}
+	return 0, false
+}
+
+// multilinear reports whether no variable appears with exponent > 1 —
+// the condition under which box extrema are attained at corners.
+func (e Expr) multilinear() bool {
+	for mo := range e.t {
+		if mo.m > 1 || mo.n > 1 || mo.k > 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the polynomial deterministically for findings.
+func (e Expr) String() string {
+	if len(e.t) == 0 {
+		return "0"
+	}
+	type term struct {
+		mo mono
+		c  int
+	}
+	terms := make([]term, 0, len(e.t))
+	for mo, c := range e.t {
+		terms = append(terms, term{mo, c})
+	}
+	sort.Slice(terms, func(i, j int) bool {
+		a, b := terms[i].mo, terms[j].mo
+		if a.m != b.m {
+			return a.m > b.m
+		}
+		if a.n != b.n {
+			return a.n > b.n
+		}
+		return a.k > b.k
+	})
+	var b strings.Builder
+	for i, t := range terms {
+		var vars strings.Builder
+		appendVar := func(name string, p uint8) {
+			for j := uint8(0); j < p; j++ {
+				if vars.Len() > 0 {
+					vars.WriteString("·")
+				}
+				vars.WriteString(name)
+			}
+		}
+		appendVar("mr", t.mo.m)
+		appendVar("nr", t.mo.n)
+		appendVar("kc", t.mo.k)
+		c := t.c
+		if i > 0 {
+			if c < 0 {
+				b.WriteString(" - ")
+				c = -c
+			} else {
+				b.WriteString(" + ")
+			}
+		}
+		switch {
+		case vars.Len() == 0:
+			fmt.Fprintf(&b, "%d", c)
+		case c == 1:
+			b.WriteString(vars.String())
+		case c == -1 && i == 0:
+			b.WriteString("-" + vars.String())
+		default:
+			fmt.Fprintf(&b, "%d·%s", c, vars.String())
+		}
+	}
+	return b.String()
+}
+
+// Range is one inclusive shape-variable range with a step congruence:
+// admitted values are Min, Min+Step, …, Max. Step ≤ 1 means every integer.
+type Range struct {
+	Min, Max, Step int
+}
+
+func (r Range) step() int {
+	if r.Step < 1 {
+		return 1
+	}
+	return r.Step
+}
+
+func (r Range) validate(name string) error {
+	if r.Min < 1 || r.Max < r.Min {
+		return fmt.Errorf("isacheck: family range %s=[%d,%d] invalid", name, r.Min, r.Max)
+	}
+	if s := r.step(); (r.Max-r.Min)%s != 0 {
+		return fmt.Errorf("isacheck: family range %s=[%d,%d] step %d does not land on Max", name, r.Min, r.Max, s)
+	}
+	return nil
+}
+
+func (r Range) count() int { return (r.Max-r.Min)/r.step() + 1 }
+
+// Domain is the box of shapes a family admits.
+type Domain struct {
+	MR, NR, KC Range
+}
+
+func (d Domain) validate() error {
+	if err := d.MR.validate("mr"); err != nil {
+		return err
+	}
+	if err := d.NR.validate("nr"); err != nil {
+		return err
+	}
+	return d.KC.validate("kc")
+}
+
+// size is the number of lattice points.
+func (d Domain) size() int { return d.MR.count() * d.NR.count() * d.KC.count() }
+
+// corners returns the (up to 8) corner shapes of the box, deduplicated.
+func (d Domain) corners() []Shape {
+	var out []Shape
+	seen := map[Shape]bool{}
+	for _, m := range ends(d.MR) {
+		for _, n := range ends(d.NR) {
+			for _, k := range ends(d.KC) {
+				s := Shape{MR: m, NR: n, KC: k}
+				if !seen[s] {
+					seen[s] = true
+					out = append(out, s)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func ends(r Range) []int {
+	if r.Min == r.Max {
+		return []int{r.Min}
+	}
+	return []int{r.Min, r.Max}
+}
+
+// each calls f for every lattice point until f returns false.
+func (d Domain) each(f func(Shape) bool) {
+	for m := d.MR.Min; m <= d.MR.Max; m += d.MR.step() {
+		for n := d.NR.Min; n <= d.NR.Max; n += d.NR.step() {
+			for k := d.KC.Min; k <= d.KC.Max; k += d.KC.step() {
+				if !f(Shape{MR: m, NR: n, KC: k}) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// SymSpan is a symbolic access span: the element set
+// {r·Stride + c : 0 ≤ r < Count, Lo ≤ c < Hi}, every bound a polynomial over
+// the shape variables.
+type SymSpan struct {
+	Lo, Hi, Stride, Count Expr
+}
+
+func (s SymSpan) String() string {
+	return fmt.Sprintf("{cols [%s,%s) × %s rows @ stride %s}", s.Lo, s.Hi, s.Count, s.Stride)
+}
+
+// at instantiates the span at a concrete shape.
+func (s SymSpan) at(sh Shape) span {
+	return span{Lo: s.Lo.Eval(sh), Hi: s.Hi.Eval(sh), Stride: s.Stride.Eval(sh), Count: s.Count.Eval(sh)}
+}
+
+// SymFootprint is a declared per-stream access model.
+type SymFootprint struct {
+	Reads, Writes []SymSpan
+}
+
+// Family is one registered generator family: the unit pass #6 proves.
+type Family struct {
+	Name   string
+	Elem   int // element bytes: 4 or 8
+	Kind   Kind
+	Domain Domain
+
+	// Leading-dimension and panel expressions over (mr, nr, kc). LDA, LDB
+	// and LDC are required; NRTotal and JOff only for KindNTPack (JOff
+	// defaults to 0 when unset).
+	LDA, LDB, LDC Expr
+	NRTotal, JOff Expr
+	Accumulate    bool
+	PackB         bool
+
+	// Model is the declared emission footprint, written from the
+	// generator's loop structure (NOT copied from the contract twin — the
+	// redundancy is the proof).
+	Model map[isa.StreamKind]SymFootprint
+
+	// BuildAt instantiates the generator at one shape of the domain.
+	BuildAt func(Shape) *isa.Program
+}
+
+// ContractAt derives the concrete per-shape contract the family claims.
+// Only the structural fields are populated — schedule thresholds are the
+// depdist/pressure passes' concern and stay per-entry.
+func (f Family) ContractAt(s Shape) Contract {
+	c := Contract{
+		Kind: f.Kind, Elem: f.Elem,
+		MR: s.MR, NR: s.NR, KC: s.KC,
+		LDA: f.LDA.Eval(s), LDB: f.LDB.Eval(s), LDC: f.LDC.Eval(s),
+		Accumulate: f.Accumulate, PackB: f.PackB,
+	}
+	if f.Kind == KindNTPack {
+		c.NRTotal = f.NRTotal.Eval(s)
+		c.JOff = f.JOff.Eval(s)
+	}
+	return c
+}
+
+func (f Family) validate() error {
+	if f.Name == "" || f.BuildAt == nil {
+		return fmt.Errorf("isacheck: family needs a name and a builder")
+	}
+	if f.Elem != 4 && f.Elem != 8 {
+		return fmt.Errorf("isacheck: family %s: elem %d not 4 or 8", f.Name, f.Elem)
+	}
+	if err := f.Domain.validate(); err != nil {
+		return fmt.Errorf("family %s: %w", f.Name, err)
+	}
+	for _, ld := range []struct {
+		name string
+		e    Expr
+	}{{"LDA", f.LDA}, {"LDB", f.LDB}, {"LDC", f.LDC}} {
+		if len(ld.e.t) == 0 {
+			return fmt.Errorf("isacheck: family %s: %s expression unset", f.Name, ld.name)
+		}
+	}
+	if f.Kind == KindNTPack && len(f.NRTotal.t) == 0 {
+		return fmt.Errorf("isacheck: family %s: ntpack needs an NRTotal expression", f.Name)
+	}
+	if len(f.Model) == 0 {
+		return fmt.Errorf("isacheck: family %s: no emission model declared", f.Name)
+	}
+	return nil
+}
+
+// Family registry. Families register at init time from the kernel packages,
+// like entries do.
+
+var (
+	famMu    sync.Mutex
+	families = map[string]Family{}
+	symMemo  = map[string][]Finding{}
+)
+
+// RegisterFamily adds a generator family to the catalogue, panicking on
+// duplicates or inconsistent declarations (init-time, loud failure only).
+func RegisterFamily(f Family) {
+	if err := f.validate(); err != nil {
+		panic(err.Error())
+	}
+	famMu.Lock()
+	defer famMu.Unlock()
+	if _, dup := families[f.Name]; dup {
+		panic(fmt.Sprintf("isacheck: RegisterFamily(%s): duplicate family name", f.Name))
+	}
+	families[f.Name] = f
+}
+
+// FamilyByName returns the registered family with the given name.
+func FamilyByName(name string) (Family, bool) {
+	famMu.Lock()
+	defer famMu.Unlock()
+	f, ok := families[name]
+	return f, ok
+}
+
+// Families returns the registered families sorted by name.
+func Families() []Family {
+	famMu.Lock()
+	defer famMu.Unlock()
+	out := make([]Family, 0, len(families))
+	for _, f := range families {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// checkFamilyMemo runs CheckSymbolicFootprint once per family name and
+// caches the verdict — the proof is platform-independent, and the runner
+// would otherwise redo it for every (kernel, platform) pair.
+func checkFamilyMemo(f Family) []Finding {
+	famMu.Lock()
+	if fs, ok := symMemo[f.Name]; ok {
+		famMu.Unlock()
+		return fs
+	}
+	famMu.Unlock()
+	fs := CheckSymbolicFootprint(f)
+	famMu.Lock()
+	symMemo[f.Name] = fs
+	famMu.Unlock()
+	return fs
+}
+
+// symContractFootprint is the symbolic twin of expectedFootprint: the
+// contract's per-stream span sets with every bound a polynomial.
+func symContractFootprint(f Family) map[isa.StreamKind]SymFootprint {
+	zero, mr, nr, kc := EConst(0), EMR(), ENR(), EKC()
+	fp := map[isa.StreamKind]SymFootprint{}
+	switch f.Kind {
+	case KindMain:
+		fp[isa.StreamA] = SymFootprint{Reads: []SymSpan{{Lo: zero, Hi: kc, Stride: f.LDA, Count: mr}}}
+		fp[isa.StreamB] = SymFootprint{Reads: []SymSpan{{Lo: zero, Hi: nr, Stride: f.LDB, Count: kc}}}
+		cTile := SymSpan{Lo: zero, Hi: nr, Stride: f.LDC, Count: mr}
+		cf := SymFootprint{Writes: []SymSpan{cTile}}
+		if f.Accumulate {
+			cf.Reads = []SymSpan{cTile}
+		}
+		fp[isa.StreamC] = cf
+		if f.PackB {
+			fp[isa.StreamBc] = SymFootprint{Writes: []SymSpan{{Lo: zero, Hi: nr, Stride: nr, Count: kc}}}
+		}
+	case KindEdge:
+		fp[isa.StreamA] = SymFootprint{Reads: []SymSpan{{Lo: zero, Hi: mr, Stride: f.LDA, Count: kc}}}
+		fp[isa.StreamB] = SymFootprint{Reads: []SymSpan{{Lo: zero, Hi: nr, Stride: f.LDB, Count: kc}}}
+		fp[isa.StreamC] = SymFootprint{Writes: []SymSpan{{Lo: zero, Hi: nr, Stride: f.LDC, Count: mr}}}
+	case KindNTPack:
+		jHi := f.jOff().Add(nr)
+		fp[isa.StreamA] = SymFootprint{Reads: []SymSpan{{Lo: zero, Hi: kc, Stride: f.LDA, Count: mr}}}
+		fp[isa.StreamB] = SymFootprint{Reads: []SymSpan{{Lo: zero, Hi: kc, Stride: f.LDB, Count: nr}}}
+		cTile := SymSpan{Lo: f.jOff(), Hi: jHi, Stride: f.LDC, Count: mr}
+		cf := SymFootprint{Writes: []SymSpan{cTile}}
+		if f.Accumulate {
+			cf.Reads = []SymSpan{cTile}
+		}
+		fp[isa.StreamC] = cf
+		fp[isa.StreamBc] = SymFootprint{Writes: []SymSpan{{Lo: f.jOff(), Hi: jHi, Stride: f.NRTotal, Count: kc}}}
+	}
+	return fp
+}
+
+func (f Family) jOff() Expr {
+	if len(f.JOff.t) == 0 {
+		return EConst(0)
+	}
+	return f.JOff
+}
+
+// proof is the three-valued verdict of the symbolic decision procedure.
+type proof int
+
+const (
+	proven proof = iota
+	disproven
+	unknown
+)
+
+// maxLatticeSweep bounds the fallback lattice sweep; domains are validated
+// small enough in practice (a few thousand points).
+const maxLatticeSweep = 1 << 20
+
+// proveNonneg decides e ≥ 0 for every shape in d. Multilinear polynomials
+// are decided exactly at the box corners; anything else sweeps the finite
+// lattice (a complete proof too — the domain is finite — just slower), and
+// gives up past maxLatticeSweep points.
+func proveNonneg(e Expr, d Domain) (proof, Shape) {
+	if c, ok := e.IsConst(); ok {
+		if c >= 0 {
+			return proven, Shape{}
+		}
+		return disproven, Shape{MR: d.MR.Min, NR: d.NR.Min, KC: d.KC.Min}
+	}
+	if e.multilinear() {
+		for _, s := range d.corners() {
+			if e.Eval(s) < 0 {
+				return disproven, s
+			}
+		}
+		return proven, Shape{}
+	}
+	if d.size() > maxLatticeSweep {
+		return unknown, Shape{}
+	}
+	verdict, witness := proven, Shape{}
+	d.each(func(s Shape) bool {
+		if e.Eval(s) < 0 {
+			verdict, witness = disproven, s
+			return false
+		}
+		return true
+	})
+	return verdict, witness
+}
+
+// maxRowShift bounds the row-shift constant the embedding prover tries: a
+// model span whose base sits q whole target rows into the panel.
+const maxRowShift = 4
+
+// proveSpanIn proves m ⊆ ∪targets for every shape in d. It returns proven,
+// or disproven with a witness (shape, offset) found by a lattice sweep, or
+// unknown when neither an embedding nor a witness exists within bounds.
+func proveSpanIn(m SymSpan, targets []SymSpan, d Domain) (proof, Shape, int) {
+	width := m.Hi.Sub(m.Lo)
+	// An empty span (no rows, or an empty column range, everywhere) is
+	// vacuously contained.
+	if p, _ := proveNonneg(EConst(0).Sub(m.Count), d); p == proven {
+		return proven, Shape{}, 0
+	}
+	if p, _ := proveNonneg(EConst(0).Sub(width), d); p == proven {
+		return proven, Shape{}, 0
+	}
+	mCount, mCountConst := m.Count.IsConst()
+	for _, t := range targets {
+		for q := 0; q <= maxRowShift; q++ {
+			// Row-compatibility: either the strides agree polynomially, or
+			// the model span is a single row (stride then irrelevant).
+			if !(m.Stride.Equal(t.Stride) || (mCountConst && mCount == 1)) {
+				break
+			}
+			rem := m.Lo.Sub(t.Stride.MulC(q))
+			conds := []Expr{
+				rem.Sub(t.Lo),                 // rem ≥ t.Lo
+				t.Hi.Sub(rem).Sub(width),      // rem + width ≤ t.Hi
+				t.Count.Sub(m.Count).AddC(-q), // q + m.Count ≤ t.Count
+			}
+			ok := true
+			for _, c := range conds {
+				if p, _ := proveNonneg(c, d); p != proven {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				return proven, Shape{}, 0
+			}
+		}
+	}
+	// No embedding: hunt for a concrete counterexample on the lattice.
+	if d.size() <= maxLatticeSweep {
+		var wShape Shape
+		wOff := -1
+		d.each(func(s Shape) bool {
+			tset := map[int]bool{}
+			for _, t := range targets {
+				for _, off := range t.at(s).offsets() {
+					tset[off] = true
+				}
+			}
+			for _, off := range m.at(s).offsets() {
+				if !tset[off] {
+					wShape, wOff = s, off
+					return false
+				}
+			}
+			return true
+		})
+		if wOff >= 0 {
+			return disproven, wShape, wOff
+		}
+	}
+	return unknown, Shape{}, 0
+}
+
+// CheckSymbolicFootprint runs pass #6 for one family. An empty finding list
+// means the emission model is anchored to the generator on the probe set and
+// provably contained in — and covering — the contract panels for every shape
+// in the domain.
+func CheckSymbolicFootprint(f Family) []Finding {
+	const pass = "symfoot"
+	if err := f.validate(); err != nil {
+		return []Finding{{Pass: pass, Msg: err.Error()}}
+	}
+	var fs []Finding
+	want := symContractFootprint(f)
+
+	kinds := make([]isa.StreamKind, 0, len(want))
+	for k := range want {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+
+	prove := func(kind isa.StreamKind, dir string, spans, into []SymSpan, fromModel bool) {
+		for _, m := range spans {
+			p, wShape, wOff := proveSpanIn(m, into, f.Domain)
+			switch {
+			case p == proven:
+			case p == disproven && fromModel:
+				fs = append(fs, Finding{Pass: pass, Msg: fmt.Sprintf(
+					"symbolic: model %s %s span %s escapes the contract panel at shape %s (element %d)",
+					kind, dir, m, wShape, wOff), Offsets: []int{wOff}})
+			case p == disproven:
+				fs = append(fs, Finding{Pass: pass, Msg: fmt.Sprintf(
+					"symbolic: contract %s %s span %s not covered by the emission model at shape %s (element %d)",
+					kind, dir, m, wShape, wOff), Offsets: []int{wOff}})
+			case fromModel:
+				fs = append(fs, Finding{Pass: pass, Msg: fmt.Sprintf(
+					"symbolic: cannot prove model %s %s span %s inside the contract panel over the domain",
+					kind, dir, m)})
+			default:
+				fs = append(fs, Finding{Pass: pass, Msg: fmt.Sprintf(
+					"symbolic: cannot prove contract %s %s span %s covered by the emission model over the domain",
+					kind, dir, m)})
+			}
+		}
+	}
+
+	seen := map[isa.StreamKind]bool{}
+	for _, kind := range kinds {
+		seen[kind] = true
+		model, ok := f.Model[kind]
+		if !ok {
+			fs = append(fs, Finding{Pass: pass, Msg: fmt.Sprintf(
+				"symbolic: contract expects a %s stream the emission model does not declare", kind)})
+			continue
+		}
+		w := want[kind]
+		prove(kind, "read", model.Reads, w.Reads, true)
+		prove(kind, "write", model.Writes, w.Writes, true)
+		prove(kind, "read", w.Reads, model.Reads, false)
+		prove(kind, "write", w.Writes, model.Writes, false)
+	}
+	for kind := range f.Model {
+		if !seen[kind] {
+			fs = append(fs, Finding{Pass: pass, Msg: fmt.Sprintf(
+				"symbolic: emission model declares a %s stream the contract has no panel for", kind)})
+		}
+	}
+
+	// Anchor the model: at every corner of the domain, the generator's
+	// actual access sets must equal the model's, and the concrete footprint
+	// pass must hold.
+	for _, s := range f.Domain.corners() {
+		fs = append(fs, probeShape(f, s)...)
+	}
+	return fs
+}
+
+// probeShape builds the family at one shape and compares reality against
+// the declared model and the concrete contract footprint.
+func probeShape(f Family, s Shape) (fs []Finding) {
+	const pass = "symfoot"
+	c := f.ContractAt(s)
+	if err := c.Validate(); err != nil {
+		return []Finding{{Pass: pass, Msg: fmt.Sprintf("probe %s: derived contract invalid: %v", s, err)}}
+	}
+	prog, err := buildAtSafe(f, s)
+	if err != nil {
+		return []Finding{{Pass: pass, Msg: fmt.Sprintf("probe %s: %v", s, err)}}
+	}
+	rep, err := isa.Analyze(prog)
+	if err != nil {
+		return []Finding{{Pass: pass, Msg: fmt.Sprintf("probe %s: analyze: %v", s, err)}}
+	}
+	byKind := map[isa.StreamKind]int{}
+	for i, st := range prog.Streams {
+		if _, dup := byKind[st.Kind]; !dup {
+			byKind[st.Kind] = i
+		}
+	}
+	kinds := make([]isa.StreamKind, 0, len(f.Model))
+	for k := range f.Model {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	for _, kind := range kinds {
+		model := f.Model[kind]
+		idx, ok := byKind[kind]
+		if !ok {
+			fs = append(fs, Finding{Pass: pass, Msg: fmt.Sprintf(
+				"probe %s: model declares a %s stream the program does not", s, kind)})
+			continue
+		}
+		sr := rep.Streams[idx]
+		fs = append(fs, diffModel(s, kind, "reads", model.Reads, sr.LoadCover)...)
+		fs = append(fs, diffModel(s, kind, "writes", model.Writes, sr.StoreCover)...)
+	}
+	// The concrete footprint pass is the sampled sweep, run at the corners.
+	for _, cf := range CheckFootprint(prog, c, rep) {
+		fs = append(fs, Finding{Pass: pass, Msg: fmt.Sprintf("probe %s: %s", s, cf.Msg), Offsets: cf.Offsets})
+	}
+	return fs
+}
+
+func buildAtSafe(f Family, s Shape) (p *isa.Program, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			p, err = nil, fmt.Errorf("generator panicked: %v", r)
+		}
+	}()
+	p = f.BuildAt(s)
+	if p == nil {
+		return nil, fmt.Errorf("generator returned nil program")
+	}
+	return p, nil
+}
+
+// diffModel compares one direction of the declared model, instantiated at a
+// concrete shape, against the program's measured coverage.
+func diffModel(s Shape, kind isa.StreamKind, what string, spans []SymSpan, cover isa.Coverage) []Finding {
+	const pass = "symfoot"
+	modelSet := map[int]bool{}
+	for _, sp := range spans {
+		for _, off := range sp.at(s).offsets() {
+			modelSet[off] = true
+		}
+	}
+	var missing, extra []int
+	for off := range modelSet {
+		if !cover.Has(off) {
+			missing = append(missing, off)
+		}
+	}
+	for off := 0; off < cover.Len(); off++ {
+		if cover.Has(off) && !modelSet[off] {
+			extra = append(extra, off)
+		}
+	}
+	sort.Ints(missing)
+	var fs []Finding
+	if len(missing) > 0 {
+		fs = append(fs, Finding{Pass: pass, Msg: fmt.Sprintf(
+			"probe %s: model claims %d %s %s the generator does not emit", s, len(missing), kind, what),
+			Offsets: missing})
+	}
+	if len(extra) > 0 {
+		fs = append(fs, Finding{Pass: pass, Msg: fmt.Sprintf(
+			"probe %s: generator emits %d %s %s outside the declared model", s, len(extra), kind, what),
+			Offsets: extra})
+	}
+	return fs
+}

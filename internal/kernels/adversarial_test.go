@@ -1,0 +1,110 @@
+package kernels
+
+import (
+	"strings"
+	"testing"
+
+	"libshalom/internal/isa"
+	"libshalom/internal/isacheck"
+)
+
+// adversarialFamily is a main-style generator with a deliberate off-by-one:
+// after the real emission it reads A element kc. With LDA = kc that aliases
+// row 1, column 0 — a legitimate panel element whenever mr >= 2 — and
+// escapes the panel exactly when mr == 1. A concrete footprint sweep at the
+// registered shape (mr = 2) is therefore clean; only quantifying over the
+// whole domain exposes the bug.
+func adversarialFamily() isacheck.Family {
+	kc, nr := isacheck.EKC(), isacheck.ENR()
+	model := mainModel(kc, nr, nr, true, false)
+	a := model[isa.StreamA]
+	a.Reads = append(a.Reads, isacheck.SymSpan{
+		Lo: kc, Hi: kc.AddC(1), Stride: isacheck.EConst(1), Count: isacheck.EConst(1)})
+	model[isa.StreamA] = a
+	return isacheck.Family{
+		Name: "adversarial-main-f32", Elem: 4, Kind: isacheck.KindMain,
+		Domain: isacheck.Domain{
+			MR: isacheck.Range{Min: 1, Max: 2},
+			NR: isacheck.Range{Min: 4, Max: 4},
+			KC: isacheck.Range{Min: 4, Max: 4},
+		},
+		LDA: kc, LDB: nr, LDC: nr, Accumulate: true,
+		Model: model,
+		BuildAt: func(s isacheck.Shape) *isa.Program {
+			p := BuildMain(MainSpec{Elem: 4, MR: s.MR, NR: s.NR, KC: s.KC,
+				LDA: s.KC, LDB: s.NR, LDC: s.NR,
+				Accumulate: true, Schedule: Pipelined})
+			aIdx, dst := -1, -1
+			for _, in := range p.Code {
+				if in.Op.IsLoad() && p.Streams[in.Mem.Stream].Kind == isa.StreamA {
+					aIdx, dst = in.Mem.Stream, in.Dst
+				}
+			}
+			if p.Streams[aIdx].MinLen < s.KC+1 {
+				p.Streams[aIdx].MinLen = s.KC + 1
+			}
+			p.Code = append(p.Code, isa.Instr{
+				Op: isa.LdScalar, Dst: dst,
+				Mem: isa.MemRef{Stream: aIdx, Off: s.KC}})
+			return p
+		},
+	}
+}
+
+// TestAdversarialSweepVsSymbolic is the reason pass #6 exists: the sampled
+// concrete sweep at the registered shape passes, the symbolic proof over
+// the whole domain does not. The family is deliberately NOT registered —
+// it would fail every build.
+func TestAdversarialSweepVsSymbolic(t *testing.T) {
+	f := adversarialFamily()
+
+	// The "registered" shape: mr = 2, where the rogue read aliases a
+	// legitimate element. The concrete sweep is clean here.
+	reg := isacheck.Shape{MR: 2, NR: 4, KC: 4}
+	prog := f.BuildAt(reg)
+	rep, err := isa.Analyze(prog)
+	if err != nil {
+		t.Fatalf("Analyze at %s: %v", reg, err)
+	}
+	if fs := isacheck.CheckFootprint(prog, f.ContractAt(reg), rep); len(fs) != 0 {
+		t.Fatalf("concrete sweep at %s should be clean, got: %v", reg, fs)
+	}
+
+	// The symbolic pass quantifies over mr ∈ {1, 2} and must disprove
+	// containment, naming the mr = 1 witness the sweep never sampled.
+	fs := isacheck.CheckSymbolicFootprint(f)
+	if len(fs) == 0 {
+		t.Fatal("symbolic pass missed the off-by-one read")
+	}
+	var escape, witness bool
+	for _, fd := range fs {
+		if strings.Contains(fd.Msg, "symbolic:") && strings.Contains(fd.Msg, "escapes") {
+			escape = true
+			if strings.Contains(fd.Msg, "mr=1") {
+				witness = true
+			}
+		}
+	}
+	if !escape {
+		t.Errorf("no symbolic escape finding; got: %v", fs)
+	}
+	if !witness {
+		t.Errorf("symbolic escape finding does not name the mr=1 witness; got: %v", fs)
+	}
+}
+
+// TestAdversarialCleanWithoutRogueRead sanity-checks the harness: removing
+// the rogue read (model and emission) makes the whole family prove.
+func TestAdversarialCleanWithoutRogueRead(t *testing.T) {
+	f := adversarialFamily()
+	kc, nr := isacheck.EKC(), isacheck.ENR()
+	f.Model = mainModel(kc, nr, nr, true, false)
+	f.BuildAt = func(s isacheck.Shape) *isa.Program {
+		return BuildMain(MainSpec{Elem: 4, MR: s.MR, NR: s.NR, KC: s.KC,
+			LDA: s.KC, LDB: s.NR, LDC: s.NR,
+			Accumulate: true, Schedule: Pipelined})
+	}
+	if fs := isacheck.CheckSymbolicFootprint(f); len(fs) != 0 {
+		t.Fatalf("clean family should prove, got: %v", fs)
+	}
+}

@@ -1,0 +1,190 @@
+package kernels
+
+import (
+	"libshalom/internal/isa"
+	"libshalom/internal/isacheck"
+)
+
+// The generator families: what isacheck's symbolic footprint pass (#6)
+// quantifies over. Each registered kernel entry is ONE shape of one of these
+// families; the family declares the whole (mr, nr, kc) domain its generator
+// admits, the leading-dimension laws tying the operand layouts to the shape,
+// and — written from the generator's loop structure, not copied from the
+// contract — the symbolic spans its loads and stores cover. The pass proves
+// containment and coverage for every shape in the domain and anchors the
+// declared model against the real generator at the domain corners.
+//
+// Domains are chosen so every lattice point is feasible under the
+// generator's own validation (register budget, lane congruences): the main
+// FP32 box tops out at 7×12 (Eq. 1's 31-register optimum), the FP64 box at
+// 7×6, the NT pack box at 7×3 (+1 reduce register), and the edge family
+// fixes the 8×4 tile and varies only the panel depth.
+
+// mainModel is the emission model shared by every BuildMain schedule: the
+// k-block A reloads tile [0, kc) per row at stride LDA, the per-row B loads
+// tile [0, nr) per k at stride LDB, the C tile is loaded (when accumulating)
+// and stored once, and the folded packing stores the consumed B sliver
+// densely at stride nr.
+func mainModel(lda, ldb, ldc isacheck.Expr, accumulate, packB bool) map[isa.StreamKind]isacheck.SymFootprint {
+	zero, mr, nr, kc := isacheck.EConst(0), isacheck.EMR(), isacheck.ENR(), isacheck.EKC()
+	m := map[isa.StreamKind]isacheck.SymFootprint{
+		isa.StreamA: {Reads: []isacheck.SymSpan{{Lo: zero, Hi: kc, Stride: lda, Count: mr}}},
+		isa.StreamB: {Reads: []isacheck.SymSpan{{Lo: zero, Hi: nr, Stride: ldb, Count: kc}}},
+	}
+	cTile := isacheck.SymSpan{Lo: zero, Hi: nr, Stride: ldc, Count: mr}
+	cf := isacheck.SymFootprint{Writes: []isacheck.SymSpan{cTile}}
+	if accumulate {
+		cf.Reads = []isacheck.SymSpan{cTile}
+	}
+	m[isa.StreamC] = cf
+	if packB {
+		m[isa.StreamBc] = isacheck.SymFootprint{
+			Writes: []isacheck.SymSpan{{Lo: zero, Hi: nr, Stride: nr, Count: kc}}}
+	}
+	return m
+}
+
+// ntpackModel is BuildNTPack's emission model: vector loads tile A and the
+// stored-transposed B along K, the scatter stores land on columns
+// [joff, joff+nb) of the KC×NRTotal Bc panel, and the reduce epilogue writes
+// the same column group of the C tile.
+func ntpackModel(lda, ldb, ldc, nrTotal, joff isacheck.Expr) map[isa.StreamKind]isacheck.SymFootprint {
+	zero, mr, nr, kc := isacheck.EConst(0), isacheck.EMR(), isacheck.ENR(), isacheck.EKC()
+	jHi := joff.Add(nr)
+	return map[isa.StreamKind]isacheck.SymFootprint{
+		isa.StreamA:  {Reads: []isacheck.SymSpan{{Lo: zero, Hi: kc, Stride: lda, Count: mr}}},
+		isa.StreamB:  {Reads: []isacheck.SymSpan{{Lo: zero, Hi: kc, Stride: ldb, Count: nr}}},
+		isa.StreamC:  {Writes: []isacheck.SymSpan{{Lo: joff, Hi: jHi, Stride: ldc, Count: mr}}},
+		isa.StreamBc: {Writes: []isacheck.SymSpan{{Lo: joff, Hi: jHi, Stride: nrTotal, Count: kc}}},
+	}
+}
+
+// edgeModel is BuildEdge8x4's emission model, both schedules: per k the A
+// column pair covers [0, 8) at stride LDAp, B covers [0, 4) at stride LDB
+// (one vector load pipelined, two scalar pairs batched — same elements), and
+// the lane stores cover the 8×4 C tile.
+func edgeModel(lda, ldb, ldc isacheck.Expr) map[isa.StreamKind]isacheck.SymFootprint {
+	zero, mr, nr, kc := isacheck.EConst(0), isacheck.EMR(), isacheck.ENR(), isacheck.EKC()
+	return map[isa.StreamKind]isacheck.SymFootprint{
+		isa.StreamA: {Reads: []isacheck.SymSpan{{Lo: zero, Hi: mr, Stride: lda, Count: kc}}},
+		isa.StreamB: {Reads: []isacheck.SymSpan{{Lo: zero, Hi: nr, Stride: ldb, Count: kc}}},
+		isa.StreamC: {Writes: []isacheck.SymSpan{{Lo: zero, Hi: nr, Stride: ldc, Count: mr}}},
+	}
+}
+
+func init() {
+	kc, nr := isacheck.EKC(), isacheck.ENR()
+
+	// Main outer-product families: dense A slivers (LDA = kc), packed B
+	// (LDB = nr), tight C (LDC = nr). The FP32 box admits every tile up to
+	// the 7×12 optimum; FP64 up to 7×6.
+	mainF32 := isacheck.Domain{
+		MR: isacheck.Range{Min: 1, Max: 7},
+		NR: isacheck.Range{Min: 4, Max: 12, Step: 4},
+		KC: isacheck.Range{Min: 4, Max: 16, Step: 4},
+	}
+	buildMainAt := func(elem int, packB bool, sched Schedule) func(isacheck.Shape) *isa.Program {
+		return func(s isacheck.Shape) *isa.Program {
+			return BuildMain(MainSpec{Elem: elem, MR: s.MR, NR: s.NR, KC: s.KC,
+				LDA: s.KC, LDB: s.NR, LDC: s.NR,
+				Accumulate: true, PackB: packB, Schedule: sched})
+		}
+	}
+	isacheck.RegisterFamily(isacheck.Family{
+		Name: "main-pipelined-f32", Elem: 4, Kind: isacheck.KindMain,
+		Domain: mainF32, LDA: kc, LDB: nr, LDC: nr, Accumulate: true,
+		Model:   mainModel(kc, nr, nr, true, false),
+		BuildAt: buildMainAt(4, false, Pipelined),
+	})
+	isacheck.RegisterFamily(isacheck.Family{
+		Name: "packmain-pipelined-f32", Elem: 4, Kind: isacheck.KindMain,
+		Domain: mainF32, LDA: kc, LDB: nr, LDC: nr, Accumulate: true, PackB: true,
+		Model:   mainModel(kc, nr, nr, true, true),
+		BuildAt: buildMainAt(4, true, Pipelined),
+	})
+	isacheck.RegisterFamily(isacheck.Family{
+		Name: "main-pipelined-f64", Elem: 8, Kind: isacheck.KindMain,
+		Domain: isacheck.Domain{
+			MR: isacheck.Range{Min: 1, Max: 7},
+			NR: isacheck.Range{Min: 2, Max: 6, Step: 2},
+			KC: isacheck.Range{Min: 2, Max: 8, Step: 2},
+		},
+		LDA: kc, LDB: nr, LDC: nr, Accumulate: true,
+		Model:   mainModel(kc, nr, nr, true, false),
+		BuildAt: buildMainAt(8, false, Pipelined),
+	})
+	// The batch-scheduled main family covers the OpenBLAS 8×4 and ARMPL 8×8
+	// baseline shapes: same footprint law, Fig 6a instruction order.
+	isacheck.RegisterFamily(isacheck.Family{
+		Name: "main-batch-f32", Elem: 4, Kind: isacheck.KindMain,
+		Domain: isacheck.Domain{
+			MR: isacheck.Range{Min: 1, Max: 8},
+			NR: isacheck.Range{Min: 4, Max: 8, Step: 4},
+			KC: isacheck.Range{Min: 4, Max: 8, Step: 4},
+		},
+		LDA: kc, LDB: nr, LDC: nr, Accumulate: true,
+		Model:   mainModel(kc, nr, nr, true, false),
+		BuildAt: buildMainAt(4, false, Batch),
+	})
+
+	// NT-mode packing families: dense A and stored-transposed B along K
+	// (LDA = LDBT = kc), with the Bc panel and C sized for the full
+	// NRTotal/nb call sequence — NRTotal = 4·nb (FP32, filling the 7×12
+	// main kernel's panel) or 2·nb (FP64, the 7×6 panel).
+	ntpackAt := func(elem, widen int) func(isacheck.Shape) *isa.Program {
+		return func(s isacheck.Shape) *isa.Program {
+			return BuildNTPack(NTPackSpec{Elem: elem, MR: s.MR, NB: s.NR, KC: s.KC,
+				LDA: s.KC, LDBT: s.KC, LDC: widen * s.NR,
+				NRTotal: widen * s.NR, JOff: 0})
+		}
+	}
+	isacheck.RegisterFamily(isacheck.Family{
+		Name: "ntpack-f32", Elem: 4, Kind: isacheck.KindNTPack,
+		Domain: isacheck.Domain{
+			MR: isacheck.Range{Min: 1, Max: 7},
+			NR: isacheck.Range{Min: 1, Max: 3},
+			KC: isacheck.Range{Min: 4, Max: 8, Step: 4},
+		},
+		LDA: kc, LDB: kc, LDC: nr.MulC(4), NRTotal: nr.MulC(4),
+		Model:   ntpackModel(kc, kc, nr.MulC(4), nr.MulC(4), isacheck.EConst(0)),
+		BuildAt: ntpackAt(4, 4),
+	})
+	isacheck.RegisterFamily(isacheck.Family{
+		Name: "ntpack-f64", Elem: 8, Kind: isacheck.KindNTPack,
+		Domain: isacheck.Domain{
+			MR: isacheck.Range{Min: 1, Max: 7},
+			NR: isacheck.Range{Min: 1, Max: 3},
+			KC: isacheck.Range{Min: 2, Max: 8, Step: 2},
+		},
+		LDA: kc, LDB: kc, LDC: nr.MulC(2), NRTotal: nr.MulC(2),
+		Model:   ntpackModel(kc, kc, nr.MulC(2), nr.MulC(2), isacheck.EConst(0)),
+		BuildAt: ntpackAt(8, 2),
+	})
+
+	// Edge families: the 8×4 tile is fixed (Fig 6's register plan), the
+	// panel depth varies. Packed operands: LDAp = 8, LDB = LDC = 4.
+	edgeDomain := isacheck.Domain{
+		MR: isacheck.Range{Min: 8, Max: 8},
+		NR: isacheck.Range{Min: 4, Max: 4},
+		KC: isacheck.Range{Min: 4, Max: 16, Step: 4},
+	}
+	c8, c4 := isacheck.EConst(8), isacheck.EConst(4)
+	edgeAt := func(sched Schedule) func(isacheck.Shape) *isa.Program {
+		return func(s isacheck.Shape) *isa.Program {
+			return BuildEdge8x4(EdgeSpec{Elem: 4, KC: s.KC,
+				LDAp: 8, LDB: 4, LDC: 4, Schedule: sched})
+		}
+	}
+	isacheck.RegisterFamily(isacheck.Family{
+		Name: "edge-pipelined-f32", Elem: 4, Kind: isacheck.KindEdge,
+		Domain: edgeDomain, LDA: c8, LDB: c4, LDC: c4,
+		Model:   edgeModel(c8, c4, c4),
+		BuildAt: edgeAt(Pipelined),
+	})
+	isacheck.RegisterFamily(isacheck.Family{
+		Name: "edge-batch-f32", Elem: 4, Kind: isacheck.KindEdge,
+		Domain: edgeDomain, LDA: c8, LDB: c4, LDC: c4,
+		Model:   edgeModel(c8, c4, c4),
+		BuildAt: edgeAt(Batch),
+	})
+}

@@ -26,6 +26,8 @@ package kernels
 // and the packed linear buffer Bc (ldb = nr). beta == 0 overwrites C without
 // reading it. Accumulation is performed in float32, k-innermost, matching
 // the lane-wise semantics of the virtual-NEON kernels.
+//
+//shalom:hotpath noalloc,nolock,noblock,notime
 func SGEMMMicro(mr, nr, kc int, alpha float32, a []float32, lda int, b []float32, ldb int, beta float32, c []float32, ldc int) {
 	if mr == 7 && nr == 12 {
 		sgemmMicro7x12(kc, alpha, a, lda, b, ldb, beta, c, ldc)
@@ -86,6 +88,8 @@ func sgemmMicro7x12(kc int, alpha float32, a []float32, lda int, b []float32, ld
 // jOff). This is the Go counterpart of the NN-mode packing micro-kernel
 // (Alg 1 lines 6–8): the first sliver of every mc-panel packs B while it
 // updates C, and subsequent slivers reuse bc.
+//
+//shalom:hotpath noalloc,nolock,noblock,notime
 func SGEMMMicroPackB(mr, nr, kc int, alpha float32, a []float32, lda int, b []float32, ldb int, beta float32, c []float32, ldc int, bc []float32, nrTotal, jOff int) {
 	for k := 0; k < kc; k++ {
 		copy(bc[k*nrTotal+jOff:k*nrTotal+jOff+nr], b[k*ldb:k*ldb+nr])
@@ -97,6 +101,8 @@ func SGEMMMicroPackB(mr, nr, kc int, alpha float32, a []float32, lda int, b []fl
 // the transposed operand as stored (N×K row-major), so element B(k, j) of
 // the logical K×N operand is bT[j*ldbT + k]. Used by the NT-mode inner-
 // product packing kernel and by NT edge tiles that bypass the packed buffer.
+//
+//shalom:hotpath noalloc,nolock,noblock,notime
 func SGEMMMicroNT(mr, nr, kc int, alpha float32, a []float32, lda int, bT []float32, ldbT int, beta float32, c []float32, ldc int) {
 	for i := 0; i < mr; i++ {
 		ar := a[i*lda:]
@@ -120,6 +126,8 @@ func SGEMMMicroNT(mr, nr, kc int, alpha float32, a []float32, lda int, bT []floa
 // transposed bT using the inner-product formulation, and scatters the same
 // kc×nr sliver of B into the linear buffer bc (row-major kc×nrTotal at
 // column jOff) so later tiles can run the 7×12 outer-product main kernel.
+//
+//shalom:hotpath noalloc,nolock,noblock,notime
 func SGEMMMicroNTPack(mr, nr, kc int, alpha float32, a []float32, lda int, bT []float32, ldbT int, beta float32, c []float32, ldc int, bc []float32, nrTotal, jOff int) {
 	for j := 0; j < nr; j++ {
 		br := bT[j*ldbT:]
@@ -132,6 +140,8 @@ func SGEMMMicroNTPack(mr, nr, kc int, alpha float32, a []float32, lda int, bT []
 
 // SScaleRows scales the mr×nr tile of C by beta in place (used when a
 // driver must apply beta to tiles no kernel will touch, e.g. zero-K edge).
+//
+//shalom:hotpath noalloc,nolock,noblock,notime
 func SScaleRows(mr, nr int, beta float32, c []float32, ldc int) {
 	for i := 0; i < mr; i++ {
 		row := c[i*ldc : i*ldc+nr]

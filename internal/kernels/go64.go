@@ -7,6 +7,8 @@ package kernels
 // DGEMMMicro computes the mr×nr FP64 tile
 // c = alpha*(a·b) + beta*c with row-major operands and explicit leading
 // dimensions; see SGEMMMicro for the layout conventions.
+//
+//shalom:hotpath noalloc,nolock,noblock,notime
 func DGEMMMicro(mr, nr, kc int, alpha float64, a []float64, lda int, b []float64, ldb int, beta float64, c []float64, ldc int) {
 	if mr == 7 && nr == 6 {
 		dgemmMicro7x6(kc, alpha, a, lda, b, ldb, beta, c, ldc)
@@ -57,6 +59,8 @@ func dgemmMicro7x6(kc int, alpha float64, a []float64, lda int, b []float64, ldb
 
 // DGEMMMicroPackB is the FP64 NN packing micro-kernel: update C and pack the
 // kc×nr B sliver into bc (see SGEMMMicroPackB).
+//
+//shalom:hotpath noalloc,nolock,noblock,notime
 func DGEMMMicroPackB(mr, nr, kc int, alpha float64, a []float64, lda int, b []float64, ldb int, beta float64, c []float64, ldc int, bc []float64, nrTotal, jOff int) {
 	for k := 0; k < kc; k++ {
 		copy(bc[k*nrTotal+jOff:k*nrTotal+jOff+nr], b[k*ldb:k*ldb+nr])
@@ -66,6 +70,8 @@ func DGEMMMicroPackB(mr, nr, kc int, alpha float64, a []float64, lda int, b []fl
 
 // DGEMMMicroNT computes an mr×nr FP64 tile with B supplied as stored-
 // transposed (N×K row-major); see SGEMMMicroNT.
+//
+//shalom:hotpath noalloc,nolock,noblock,notime
 func DGEMMMicroNT(mr, nr, kc int, alpha float64, a []float64, lda int, bT []float64, ldbT int, beta float64, c []float64, ldc int) {
 	for i := 0; i < mr; i++ {
 		ar := a[i*lda:]
@@ -86,6 +92,8 @@ func DGEMMMicroNT(mr, nr, kc int, alpha float64, a []float64, lda int, bT []floa
 
 // DGEMMMicroNTPack is the FP64 NT packing micro-kernel (Fig 5 / Alg 3):
 // inner-product C update plus scatter of the sliver into bc.
+//
+//shalom:hotpath noalloc,nolock,noblock,notime
 func DGEMMMicroNTPack(mr, nr, kc int, alpha float64, a []float64, lda int, bT []float64, ldbT int, beta float64, c []float64, ldc int, bc []float64, nrTotal, jOff int) {
 	for j := 0; j < nr; j++ {
 		br := bT[j*ldbT:]
@@ -97,6 +105,8 @@ func DGEMMMicroNTPack(mr, nr, kc int, alpha float64, a []float64, lda int, bT []
 }
 
 // DScaleRows scales the mr×nr tile of C by beta in place.
+//
+//shalom:hotpath noalloc,nolock,noblock,notime
 func DScaleRows(mr, nr int, beta float64, c []float64, ldc int) {
 	for i := 0; i < mr; i++ {
 		row := c[i*ldc : i*ldc+nr]

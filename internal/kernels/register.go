@@ -17,8 +17,10 @@ func init() {
 	// Main outer-product micro-kernel, FP32 7×12 (§5.2's Eq. 1 optimum),
 	// pipelined schedule, consuming a packed B (LDB = NR).
 	isacheck.Register(isacheck.Entry{
-		Name:   "libshalom/main-7x12-f32",
-		Family: "libshalom",
+		Name:      "libshalom/main-7x12-f32",
+		Family:    "libshalom",
+		SymFamily: "main-pipelined-f32",
+		SymShape:  isacheck.Shape{MR: 7, NR: 12, KC: 8},
 		Contract: isacheck.Contract{
 			Kind: isacheck.KindMain, Elem: 4,
 			MR: 7, NR: 12, KC: 8,
@@ -39,8 +41,10 @@ func init() {
 	// The same kernel with the folded B packing of §5.3: the consumed B
 	// sliver is stored into Bc between the FMAs.
 	isacheck.Register(isacheck.Entry{
-		Name:   "libshalom/packmain-7x12-f32",
-		Family: "libshalom",
+		Name:      "libshalom/packmain-7x12-f32",
+		Family:    "libshalom",
+		SymFamily: "packmain-pipelined-f32",
+		SymShape:  isacheck.Shape{MR: 7, NR: 12, KC: 8},
 		Contract: isacheck.Contract{
 			Kind: isacheck.KindMain, Elem: 4,
 			MR: 7, NR: 12, KC: 8,
@@ -58,8 +62,10 @@ func init() {
 	})
 	// FP64 main kernel, 7×6 (two lanes per register, Eq. 1's FP64 optimum).
 	isacheck.Register(isacheck.Entry{
-		Name:   "libshalom/main-7x6-f64",
-		Family: "libshalom",
+		Name:      "libshalom/main-7x6-f64",
+		Family:    "libshalom",
+		SymFamily: "main-pipelined-f64",
+		SymShape:  isacheck.Shape{MR: 7, NR: 6, KC: 8},
 		Contract: isacheck.Contract{
 			Kind: isacheck.KindMain, Elem: 8,
 			MR: 7, NR: 6, KC: 8,
@@ -80,8 +86,10 @@ func init() {
 	// K-block — the §5.4 pipelined discipline does not apply — so the
 	// contract declares the honest batched-load ceilings instead.
 	isacheck.Register(isacheck.Entry{
-		Name:   "libshalom/ntpack-7x3-f32",
-		Family: "libshalom",
+		Name:      "libshalom/ntpack-7x3-f32",
+		Family:    "libshalom",
+		SymFamily: "ntpack-f32",
+		SymShape:  isacheck.Shape{MR: 7, NR: 3, KC: 8},
 		Contract: isacheck.Contract{
 			Kind: isacheck.KindNTPack, Elem: 4,
 			MR: 7, NR: 3, KC: 8,
@@ -98,8 +106,10 @@ func init() {
 	})
 	// FP64 NT packing kernel filling a KC×6 panel.
 	isacheck.Register(isacheck.Entry{
-		Name:   "libshalom/ntpack-7x3-f64",
-		Family: "libshalom",
+		Name:      "libshalom/ntpack-7x3-f64",
+		Family:    "libshalom",
+		SymFamily: "ntpack-f64",
+		SymShape:  isacheck.Shape{MR: 7, NR: 3, KC: 8},
 		Contract: isacheck.Contract{
 			Kind: isacheck.KindNTPack, Elem: 8,
 			MR: 7, NR: 3, KC: 8,
@@ -117,8 +127,10 @@ func init() {
 	// The 8×4 edge kernel in LibShalom's pipelined arrangement (Fig 6b):
 	// the §5.4 claim this verifier makes static.
 	isacheck.Register(isacheck.Entry{
-		Name:   "libshalom/edge-8x4-pipelined-f32",
-		Family: "libshalom",
+		Name:      "libshalom/edge-8x4-pipelined-f32",
+		Family:    "libshalom",
+		SymFamily: "edge-pipelined-f32",
+		SymShape:  isacheck.Shape{MR: 8, NR: 4, KC: 16},
 		Contract: isacheck.Contract{
 			Kind: isacheck.KindEdge, Elem: 4,
 			MR: 8, NR: 4, KC: 16,

@@ -79,6 +79,8 @@ func DepthFor(sizeBBytes, llcBytes int) Depth {
 // PackBF32 copies the kc×nc block of B starting at (k0, j0) into dst as a
 // dense row-major kc×nc buffer (ldb is B's stride). This is the sequential
 // whole-panel packing conventional libraries always run (Fig 1 step L2).
+//
+//shalom:hotpath noalloc,nolock,noblock,notime
 func PackBF32(dst []float32, b []float32, ldb, k0, j0, kc, nc int) {
 	for k := 0; k < kc; k++ {
 		src := b[(k0+k)*ldb+j0 : (k0+k)*ldb+j0+nc]
@@ -87,6 +89,8 @@ func PackBF32(dst []float32, b []float32, ldb, k0, j0, kc, nc int) {
 }
 
 // PackBF64 is the FP64 counterpart of PackBF32.
+//
+//shalom:hotpath noalloc,nolock,noblock,notime
 func PackBF64(dst []float64, b []float64, ldb, k0, j0, kc, nc int) {
 	for k := 0; k < kc; k++ {
 		src := b[(k0+k)*ldb+j0 : (k0+k)*ldb+j0+nc]
@@ -99,6 +103,8 @@ func PackBF64(dst []float64, b []float64, ldb, k0, j0, kc, nc int) {
 // bt[(j0+j)*ldbt + k0+k]. This is the transpose gather the NT packing
 // micro-kernel performs with vector loads plus scatter stores (Fig 5);
 // baselines run it as a standalone pass.
+//
+//shalom:hotpath noalloc,nolock,noblock,notime
 func PackBTransposedF32(dst []float32, bt []float32, ldbt, k0, j0, kc, nc int) {
 	for j := 0; j < nc; j++ {
 		src := bt[(j0+j)*ldbt+k0:]
@@ -109,6 +115,8 @@ func PackBTransposedF32(dst []float32, bt []float32, ldbt, k0, j0, kc, nc int) {
 }
 
 // PackBTransposedF64 is the FP64 counterpart of PackBTransposedF32.
+//
+//shalom:hotpath noalloc,nolock,noblock,notime
 func PackBTransposedF64(dst []float64, bt []float64, ldbt, k0, j0, kc, nc int) {
 	for j := 0; j < nc; j++ {
 		src := bt[(j0+j)*ldbt+k0:]
@@ -122,6 +130,8 @@ func PackBTransposedF64(dst []float64, bt []float64, ldbt, k0, j0, kc, nc int) {
 // dense row-major mc×kc buffer (lda is A's stride). The packed layout keeps
 // each row's K elements contiguous, which is what the 7×12 main kernel's
 // A-vector loads require (Fig 3).
+//
+//shalom:hotpath noalloc,nolock,noblock,notime
 func PackAF32(dst []float32, a []float32, lda, i0, k0, mc, kc int) {
 	for i := 0; i < mc; i++ {
 		src := a[(i0+i)*lda+k0 : (i0+i)*lda+k0+kc]
@@ -130,6 +140,8 @@ func PackAF32(dst []float32, a []float32, lda, i0, k0, mc, kc int) {
 }
 
 // PackAF64 is the FP64 counterpart of PackAF32.
+//
+//shalom:hotpath noalloc,nolock,noblock,notime
 func PackAF64(dst []float64, a []float64, lda, i0, k0, mc, kc int) {
 	for i := 0; i < mc; i++ {
 		src := a[(i0+i)*lda+k0 : (i0+i)*lda+k0+kc]
@@ -141,6 +153,8 @@ func PackAF64(dst []float64, a []float64, lda, i0, k0, mc, kc int) {
 // (at stored K×M row-major, the TN-mode input) into dense row-major mc×kc:
 // dst[i*kc+k] = at[(k0+k)*ldat + i0+i]. §4.3: TN packs A with the NT-mode
 // strategy.
+//
+//shalom:hotpath noalloc,nolock,noblock,notime
 func PackATransposedF32(dst []float32, at []float32, ldat, i0, k0, mc, kc int) {
 	for k := 0; k < kc; k++ {
 		src := at[(k0+k)*ldat+i0:]
@@ -151,6 +165,8 @@ func PackATransposedF32(dst []float32, at []float32, ldat, i0, k0, mc, kc int) {
 }
 
 // PackATransposedF64 is the FP64 counterpart of PackATransposedF32.
+//
+//shalom:hotpath noalloc,nolock,noblock,notime
 func PackATransposedF64(dst []float64, at []float64, ldat, i0, k0, mc, kc int) {
 	for k := 0; k < kc; k++ {
 		src := at[(k0+k)*ldat+i0:]
@@ -163,6 +179,8 @@ func PackATransposedF64(dst []float64, at []float64, ldat, i0, k0, mc, kc int) {
 // PackAColMajorF32 packs an mb×kc block of A into the column-major (M-
 // direction) sliver layout the 8×4 edge kernels of Fig 6 consume:
 // dst[k*mb + i] = a[(i0+i)*lda + k0+k].
+//
+//shalom:hotpath noalloc,nolock,noblock,notime
 func PackAColMajorF32(dst []float32, a []float32, lda, i0, k0, mb, kc int) {
 	for k := 0; k < kc; k++ {
 		for i := 0; i < mb; i++ {

@@ -1,0 +1,37 @@
+package server
+
+import (
+	"testing"
+	"time"
+
+	"libshalom"
+)
+
+// TestFlushPathAllocFree is the runtime twin of the //shalom:hotpath
+// noalloc annotations on the coalescer's per-request flush work: answering
+// an admitted request — queue-wait telemetry, flops release, result
+// delivery — must not allocate. The static analyzer proves the property on
+// the source; this pins it against the compiler's escape analysis.
+func TestFlushPathAllocFree(t *testing.T) {
+	lib := libshalom.New(libshalom.WithTelemetry())
+	defer lib.Close()
+	co := newCoalescer(lib, Config{}.withDefaults())
+
+	p := &pending{
+		req:  &Request{M: 8, N: 8, K: 8},
+		enq:  time.Now(),
+		done: make(chan result, 1),
+	}
+	flops := int64(p.req.Flops())
+
+	allocs := testing.AllocsPerRun(200, func() {
+		co.inFlight.Add(flops) // stand in for submit's admission
+		p.waited = false
+		co.recordWait(p, time.Now())
+		co.finish(p, result{status: 200, batchSize: 1, queueWait: p.wait})
+		<-p.done
+	})
+	if allocs != 0 {
+		t.Errorf("flush answer path allocates %.1f allocs/op, want 0", allocs)
+	}
+}

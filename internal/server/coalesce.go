@@ -66,9 +66,10 @@ type classQueue struct {
 // first. Each flush is one SGEMMBatchCtx/DGEMMBatchCtx call on the shared
 // Context.
 type coalescer struct {
-	lib *libshalom.Context
-	cfg Config
-	tel *telemetry.Recorder
+	lib  *libshalom.Context
+	cfg  Config
+	tel  *telemetry.Recorder
+	base context.Context // parent of every flush's batch context
 
 	mu      sync.Mutex
 	classes map[classKey]*classQueue
@@ -80,10 +81,15 @@ type coalescer struct {
 }
 
 func newCoalescer(lib *libshalom.Context, cfg Config) *coalescer {
+	base := cfg.BaseContext
+	if base == nil {
+		base = context.Background() //shalom:allow ctxflow — documented default when the caller sets no BaseContext
+	}
 	return &coalescer{
 		lib:     lib,
 		cfg:     cfg,
 		tel:     lib.TelemetryRecorder(),
+		base:    base,
 		classes: make(map[classKey]*classQueue),
 	}
 }
@@ -241,7 +247,7 @@ func (co *coalescer) runFlush(key classKey, batch []*pending) {
 // dispatch runs one batch call over the remaining requests, bounded by the
 // earliest member deadline.
 func (co *coalescer) dispatch(key classKey, remaining []*pending) error {
-	ctx := context.Background()
+	ctx := co.base
 	if min, ok := minDeadline(remaining); ok {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithDeadline(ctx, min)
@@ -289,6 +295,8 @@ func minDeadline(remaining []*pending) (time.Time, bool) {
 }
 
 // recordWait records the request's queue wait once, at its first flush.
+//
+//shalom:hotpath noalloc
 func (co *coalescer) recordWait(p *pending, now time.Time) {
 	if p.waited {
 		return
@@ -300,6 +308,8 @@ func (co *coalescer) recordWait(p *pending, now time.Time) {
 
 // finish releases the request's in-flight flops reservation and delivers
 // its result.
+//
+//shalom:hotpath noalloc
 func (co *coalescer) finish(p *pending, res result) {
 	co.inFlight.Add(-int64(p.req.Flops()))
 	p.done <- res

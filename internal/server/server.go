@@ -45,6 +45,13 @@ type Config struct {
 	MaxDim int
 	// MaxPayloadBytes caps a request's operand payload. Default 64 MiB.
 	MaxPayloadBytes int64
+	// BaseContext is the parent of every flush's batch context. Deadlines
+	// layer on top of it, and cancelling it aborts in-flight batches
+	// between entries — it should be the server's lifecycle context (one
+	// that outlives a drain-triggering signal, not the signal context
+	// itself, or the drain's final flushes are cancelled too). Nil selects
+	// context.Background().
+	BaseContext context.Context
 }
 
 func (c Config) withDefaults() Config {

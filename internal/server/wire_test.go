@@ -156,8 +156,8 @@ func TestDecodeRequestBoundsPayloadBeforeAllocating(t *testing.T) {
 
 func TestStoredDims(t *testing.T) {
 	for _, tc := range []struct {
-		mode                       libshalom.Mode
-		aR, aC, bR, bC             int
+		mode           libshalom.Mode
+		aR, aC, bR, bC int
 	}{
 		{libshalom.NN, 2, 4, 4, 3},
 		{libshalom.NT, 2, 4, 3, 4},

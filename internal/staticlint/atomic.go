@@ -1,0 +1,197 @@
+package staticlint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// AtomicDiscipline enforces the two field-level rules the Go memory model
+// demands of sync/atomic users:
+//
+//  1. A field accessed through the old-style atomic functions
+//     (atomic.AddUint64(&s.f, …)) must never also be accessed plainly — a
+//     mixed read tears on 32-bit platforms and races everywhere.
+//  2. A raw int64/uint64 field used with 64-bit atomics must sit at an
+//     8-aligned offset under 32-bit struct layout (GOARCH=arm), where the
+//     compiler only guarantees 4-byte alignment for 8-byte integers. The
+//     typed atomic.Int64/Uint64 wrappers are aligned by construction and
+//     are the recommended fix.
+//
+// The catalogue of atomically-accessed fields is built module-wide first,
+// so a field written atomically in one package and read plainly in another
+// is still caught.
+var AtomicDiscipline = &Analyzer{
+	Name: "atomicdiscipline",
+	Doc:  "no mixed atomic/plain field access; 64-bit atomics alignment-safe on 32-bit layouts",
+	Run:  runAtomicDiscipline,
+}
+
+// oldAtomicOps maps sync/atomic package functions to the index of their
+// address argument.
+func oldAtomicAddrArg(name string) (int, bool) {
+	for _, prefix := range []string{"Add", "Load", "Store", "Swap", "CompareAndSwap", "Or", "And"} {
+		if strings.HasPrefix(name, prefix) && name != prefix {
+			return 0, true
+		}
+	}
+	return 0, false
+}
+
+type atomicUse struct {
+	field *types.Var
+	pos   token.Pos
+	is64  bool
+	// recv/index locate the field within its outermost struct for the
+	// 32-bit offset computation.
+	recv  types.Type
+	index []int
+}
+
+func runAtomicDiscipline(prog *Program, rep *Reporter) {
+	// Pass 1: collect every field reached through an old-style atomic call,
+	// remembering which selector nodes the atomic calls themselves consume.
+	uses := map[*types.Var]*atomicUse{}
+	consumed := map[*ast.SelectorExpr]bool{}
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := ResolveCall(pkg, call)
+				if callee.Kind != CalleeStatic || FuncPkgPath(callee.Fn) != "sync/atomic" {
+					return true
+				}
+				if RecvNamed(callee.Fn) != nil {
+					return true // typed atomic.Int64 etc.: safe by construction
+				}
+				arg, ok := oldAtomicAddrArg(callee.Fn.Name())
+				if !ok || arg >= len(call.Args) {
+					return true
+				}
+				ue, ok := ast.Unparen(call.Args[arg]).(*ast.UnaryExpr)
+				if !ok || ue.Op != token.AND {
+					return true
+				}
+				sel, ok := ast.Unparen(ue.X).(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				selection, ok := pkg.Info.Selections[sel]
+				if !ok || selection.Kind() != types.FieldVal {
+					return true
+				}
+				field, ok := selection.Obj().(*types.Var)
+				if !ok {
+					return true
+				}
+				consumed[sel] = true
+				u := uses[field]
+				if u == nil {
+					u = &atomicUse{field: field, pos: call.Pos(),
+						recv: selection.Recv(), index: selection.Index()}
+					uses[field] = u
+				}
+				if strings.Contains(callee.Fn.Name(), "64") {
+					u.is64 = true
+				}
+				return true
+			})
+		}
+	}
+	if len(uses) == 0 {
+		return
+	}
+
+	// Pass 2: any other selection of those fields is a mixed access.
+	type mixed struct {
+		pos   token.Pos
+		field *types.Var
+	}
+	var mixes []mixed
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok || consumed[sel] {
+					return true
+				}
+				selection, ok := pkg.Info.Selections[sel]
+				if !ok || selection.Kind() != types.FieldVal {
+					return true
+				}
+				if field, ok := selection.Obj().(*types.Var); ok && uses[field] != nil {
+					mixes = append(mixes, mixed{pos: sel.Pos(), field: field})
+				}
+				return true
+			})
+		}
+	}
+	sort.Slice(mixes, func(i, j int) bool { return mixes[i].pos < mixes[j].pos })
+	for _, m := range mixes {
+		rep.Reportf(m.pos,
+			"field %s is accessed atomically elsewhere (%s); this plain access races with it",
+			m.field.Name(), prog.Fset.Position(uses[m.field].pos))
+	}
+
+	// Pass 3: 64-bit atomics on raw integer fields must be 8-aligned under
+	// the 32-bit layout rules.
+	sizes := types.SizesFor("gc", "arm")
+	fields := make([]*types.Var, 0, len(uses))
+	for f := range uses {
+		fields = append(fields, f)
+	}
+	sort.Slice(fields, func(i, j int) bool { return uses[fields[i]].pos < uses[fields[j]].pos })
+	for _, f := range fields {
+		u := uses[f]
+		if !u.is64 {
+			continue
+		}
+		off, ok := fieldOffset32(sizes, u.recv, u.index)
+		if !ok {
+			continue
+		}
+		if off%8 != 0 {
+			rep.Reportf(u.pos,
+				"64-bit atomic access to %s at 32-bit struct offset %d (not 8-aligned); move the field first or use atomic.%s",
+				f.Name(), off, atomicTypeFor(f))
+		}
+	}
+}
+
+// fieldOffset32 computes the byte offset of a (possibly promoted) field
+// under the given layout, following the selection index path.
+func fieldOffset32(sizes types.Sizes, recv types.Type, index []int) (int64, bool) {
+	var off int64
+	t := recv
+	for _, idx := range index {
+		if p, ok := t.Underlying().(*types.Pointer); ok {
+			// A pointer hop resets the offset chain: the pointee is its own
+			// allocation, 8-aligned at its start on all platforms.
+			t = p.Elem()
+			off = 0
+		}
+		st, ok := t.Underlying().(*types.Struct)
+		if !ok || idx >= st.NumFields() {
+			return 0, false
+		}
+		flds := make([]*types.Var, st.NumFields())
+		for i := range flds {
+			flds[i] = st.Field(i)
+		}
+		off += sizes.Offsetsof(flds)[idx]
+		t = st.Field(idx).Type()
+	}
+	return off, true
+}
+
+func atomicTypeFor(f *types.Var) string {
+	if b, ok := f.Type().Underlying().(*types.Basic); ok && b.Kind() == types.Uint64 {
+		return "Uint64"
+	}
+	return "Int64"
+}

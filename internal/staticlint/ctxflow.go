@@ -1,0 +1,44 @@
+package staticlint
+
+import (
+	"go/ast"
+)
+
+// CtxFlow enforces context propagation through the batch runtime: the
+// parallel pool, SGEMMBatchCtx/DGEMMBatchCtx and the server flush path all
+// accept a caller context, and minting context.Background()/context.TODO()
+// inside library code severs the caller's deadline and cancellation from
+// everything downstream (the PR-4 per-call deadlines and the PR-5 drain
+// protocol both ride on that chain). Main packages are the legitimate
+// context roots and are exempt; a library-level default must carry
+// `//shalom:allow ctxflow` with its justification.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "library code must propagate caller contexts, not mint context.Background()/TODO()",
+	Run:  runCtxFlow,
+}
+
+func runCtxFlow(prog *Program, rep *Reporter) {
+	for _, pkg := range prog.Packages {
+		if pkg.Name == "main" {
+			continue
+		}
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := ResolveCall(pkg, call)
+				if callee.Kind != CalleeStatic || FuncPkgPath(callee.Fn) != "context" {
+					return true
+				}
+				if name := callee.Fn.Name(); name == "Background" || name == "TODO" {
+					rep.Reportf(call.Pos(),
+						"context.%s() in library code severs caller cancellation and deadlines; plumb the caller's context through", name)
+				}
+				return true
+			})
+		}
+	}
+}

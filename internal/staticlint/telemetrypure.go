@@ -1,0 +1,194 @@
+package staticlint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// TelemetryPure is the static twin of `make probe`: telemetry is handed out
+// as a possibly-nil *Recorder, and the disabled path's whole contract is
+// that a nil receiver records nothing. The dynamic probe counts atomic
+// writes at runtime under the telemetryprobe tag; this analyzer proves the
+// guard discipline at compile time — every Recorder method that writes
+// through its receiver must begin with the nil-receiver guard
+// (`if r == nil { return }`, possibly with extra `||` disjuncts).
+var TelemetryPure = &Analyzer{
+	Name: "telemetrypure",
+	Doc:  "telemetry Recorder methods that write must open with the nil-receiver guard",
+	Run:  runTelemetryPure,
+}
+
+// atomicWriteMethods are the sync/atomic value-type methods that mutate.
+var atomicWriteMethods = map[string]bool{
+	"Add": true, "Store": true, "Swap": true, "CompareAndSwap": true,
+	"Or": true, "And": true,
+}
+
+func runTelemetryPure(prog *Program, rep *Reporter) {
+	for _, pkg := range prog.Packages {
+		if pkg.Name != "telemetry" {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Recv == nil || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				named := RecvNamed(fn)
+				if named == nil || named.Obj().Name() != "Recorder" {
+					continue
+				}
+				recv := recvObj(pkg, fd)
+				wpos, writes := findRecorderWrite(pkg, fd, recv)
+				if !writes {
+					continue
+				}
+				if !opensWithNilGuard(pkg, fd, recv) {
+					rep.Reportf(fd.Pos(),
+						"(*Recorder).%s writes (first write at %s) but does not open with `if r == nil { return }` — the disabled telemetry path must be write-free",
+						fd.Name.Name, prog.Fset.Position(wpos))
+				}
+			}
+		}
+	}
+}
+
+// recvObj returns the receiver variable's object, or nil for unnamed
+// receivers.
+func recvObj(pkg *Package, fd *ast.FuncDecl) types.Object {
+	if len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	return pkg.Info.Defs[fd.Recv.List[0].Names[0]]
+}
+
+// rootedAtRecv reports whether expr is a selector/index chain starting at
+// the receiver variable.
+func rootedAtRecv(pkg *Package, recv types.Object, expr ast.Expr) bool {
+	if recv == nil {
+		return false
+	}
+	for {
+		switch e := ast.Unparen(expr).(type) {
+		case *ast.Ident:
+			return pkg.Info.Uses[e] == recv
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		default:
+			return false
+		}
+	}
+}
+
+// findRecorderWrite locates the first receiver-rooted write in the body:
+// an assignment through the receiver, a mutating sync/atomic method call on
+// receiver state, an old-style atomic.XxxYyy(&r.field, ...) call, or the
+// probe marker probeAtomicWrite().
+func findRecorderWrite(pkg *Package, fd *ast.FuncDecl, recv types.Object) (token.Pos, bool) {
+	var pos token.Pos
+	found := false
+	mark := func(p token.Pos) {
+		if !found {
+			pos, found = p, true
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if rootedAtRecv(pkg, recv, lhs) {
+					mark(lhs.Pos())
+				}
+			}
+		case *ast.IncDecStmt:
+			if rootedAtRecv(pkg, recv, n.X) {
+				mark(n.Pos())
+			}
+		case *ast.CallExpr:
+			callee := ResolveCall(pkg, n)
+			if callee.Kind != CalleeStatic {
+				return true
+			}
+			fn := callee.Fn
+			if fn.Name() == "probeAtomicWrite" && FuncPkgPath(fn) == pkg.Path {
+				mark(n.Pos())
+				return true
+			}
+			if FuncPkgPath(fn) == "sync/atomic" {
+				if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+					// Method form: r.counter.Add(1).
+					if atomicWriteMethods[fn.Name()] && rootedAtRecv(pkg, recv, sel.X) {
+						mark(n.Pos())
+						return true
+					}
+				}
+				// Function form: atomic.AddUint64(&r.field, 1).
+				if len(n.Args) > 0 {
+					if ue, ok := ast.Unparen(n.Args[0]).(*ast.UnaryExpr); ok &&
+						ue.Op == token.AND && rootedAtRecv(pkg, recv, ue.X) {
+						mark(n.Pos())
+					}
+				}
+			}
+		}
+		return true
+	})
+	return pos, found
+}
+
+// opensWithNilGuard reports whether the body's first statement is
+// `if r == nil { return ... }` (the condition may carry extra `||`
+// disjuncts after the nil test).
+func opensWithNilGuard(pkg *Package, fd *ast.FuncDecl, recv types.Object) bool {
+	if recv == nil || len(fd.Body.List) == 0 {
+		return false
+	}
+	ifs, ok := fd.Body.List[0].(*ast.IfStmt)
+	if !ok || ifs.Init != nil || ifs.Else != nil {
+		return false
+	}
+	if len(ifs.Body.List) != 1 {
+		return false
+	}
+	if _, ok := ifs.Body.List[0].(*ast.ReturnStmt); !ok {
+		return false
+	}
+	return condHasNilTest(pkg, recv, ifs.Cond)
+}
+
+func condHasNilTest(pkg *Package, recv types.Object, cond ast.Expr) bool {
+	switch e := ast.Unparen(cond).(type) {
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.LOR:
+			return condHasNilTest(pkg, recv, e.X) || condHasNilTest(pkg, recv, e.Y)
+		case token.EQL:
+			return isRecvNilPair(pkg, recv, e.X, e.Y) || isRecvNilPair(pkg, recv, e.Y, e.X)
+		}
+	}
+	return false
+}
+
+func isRecvNilPair(pkg *Package, recv types.Object, a, b ast.Expr) bool {
+	id, ok := ast.Unparen(a).(*ast.Ident)
+	if !ok || pkg.Info.Uses[id] != recv {
+		return false
+	}
+	if tv, ok := pkg.Info.Types[ast.Unparen(b)]; ok {
+		return tv.IsNil()
+	}
+	return false
+}

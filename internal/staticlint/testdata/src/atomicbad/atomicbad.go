@@ -1,0 +1,26 @@
+// Package atomicbad is a staticlint fixture for the atomicdiscipline
+// analyzer: one mixed atomic/plain field, one misaligned 64-bit atomic.
+package atomicbad
+
+import "sync/atomic"
+
+type stats struct {
+	hits uint64
+}
+
+// Mixed reads s.hits plainly while Bump below accesses it atomically:
+// finding at the plain read (line 16).
+func Mixed(s *stats) uint64 {
+	atomic.AddUint64(&s.hits, 1)
+	return s.hits
+}
+
+type counters struct {
+	pad uint32
+	n   uint64 // offset 4 under 32-bit layout: not 8-aligned
+}
+
+// Bump64 uses a 64-bit atomic on a misaligned field: finding at the call.
+func Bump64(c *counters) {
+	atomic.AddUint64(&c.n, 1)
+}

@@ -1,0 +1,16 @@
+// Package ctxbad is a staticlint fixture for the ctxflow analyzer: one
+// bare context root, one justified with an allow.
+package ctxbad
+
+import "context"
+
+// Root mints a context in library code: finding at line 9.
+func Root() context.Context {
+	return context.Background()
+}
+
+// Documented is a deliberate root with its justification on record.
+func Documented() context.Context {
+	//shalom:allow ctxflow -- fixture: detached audit-log writes outlive the request
+	return context.TODO()
+}

@@ -1,0 +1,18 @@
+// Package hotclean is a staticlint fixture: fully annotated, fully clean.
+package hotclean
+
+//shalom:hotpath noalloc,nolock,noblock,notime
+func Dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+//shalom:hotpath noalloc,nolock,noblock,notime
+func Scale(dst []float64, alpha float64) {
+	for i := range dst {
+		dst[i] *= alpha
+	}
+}

@@ -1,0 +1,43 @@
+// Package telemetry is a staticlint fixture for the telemetrypure
+// analyzer: a Recorder with one guarded writer, two unguarded writers, and
+// one read-only method.
+package telemetry
+
+import "sync/atomic"
+
+// Recorder mirrors the real recorder's nil-receiver contract.
+type Recorder struct {
+	calls atomic.Uint64
+	gauge int64
+}
+
+// Guarded opens with the nil guard: clean.
+func (r *Recorder) Guarded() {
+	if r == nil {
+		return
+	}
+	r.calls.Add(1)
+}
+
+// GuardedDisjunct keeps the guard as the first || disjunct: clean.
+func (r *Recorder) GuardedDisjunct(skip bool) {
+	if r == nil || skip {
+		return
+	}
+	r.calls.Add(1)
+}
+
+// Unguarded writes atomically without the guard: finding at line 32.
+func (r *Recorder) Unguarded() {
+	r.calls.Add(1)
+}
+
+// PlainWrite assigns receiver state without the guard: finding at line 37.
+func (r *Recorder) PlainWrite(v int64) {
+	r.gauge = v
+}
+
+// ReadOnly never writes; no guard required.
+func (r *Recorder) ReadOnly() uint64 {
+	return r.calls.Load()
+}

@@ -31,6 +31,8 @@ type serverStats struct {
 }
 
 // ServerAccepted counts one request admitted into a coalescing queue.
+//
+//shalom:hotpath noalloc,nolock,noblock
 func (r *Recorder) ServerAccepted() {
 	if r == nil {
 		return
@@ -41,6 +43,8 @@ func (r *Recorder) ServerAccepted() {
 
 // ServerShed counts one request refused by admission control (queue depth or
 // in-flight flops over the limit — the HTTP 429 path).
+//
+//shalom:hotpath noalloc,nolock,noblock
 func (r *Recorder) ServerShed() {
 	if r == nil {
 		return
@@ -51,6 +55,8 @@ func (r *Recorder) ServerShed() {
 
 // ServerExpired counts one admitted request dropped before its flush because
 // its deadline had already passed — work shed before it was computed.
+//
+//shalom:hotpath noalloc,nolock,noblock
 func (r *Recorder) ServerExpired() {
 	if r == nil {
 		return
@@ -61,6 +67,8 @@ func (r *Recorder) ServerExpired() {
 
 // ServerRejected counts one request refused at decode time (malformed
 // header, dimension bounds, payload length mismatch — the HTTP 400 path).
+//
+//shalom:hotpath noalloc,nolock,noblock
 func (r *Recorder) ServerRejected() {
 	if r == nil {
 		return
@@ -72,6 +80,8 @@ func (r *Recorder) ServerRejected() {
 // ServerFlush records one coalescer flush of size requests: the batch-size
 // histogram, and — for flushes that actually coalesced (size > 1) — size
 // requests counted as coalesced.
+//
+//shalom:hotpath noalloc,nolock,noblock
 func (r *Recorder) ServerFlush(size int) {
 	if r == nil || size <= 0 {
 		return
@@ -88,6 +98,8 @@ func (r *Recorder) ServerFlush(size int) {
 
 // ServerQueueWait records how long one request sat in its coalescing queue
 // between admission and flush dispatch.
+//
+//shalom:hotpath noalloc,nolock,noblock
 func (r *Recorder) ServerQueueWait(ns int64) {
 	if r == nil {
 		return

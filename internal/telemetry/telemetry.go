@@ -213,6 +213,8 @@ func (r *Recorder) Now() int64 {
 // CallTid allocates a trace lane for one public GEMM call. Caller lanes
 // start at 1000 so they render apart from worker lanes (1..N); concurrent
 // calls rotate over 64 lanes.
+//
+//shalom:hotpath noalloc,nolock,noblock
 func (r *Recorder) CallTid() int32 {
 	if r == nil {
 		return 0
@@ -243,6 +245,8 @@ func shardFor() int {
 // latency histogram, achieved-GFLOPS histogram, and the duration/flop sums
 // behind average-rate exposition. start is the Now() taken at call entry;
 // flops the 2·M·N·K operation count.
+//
+//shalom:hotpath noalloc,nolock,noblock
 func (r *Recorder) CallDone(prec, mode, class, kernel, outcome uint8, start int64, flops float64) {
 	if r == nil {
 		return
@@ -267,6 +271,8 @@ func (r *Recorder) CallDone(prec, mode, class, kernel, outcome uint8, start int6
 
 // CallEvent records a call that never ran (e.g. a batch entry abandoned on
 // cancellation): counter only, no timing.
+//
+//shalom:hotpath noalloc,nolock,noblock
 func (r *Recorder) CallEvent(prec, mode, class, kernel, outcome uint8) {
 	if r == nil {
 		return
@@ -278,6 +284,8 @@ func (r *Recorder) CallEvent(prec, mode, class, kernel, outcome uint8) {
 // ThreadChoice records the §7.4 thread policy's decision for one call:
 // requested is the width the caller asked for (WithThreads, or GOMAXPROCS
 // under the automatic policy), chosen what the policy granted.
+//
+//shalom:hotpath noalloc,nolock,noblock
 func (r *Recorder) ThreadChoice(requested, chosen int) {
 	if r == nil {
 		return
@@ -337,6 +345,8 @@ var healNames = [numHealEvents]string{
 }
 
 // HealEvent counts one self-healing event.
+//
+//shalom:hotpath noalloc,nolock,noblock
 func (r *Recorder) HealEvent(kind uint8) {
 	if r == nil || kind >= numHealEvents {
 		return
@@ -373,6 +383,8 @@ func (r *Recorder) BreakerTransition(from, to uint8) {
 }
 
 // DegradationEvent counts one kernel-path demotion observed by the runtime.
+//
+//shalom:hotpath noalloc,nolock,noblock
 func (r *Recorder) DegradationEvent(reason uint8) {
 	if r == nil || reason >= numDegrReasons {
 		return
@@ -384,6 +396,8 @@ func (r *Recorder) DegradationEvent(reason uint8) {
 // FaultInjected counts one fired fault-injection point. Together with
 // TaskQueued/TaskStart/TaskDone it satisfies parallel.Observer, so a
 // Recorder plugs directly into the worker pool.
+//
+//shalom:hotpath noalloc,nolock,noblock
 func (r *Recorder) FaultInjected(p faults.Point) {
 	if r == nil || int(p) >= faults.NumPoints {
 		return
@@ -393,6 +407,8 @@ func (r *Recorder) FaultInjected(p faults.Point) {
 }
 
 // TaskQueued records n tasks submitted to the pool.
+//
+//shalom:hotpath noalloc,nolock,noblock
 func (r *Recorder) TaskQueued(n int) {
 	if r == nil {
 		return
@@ -403,6 +419,8 @@ func (r *Recorder) TaskQueued(n int) {
 
 // TaskStart records a pool task beginning execution after waiting
 // queueWaitNs in the run queue.
+//
+//shalom:hotpath noalloc,nolock,noblock
 func (r *Recorder) TaskStart(queueWaitNs int64) {
 	if r == nil {
 		return
@@ -416,6 +434,8 @@ func (r *Recorder) TaskStart(queueWaitNs int64) {
 }
 
 // TaskDone records a pool task finishing after busyNs of execution.
+//
+//shalom:hotpath noalloc,nolock,noblock
 func (r *Recorder) TaskDone(busyNs int64) {
 	if r == nil {
 		return
