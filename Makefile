@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet staticlint race lint check fuzz test-chaos test-soak probe trace-smoke serve-smoke
+.PHONY: build test vet staticlint race lint check fuzz test-chaos test-soak probe trace-smoke serve-smoke journal-smoke
 
 build:
 	$(GO) build ./...
@@ -67,6 +67,13 @@ trace-smoke:
 serve-smoke:
 	sh scripts/serve-smoke.sh
 
+# Journal smoke test: the full forensic loop — capture a journaled storm,
+# SIGTERM-seal it, shalom-journal verify, prove a single flipped byte fails
+# verification, then replay the capture against a fresh server and require
+# every completed request to reproduce its journaled result hash bitwise.
+journal-smoke:
+	sh scripts/journal-smoke.sh
+
 # Static kernel verification: every registered micro-kernel must clear all
 # six isacheck passes (including the symbolic footprint proof) on every
 # modelled platform.
@@ -79,4 +86,4 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzAnalyze -fuzztime=10s ./internal/isa/
 
 # The CI gate.
-check: vet staticlint build test race test-chaos test-soak probe trace-smoke serve-smoke lint
+check: vet staticlint build test race test-chaos test-soak probe trace-smoke serve-smoke journal-smoke lint

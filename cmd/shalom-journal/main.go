@@ -1,0 +1,284 @@
+// Command shalom-journal is the forensics tool for the tamper-evident
+// request journal (internal/journal): it verifies segment integrity by
+// recomputing every merkle root and chain hash from the raw record bytes,
+// lists segments with their anchor chain, and dumps decoded events for
+// incident triage.
+//
+// Usage:
+//
+//	shalom-journal verify DIR            exit 0 iff the whole chain verifies
+//	shalom-journal ls DIR                one line per segment
+//	shalom-journal dump DIR              one line per event
+//	    [-kind admit|result|flush|breaker|anchor]
+//	    [-since RFC3339] [-until RFC3339] [-json]
+//
+// verify fails on any altered, inserted, dropped, or reordered byte — a
+// flipped byte breaks its frame's CRC, and a frame rewritten with a
+// recomputed CRC breaks the recomputed merkle chain. A torn tail also fails:
+// it is crash damage (a writer reopen repairs it by truncation — re-verify
+// after) or tampering, and verify cannot tell which. The newest segment may
+// legitimately be unsealed (a live writer between anchors).
+package main
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"libshalom/internal/journal"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	switch cmd {
+	case "verify":
+		os.Exit(cmdVerify(args))
+	case "ls":
+		os.Exit(cmdLs(args))
+	case "dump":
+		os.Exit(cmdDump(args))
+	case "-h", "-help", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "shalom-journal: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  shalom-journal verify DIR [-json]
+  shalom-journal ls DIR
+  shalom-journal dump DIR [-kind KIND] [-since RFC3339] [-until RFC3339] [-json]`)
+}
+
+// parseDir parses fs over args, accepting the single DIR positional either
+// before or after the flags (stdlib flag parsing stops at the first
+// positional, so `dump DIR -kind admit` needs DIR peeled off first).
+func parseDir(fs *flag.FlagSet, args []string) (string, bool) {
+	dir := ""
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		dir, args = args[0], args[1:]
+	}
+	_ = fs.Parse(args)
+	switch {
+	case dir == "" && fs.NArg() == 1:
+		return fs.Arg(0), true
+	case dir != "" && fs.NArg() == 0:
+		return dir, true
+	}
+	fmt.Fprintln(os.Stderr, "shalom-journal: exactly one journal directory expected")
+	return "", false
+}
+
+func cmdVerify(args []string) int {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	asJSON := fs.Bool("json", false, "print the full verification report as JSON")
+	dir, ok := parseDir(fs, args)
+	if !ok {
+		return 2
+	}
+	rep, err := journal.VerifyDir(dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "shalom-journal:", err)
+		return 1
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(rep)
+	} else {
+		for _, s := range rep.Segments {
+			state := "sealed"
+			if !s.Sealed {
+				state = "open"
+			}
+			if s.Torn {
+				state += ", torn tail"
+			}
+			fmt.Printf("segment %d: %d records, %d anchors, %d bytes (%s)\n",
+				s.Index, s.Records, s.Anchors, s.Bytes, state)
+		}
+		fmt.Printf("chain head: %s\n", rep.ChainHead)
+	}
+	if !rep.OK {
+		for _, e := range rep.Errs {
+			fmt.Fprintln(os.Stderr, "shalom-journal: FAIL:", e)
+		}
+		return 1
+	}
+	fmt.Printf("shalom-journal: OK — %d records under %d anchors verify\n", rep.Records, rep.Anchors)
+	return 0
+}
+
+func cmdLs(args []string) int {
+	fs := flag.NewFlagSet("ls", flag.ExitOnError)
+	dir, ok := parseDir(fs, args)
+	if !ok {
+		return 2
+	}
+	rep, err := journal.VerifyDir(dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "shalom-journal:", err)
+		return 1
+	}
+	for _, s := range rep.Segments {
+		span := ""
+		if s.FirstT != 0 {
+			span = fmt.Sprintf("  %s … %s",
+				time.Unix(0, s.FirstT).UTC().Format(time.RFC3339),
+				time.Unix(0, s.LastT).UTC().Format(time.RFC3339))
+		}
+		state := "sealed"
+		if !s.Sealed {
+			state = "open"
+		}
+		fmt.Printf("%s  seq %d-%d  %d records  %d anchors  %s  chain %.16s…%s\n",
+			s.Path, s.FirstSeq, s.LastSeq, s.Records, s.Anchors, state, s.ChainHead, span)
+	}
+	if !rep.OK {
+		for _, e := range rep.Errs {
+			fmt.Fprintln(os.Stderr, "shalom-journal: WARN:", e)
+		}
+	}
+	return 0
+}
+
+func cmdDump(args []string) int {
+	fs := flag.NewFlagSet("dump", flag.ExitOnError)
+	kindFilter := fs.String("kind", "", "only events of this kind (admit, result, flush, breaker, anchor, segment-header)")
+	since := fs.String("since", "", "only events at or after this RFC3339 time")
+	until := fs.String("until", "", "only events before this RFC3339 time")
+	asJSON := fs.Bool("json", false, "one JSON object per line instead of text")
+	dir, ok := parseDir(fs, args)
+	if !ok {
+		return 2
+	}
+	var sinceNs, untilNs int64
+	if *since != "" {
+		t, err := time.Parse(time.RFC3339, *since)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "shalom-journal: -since:", err)
+			return 2
+		}
+		sinceNs = t.UnixNano()
+	}
+	if *until != "" {
+		t, err := time.Parse(time.RFC3339, *until)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "shalom-journal: -until:", err)
+			return 2
+		}
+		untilNs = t.UnixNano()
+	}
+	events, err := journal.ReadDir(dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "shalom-journal:", err)
+		return 1
+	}
+	for _, e := range events {
+		if *kindFilter != "" && e.Kind.String() != *kindFilter {
+			continue
+		}
+		if sinceNs != 0 && e.T < sinceNs {
+			continue
+		}
+		if untilNs != 0 && e.T >= untilNs {
+			continue
+		}
+		if *asJSON {
+			_ = json.NewEncoder(os.Stdout).Encode(dumpLine(e))
+			continue
+		}
+		fmt.Println(textLine(e))
+	}
+	return 0
+}
+
+// dumpLine is the JSON dump shape of one event — the forensically useful
+// fields per kind, hashes hex-encoded, payloads elided to their length.
+func dumpLine(e journal.Event) map[string]any {
+	m := map[string]any{
+		"kind": e.Kind.String(),
+		"seq":  e.Seq,
+		"t":    time.Unix(0, e.T).UTC().Format(time.RFC3339Nano),
+	}
+	switch e.Kind {
+	case journal.KindSegmentHeader:
+		m["segment"] = e.Segment
+		m["prev_chain"] = hex.EncodeToString(e.PrevChain[:])
+	case journal.KindAdmit:
+		m["header"] = json.RawMessage(e.Header)
+		m["payload_hash"] = hex.EncodeToString(e.PayloadHash[:])
+		m["payload_bytes"] = len(e.Payload)
+		m["has_payload"] = e.HasPayload
+	case journal.KindResult:
+		m["admit_seq"] = e.AdmitSeq
+		m["status"] = e.Status
+		m["batch_size"] = e.BatchSize
+		m["result_hash"] = hex.EncodeToString(e.ResultHash[:])
+	case journal.KindFlush:
+		m["class"] = e.Class
+		m["size"] = e.Size
+		m["flops"] = e.Flops
+	case journal.KindBreaker:
+		m["platform"] = e.Platform
+		m["kernel"] = e.Kernel
+		m["from"] = e.From
+		m["to"] = e.To
+		m["reason"] = e.Reason
+		m["detail"] = e.Detail
+		m["shape"] = e.Shape
+		m["guard_seq"] = e.GuardSeq
+		m["trips"] = e.Trips
+	case journal.KindAnchor:
+		m["count"] = e.Count
+		m["root"] = hex.EncodeToString(e.Root[:])
+		m["chain"] = hex.EncodeToString(e.Chain[:])
+		m["sealed"] = e.Sealed
+	}
+	return m
+}
+
+// textLine is the human dump shape of one event.
+func textLine(e journal.Event) string {
+	ts := time.Unix(0, e.T).UTC().Format("15:04:05.000000")
+	switch e.Kind {
+	case journal.KindSegmentHeader:
+		return fmt.Sprintf("%s  #%d  segment-header  segment %d  prev-chain %.16s…",
+			ts, e.Seq, e.Segment, hex.EncodeToString(e.PrevChain[:]))
+	case journal.KindAdmit:
+		captured := ""
+		if e.HasPayload {
+			captured = fmt.Sprintf("  payload %dB", len(e.Payload))
+		}
+		return fmt.Sprintf("%s  #%d  admit  %s  payload-hash %.16s…%s",
+			ts, e.Seq, strings.TrimSpace(string(e.Header)), hex.EncodeToString(e.PayloadHash[:]), captured)
+	case journal.KindResult:
+		return fmt.Sprintf("%s  #%d  result  admit #%d  status %d  batch %d  result-hash %.16s…",
+			ts, e.Seq, e.AdmitSeq, e.Status, e.BatchSize, hex.EncodeToString(e.ResultHash[:]))
+	case journal.KindFlush:
+		return fmt.Sprintf("%s  #%d  flush  %s  size %d  %.3g flops",
+			ts, e.Seq, e.Class, e.Size, e.Flops)
+	case journal.KindBreaker:
+		return fmt.Sprintf("%s  #%d  breaker  %s/%s  %s → %s  (%s: %s)  trip %d",
+			ts, e.Seq, e.Platform, e.Kernel, e.From, e.To, e.Reason, e.Detail, e.Trips)
+	case journal.KindAnchor:
+		sealed := ""
+		if e.Sealed {
+			sealed = "  SEALED"
+		}
+		return fmt.Sprintf("%s  #%d  anchor  %d records  chain %.16s…%s",
+			ts, e.Seq, e.Count, hex.EncodeToString(e.Chain[:]), sealed)
+	}
+	return fmt.Sprintf("%s  #%d  %s", ts, e.Seq, e.Kind)
+}

@@ -10,9 +10,18 @@
 //	shalom-load -addr http://127.0.0.1:8080 [-n 1024] [-c 16]
 //	            [-mix tiny|small|cp2k|mixed] [-timeout-ms 0]
 //	            [-json FILE] [-assert-coalesced] [-fail-on-shed]
+//	            [-replay DIR] [-replay-speed 1]
 //
 // -assert-coalesced scrapes /metrics after the run and fails unless the
 // server's coalesce counter moved — the check `make serve-smoke` gates on.
+//
+// -replay DIR switches to deterministic replay: the journal in DIR
+// (captured with `shalom-serve -journal DIR -journal-payloads`) is verified
+// and re-issued with original arrival spacing (scaled by -replay-speed;
+// 0 = flat out), asserting bitwise-identical results for every request the
+// original run completed. Reports — both modes — embed the serve target's
+// config hash and journal head from /healthz, so every artifact names the
+// exact configuration and traffic segment it measured.
 package main
 
 import (
@@ -63,6 +72,14 @@ type report struct {
 	MeanBatch    float64 `json:"mean_batch_size"`
 	CoalescedPct float64 `json:"coalesced_pct"`
 	ShedPct      float64 `json:"shed_pct"`
+
+	// Provenance, scraped from the target's /healthz after the run: the
+	// serving configuration's hash and — when the target journals — the
+	// journal head this run's traffic landed under. A BENCH_serve.json row
+	// is thereby attributable to an exact config and traffic segment.
+	ConfigHash       string `json:"config_hash,omitempty"`
+	JournalChainHead string `json:"journal_chain_head,omitempty"`
+	JournalSegment   uint64 `json:"journal_segment,omitempty"`
 }
 
 func main() {
@@ -74,11 +91,16 @@ func main() {
 	jsonPath := flag.String("json", "", "write the report as JSON to this file")
 	assertCoalesced := flag.Bool("assert-coalesced", false, "scrape /metrics after the run and fail unless the coalesce counter > 0")
 	failOnShed := flag.Bool("fail-on-shed", false, "exit non-zero if any request was shed or errored")
+	replayDir := flag.String("replay", "", "replay a captured journal directory instead of generating load")
+	replaySpeed := flag.Float64("replay-speed", 1, "replay pacing: 1 = original arrival spacing, 2 = twice as fast, 0 = flat out")
 	flag.Parse()
 
 	base := strings.TrimSuffix(*addr, "/")
 	if !strings.Contains(base, "://") {
 		base = "http://" + base
+	}
+	if *replayDir != "" {
+		os.Exit(runReplay(base, *replayDir, *replaySpeed, *jsonPath))
 	}
 	jobs, err := buildJobs(*mix, *timeoutMS)
 	if err != nil {
@@ -168,6 +190,15 @@ func main() {
 	}
 	if *n > 0 {
 		r.ShedPct = 100 * float64(r.Shed) / float64(*n)
+	}
+	if prov, err := scrapeProvenance(client, base); err == nil {
+		r.ConfigHash = prov.ConfigHash
+		if prov.Journal != nil {
+			r.JournalChainHead = prov.Journal.ChainHead
+			r.JournalSegment = prov.Journal.Segment
+		}
+	} else {
+		fmt.Fprintln(os.Stderr, "shalom-load: provenance scrape:", err)
 	}
 
 	fmt.Printf("shalom-load: %d requests (%s mix, %d workers) in %v\n", *n, *mix, *c, wall.Round(time.Millisecond))

@@ -1,0 +1,236 @@
+package main
+
+import (
+	"bytes"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"libshalom/internal/journal"
+	"libshalom/internal/server"
+)
+
+// Deterministic replay: re-issue a journaled traffic segment against a live
+// shalom-serve and assert bitwise-identical results. Each admit record
+// carries the request's canonical wire bytes (requires -journal-payloads on
+// the capturing server) and its arrival time; replay re-issues them with
+// the original spacing (scaled by -replay-speed) and compares the SHA-256
+// of each response payload against the journaled result hash. Requests
+// whose journaled status was not 200 are re-issued for traffic fidelity but
+// not hash-compared — a deadline expiry is timing, not arithmetic.
+
+// replayItem is one journaled request scheduled for re-issue.
+type replayItem struct {
+	seq    uint64
+	at     time.Duration // offset from the first admit
+	body   []byte
+	m, n   int
+	f64    bool
+	status int32 // journaled terminal status
+	hash   [32]byte
+}
+
+// loadReplay reads the journal and builds the replay schedule.
+func loadReplay(dir string) ([]replayItem, error) {
+	events, err := journal.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	results := make(map[uint64]journal.Event)
+	for _, e := range events {
+		if e.Kind == journal.KindResult {
+			results[e.AdmitSeq] = e
+		}
+	}
+	var items []replayItem
+	var t0 int64
+	for _, e := range events {
+		if e.Kind != journal.KindAdmit {
+			continue
+		}
+		if !e.HasPayload {
+			return nil, fmt.Errorf("admit seq %d has no captured payload — capture with `shalom-serve -journal-payloads` to replay", e.Seq)
+		}
+		var h server.Header
+		if err := json.Unmarshal(e.Header, &h); err != nil {
+			return nil, fmt.Errorf("admit seq %d: malformed journaled header: %w", e.Seq, err)
+		}
+		if t0 == 0 {
+			t0 = e.T
+		}
+		body := make([]byte, 0, len(e.Header)+1+len(e.Payload))
+		body = append(body, e.Header...)
+		body = append(body, '\n')
+		body = append(body, e.Payload...)
+		it := replayItem{
+			seq: e.Seq, at: time.Duration(e.T - t0),
+			body: body, m: h.M, n: h.N, f64: h.Precision == "f64",
+		}
+		if r, ok := results[e.Seq]; ok {
+			it.status = r.Status
+			it.hash = r.ResultHash
+		}
+		items = append(items, it)
+	}
+	if len(items) == 0 {
+		return nil, fmt.Errorf("journal %s holds no admit records", dir)
+	}
+	return items, nil
+}
+
+// runReplay is the -replay entry point. Returns the process exit code.
+func runReplay(base, dir string, speed float64, jsonPath string) int {
+	items, err := loadReplay(dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "shalom-load: replay:", err)
+		return 1
+	}
+	rep, err := journal.VerifyDir(dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "shalom-load: replay:", err)
+		return 1
+	}
+	if !rep.OK {
+		fmt.Fprintf(os.Stderr, "shalom-load: replay: journal fails verification: %s\n", strings.Join(rep.Errs, "; "))
+		return 1
+	}
+	fmt.Printf("shalom-load: replaying %d journaled requests from %s (chain head %.16s…, speed %.2gx)\n",
+		len(items), dir, rep.ChainHead, speed)
+
+	client := &http.Client{}
+	start := time.Now()
+	var matched, mismatched, skipped, errors int
+	for _, it := range items {
+		if speed > 0 {
+			due := time.Duration(float64(it.at) / speed)
+			if wait := due - time.Since(start); wait > 0 {
+				time.Sleep(wait)
+			}
+		}
+		resp, err := client.Post(base+"/v1/gemm", "application/octet-stream", bytes.NewReader(it.body))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "shalom-load: replay:", err)
+			errors++
+			continue
+		}
+		if it.status != http.StatusOK {
+			// The original never completed (shed mid-journal, expired, 5xx);
+			// drain the replayed answer without judging it.
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			skipped++
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+			resp.Body.Close()
+			fmt.Fprintf(os.Stderr, "shalom-load: replay seq %d: original completed, replay got HTTP %d: %s\n",
+				it.seq, resp.StatusCode, strings.TrimSpace(string(body)))
+			mismatched++
+			continue
+		}
+		_, c32, c64, err := server.DecodeResponse(resp.Body, it.m, it.n, it.f64)
+		resp.Body.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "shalom-load: replay seq %d: %v\n", it.seq, err)
+			errors++
+			continue
+		}
+		var got [32]byte
+		if it.f64 {
+			got = journal.HashF64s(c64)
+		} else {
+			got = journal.HashF32s(c32)
+		}
+		if got != it.hash {
+			fmt.Fprintf(os.Stderr, "shalom-load: replay seq %d: result hash %s, journaled %s — results are NOT bitwise identical\n",
+				it.seq, hex.EncodeToString(got[:8]), hex.EncodeToString(it.hash[:8]))
+			mismatched++
+			continue
+		}
+		matched++
+	}
+	wall := time.Since(start)
+	fmt.Printf("shalom-load: replay done in %v — %d bitwise-identical, %d mismatched, %d skipped (non-200 originals), %d errors\n",
+		wall.Round(time.Millisecond), matched, mismatched, skipped, errors)
+
+	if jsonPath != "" {
+		r := replayReport{
+			Addr: base, ReplaySource: dir, ChainHead: rep.ChainHead,
+			Requests: len(items), Matched: matched, Mismatched: mismatched,
+			Skipped: skipped, Errors: errors, WallSeconds: wall.Seconds(),
+		}
+		if prov, err := scrapeProvenance(client, base); err == nil {
+			r.ConfigHash = prov.ConfigHash
+			if prov.Journal != nil {
+				r.ServeChainHead = prov.Journal.ChainHead
+				r.ServeSegment = prov.Journal.Segment
+			}
+		}
+		data, err := json.MarshalIndent(r, "", "  ")
+		if err == nil {
+			err = os.WriteFile(jsonPath, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "shalom-load:", err)
+			return 1
+		}
+		fmt.Printf("  report written to %s\n", jsonPath)
+	}
+	if mismatched > 0 || errors > 0 {
+		fmt.Fprintf(os.Stderr, "shalom-load: FAIL: replay diverged (%d mismatched, %d errors)\n", mismatched, errors)
+		return 1
+	}
+	return 0
+}
+
+// replayReport is the -replay run's machine-readable result.
+type replayReport struct {
+	Addr         string `json:"addr"`
+	ReplaySource string `json:"replay_source"`
+	// ChainHead is the replayed journal's verified chain head — the exact
+	// traffic segment this run reproduced.
+	ChainHead   string  `json:"replay_chain_head"`
+	Requests    int     `json:"requests"`
+	Matched     int     `json:"matched"`
+	Mismatched  int     `json:"mismatched"`
+	Skipped     int     `json:"skipped"`
+	Errors      int     `json:"errors"`
+	WallSeconds float64 `json:"wall_seconds"`
+	// Provenance of the serve target, from /healthz.
+	ConfigHash     string `json:"config_hash,omitempty"`
+	ServeChainHead string `json:"serve_journal_chain_head,omitempty"`
+	ServeSegment   uint64 `json:"serve_journal_segment,omitempty"`
+}
+
+// provenance is the slice of /healthz the load generator embeds in its
+// artifacts: which configuration answered, and — when the target journals —
+// which journal head its traffic landed under.
+type provenance struct {
+	ConfigHash string          `json:"config_hash"`
+	Journal    *journal.Status `json:"journal"`
+}
+
+// scrapeProvenance reads the target's config hash and journal head off
+// /healthz (any status — a degraded target still reports provenance).
+func scrapeProvenance(client *http.Client, base string) (provenance, error) {
+	var p provenance
+	resp, err := client.Get(base + "/healthz")
+	if err != nil {
+		return p, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return p, err
+	}
+	if err := json.Unmarshal(body, &p); err != nil {
+		return p, fmt.Errorf("malformed /healthz body: %w", err)
+	}
+	return p, nil
+}

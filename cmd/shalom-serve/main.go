@@ -13,11 +13,19 @@
 //	             [-window 200us] [-max-batch 64] [-max-queue 1024]
 //	             [-max-inflight-flops 4e9] [-default-timeout 0]
 //	             [-deadline 0] [-no-retry]
+//	             [-journal DIR] [-journal-fsync anchor|always|none]
+//	             [-journal-segment-bytes N] [-journal-payloads]
 //
 // The server always runs with telemetry: GET /metrics serves the Prometheus
 // exposition (driver metrics plus the serving-layer counters), /healthz the
 // self-healing breaker state (503 while any breaker is open on the serving
 // platform), /snapshot and /trace the usual telemetry views.
+//
+// -journal DIR enables the tamper-evident request journal: every admitted
+// request, flush, result, and breaker transition lands in merkle-anchored
+// segments under DIR (verify them with shalom-journal, replay them with
+// shalom-load -replay). -journal-payloads additionally captures operand
+// payloads — required for replay, off by default.
 package main
 
 import (
@@ -32,6 +40,8 @@ import (
 	"time"
 
 	"libshalom"
+	"libshalom/internal/guard"
+	"libshalom/internal/journal"
 	"libshalom/internal/platform"
 	"libshalom/internal/server"
 )
@@ -49,6 +59,10 @@ func main() {
 	deadline := flag.Duration("deadline", 0, "per-call watchdog budget on the shared context (0 = off)")
 	noRetry := flag.Bool("no-retry", false, "disable the transient-fault retry: kernel panics fail the batch instead of degrading it")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long a signal-triggered drain may take")
+	journalDir := flag.String("journal", "", "enable the tamper-evident request journal in this directory")
+	journalFsync := flag.String("journal-fsync", "anchor", "journal durability policy: anchor, always, or none")
+	journalSegBytes := flag.Int64("journal-segment-bytes", 8<<20, "rotate journal segments at this size")
+	journalPayloads := flag.Bool("journal-payloads", false, "capture operand payloads in admit records (required for -replay)")
 	flag.Parse()
 
 	plat := platform.ByName(*platName)
@@ -69,6 +83,32 @@ func main() {
 	}
 	lib := libshalom.New(opts...)
 
+	var jw *journal.Writer
+	if *journalDir != "" {
+		policy, err := journal.ParseFsyncPolicy(*journalFsync)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "shalom-serve:", err)
+			os.Exit(2)
+		}
+		jw, err = journal.Open(journal.Options{
+			Dir:             *journalDir,
+			SegmentBytes:    *journalSegBytes,
+			Fsync:           policy,
+			CapturePayloads: *journalPayloads,
+			Telemetry:       lib.TelemetryRecorder(),
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "shalom-serve:", err)
+			os.Exit(1)
+		}
+		if n := jw.Truncated(); n > 0 {
+			fmt.Printf("shalom-serve: journal recovery truncated a %d-byte torn tail\n", n)
+		}
+		// Breaker trips and closes flow into the journal alongside the
+		// requests that provoked them.
+		guard.SetTransitionObserver(jw.GuardObserver())
+	}
+
 	// The lifecycle context parents every flush's batch context. It is NOT
 	// the signal context: a drain triggered by SIGTERM still has to run its
 	// final flushes, so it only cancels after the drain completes (process
@@ -84,6 +124,7 @@ func main() {
 		MaxInFlightFlops: int64(*maxInFlight),
 		DefaultTimeout:   *defaultTimeout,
 		BaseContext:      lifecycle,
+		Journal:          jw,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
@@ -129,6 +170,16 @@ func main() {
 		os.Exit(1)
 	}
 	lib.Close()
+	if jw != nil {
+		guard.SetTransitionObserver(nil)
+		if err := jw.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "shalom-serve: journal close:", err)
+			os.Exit(1)
+		}
+		js := jw.Status()
+		fmt.Printf("shalom-serve: journal sealed — segment %d, %d records, %d anchors, chain head %s\n",
+			js.Segment, js.Records, js.Anchors, js.ChainHead)
+	}
 
 	snap := lib.Snapshot()
 	sv := snap.Server

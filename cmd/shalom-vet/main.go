@@ -1,7 +1,8 @@
 // Command shalom-vet runs the libshalom static analyzers: hotpath
 // (annotation-driven allocation/lock/block/clock freedom on GEMM hot
-// paths), telemetrypure (nil-receiver guard discipline on Recorder
-// write methods), ctxflow (no context minting in library code), and
+// paths), telemetrypure (nil-receiver guard discipline on telemetry
+// Recorder and journal Writer write methods), ctxflow (no context
+// minting in library code), and
 // atomicdiscipline (no mixed atomic/plain field access, 32-bit
 // alignment safety).
 //

@@ -15,6 +15,7 @@ import (
 	"libshalom/internal/faults"
 	"libshalom/internal/guard"
 	"libshalom/internal/heal"
+	"libshalom/internal/journal"
 	"libshalom/internal/mat"
 	"libshalom/internal/platform"
 	"libshalom/internal/telemetry"
@@ -288,6 +289,11 @@ func TestChaosTelemetryOneEventPerInjection(t *testing.T) {
 		// setup prepares runtime state the point needs to fire (e.g. a
 		// probing breaker for CanaryMismatch) and returns its cleanup.
 		setup func() func()
+		// run replaces the default guarded GEMM call for points that fire
+		// off the compute path; it must fire the armed point exactly once
+		// against tel. The generic call/degradation assertions are skipped —
+		// only the one-fault-event contract is checked.
+		run func(t *testing.T, tel *telemetry.Recorder)
 	}
 	scenarios := map[faults.Point]scenario{
 		faults.PanicInKernel: {outcome: "degraded"}, // guard trips the breaker and recomputes
@@ -306,6 +312,20 @@ func TestChaosTelemetryOneEventPerInjection(t *testing.T) {
 			time.Sleep(5 * time.Millisecond)
 			return func() { heal.Configure(prev) }
 		}},
+		// JournalTornWrite fires on the journal's append path, not the
+		// compute path: a telemetry-enabled writer tears its next record
+		// mid-frame and goes sticky-failed — the crash the recovery test
+		// then repairs by reopening.
+		faults.JournalTornWrite: {run: func(t *testing.T, tel *telemetry.Recorder) {
+			w, err := journal.Open(journal.Options{Dir: t.TempDir(), Telemetry: tel})
+			if err != nil {
+				t.Fatalf("journal.Open: %v", err)
+			}
+			w.Flush("f32/NN/tiny", 1, 1)
+			if err := w.Close(); err == nil {
+				t.Fatal("writer survived an injected torn write without a sticky error")
+			}
+		}},
 	}
 	for _, pt := range faults.Points() {
 		sc, ok := scenarios[pt]
@@ -320,6 +340,14 @@ func TestChaosTelemetryOneEventPerInjection(t *testing.T) {
 			}
 			faults.Arm(pt, 1)
 			tel := telemetry.New(telemetry.Options{})
+			if sc.run != nil {
+				sc.run(t, tel)
+				snap := tel.Snapshot()
+				if len(snap.Faults) != 1 || snap.Faults[0].Name != pt.String() || snap.Faults[0].Count != 1 {
+					t.Fatalf("%v: fault events = %+v, want exactly one %q event", pt, snap.Faults, pt.String())
+				}
+				return
+			}
 			// NT with m > mr so a corrupted packed panel is consumed; threads 4
 			// so the pool injection sites are on the path.
 			p := newProblem(uint64(30+pt), core.NT, 64, 36, 16)

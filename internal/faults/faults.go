@@ -41,6 +41,11 @@ const (
 	// core; with a deadline configured the watchdog converts it into a
 	// typed guard.StuckWorkerError instead of hanging the caller.
 	StuckWorker
+	// JournalTornWrite makes the journal writer emit only a prefix of the
+	// next record frame and then go sticky-failed, standing in for a power
+	// cut mid-write; reopen must truncate the torn tail and resume the
+	// chain (the crash-recovery contract of internal/journal).
+	JournalTornWrite
 
 	numPoints
 )
@@ -60,6 +65,8 @@ func (p Point) String() string {
 		return "canary-mismatch"
 	case StuckWorker:
 		return "stuck-worker"
+	case JournalTornWrite:
+		return "journal-torn-write"
 	}
 	return "unknown-fault"
 }
@@ -70,7 +77,7 @@ const NumPoints = int(numPoints)
 
 // Points lists every injection point, for suites that iterate the registry.
 func Points() []Point {
-	return []Point{PanicInKernel, CorruptPack, SlowWorker, SpuriousNaN, CanaryMismatch, StuckWorker}
+	return []Point{PanicInKernel, CorruptPack, SlowWorker, SpuriousNaN, CanaryMismatch, StuckWorker, JournalTornWrite}
 }
 
 // InjectedPanicMsg is the panic value used by the PanicInKernel point, so

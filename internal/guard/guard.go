@@ -150,6 +150,37 @@ type pathKey struct{ platform, kernel string }
 
 func key(platform, kernel string) pathKey { return pathKey{platform, kernel} }
 
+var (
+	// observerMu guards observer separately from mu so installing or reading
+	// the hook never contends with the hot-path Dispatch lock.
+	observerMu sync.Mutex
+	observer   func(d Degradation, from, to State)
+)
+
+// SetTransitionObserver installs a hook invoked after every breaker trip
+// (→ open) and every canary-driven close (probing → healthy), outside the
+// registry lock — the journal's event feed. The open → probing transition
+// is deliberately not observed: it happens inside the hot-path Dispatch,
+// which must not call through a func value (see //shalom:hotpath). A nil fn
+// clears the hook. Not intended for concurrent use with in-flight GEMMs;
+// install once at process start.
+func SetTransitionObserver(fn func(d Degradation, from, to State)) {
+	observerMu.Lock()
+	observer = fn
+	observerMu.Unlock()
+}
+
+// notifyTransition invokes the observer, if any. Callers must NOT hold mu:
+// the hook may itself query the registry or block on I/O.
+func notifyTransition(d Degradation, from, to State) {
+	observerMu.Lock()
+	fn := observer
+	observerMu.Unlock()
+	if fn != nil {
+		fn(d, from, to)
+	}
+}
+
 // breaker is the per-(platform, kernel) state machine record, under mu.
 type breaker struct {
 	d             Degradation
@@ -181,7 +212,6 @@ func DemoteShape(platform, kernel string, reason Reason, detail, shape string) {
 // cool down (static failures need a code change, not a retry).
 func Trip(platform, kernel string, reason Reason, detail, shape string, cooldown time.Duration) bool {
 	mu.Lock()
-	defer mu.Unlock()
 	k := key(platform, kernel)
 	br := breakers[k]
 	if br == nil {
@@ -189,7 +219,12 @@ func Trip(platform, kernel string, reason Reason, detail, shape string, cooldown
 		breakers[k] = br
 	}
 	if br.d.State == StateOpen {
+		mu.Unlock()
 		return false
+	}
+	from := br.d.State
+	if from == "" {
+		from = StateHealthy
 	}
 	seq++
 	br.d.Reason, br.d.Detail, br.d.Shape = reason, detail, shape
@@ -208,6 +243,9 @@ func Trip(platform, kernel string, reason Reason, detail, shape string, cooldown
 	br.cooldownUntil = br.d.ReopenedAt.Add(cooldown << shift)
 	br.agree, br.probeTick = 0, 0
 	history = append(history, br.d)
+	d := br.d
+	mu.Unlock()
+	notifyTransition(d, from, StateOpen)
 	return true
 }
 
@@ -266,17 +304,21 @@ func Dispatch(platform, kernel string, stride int) (d Disposition, beganProbe bo
 // the exponential backoff where it left off.
 func CanaryAgree(platform, kernel string, target int) (closed bool) {
 	mu.Lock()
-	defer mu.Unlock()
 	br := breakers[key(platform, kernel)]
 	if br == nil || br.d.State != StateProbing {
+		mu.Unlock()
 		return false
 	}
 	br.agree++
 	if br.agree >= target {
 		br.d.State = StateHealthy
 		br.agree, br.probeTick = 0, 0
+		d := br.d
+		mu.Unlock()
+		notifyTransition(d, StateProbing, StateHealthy)
 		return true
 	}
+	mu.Unlock()
 	return false
 }
 

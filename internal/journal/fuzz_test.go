@@ -1,0 +1,47 @@
+package journal
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzJournalDecode drives the record decoder with arbitrary bytes — the
+// journal twin of the wire format's FuzzDecodeRequest. The decoder's
+// contract under hostile input: never panic, never accept a record with
+// trailing or missing bytes, and on acceptance be an exact inverse of the
+// encoder — re-encoding the decoded event must reproduce the input
+// byte-for-byte (the property that makes record payloads stable merkle
+// leaves).
+func FuzzJournalDecode(f *testing.F) {
+	seed := func(e Event) { f.Add(encodeEvent(&e)) }
+	seed(Event{Kind: KindSegmentHeader, Seq: 0, T: 1700000000000000000, Version: Version, Segment: 1})
+	seed(Event{Kind: KindAdmit, Seq: 1, T: 2, Header: []byte(`{"precision":"f32","mode":"NN","m":4,"n":4,"k":4}`), PayloadHash: [32]byte{1}})
+	seed(Event{Kind: KindAdmit, Seq: 2, T: 3, Header: []byte(`{}`), HasPayload: true, Payload: []byte{1, 2, 3, 4}})
+	seed(Event{Kind: KindResult, Seq: 3, T: 4, AdmitSeq: 2, Status: 200, BatchSize: 7, ResultHash: [32]byte{9}})
+	seed(Event{Kind: KindResult, Seq: 4, T: 5, AdmitSeq: 1, Status: 504})
+	seed(Event{Kind: KindFlush, Seq: 5, T: 6, Class: "f32/NN/small", Size: 3, Flops: 1.5e6})
+	seed(Event{Kind: KindBreaker, Seq: 6, T: 7, Platform: "kp920", Kernel: "gemm-f32", From: "healthy", To: "open", Reason: "numeric-guard", Detail: "NaN", Shape: "NN 4x4x4", GuardSeq: 1, Trips: 2})
+	seed(Event{Kind: KindAnchor, Seq: 7, T: 8, Count: 4, Root: [32]byte{1}, Chain: [32]byte{2}, Sealed: true})
+	seed(Event{Kind: KindAnchor, Seq: 8, T: 9})
+	// Hostile shapes: unknown kinds, truncations, length lies, bad presence
+	// and seal bytes, trailing garbage.
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{byte(KindAdmit)})
+	f.Add(append(encodeEvent(&Event{Kind: KindFlush, Class: "x"}), 0xaa))
+	f.Add([]byte{byte(KindAdmit), 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0xff, 0xff, 0xff, 0xff})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		e, err := decodeEvent(data)
+		if err != nil {
+			return
+		}
+		round := encodeEvent(&e)
+		if !bytes.Equal(round, data) {
+			t.Fatalf("decode/encode round trip diverges:\n in  %x\n out %x", data, round)
+		}
+		if len(e.Header) > maxHeaderField {
+			t.Fatalf("accepted a %d-byte header past the %d limit", len(e.Header), maxHeaderField)
+		}
+	})
+}

@@ -1,0 +1,369 @@
+package journal
+
+import (
+	"crypto/sha256"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"libshalom/internal/faults"
+	"libshalom/internal/guard"
+	"libshalom/internal/mat"
+)
+
+// open is the test harness around Open with small segments and t.Cleanup.
+func open(t *testing.T, dir string, o Options) *Writer {
+	t.Helper()
+	o.Dir = dir
+	w, err := Open(o)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { _ = w.Close() })
+	return w
+}
+
+// fillBatch journals one admitted-request batch (admit, flush, result) and
+// anchors it, returning the admit seq.
+func fillBatch(t *testing.T, w *Writer, payload []byte) uint64 {
+	t.Helper()
+	seq := w.Admit(time.Now(), []byte(`{"precision":"f32","mode":"NN","m":4,"n":4,"k":4,"alpha":1}`), payload)
+	if seq == 0 {
+		t.Fatalf("Admit returned 0 on an enabled journal (status: %+v)", w.Status())
+	}
+	w.Flush("f32/NN/small", 1, 128)
+	w.Result(seq, 200, 1, sha256.Sum256([]byte("result")))
+	w.Anchor()
+	return seq
+}
+
+func TestWriterRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	w := open(t, dir, Options{CapturePayloads: true})
+	payload := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	seq := fillBatch(t, w, payload)
+	w.Breaker(guard.Degradation{
+		Platform: "kp920", Kernel: guard.PathF32,
+		Reason: guard.ReasonNumeric, Detail: "NaN in C", Shape: "NN 4x4x4",
+		Seq: 1, Trips: 1,
+	}, guard.StateHealthy, guard.StateOpen)
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	rep, err := VerifyDir(dir)
+	if err != nil {
+		t.Fatalf("VerifyDir: %v", err)
+	}
+	if !rep.OK {
+		t.Fatalf("fresh journal fails verification: %v", rep.Errs)
+	}
+	if rep.Records != 4 {
+		t.Errorf("verified %d records, want 4 (admit, flush, result, breaker)", rep.Records)
+	}
+
+	events, err := ReadDir(dir)
+	if err != nil {
+		t.Fatalf("ReadDir: %v", err)
+	}
+	var kinds []Kind
+	for _, e := range events {
+		kinds = append(kinds, e.Kind)
+		switch e.Kind {
+		case KindAdmit:
+			if e.Seq != seq {
+				t.Errorf("admit seq %d, want %d", e.Seq, seq)
+			}
+			if !e.HasPayload || string(e.Payload) != string(payload) {
+				t.Errorf("admit payload %v, want %v captured", e.Payload, payload)
+			}
+			if e.PayloadHash != sha256.Sum256(payload) {
+				t.Error("admit payload hash does not match the payload")
+			}
+		case KindResult:
+			if e.AdmitSeq != seq || e.Status != 200 || e.BatchSize != 1 {
+				t.Errorf("result event %+v, want admit_seq %d status 200 batch 1", e, seq)
+			}
+		case KindBreaker:
+			if e.Platform != "kp920" || e.From != "healthy" || e.To != "open" || e.Reason != string(guard.ReasonNumeric) {
+				t.Errorf("breaker event %+v", e)
+			}
+		}
+	}
+	want := []Kind{KindSegmentHeader, KindAdmit, KindFlush, KindResult, KindAnchor, KindBreaker, KindAnchor}
+	if len(kinds) != len(want) {
+		t.Fatalf("event kinds %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("event kinds %v, want %v", kinds, want)
+		}
+	}
+}
+
+func TestNilWriterNoOps(t *testing.T) {
+	var w *Writer
+	if w.Enabled() {
+		t.Error("nil writer reports enabled")
+	}
+	if seq := w.Admit(time.Now(), []byte("h"), []byte("p")); seq != 0 {
+		t.Errorf("nil Admit returned %d, want 0", seq)
+	}
+	w.Result(1, 200, 1, [32]byte{})
+	w.Flush("c", 1, 1)
+	w.Breaker(guard.Degradation{}, guard.StateHealthy, guard.StateOpen)
+	w.Anchor()
+	if obs := w.GuardObserver(); obs != nil {
+		t.Error("nil writer's GuardObserver is non-nil")
+	}
+	if err := w.Close(); err != nil {
+		t.Errorf("nil Close: %v", err)
+	}
+	if s := w.Status(); s != (Status{}) {
+		t.Errorf("nil Status = %+v, want zero", s)
+	}
+}
+
+// TestDisabledJournalAllocFree pins the zero-cost-when-disabled contract:
+// the exact calls the serving admission path makes against a nil journal
+// must not allocate.
+func TestDisabledJournalAllocFree(t *testing.T) {
+	var w *Writer
+	allocs := testing.AllocsPerRun(200, func() {
+		if w.Enabled() {
+			t.Fatal("nil writer enabled")
+		}
+		_ = w.Admit(time.Time{}, nil, nil)
+		w.Result(0, 200, 1, [32]byte{})
+		w.Flush("", 0, 0)
+		w.Anchor()
+	})
+	if allocs != 0 {
+		t.Errorf("disabled journal path allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+func TestSegmentRotation(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments: every anchor overflows the budget and rotates.
+	w := open(t, dir, Options{SegmentBytes: 256, CapturePayloads: true})
+	payload := make([]byte, 128)
+	for i := 0; i < 5; i++ {
+		fillBatch(t, w, payload)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	paths, _, err := Segments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) < 3 {
+		t.Fatalf("expected rotation to produce several segments, got %d", len(paths))
+	}
+	rep, err := VerifyDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK {
+		t.Fatalf("rotated journal fails verification: %v", rep.Errs)
+	}
+	for i, s := range rep.Segments {
+		if i < len(rep.Segments)-1 && !s.Sealed {
+			t.Errorf("segment %d unsealed mid-journal", s.Index)
+		}
+	}
+}
+
+func TestReopenContinuesChain(t *testing.T) {
+	dir := t.TempDir()
+	w := open(t, dir, Options{})
+	fillBatch(t, w, []byte("one"))
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	head1 := w.ChainHead()
+
+	// A clean reopen starts the next segment on the sealed chain head.
+	w2 := open(t, dir, Options{})
+	if w2.ChainHead() != head1 {
+		t.Fatalf("reopen chain head %x, want the sealed head %x", w2.ChainHead(), head1)
+	}
+	fillBatch(t, w2, []byte("two"))
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := VerifyDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK {
+		t.Fatalf("reopened journal fails verification: %v", rep.Errs)
+	}
+	if len(rep.Segments) != 2 {
+		t.Fatalf("expected 2 segments after reopen, got %d", len(rep.Segments))
+	}
+}
+
+// TestCrashRecovery is the satellite crash test: the faults injection point
+// kills the writer mid-record; reopen must truncate the torn tail, keep
+// every fully-framed event, and resume a chain that verifies.
+func TestCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	w := open(t, dir, Options{CapturePayloads: true})
+	survivor := fillBatch(t, w, []byte("survives"))
+	// One anchored batch is durable; now append an unanchored (but fully
+	// framed) event, then crash mid-way through the next record.
+	unanchored := w.Admit(time.Now(), []byte(`{"m":1}`), []byte("framed-but-unanchored"))
+	faults.Arm(faults.JournalTornWrite, 1)
+	defer faults.Reset()
+	if seq := w.Admit(time.Now(), []byte(`{"m":2}`), []byte("torn")); seq != 0 {
+		t.Fatalf("torn-write Admit returned %d, want 0", seq)
+	}
+	if w.Status().Err == "" {
+		t.Fatal("writer not sticky-failed after the injected torn write")
+	}
+	// The "crashed" process never closes cleanly; drop the writer.
+
+	// Before recovery, verification must fail: the tail is torn.
+	rep, err := VerifyDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK {
+		t.Fatal("verification passed on a torn journal")
+	}
+
+	// Reopen: recovery truncates the torn record and resumes.
+	w2 := open(t, dir, Options{CapturePayloads: true})
+	if w2.Truncated() == 0 {
+		t.Fatal("recovery reports no torn-tail truncation")
+	}
+	resumed := fillBatch(t, w2, []byte("after-recovery"))
+	if resumed <= unanchored {
+		t.Errorf("post-recovery seq %d did not advance past the survivor %d", resumed, unanchored)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err = VerifyDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK {
+		t.Fatalf("recovered journal fails verification: %v", rep.Errs)
+	}
+	events, err := ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []uint64
+	for _, e := range events {
+		if e.Kind == KindAdmit {
+			got = append(got, e.Seq)
+		}
+	}
+	if len(got) != 3 || got[0] != survivor || got[1] != unanchored || got[2] != resumed {
+		t.Fatalf("surviving admits %v, want [%d %d %d] (torn admit gone, framed ones kept)",
+			got, survivor, unanchored, resumed)
+	}
+}
+
+// TestTamperDetection is the acceptance gate: flipping any single byte of a
+// closed journal — offsets fuzzed plus targeted at the magic, frame
+// preludes, payloads, and the final anchor — must fail verification.
+func TestTamperDetection(t *testing.T) {
+	dir := t.TempDir()
+	w := open(t, dir, Options{CapturePayloads: true})
+	for i := 0; i < 3; i++ {
+		fillBatch(t, w, []byte{byte(i), 1, 2, 3})
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	paths, _, err := Segments(dir)
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("Segments: %v (%d)", err, len(paths))
+	}
+	orig, err := os.ReadFile(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	offsets := []int{0, 3, 8, 9, 12, 16, len(orig) / 2, len(orig) - 1, len(orig) - 33}
+	rng := mat.NewRNG(42)
+	for i := 0; i < 40; i++ {
+		offsets = append(offsets, int(rng.Uint64()%uint64(len(orig))))
+	}
+	for _, off := range offsets {
+		if off < 0 || off >= len(orig) {
+			continue
+		}
+		tampered := make([]byte, len(orig))
+		copy(tampered, orig)
+		tampered[off] ^= 0x40
+		tdir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(tdir, filepath.Base(paths[0])), tampered, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		rep, err := VerifyDir(tdir)
+		if err != nil {
+			continue // hard scan error: detection, just via the error path
+		}
+		if rep.OK {
+			t.Errorf("flipping byte %d of %d went undetected", off, len(orig))
+		}
+	}
+}
+
+func TestFsyncPolicyParse(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want FsyncPolicy
+		err  bool
+	}{
+		{"anchor", FsyncAnchor, false},
+		{"", FsyncAnchor, false},
+		{"always", FsyncAlways, false},
+		{"none", FsyncNone, false},
+		{"everysecond", FsyncAnchor, true},
+	} {
+		got, err := ParseFsyncPolicy(tc.in)
+		if (err != nil) != tc.err || got != tc.want {
+			t.Errorf("ParseFsyncPolicy(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+	if FsyncAlways.String() != "always" || FsyncNone.String() != "none" || FsyncAnchor.String() != "anchor" {
+		t.Error("FsyncPolicy.String names wrong")
+	}
+}
+
+func TestMerkleProperties(t *testing.T) {
+	l1 := leafHash([]byte("a"))
+	l2 := leafHash([]byte("b"))
+	l3 := leafHash([]byte("c"))
+	if merkleRoot([][32]byte{l1}) != l1 {
+		t.Error("single-leaf root is not the leaf")
+	}
+	if merkleRoot([][32]byte{l1, l2}) == merkleRoot([][32]byte{l2, l1}) {
+		t.Error("root insensitive to leaf order")
+	}
+	if merkleRoot([][32]byte{l1, l2, l3}) == merkleRoot([][32]byte{l1, l2}) {
+		t.Error("root insensitive to leaf count")
+	}
+	if merkleRoot(nil) != sha256.Sum256([]byte{tagEmpty}) {
+		t.Error("empty root is not the domain-tagged empty constant")
+	}
+	// Leaf/node domain separation: a leaf whose payload is two concatenated
+	// hashes must not equal the interior node over those hashes.
+	cat := append(append([]byte{}, l1[:]...), l2[:]...)
+	if leafHash(cat) == merkleRoot([][32]byte{l1, l2}) {
+		t.Error("leaf/node domains collide")
+	}
+	var zero [32]byte
+	if chainNext(zero, l1) == chainNext(l1, zero) {
+		t.Error("chain insensitive to operand order")
+	}
+}

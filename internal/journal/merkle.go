@@ -1,0 +1,67 @@
+package journal
+
+import "crypto/sha256"
+
+// Merkle anchoring, after the audit-log pattern: each anchor commits to the
+// batch of records since the previous anchor with one merkle root, and each
+// root is chained to the previous anchor's chain hash — so the single
+// 32-byte chain head commits to every record ever journaled, in order.
+// Leaves and interior nodes are domain-separated so a leaf can never be
+// confused with a node (the classic second-preimage defence).
+
+// Hash domain tags.
+const (
+	tagLeaf  = 0x00
+	tagNode  = 0x01
+	tagEmpty = 0x02
+)
+
+// leafHash is the merkle leaf of one record payload.
+func leafHash(payload []byte) [32]byte {
+	h := sha256.New()
+	h.Write([]byte{tagLeaf})
+	h.Write(payload)
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// merkleRoot folds the leaves pairwise into one root. An odd node is
+// promoted to the next level unchanged; zero leaves hash to a distinct
+// empty-batch constant (a sealed anchor over an already-anchored segment).
+func merkleRoot(leaves [][32]byte) [32]byte {
+	if len(leaves) == 0 {
+		return sha256.Sum256([]byte{tagEmpty})
+	}
+	level := make([][32]byte, len(leaves))
+	copy(level, leaves)
+	for len(level) > 1 {
+		next := level[:0]
+		for i := 0; i < len(level); i += 2 {
+			if i+1 == len(level) {
+				next = append(next, level[i])
+				break
+			}
+			h := sha256.New()
+			h.Write([]byte{tagNode})
+			h.Write(level[i][:])
+			h.Write(level[i+1][:])
+			var n [32]byte
+			h.Sum(n[:0])
+			next = append(next, n)
+		}
+		level = next
+	}
+	return level[0]
+}
+
+// chainNext links one anchor's merkle root onto the running chain:
+// chainᵢ = SHA-256(chainᵢ₋₁ ‖ rootᵢ). The genesis chain is all zeros.
+func chainNext(prev, root [32]byte) [32]byte {
+	h := sha256.New()
+	h.Write(prev[:])
+	h.Write(root[:])
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}

@@ -1,0 +1,9 @@
+//go:build !telemetryprobe
+
+package journal
+
+// probeAtomicWrite is compiled out in normal builds; under the
+// telemetryprobe build tag it counts every journal write-method entry,
+// letting a test assert the journal-disabled path performs exactly zero of
+// them (the nil-receiver off-path contract of DESIGN.md §12).
+func probeAtomicWrite() {}

@@ -1,0 +1,22 @@
+//go:build telemetryprobe
+
+package journal
+
+import "sync/atomic"
+
+// The telemetryprobe build for the journal: every exported write method on
+// *Writer calls probeAtomicWrite before touching state, so
+// `go test -tags telemetryprobe` can assert the journal-disabled admission
+// path performs zero journal writes — the zero-cost-when-disabled contract
+// enforced as an exact count, like telemetry's.
+
+var probeWrites atomic.Uint64
+
+func probeAtomicWrite() { probeWrites.Add(1) }
+
+// ProbeAtomicWrites returns the number of journal write-method entries since
+// the last ProbeReset. Only exists under the telemetryprobe tag.
+func ProbeAtomicWrites() uint64 { return probeWrites.Load() }
+
+// ProbeReset zeroes the probe counter.
+func ProbeReset() { probeWrites.Store(0) }

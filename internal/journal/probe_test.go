@@ -1,0 +1,40 @@
+//go:build telemetryprobe
+
+package journal
+
+import (
+	"testing"
+	"time"
+
+	"libshalom/internal/guard"
+)
+
+// TestTelemetryProbeJournalOffPath is the dynamic twin of the shalom-vet
+// nil-guard discipline on the journal's write methods: with journaling
+// disabled (a nil *Writer), the admission path's journal calls must perform
+// exactly zero journal writes — and with a live writer, the probe must
+// move, proving the probe instruments the right sites.
+func TestTelemetryProbeJournalOffPath(t *testing.T) {
+	ProbeReset()
+	var w *Writer
+	_ = w.Enabled()
+	_ = w.Admit(time.Now(), []byte("h"), []byte("p"))
+	w.Result(1, 200, 1, [32]byte{})
+	w.Flush("c", 1, 1)
+	w.Breaker(guard.Degradation{}, guard.StateHealthy, guard.StateOpen)
+	w.Anchor()
+	_ = w.Close()
+	if n := ProbeAtomicWrites(); n != 0 {
+		t.Fatalf("disabled journal performed %d writes, want 0", n)
+	}
+
+	live, err := Open(Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	live.Flush("c", 1, 1)
+	_ = live.Close()
+	if n := ProbeAtomicWrites(); n == 0 {
+		t.Fatal("probe did not move on a live writer — instrumentation lost")
+	}
+}

@@ -1,0 +1,324 @@
+package journal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Record layer: one journal event encoded as a compact little-endian
+// payload, carried inside a CRC-framed record (segment.go). The encoding is
+// deliberately explicit — no reflection, no JSON — so the decoder can be
+// fuzzed byte-for-byte (FuzzJournalDecode) and so a record's bytes are a
+// stable merkle leaf across Go versions.
+
+// Kind discriminates the event types a journal carries.
+type Kind uint8
+
+const (
+	// KindSegmentHeader is the mandatory first record of every segment:
+	// format version, segment index, and the chain head inherited from the
+	// previous segment (all zeros for the genesis segment).
+	KindSegmentHeader Kind = 0x01
+	// KindAdmit records one admitted request: canonical wire header,
+	// SHA-256 of the operand payload, and — when payload capture is on —
+	// the payload itself (what deterministic replay re-issues).
+	KindAdmit Kind = 0x10
+	// KindResult records the terminal answer of one admitted request:
+	// HTTP status, flush batch size, and SHA-256 of the response payload.
+	KindResult Kind = 0x11
+	// KindFlush records one coalescer flush: class, batch size, flops.
+	KindFlush Kind = 0x12
+	// KindBreaker records one circuit-breaker transition (trip or close)
+	// observed through the guard registry.
+	KindBreaker Kind = 0x13
+	// KindAnchor closes a batch of events with a merkle root over their
+	// record payloads, chained to the previous anchor: one hash proves the
+	// whole prefix. A sealed anchor is the last record of its segment.
+	KindAnchor Kind = 0x20
+)
+
+// String names the kind for dumps and errors.
+func (k Kind) String() string {
+	switch k {
+	case KindSegmentHeader:
+		return "segment-header"
+	case KindAdmit:
+		return "admit"
+	case KindResult:
+		return "result"
+	case KindFlush:
+		return "flush"
+	case KindBreaker:
+		return "breaker"
+	case KindAnchor:
+		return "anchor"
+	}
+	return fmt.Sprintf("kind-0x%02x", uint8(k))
+}
+
+// Version is the on-disk format version written into segment headers.
+const Version = 1
+
+// Decode limits: a hostile record must not make the decoder build
+// oversized values. The frame layer bounds total record size; these bound
+// the variable-length fields inside it.
+const (
+	maxHeaderField = 64 << 10 // canonical wire header JSON
+	maxStringField = 64 << 10 // class names, breaker strings
+)
+
+// Event is one decoded journal record. Kind selects which field groups are
+// meaningful; the rest stay zero.
+type Event struct {
+	Kind Kind
+	// Seq is the journal-wide monotonic record sequence number, assigned at
+	// append time and recovered on reopen.
+	Seq uint64
+	// T is the event's wall-clock time in Unix nanoseconds — what replay
+	// uses to reproduce original arrival spacing.
+	T int64
+
+	// Segment header fields.
+	Version   uint32
+	Segment   uint64
+	PrevChain [32]byte
+
+	// Admit fields. Header is the canonical wire header JSON (no trailing
+	// newline); PayloadHash the SHA-256 of the operand payload bytes;
+	// Payload the payload itself when capture was enabled (HasPayload).
+	Header      []byte
+	PayloadHash [32]byte
+	HasPayload  bool
+	Payload     []byte
+
+	// Result fields. AdmitSeq references the admit record's Seq.
+	AdmitSeq   uint64
+	Status     int32
+	BatchSize  uint32
+	ResultHash [32]byte
+
+	// Flush fields.
+	Class string
+	Size  uint32
+	Flops float64
+
+	// Breaker fields, mirroring guard.Degradation plus the transition.
+	Platform string
+	Kernel   string
+	From     string
+	To       string
+	Reason   string
+	Detail   string
+	Shape    string
+	GuardSeq uint64
+	Trips    uint32
+
+	// Anchor fields: Count records anchored, Root their merkle root, Chain
+	// = SHA-256(prev chain ‖ Root), Sealed whether this anchor closes the
+	// segment.
+	Count  uint32
+	Root   [32]byte
+	Chain  [32]byte
+	Sealed bool
+}
+
+// encodeEvent renders e as a record payload.
+func encodeEvent(e *Event) []byte {
+	b := make([]byte, 0, 64+len(e.Header)+len(e.Payload))
+	b = append(b, byte(e.Kind))
+	b = binary.LittleEndian.AppendUint64(b, e.Seq)
+	b = binary.LittleEndian.AppendUint64(b, uint64(e.T))
+	switch e.Kind {
+	case KindSegmentHeader:
+		b = binary.LittleEndian.AppendUint32(b, e.Version)
+		b = binary.LittleEndian.AppendUint64(b, e.Segment)
+		b = append(b, e.PrevChain[:]...)
+	case KindAdmit:
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(e.Header)))
+		b = append(b, e.Header...)
+		b = append(b, e.PayloadHash[:]...)
+		if e.HasPayload {
+			b = append(b, 1)
+			b = binary.LittleEndian.AppendUint32(b, uint32(len(e.Payload)))
+			b = append(b, e.Payload...)
+		} else {
+			b = append(b, 0)
+		}
+	case KindResult:
+		b = binary.LittleEndian.AppendUint64(b, e.AdmitSeq)
+		b = binary.LittleEndian.AppendUint32(b, uint32(e.Status))
+		b = binary.LittleEndian.AppendUint32(b, e.BatchSize)
+		b = append(b, e.ResultHash[:]...)
+	case KindFlush:
+		b = appendString(b, e.Class)
+		b = binary.LittleEndian.AppendUint32(b, e.Size)
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(e.Flops))
+	case KindBreaker:
+		b = appendString(b, e.Platform)
+		b = appendString(b, e.Kernel)
+		b = appendString(b, e.From)
+		b = appendString(b, e.To)
+		b = appendString(b, e.Reason)
+		b = appendString(b, e.Detail)
+		b = appendString(b, e.Shape)
+		b = binary.LittleEndian.AppendUint64(b, e.GuardSeq)
+		b = binary.LittleEndian.AppendUint32(b, e.Trips)
+	case KindAnchor:
+		b = binary.LittleEndian.AppendUint32(b, e.Count)
+		b = append(b, e.Root[:]...)
+		b = append(b, e.Chain[:]...)
+		if e.Sealed {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+	}
+	return b
+}
+
+func appendString(b []byte, s string) []byte {
+	if len(s) > maxStringField {
+		s = s[:maxStringField]
+	}
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(s)))
+	return append(b, s...)
+}
+
+// cursor is the decode position over one record payload.
+type cursor struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (c *cursor) fail(format string, args ...any) {
+	if c.err == nil {
+		c.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (c *cursor) take(n int) []byte {
+	if c.err != nil {
+		return nil
+	}
+	if n < 0 || c.off+n > len(c.b) {
+		c.fail("journal: record truncated at offset %d (want %d more bytes of %d)", c.off, n, len(c.b))
+		return nil
+	}
+	v := c.b[c.off : c.off+n]
+	c.off += n
+	return v
+}
+
+func (c *cursor) u8() uint8 {
+	v := c.take(1)
+	if v == nil {
+		return 0
+	}
+	return v[0]
+}
+
+func (c *cursor) u16() uint16 {
+	v := c.take(2)
+	if v == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(v)
+}
+
+func (c *cursor) u32() uint32 {
+	v := c.take(4)
+	if v == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(v)
+}
+
+func (c *cursor) u64() uint64 {
+	v := c.take(8)
+	if v == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(v)
+}
+
+func (c *cursor) hash() (h [32]byte) {
+	copy(h[:], c.take(32))
+	return
+}
+
+func (c *cursor) str() string {
+	n := int(c.u16())
+	return string(c.take(n))
+}
+
+// decodeEvent parses one record payload. Variable-length fields reference
+// the input slice (no copy); callers that retain events across buffer reuse
+// must copy. The decoder never panics on hostile input and never allocates
+// beyond what the (already CRC-validated and length-bounded) payload
+// implies — the FuzzJournalDecode contract.
+func decodeEvent(payload []byte) (Event, error) {
+	c := &cursor{b: payload}
+	var e Event
+	e.Kind = Kind(c.u8())
+	e.Seq = c.u64()
+	e.T = int64(c.u64())
+	switch e.Kind {
+	case KindSegmentHeader:
+		e.Version = c.u32()
+		e.Segment = c.u64()
+		e.PrevChain = c.hash()
+	case KindAdmit:
+		n := int(c.u32())
+		if n > maxHeaderField {
+			c.fail("journal: admit header %d bytes exceeds the %d limit", n, maxHeaderField)
+		}
+		e.Header = c.take(n)
+		e.PayloadHash = c.hash()
+		switch c.u8() {
+		case 0:
+		case 1:
+			e.HasPayload = true
+			e.Payload = c.take(int(c.u32()))
+		default:
+			c.fail("journal: admit record has invalid payload-presence byte")
+		}
+	case KindResult:
+		e.AdmitSeq = c.u64()
+		e.Status = int32(c.u32())
+		e.BatchSize = c.u32()
+		e.ResultHash = c.hash()
+	case KindFlush:
+		e.Class = c.str()
+		e.Size = c.u32()
+		e.Flops = math.Float64frombits(c.u64())
+	case KindBreaker:
+		e.Platform = c.str()
+		e.Kernel = c.str()
+		e.From = c.str()
+		e.To = c.str()
+		e.Reason = c.str()
+		e.Detail = c.str()
+		e.Shape = c.str()
+		e.GuardSeq = c.u64()
+		e.Trips = c.u32()
+	case KindAnchor:
+		e.Count = c.u32()
+		e.Root = c.hash()
+		e.Chain = c.hash()
+		switch c.u8() {
+		case 0:
+		case 1:
+			e.Sealed = true
+		default:
+			c.fail("journal: anchor record has invalid seal byte")
+		}
+	default:
+		c.fail("journal: unknown record kind 0x%02x", uint8(e.Kind))
+	}
+	if c.err == nil && c.off != len(payload) {
+		c.err = fmt.Errorf("journal: record has %d trailing bytes after a %s event", len(payload)-c.off, e.Kind)
+	}
+	return e, c.err
+}

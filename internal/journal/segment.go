@@ -1,0 +1,198 @@
+package journal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Segment layer: one journal segment is a file of CRC-framed records,
+//
+//	magic (8 bytes)
+//	frame: [u32 payload length][u32 CRC-32C of payload][payload]
+//	frame: …
+//
+// whose first record is a KindSegmentHeader and whose last — once sealed —
+// is a sealed KindAnchor. The CRC frame is the crash-safety boundary: a
+// torn write (power cut mid-frame) leaves an incomplete or CRC-failing
+// tail, which reopen truncates; every fully-framed record before it
+// survives. Tamper evidence is the anchor chain's job (merkle.go, verify.go)
+// — a CRC can be recomputed by an editor, a chained merkle root cannot.
+
+// Magic is the 8-byte segment file preamble.
+const Magic = "SHLMJNL1"
+
+// maxRecordBytes bounds one record payload; DecodeRequest's payload cap is
+// 64 MiB, so a captured admit fits with header room to spare.
+const maxRecordBytes = 80 << 20
+
+// castagnoli is the CRC-32C table (the polynomial with hardware support on
+// both x86 and ARMv8 — the platforms this repo models).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// segmentName renders the canonical file name of segment index.
+func segmentName(index uint64) string {
+	return fmt.Sprintf("seg-%08d.shj", index)
+}
+
+// parseSegmentName extracts the index from a canonical segment file name.
+func parseSegmentName(name string) (uint64, bool) {
+	rest, ok := strings.CutPrefix(name, "seg-")
+	if !ok {
+		return 0, false
+	}
+	rest, ok = strings.CutSuffix(rest, ".shj")
+	if !ok {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(rest, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// Segments lists the journal's segment files in index order.
+func Segments(dir string) (paths []string, indices []uint64, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	type seg struct {
+		path  string
+		index uint64
+	}
+	var segs []seg
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if idx, ok := parseSegmentName(e.Name()); ok {
+			segs = append(segs, seg{filepath.Join(dir, e.Name()), idx})
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].index < segs[j].index })
+	for _, s := range segs {
+		paths = append(paths, s.path)
+		indices = append(indices, s.index)
+	}
+	return paths, indices, nil
+}
+
+// frameBytes renders one frame around payload.
+func frameBytes(payload []byte) []byte {
+	b := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint32(b, uint32(len(payload)))
+	binary.LittleEndian.PutUint32(b[4:], crc32.Checksum(payload, castagnoli))
+	copy(b[8:], payload)
+	return b
+}
+
+// scannedRecord is one fully-framed, CRC-valid, decodable record with its
+// frame's start offset in the file.
+type scannedRecord struct {
+	off   int64
+	bytes int64 // frame length including the 8-byte prelude
+	// payload is the record payload; a fresh copy, safe to retain.
+	payload []byte
+	ev      Event
+}
+
+// scanResult is what scanSegment recovered from one segment file.
+type scanResult struct {
+	records []scannedRecord
+	// validEnd is the offset just past the last good frame — where torn-tail
+	// truncation cuts.
+	validEnd int64
+	// fileSize is the segment's size at scan time.
+	fileSize int64
+	// tail describes why scanning stopped before fileSize (nil: clean end).
+	// A non-nil tail on a sealed segment is corruption; on the active
+	// segment it is the torn tail reopen truncates.
+	tail error
+}
+
+// torn reports whether the scan stopped before the end of the file.
+func (s *scanResult) torn() bool { return s.validEnd != s.fileSize }
+
+// scanSegment reads a segment file from the start, validating the magic and
+// every frame (length bound, CRC, record decode), and stops at the first
+// sign of damage. Structural damage — bad magic, a first record that is not
+// a segment header — is returned as err (the file is not a recoverable
+// journal segment); frame-level damage at the tail is reported via
+// scanResult.tail with every preceding record intact.
+func scanSegment(path string) (*scanResult, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	res := &scanResult{fileSize: int64(len(data))}
+	if len(data) < len(Magic) || string(data[:len(Magic)]) != Magic {
+		return nil, fmt.Errorf("journal: %s: bad segment magic", path)
+	}
+	off := int64(len(Magic))
+	res.validEnd = off
+	for off < int64(len(data)) {
+		if off+8 > int64(len(data)) {
+			res.tail = fmt.Errorf("journal: %s: torn frame prelude at offset %d", path, off)
+			break
+		}
+		n := binary.LittleEndian.Uint32(data[off:])
+		sum := binary.LittleEndian.Uint32(data[off+4:])
+		if n > maxRecordBytes {
+			res.tail = fmt.Errorf("journal: %s: frame at offset %d declares %d bytes (limit %d)", path, off, n, maxRecordBytes)
+			break
+		}
+		end := off + 8 + int64(n)
+		if end > int64(len(data)) {
+			res.tail = fmt.Errorf("journal: %s: torn frame at offset %d (%d of %d payload bytes present)", path, off, int64(len(data))-off-8, n)
+			break
+		}
+		payload := data[off+8 : end]
+		if crc32.Checksum(payload, castagnoli) != sum {
+			res.tail = fmt.Errorf("journal: %s: CRC mismatch at offset %d", path, off)
+			break
+		}
+		ev, err := decodeEvent(payload)
+		if err != nil {
+			res.tail = fmt.Errorf("journal: %s: offset %d: %w", path, off, err)
+			break
+		}
+		if len(res.records) == 0 && ev.Kind != KindSegmentHeader {
+			return nil, fmt.Errorf("journal: %s: first record is %s, want segment-header", path, ev.Kind)
+		}
+		if len(res.records) > 0 && ev.Kind == KindSegmentHeader {
+			res.tail = fmt.Errorf("journal: %s: duplicate segment header at offset %d", path, off)
+			break
+		}
+		cp := make([]byte, len(payload))
+		copy(cp, payload)
+		res.records = append(res.records, scannedRecord{off: off, bytes: end - off, payload: cp, ev: ev})
+		res.validEnd = end
+		off = end
+	}
+	return res, nil
+}
+
+// writeMagic starts a fresh segment file.
+func writeMagic(f *os.File) error {
+	_, err := f.WriteString(Magic)
+	return err
+}
+
+// syncDir fsyncs the journal directory so a freshly created or renamed
+// segment file survives a crash (best effort — some filesystems refuse
+// directory fsync).
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	_ = d.Sync()
+	_ = d.Close()
+}

@@ -1,0 +1,208 @@
+package journal
+
+import "fmt"
+
+// Verification layer: re-derive every merkle root and chain hash from the
+// raw record bytes and compare against what the anchors claim. Any altered,
+// inserted, dropped, or reordered byte in a sealed segment breaks either a
+// CRC frame (caught by the scanner) or the recomputed chain (caught here) —
+// there is no third option, because every non-anchor record is a leaf of
+// exactly one anchored batch.
+
+// SegmentReport is the verification result for one segment file.
+type SegmentReport struct {
+	Path    string `json:"path"`
+	Index   uint64 `json:"index"`
+	Bytes   int64  `json:"bytes"`
+	Records int    `json:"records"` // event records (header and anchors excluded)
+	Anchors int    `json:"anchors"`
+	Sealed  bool   `json:"sealed"`
+	// FirstSeq/LastSeq span every record in the segment, header and anchors
+	// included. FirstT/LastT are Unix-nanosecond event times.
+	FirstSeq uint64 `json:"first_seq"`
+	LastSeq  uint64 `json:"last_seq"`
+	FirstT   int64  `json:"first_t,omitempty"`
+	LastT    int64  `json:"last_t,omitempty"`
+	// ChainHead is the hex chain hash after the segment's last anchor.
+	ChainHead string `json:"chain_head"`
+	// Torn marks a tail that stopped the scan early; TailErr says why. A
+	// torn tail always fails verification: it is either crash damage (a
+	// writer reopen repairs it by truncation — re-verify after) or
+	// tampering, and verify cannot tell which.
+	Torn    bool   `json:"torn,omitempty"`
+	TailErr string `json:"tail_err,omitempty"`
+	// Unanchored counts event records after the last anchor — journaled and
+	// CRC-protected but not yet committed to the chain.
+	Unanchored int `json:"unanchored,omitempty"`
+}
+
+// Report is the verification result for a whole journal directory.
+type Report struct {
+	Dir      string          `json:"dir"`
+	Segments []SegmentReport `json:"segments"`
+	// ChainHead is the final chain hash — the one value that commits to
+	// every anchored record in the journal.
+	ChainHead string `json:"chain_head"`
+	Records   int    `json:"records"`
+	Anchors   int    `json:"anchors"`
+	// OK is true when every check passed; Errs lists each failure.
+	OK   bool     `json:"ok"`
+	Errs []string `json:"errs,omitempty"`
+}
+
+func (r *Report) errf(format string, args ...any) {
+	r.Errs = append(r.Errs, fmt.Sprintf(format, args...))
+}
+
+// VerifyDir verifies the whole journal in dir: magic and CRC of every
+// frame, decode of every record, segment-header chaining, recomputed merkle
+// roots and chain hashes against every anchor, anchor counts, sealed-anchor
+// placement, and cross-segment sequence continuity. The newest segment may
+// legitimately be unsealed (a live writer between anchors) — but its frames
+// must all be whole: a torn tail fails verification until a writer reopen
+// truncates it (crash repair) or proves it was tampering.
+func VerifyDir(dir string) (*Report, error) {
+	paths, indices, err := Segments(dir)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{Dir: dir, OK: true}
+	if len(paths) == 0 {
+		rep.errf("no journal segments in %s", dir)
+		rep.OK = false
+		return rep, nil
+	}
+	var chain [32]byte // genesis: all zeros
+	nextSeq := uint64(0)
+	haveSeq := false
+	for si, path := range paths {
+		last := si == len(paths)-1
+		sr := SegmentReport{Path: path, Index: indices[si]}
+		res, err := scanSegment(path)
+		if err != nil {
+			rep.errf("%v", err)
+			rep.OK = false
+			rep.Segments = append(rep.Segments, sr)
+			continue
+		}
+		sr.Bytes = res.fileSize
+		if res.torn() {
+			sr.Torn = true
+			sr.TailErr = res.tail.Error()
+			rep.errf("segment %d: torn tail (crash damage or tampering): %v", indices[si], res.tail)
+			rep.OK = false
+		}
+		if len(res.records) == 0 {
+			rep.errf("segment %d: no records survive the scan", indices[si])
+			rep.OK = false
+			rep.Segments = append(rep.Segments, sr)
+			continue
+		}
+		hdr := res.records[0].ev
+		if hdr.Version != Version {
+			rep.errf("segment %d: format version %d, want %d", indices[si], hdr.Version, Version)
+			rep.OK = false
+		}
+		if hdr.Segment != indices[si] {
+			rep.errf("segment %d: header claims index %d", indices[si], hdr.Segment)
+			rep.OK = false
+		}
+		if hdr.PrevChain != chain {
+			rep.errf("segment %d: header PrevChain %x does not extend chain head %x", indices[si], hdr.PrevChain, chain)
+			rep.OK = false
+		}
+		sr.FirstSeq = hdr.Seq
+		leaves := [][32]byte{leafHash(res.records[0].payload)}
+		count := 0
+		sealed := false
+		for ri, r := range res.records {
+			if haveSeq && r.ev.Seq != nextSeq {
+				rep.errf("segment %d: record %d has seq %d, want %d", indices[si], ri, r.ev.Seq, nextSeq)
+				rep.OK = false
+			}
+			nextSeq = r.ev.Seq + 1
+			haveSeq = true
+			sr.LastSeq = r.ev.Seq
+			if r.ev.T != 0 {
+				if sr.FirstT == 0 {
+					sr.FirstT = r.ev.T
+				}
+				sr.LastT = r.ev.T
+			}
+			if ri == 0 {
+				continue // header leaf already staged
+			}
+			if sealed {
+				rep.errf("segment %d: record %d (%s) after the sealed anchor", indices[si], ri, r.ev.Kind)
+				rep.OK = false
+			}
+			if r.ev.Kind != KindAnchor {
+				leaves = append(leaves, leafHash(r.payload))
+				count++
+				sr.Records++
+				continue
+			}
+			// Re-derive what this anchor must commit to.
+			if int(r.ev.Count) != count {
+				rep.errf("segment %d: anchor seq %d claims %d records, batch has %d", indices[si], r.ev.Seq, r.ev.Count, count)
+				rep.OK = false
+			}
+			root := merkleRoot(leaves)
+			if r.ev.Root != root {
+				rep.errf("segment %d: anchor seq %d root %x, recomputed %x", indices[si], r.ev.Seq, r.ev.Root, root)
+				rep.OK = false
+			}
+			want := chainNext(chain, root)
+			if r.ev.Chain != want {
+				rep.errf("segment %d: anchor seq %d chain %x, recomputed %x", indices[si], r.ev.Seq, r.ev.Chain, want)
+				rep.OK = false
+			}
+			chain = r.ev.Chain
+			leaves = leaves[:0]
+			count = 0
+			sr.Anchors++
+			rep.Anchors++
+			if r.ev.Sealed {
+				sealed = true
+			}
+		}
+		sr.Sealed = sealed
+		sr.Unanchored = count
+		sr.ChainHead = fmt.Sprintf("%x", chain)
+		rep.Records += sr.Records
+		if !last && !sealed {
+			rep.errf("segment %d: not sealed but a later segment exists", indices[si])
+			rep.OK = false
+		}
+		rep.Segments = append(rep.Segments, sr)
+	}
+	rep.ChainHead = fmt.Sprintf("%x", chain)
+	return rep, nil
+}
+
+// ReadDir decodes every surviving record in the journal, in order — the
+// input for dumps and replay. Events own their bytes (the scanner copies).
+// Damage anywhere but the newest segment's tail is an error.
+func ReadDir(dir string) ([]Event, error) {
+	paths, indices, err := Segments(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("journal: no segments in %s", dir)
+	}
+	var events []Event
+	for si, path := range paths {
+		res, err := scanSegment(path)
+		if err != nil {
+			return nil, err
+		}
+		if res.torn() && si != len(paths)-1 {
+			return nil, fmt.Errorf("journal: segment %d damaged mid-journal: %w", indices[si], res.tail)
+		}
+		for _, r := range res.records {
+			events = append(events, r.ev)
+		}
+	}
+	return events, nil
+}

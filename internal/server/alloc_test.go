@@ -1,10 +1,12 @@
 package server
 
 import (
+	"net/http"
 	"testing"
 	"time"
 
 	"libshalom"
+	"libshalom/internal/journal"
 )
 
 // TestFlushPathAllocFree is the runtime twin of the //shalom:hotpath
@@ -33,5 +35,31 @@ func TestFlushPathAllocFree(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Errorf("flush answer path allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestAdmissionJournalDisabledAllocFree pins the journal's zero-cost-when-off
+// contract on the admission path: the exact sequence of journal calls
+// handleGEMM makes — Enabled gate, wire capture branch, Admit, Result — must
+// be allocation-free on a nil *journal.Writer. Turning journaling off must
+// cost the hot path nothing.
+func TestAdmissionJournalDisabledAllocFree(t *testing.T) {
+	var jw *journal.Writer
+	req := &Request{M: 8, N: 8, K: 8, C32: make([]float32, 64)}
+	now := time.Now()
+
+	allocs := testing.AllocsPerRun(200, func() {
+		var jHdr, jPayload []byte
+		if jw.Enabled() {
+			jHdr, jPayload, _ = wireParts(req)
+		}
+		jid := jw.Admit(now, jHdr, jPayload)
+		if jw.Enabled() {
+			rh := journal.HashF32s(req.C32)
+			jw.Result(jid, http.StatusOK, 1, rh)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("disabled journal adds %.1f allocs/op on the admission path, want 0", allocs)
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"libshalom"
+	"libshalom/internal/journal"
 	"libshalom/internal/telemetry"
 )
 
@@ -69,6 +70,7 @@ type coalescer struct {
 	lib  *libshalom.Context
 	cfg  Config
 	tel  *telemetry.Recorder
+	jw   *journal.Writer
 	base context.Context // parent of every flush's batch context
 
 	mu      sync.Mutex
@@ -89,6 +91,7 @@ func newCoalescer(lib *libshalom.Context, cfg Config) *coalescer {
 		lib:     lib,
 		cfg:     cfg,
 		tel:     lib.TelemetryRecorder(),
+		jw:      cfg.Journal,
 		base:    base,
 		classes: make(map[classKey]*classQueue),
 	}
@@ -184,6 +187,9 @@ func (co *coalescer) flushAll() {
 // remaining re-flush until each completes or expires.
 func (co *coalescer) runFlush(key classKey, batch []*pending) {
 	defer co.flushes.Done()
+	// Anchor after the flush's events land (LIFO: before flushes.Done), so
+	// every flush closes a journal batch under one merkle root.
+	defer co.jw.Anchor()
 	now := time.Now()
 	live := batch[:0:0]
 	for _, p := range batch {
@@ -200,6 +206,13 @@ func (co *coalescer) runFlush(key classKey, batch []*pending) {
 	}
 	size := len(live)
 	co.tel.ServerFlush(size)
+	if co.jw.Enabled() {
+		var flops float64
+		for _, p := range live {
+			flops += p.req.Flops()
+		}
+		co.jw.Flush(key.String(), size, flops)
+	}
 	remaining := live
 	for len(remaining) > 0 {
 		err := co.dispatch(key, remaining)

@@ -1,7 +1,10 @@
 package server
 
 import (
+	"bytes"
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -12,6 +15,7 @@ import (
 	"libshalom"
 	"libshalom/internal/guard"
 	"libshalom/internal/heal"
+	"libshalom/internal/journal"
 	"libshalom/internal/telemetry"
 )
 
@@ -52,6 +56,10 @@ type Config struct {
 	// itself, or the drain's final flushes are cancelled too). Nil selects
 	// context.Background().
 	BaseContext context.Context
+	// Journal, when non-nil, records every admitted request, flush, and
+	// result into the tamper-evident journal. Nil (the default) disables
+	// journaling at zero cost — the nil-receiver off path.
+	Journal *journal.Writer
 }
 
 func (c Config) withDefaults() Config {
@@ -97,6 +105,8 @@ type Server struct {
 	lib      *libshalom.Context
 	cfg      Config
 	tel      *telemetry.Recorder
+	jw       *journal.Writer
+	cfgHash  string
 	co       *coalescer
 	mux      *http.ServeMux
 	draining atomic.Bool
@@ -109,11 +119,13 @@ type Server struct {
 func New(lib *libshalom.Context, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		lib: lib,
-		cfg: cfg,
-		tel: lib.TelemetryRecorder(),
-		co:  newCoalescer(lib, cfg),
-		mux: http.NewServeMux(),
+		lib:     lib,
+		cfg:     cfg,
+		tel:     lib.TelemetryRecorder(),
+		jw:      cfg.Journal,
+		cfgHash: configHash(lib, cfg),
+		co:      newCoalescer(lib, cfg),
+		mux:     http.NewServeMux(),
 	}
 	s.mux.HandleFunc("/v1/gemm", s.handleGEMM)
 	s.mux.HandleFunc("/healthz", s.handleHealth)
@@ -127,6 +139,58 @@ func New(lib *libshalom.Context, cfg Config) *Server {
 
 // ServeHTTP dispatches to the server's endpoints.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// configHash digests the serving policy and platform into the provenance
+// hash /healthz and load-test artifacts report: two BENCH_serve.json rows
+// with the same config_hash ran the same serving configuration on the same
+// platform model.
+func configHash(lib *libshalom.Context, cfg Config) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "platform=%s window=%s max_batch=%d max_batch_flops=%g max_queue=%d max_inflight_flops=%d default_timeout=%s retry_after=%d max_dim=%d max_payload=%d journal=%t",
+		lib.Platform().Name, cfg.Window, cfg.MaxBatch, cfg.MaxBatchFlops,
+		cfg.MaxQueue, cfg.MaxInFlightFlops, cfg.DefaultTimeout, cfg.RetryAfter,
+		cfg.MaxDim, cfg.MaxPayloadBytes, cfg.Journal.Enabled())
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// ConfigHash is the provenance hash of the server's effective configuration.
+func (s *Server) ConfigHash() string { return s.cfgHash }
+
+// wireParts re-encodes a decoded request into its canonical wire form, split
+// into the header line (no newline) and the operand payload — what the
+// journal's admit record carries. Encoding happens before submit: the flush
+// goroutine overwrites req's C in place, so the bytes must be captured while
+// the handler still owns them.
+func wireParts(req *Request) (header, payload []byte, err error) {
+	h := Header{
+		Precision: "f32", Mode: req.Mode.String(),
+		M: req.M, N: req.N, K: req.K,
+		Alpha: req.Alpha, Beta: req.Beta,
+		TimeoutMS: int(req.Timeout / time.Millisecond),
+	}
+	if req.F64 {
+		h.Precision = "f64"
+	}
+	header, err = json.Marshal(h)
+	if err != nil {
+		return nil, nil, err
+	}
+	var buf bytes.Buffer
+	if req.F64 {
+		_ = writeF64s(&buf, req.A64)
+		_ = writeF64s(&buf, req.B64)
+		if req.Beta != 0 {
+			_ = writeF64s(&buf, req.C64)
+		}
+	} else {
+		_ = writeF32s(&buf, req.A32)
+		_ = writeF32s(&buf, req.B32)
+		if req.Beta != 0 {
+			_ = writeF32s(&buf, req.C32)
+		}
+	}
+	return header, buf.Bytes(), nil
+}
 
 // handleGEMM is the request path: decode, admit, wait for the coalesced
 // flush, answer.
@@ -159,6 +223,12 @@ func (s *Server) handleGEMM(w http.ResponseWriter, r *http.Request) {
 	if timeout > 0 {
 		p.deadline = now.Add(timeout)
 	}
+	// Capture the canonical wire bytes before submit: once the request is in
+	// a queue, the flush goroutine owns (and overwrites) its C operand.
+	var jHdr, jPayload []byte
+	if s.jw.Enabled() {
+		jHdr, jPayload, _ = wireParts(req)
+	}
 	if !s.co.submit(p) {
 		s.tel.ServerShed()
 		w.Header().Set("Retry-After", strconv.Itoa(s.cfg.RetryAfter))
@@ -166,7 +236,19 @@ func (s *Server) handleGEMM(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.tel.ServerAccepted()
+	jid := s.jw.Admit(now, jHdr, jPayload)
 	res := <-p.done
+	if s.jw.Enabled() {
+		var rh [32]byte
+		if res.status == http.StatusOK {
+			if req.F64 {
+				rh = journal.HashF64s(req.C64)
+			} else {
+				rh = journal.HashF32s(req.C32)
+			}
+		}
+		s.jw.Result(jid, res.status, res.batchSize, rh)
+	}
 	if res.status != http.StatusOK {
 		http.Error(w, res.msg, res.status)
 		return
@@ -200,10 +282,17 @@ func (s *Server) writeResult(w http.ResponseWriter, req *Request, res result) {
 
 // healthzBody is the /healthz response.
 type healthzBody struct {
-	Status   string              `json:"status"` // "ok", "probing" or "degraded"
-	Platform string              `json:"platform"`
-	Draining bool                `json:"draining"`
-	Breakers []guard.Degradation `json:"breakers,omitempty"`
+	Status   string `json:"status"` // "ok", "probing" or "degraded"
+	Platform string `json:"platform"`
+	Draining bool   `json:"draining"`
+	// ConfigHash is the provenance digest of the effective serving policy;
+	// load-test artifacts embed it so a result row names the exact
+	// configuration it measured.
+	ConfigHash string              `json:"config_hash"`
+	Breakers   []guard.Degradation `json:"breakers,omitempty"`
+	// Journal is the durability view of the request journal — active
+	// segment, chain head, fsync lag — present only when journaling is on.
+	Journal *journal.Status `json:"journal,omitempty"`
 }
 
 // handleHealth reports the self-healing state of the serving platform's
@@ -213,7 +302,11 @@ type healthzBody struct {
 // check.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	plat := s.lib.Platform().Name
-	body := healthzBody{Status: "ok", Platform: plat, Draining: s.draining.Load()}
+	body := healthzBody{Status: "ok", Platform: plat, Draining: s.draining.Load(), ConfigHash: s.cfgHash}
+	if s.jw.Enabled() {
+		js := s.jw.Status()
+		body.Journal = &js
+	}
 	for _, path := range []string{guard.PathF32, guard.PathF64} {
 		switch guard.StateOf(plat, path) {
 		case guard.StateOpen:

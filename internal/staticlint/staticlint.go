@@ -7,9 +7,10 @@
 //     and their transitive module callees are proven free of the banned
 //     operation classes (heap allocation and interface boxing; mutex and
 //     channel operations; blocking calls; clock reads).
-//   - telemetrypure: every telemetry Recorder method that performs writes
-//     opens with the nil-receiver guard, so the disabled path is provably
-//     write-free — the static twin of `make probe`.
+//   - telemetrypure: every telemetry Recorder method — and every exported
+//     journal Writer method — that performs writes opens with the
+//     nil-receiver guard, so the disabled paths are provably write-free —
+//     the static twin of `make probe`.
 //   - ctxflow: library code must propagate caller contexts; minting
 //     context.Background()/TODO() outside main packages breaks deadline and
 //     cancellation flow into the batch runtime.

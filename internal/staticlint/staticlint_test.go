@@ -104,6 +104,21 @@ func TestTelemetryPureFixture(t *testing.T) {
 	}
 }
 
+// TestTelemetryPureJournalFixture covers the analyzer's second target: the
+// journal Writer's exported methods carry the same nil-guard discipline,
+// while its unexported *Locked helpers (guarded by their exported callers)
+// are exempt.
+func TestTelemetryPureJournalFixture(t *testing.T) {
+	prog := loadFixture(t, "journal")
+	diags := RunAnalyzers(prog, []*Analyzer{TelemetryPure})
+	const f = "journal/journal.go"
+	expectAt(t, diags, "telemetrypure", f, 27) // Unguarded exported writer
+	if len(diags) != 1 {
+		t.Errorf("want exactly 1 finding (Guarded and appendLocked are clean), got %d:\n%s",
+			len(diags), renderDiags(diags))
+	}
+}
+
 func TestCtxFlowFixture(t *testing.T) {
 	prog := loadFixture(t, "ctxbad")
 	diags := RunAnalyzers(prog, []*Analyzer{CtxFlow})

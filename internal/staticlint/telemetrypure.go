@@ -6,17 +6,31 @@ import (
 	"go/types"
 )
 
-// TelemetryPure is the static twin of `make probe`: telemetry is handed out
-// as a possibly-nil *Recorder, and the disabled path's whole contract is
-// that a nil receiver records nothing. The dynamic probe counts atomic
-// writes at runtime under the telemetryprobe tag; this analyzer proves the
-// guard discipline at compile time — every Recorder method that writes
-// through its receiver must begin with the nil-receiver guard
-// (`if r == nil { return }`, possibly with extra `||` disjuncts).
+// TelemetryPure is the static twin of `make probe`: the off-switch types —
+// telemetry's *Recorder and the journal's *Writer — are handed out possibly
+// nil, and the disabled path's whole contract is that a nil receiver writes
+// nothing. The dynamic probe counts atomic writes at runtime under the
+// telemetryprobe tag; this analyzer proves the guard discipline at compile
+// time — every targeted method that writes through its receiver must begin
+// with the nil-receiver guard (`if r == nil { return }`, possibly with
+// extra `||` disjuncts).
 var TelemetryPure = &Analyzer{
 	Name: "telemetrypure",
-	Doc:  "telemetry Recorder methods that write must open with the nil-receiver guard",
+	Doc:  "nil-disableable types (telemetry Recorder, journal Writer) must open writing methods with the nil-receiver guard",
 	Run:  runTelemetryPure,
+}
+
+// nilGuardTargets lists the (package, type) pairs whose nil receiver means
+// "feature off". ExportedOnly limits the check to the type's public API:
+// the journal Writer's unexported *Locked helpers write unguarded by design
+// — they are reachable only from guarded exported methods that already hold
+// the receiver non-nil (and its mutex).
+var nilGuardTargets = []struct {
+	Pkg, Type    string
+	ExportedOnly bool
+}{
+	{Pkg: "telemetry", Type: "Recorder"},
+	{Pkg: "journal", Type: "Writer", ExportedOnly: true},
 }
 
 // atomicWriteMethods are the sync/atomic value-type methods that mutate.
@@ -27,32 +41,37 @@ var atomicWriteMethods = map[string]bool{
 
 func runTelemetryPure(prog *Program, rep *Reporter) {
 	for _, pkg := range prog.Packages {
-		if pkg.Name != "telemetry" {
-			continue
-		}
-		for _, f := range pkg.Files {
-			for _, decl := range f.Decls {
-				fd, ok := decl.(*ast.FuncDecl)
-				if !ok || fd.Recv == nil || fd.Body == nil {
-					continue
-				}
-				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
-				if !ok {
-					continue
-				}
-				named := RecvNamed(fn)
-				if named == nil || named.Obj().Name() != "Recorder" {
-					continue
-				}
-				recv := recvObj(pkg, fd)
-				wpos, writes := findRecorderWrite(pkg, fd, recv)
-				if !writes {
-					continue
-				}
-				if !opensWithNilGuard(pkg, fd, recv) {
-					rep.Reportf(fd.Pos(),
-						"(*Recorder).%s writes (first write at %s) but does not open with `if r == nil { return }` — the disabled telemetry path must be write-free",
-						fd.Name.Name, prog.Fset.Position(wpos))
+		for _, target := range nilGuardTargets {
+			if pkg.Name != target.Pkg {
+				continue
+			}
+			for _, f := range pkg.Files {
+				for _, decl := range f.Decls {
+					fd, ok := decl.(*ast.FuncDecl)
+					if !ok || fd.Recv == nil || fd.Body == nil {
+						continue
+					}
+					if target.ExportedOnly && !fd.Name.IsExported() {
+						continue
+					}
+					fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+					if !ok {
+						continue
+					}
+					named := RecvNamed(fn)
+					if named == nil || named.Obj().Name() != target.Type {
+						continue
+					}
+					recv := recvObj(pkg, fd)
+					wpos, writes := findRecorderWrite(pkg, fd, recv)
+					if !writes {
+						continue
+					}
+					if !opensWithNilGuard(pkg, fd, recv) {
+						rep.Reportf(fd.Pos(),
+							"(*%s).%s writes (first write at %s) but does not open with the nil-receiver guard — the disabled %s path must be write-free",
+							target.Type, fd.Name.Name, prog.Fset.Position(wpos), target.Pkg)
+					}
 				}
 			}
 		}

@@ -1,0 +1,35 @@
+// Package journal is a staticlint fixture for the telemetrypure analyzer's
+// journal target: a Writer with a guarded exported writer, an unguarded
+// exported writer, and an unguarded unexported locked helper that the
+// exported-only rule must skip.
+package journal
+
+import "sync"
+
+// Writer mirrors the real journal writer's nil-receiver contract.
+type Writer struct {
+	mu  sync.Mutex
+	seq uint64
+}
+
+// Guarded opens with the nil guard: clean.
+func (w *Writer) Guarded() uint64 {
+	if w == nil {
+		return 0
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.seq++
+	return w.seq
+}
+
+// Unguarded writes receiver state without the guard: finding at line 27.
+func (w *Writer) Unguarded() {
+	w.seq++
+}
+
+// appendLocked writes unguarded, but is unexported: the exported-only rule
+// for the journal target must not flag it.
+func (w *Writer) appendLocked() {
+	w.seq++
+}

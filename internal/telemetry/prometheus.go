@@ -127,6 +127,14 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 		bw.printf("libshalom_server_queue_wait_seconds_sum %g\n", float64(sv.QueueWaitNs)/1e9)
 		bw.printf("libshalom_server_queue_wait_seconds_count %d\n", cum)
 	}
+	if s.Journal.Active() {
+		jn := s.Journal
+		counter("libshalom_journal_records_total", "Event records appended to the request journal.", jn.Records)
+		counter("libshalom_journal_bytes_total", "Bytes appended to the request journal, frames included.", jn.Bytes)
+		counter("libshalom_journal_anchors_total", "Merkle anchors committed to the journal chain.", jn.Anchors)
+		counter("libshalom_journal_segments_sealed_total", "Journal segments closed by a sealed anchor.", jn.Sealed)
+		counter("libshalom_journal_fsyncs_total", "Explicit fsyncs of the active journal segment.", jn.Fsyncs)
+	}
 	return bw.err
 }
 

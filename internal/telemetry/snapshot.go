@@ -85,6 +85,9 @@ type Snapshot struct {
 	// Server is the serving-layer section (admission, shedding, coalescing);
 	// zero outside a serving process.
 	Server ServerStats `json:"server"`
+	// Journal is the request-journal section (appends, anchors, fsyncs);
+	// zero when journaling is disabled.
+	Journal JournalStats `json:"journal"`
 }
 
 // Snapshot aggregates the recorder into an exposition-ready value. A nil
@@ -153,6 +156,7 @@ func (r *Recorder) Snapshot() Snapshot {
 	s.BreakersOpen = r.breakersOpen.Load()
 	s.BreakersProbing = r.breakersProbing.Load()
 	s.Server = r.serverSnapshot()
+	s.Journal = r.journalSnapshot()
 	if r.trace != nil {
 		r.trace.mu.Lock()
 		s.TraceSpans = r.trace.written

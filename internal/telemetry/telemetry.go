@@ -172,6 +172,9 @@ type Recorder struct {
 	// Serving-layer counters (fed by internal/server; see server.go).
 	server serverStats
 
+	// Journal counters (fed by internal/journal; see journal.go).
+	journal journalStats
+
 	callSeq atomic.Uint64 // caller trace-lane allocator
 
 	trace *ring // nil when tracing is disabled

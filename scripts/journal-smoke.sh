@@ -1,0 +1,121 @@
+#!/usr/bin/env sh
+# journal-smoke: end-to-end smoke test of the tamper-evident request journal.
+#
+# Builds shalom-serve (race-enabled), shalom-load, and shalom-journal, then
+# drives the full forensic loop:
+#   1. serve with journaling (payload capture on), storm it, SIGTERM drain —
+#      the journal must seal cleanly,
+#   2. shalom-journal verify must pass on the sealed capture,
+#   3. flipping one byte in a copy must make verify FAIL (tamper evidence),
+#   4. a fresh server replays the capture via shalom-load -replay and every
+#      completed request must reproduce its journaled result hash bitwise,
+#   5. the load report JSON must carry the provenance anchors (config hash
+#      and journal chain head).
+set -eu
+
+GO=${GO:-go}
+TMP=$(mktemp -d "${TMPDIR:-/tmp}/shalom-journal-smoke.XXXXXX")
+SERVE_PID=""
+cleanup() {
+    [ -n "$SERVE_PID" ] && kill -9 "$SERVE_PID" 2>/dev/null || true
+    rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+echo "journal-smoke: building binaries"
+$GO build -race -o "$TMP/shalom-serve" ./cmd/shalom-serve
+$GO build -o "$TMP/shalom-load" ./cmd/shalom-load
+$GO build -o "$TMP/shalom-journal" ./cmd/shalom-journal
+
+# start_serve JOURNAL_DIR — boots a journaling server, sets SERVE_PID/ADDR.
+start_serve() {
+    : >"$TMP/addr"
+    "$TMP/shalom-serve" -addr 127.0.0.1:0 -addr-file "$TMP/addr" -window 5ms \
+        -journal "$1" -journal-payloads \
+        >"$TMP/serve.log" 2>&1 &
+    SERVE_PID=$!
+    i=0
+    while [ ! -s "$TMP/addr" ]; do
+        i=$((i + 1))
+        if [ "$i" -gt 100 ]; then
+            echo "journal-smoke: FAIL: server never bound an address" >&2
+            cat "$TMP/serve.log" >&2
+            exit 1
+        fi
+        if ! kill -0 "$SERVE_PID" 2>/dev/null; then
+            echo "journal-smoke: FAIL: server exited before binding" >&2
+            cat "$TMP/serve.log" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+    ADDR=$(cat "$TMP/addr")
+}
+
+# stop_serve — SIGTERM drain; the journal must seal and the server exit 0.
+stop_serve() {
+    kill -TERM "$SERVE_PID"
+    STATUS=0
+    wait "$SERVE_PID" || STATUS=$?
+    SERVE_PID=""
+    if [ "$STATUS" -ne 0 ]; then
+        echo "journal-smoke: FAIL: server exited $STATUS after SIGTERM" >&2
+        cat "$TMP/serve.log" >&2
+        exit 1
+    fi
+    if ! grep -q "journal sealed" "$TMP/serve.log"; then
+        echo "journal-smoke: FAIL: server log has no journal seal report" >&2
+        cat "$TMP/serve.log" >&2
+        exit 1
+    fi
+}
+
+echo "journal-smoke: capture run"
+mkdir "$TMP/capture"
+start_serve "$TMP/capture"
+echo "journal-smoke: server up on $ADDR"
+"$TMP/shalom-load" -addr "$ADDR" -n 48 -c 8 -mix tiny \
+    -fail-on-shed -json "$TMP/capture.json"
+stop_serve
+
+echo "journal-smoke: verifying the sealed capture"
+"$TMP/shalom-journal" verify "$TMP/capture"
+"$TMP/shalom-journal" ls "$TMP/capture" >/dev/null
+
+echo "journal-smoke: tamper check — one flipped byte must fail verification"
+cp -r "$TMP/capture" "$TMP/tampered"
+SEG=$(ls "$TMP/tampered"/seg-*.shj | head -1)
+# Flip one byte mid-file (past the magic) with no size change.
+SIZE=$(wc -c <"$SEG")
+OFF=$((SIZE / 2))
+BYTE=$(dd if="$SEG" bs=1 skip="$OFF" count=1 2>/dev/null | od -An -tu1 | tr -d ' \n')
+FLIPPED=$((BYTE ^ 64))
+printf "$(printf '\\%03o' "$FLIPPED")" |
+    dd of="$SEG" bs=1 seek="$OFF" count=1 conv=notrunc 2>/dev/null
+if "$TMP/shalom-journal" verify "$TMP/tampered" >/dev/null 2>&1; then
+    echo "journal-smoke: FAIL: verify accepted a tampered segment (byte $OFF of $SEG)" >&2
+    exit 1
+fi
+
+echo "journal-smoke: replay run — results must be bitwise identical"
+mkdir "$TMP/replay"
+start_serve "$TMP/replay"
+"$TMP/shalom-load" -addr "$ADDR" -replay "$TMP/capture" -replay-speed 0 \
+    -json "$TMP/replay.json"
+stop_serve
+"$TMP/shalom-journal" verify "$TMP/replay" >/dev/null
+
+echo "journal-smoke: checking provenance anchors in the reports"
+for field in config_hash journal_chain_head; do
+    if ! grep -q "\"$field\"" "$TMP/capture.json"; then
+        echo "journal-smoke: FAIL: capture report lacks $field" >&2
+        cat "$TMP/capture.json" >&2
+        exit 1
+    fi
+done
+if ! grep -q '"replay_chain_head"' "$TMP/replay.json"; then
+    echo "journal-smoke: FAIL: replay report lacks replay_chain_head" >&2
+    cat "$TMP/replay.json" >&2
+    exit 1
+fi
+echo "journal-smoke: PASS"
