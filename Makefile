@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet staticlint race lint check fuzz test-chaos test-soak probe trace-smoke serve-smoke journal-smoke
+.PHONY: build test vet staticlint race lint check fuzz test-chaos test-soak probe trace-smoke serve-smoke journal-smoke attrib-smoke
 
 build:
 	$(GO) build ./...
@@ -67,6 +67,15 @@ trace-smoke:
 serve-smoke:
 	sh scripts/serve-smoke.sh
 
+# Attribution smoke test: race-enabled shalom-serve with fast attribution
+# windows and the slow-shape-class chaos point armed against "small", a
+# mixed shalom-load storm, then assertions that the seeded regression
+# surfaces as a drift event and the top-ranked tuning candidate in /attrib,
+# in the Prometheus exposition, and in shalom-top's heat view, followed by
+# a clean drain.
+attrib-smoke:
+	sh scripts/attrib-smoke.sh
+
 # Journal smoke test: the full forensic loop — capture a journaled storm,
 # SIGTERM-seal it, shalom-journal verify, prove a single flipped byte fails
 # verification, then replay the capture against a fresh server and require
@@ -86,4 +95,4 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzAnalyze -fuzztime=10s ./internal/isa/
 
 # The CI gate.
-check: vet staticlint build test race test-chaos test-soak probe trace-smoke serve-smoke journal-smoke lint
+check: vet staticlint build test race test-chaos test-soak probe trace-smoke serve-smoke journal-smoke attrib-smoke lint

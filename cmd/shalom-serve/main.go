@@ -15,11 +15,24 @@
 //	             [-deadline 0] [-no-retry]
 //	             [-journal DIR] [-journal-fsync anchor|always|none]
 //	             [-journal-segment-bytes N] [-journal-payloads]
+//	             [-attrib] [-attrib-window 1s] [-attrib-margin 0.35]
+//	             [-attrib-windows 3] [-attrib-min-calls 16]
+//	             [-pprof]
+//	             [-chaos-slow-class CLASS] [-chaos-slow-delay 2ms]
 //
 // The server always runs with telemetry: GET /metrics serves the Prometheus
 // exposition (driver metrics plus the serving-layer counters), /healthz the
 // self-healing breaker state (503 while any breaker is open on the serving
 // platform), /snapshot and /trace the usual telemetry views.
+//
+// -attrib (on by default) runs the live performance-attribution engine:
+// GET /attrib serves the rolling efficiency accounts, drift events, and the
+// ranked tuning-candidate feed; /metrics grows the attribution gauge
+// family, and drift events are logged as they fire. -pprof mounts
+// net/http/pprof under /debug/pprof/ for live profiling; it is off by
+// default. -chaos-slow-class arms the slow-shape-class fault point against
+// one class (tiny, small, medium, large, irregular) — the attribution
+// smoke test uses it to seed a visible regression.
 //
 // -journal DIR enables the tamper-evident request journal: every admitted
 // request, flush, result, and breaker transition lands in merkle-anchored
@@ -40,11 +53,25 @@ import (
 	"time"
 
 	"libshalom"
+	"libshalom/internal/attrib"
+	"libshalom/internal/faults"
 	"libshalom/internal/guard"
 	"libshalom/internal/journal"
 	"libshalom/internal/platform"
 	"libshalom/internal/server"
+	"libshalom/internal/telemetry"
 )
+
+// parseShapeClass resolves a class label (tiny, small, medium, large,
+// irregular) to its telemetry index.
+func parseShapeClass(name string) (uint8, bool) {
+	for _, c := range telemetry.ShapeClasses() {
+		if c.String() == name {
+			return uint8(c), true
+		}
+	}
+	return 0, false
+}
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address (port 0 picks an ephemeral port)")
@@ -63,6 +90,14 @@ func main() {
 	journalFsync := flag.String("journal-fsync", "anchor", "journal durability policy: anchor, always, or none")
 	journalSegBytes := flag.Int64("journal-segment-bytes", 8<<20, "rotate journal segments at this size")
 	journalPayloads := flag.Bool("journal-payloads", false, "capture operand payloads in admit records (required for -replay)")
+	attribOn := flag.Bool("attrib", true, "run the performance-attribution engine (serves /attrib)")
+	attribWindow := flag.Duration("attrib-window", time.Second, "attribution accounting window")
+	attribMargin := flag.Float64("attrib-margin", 0.35, "relative shortfall below calibrated par that counts as drift")
+	attribWindows := flag.Int("attrib-windows", 3, "consecutive below-par windows before a drift event fires")
+	attribMinCalls := flag.Uint64("attrib-min-calls", 16, "clean calls a window needs before a key is scored")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	chaosSlowClass := flag.String("chaos-slow-class", "", "arm the slow-shape-class fault point against this class (tiny, small, medium, large, irregular)")
+	chaosSlowDelay := flag.Duration("chaos-slow-delay", 2*time.Millisecond, "per-call delay the armed slow-shape-class point injects")
 	flag.Parse()
 
 	plat := platform.ByName(*platName)
@@ -109,6 +144,37 @@ func main() {
 		guard.SetTransitionObserver(jw.GuardObserver())
 	}
 
+	if *chaosSlowClass != "" {
+		class, ok := parseShapeClass(*chaosSlowClass)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "shalom-serve: unknown shape class %q\n", *chaosSlowClass)
+			os.Exit(2)
+		}
+		faults.SetSlowClass(class, *chaosSlowDelay)
+		faults.Arm(faults.SlowShapeClass, faults.Unlimited)
+		fmt.Printf("shalom-serve: CHAOS slow-shape-class armed: %s += %v per call\n",
+			*chaosSlowClass, *chaosSlowDelay)
+	}
+
+	var eng *attrib.Engine
+	if *attribOn {
+		eng = attrib.New(attrib.Config{
+			Recorder:       lib.TelemetryRecorder(),
+			Platform:       plat,
+			Window:         *attribWindow,
+			Margin:         *attribMargin,
+			DriftWindows:   *attribWindows,
+			MinWindowCalls: *attribMinCalls,
+			OnDrift: func(ev attrib.DriftEvent) {
+				fmt.Printf("shalom-serve: DRIFT %s/%s/%s/%s: %.2f GFLOPS measured vs %.2f predicted (rel-eff %.2f, %d windows below par)\n",
+					ev.Precision, ev.Mode, ev.ShapeClass, ev.Kernel,
+					ev.Measured, ev.Predicted, ev.RelEff, ev.Windows)
+			},
+		})
+		eng.Start()
+		defer eng.Close()
+	}
+
 	// The lifecycle context parents every flush's batch context. It is NOT
 	// the signal context: a drain triggered by SIGTERM still has to run its
 	// final flushes, so it only cancels after the drain completes (process
@@ -125,6 +191,8 @@ func main() {
 		DefaultTimeout:   *defaultTimeout,
 		BaseContext:      lifecycle,
 		Journal:          jw,
+		Attrib:           eng,
+		Pprof:            *pprofOn,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
@@ -181,6 +249,11 @@ func main() {
 			js.Segment, js.Records, js.Anchors, js.ChainHead)
 	}
 
+	if eng != nil {
+		eng.Close()
+		fmt.Printf("shalom-serve: attribution — %d windows closed, %d drift events\n",
+			eng.Windows(), eng.DriftTotal())
+	}
 	snap := lib.Snapshot()
 	sv := snap.Server
 	fmt.Printf("shalom-serve: drained — accepted %d, coalesced %d, shed %d, expired %d, rejected %d, flushes %d\n",

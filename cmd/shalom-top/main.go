@@ -1,25 +1,38 @@
 // Command shalom-top runs a GEMM workload mix on a telemetry-enabled
 // context and live-renders its metrics — a top(1)-style view of what the
 // runtime is doing per (precision, mode, shape class, kernel, outcome),
-// plus pool scheduling and thread-policy gauges. With -trace it also
-// exports the phase spans of the run as Chrome trace_event JSON for
+// plus pool scheduling and thread-policy gauges and the attribution heat
+// view (measured vs predicted vs roofline per key, with the tuning
+// candidates ranked hottest-and-worst first). With -trace it also exports
+// the phase spans of the run as Chrome trace_event JSON for
 // chrome://tracing or ui.perfetto.dev, and -validate checks the exported
 // file the same way `make trace-smoke` does.
 //
 // Usage:
 //
 //	shalom-top [-mix small|irregular|mixed] [-duration 5s] [-interval 500ms]
-//	           [-threads N] [-once] [-trace FILE] [-validate]
+//	           [-threads N] [-once] [-no-attrib]
+//	           [-trace FILE] [-validate]
+//	shalom-top -attrib http://HOST:PORT
+//
+// The second form does not drive a workload: it fetches /attrib from a
+// running shalom-serve, renders its attribution heat view once, and exits —
+// the mode scripts/attrib-smoke.sh asserts against.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
 	"libshalom"
+	"libshalom/internal/attrib"
 	"libshalom/internal/mat"
 	"libshalom/internal/telemetry"
 	"libshalom/internal/workloads"
@@ -35,78 +48,136 @@ type job struct {
 }
 
 func main() {
-	mix := flag.String("mix", "mixed", "workload mix: small, irregular, or mixed")
-	threads := flag.Int("threads", 0, "thread width (0 = automatic §7.4 policy)")
-	duration := flag.Duration("duration", 5*time.Second, "how long to drive the workload")
-	interval := flag.Duration("interval", 500*time.Millisecond, "refresh interval of the live table")
-	once := flag.Bool("once", false, "run for -duration, print the table once, exit")
-	tracePath := flag.String("trace", "", "write Chrome trace_event JSON to this file at exit")
-	validate := flag.Bool("validate", false, "validate the exported trace (requires -trace)")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
+// run is the testable entry point: it parses args, drives the workload (or
+// the remote attribution fetch), and renders to stdout. It returns the
+// process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("shalom-top", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	mix := fs.String("mix", "mixed", "workload mix: small, irregular, or mixed")
+	threads := fs.Int("threads", 0, "thread width (0 = automatic §7.4 policy)")
+	duration := fs.Duration("duration", 5*time.Second, "how long to drive the workload")
+	interval := fs.Duration("interval", 500*time.Millisecond, "refresh interval of the live table")
+	once := fs.Bool("once", false, "run for -duration, print the table once, exit")
+	noAttrib := fs.Bool("no-attrib", false, "skip the local attribution heat view")
+	attribURL := fs.String("attrib", "", "fetch /attrib from this shalom-serve base URL, render its heat view once, exit")
+	tracePath := fs.String("trace", "", "write Chrome trace_event JSON to this file at exit")
+	validate := fs.Bool("validate", false, "validate the exported trace (requires -trace)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *attribURL != "" {
+		return runRemoteAttrib(*attribURL, stdout, stderr)
+	}
 	if *validate && *tracePath == "" {
-		fmt.Fprintln(os.Stderr, "shalom-top: -validate requires -trace FILE")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "shalom-top: -validate requires -trace FILE")
+		return 2
 	}
 	jobs, err := buildJobs(*mix)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "shalom-top:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "shalom-top:", err)
+		return 2
 	}
 
 	ctx := libshalom.New(libshalom.WithTelemetry(), libshalom.WithThreads(*threads))
 	defer ctx.Close()
+	// The local heat view runs the attribution engine over this context's
+	// own recorder; windows close on each render so the view is live.
+	var eng *attrib.Engine
+	if !*noAttrib {
+		eng = attrib.New(attrib.Config{
+			Recorder:       ctx.TelemetryRecorder(),
+			Window:         *interval,
+			MinWindowCalls: 1,
+		})
+	}
 
 	deadline := time.Now().Add(*duration)
 	nextRender := time.Now().Add(*interval)
 	for i := 0; time.Now().Before(deadline); i++ {
 		j := jobs[i%len(jobs)]
 		if err := runJob(ctx, j); err != nil {
-			fmt.Fprintln(os.Stderr, "shalom-top: gemm failed:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "shalom-top: gemm failed:", err)
+			return 1
 		}
 		if !*once && time.Now().After(nextRender) {
-			fmt.Print("\x1b[H\x1b[2J")
-			render(os.Stdout, ctx.Snapshot(), *mix)
+			fmt.Fprint(stdout, "\x1b[H\x1b[2J")
+			eng.Step()
+			render(stdout, ctx.Snapshot(), *mix)
+			renderAttrib(stdout, eng.Report())
 			nextRender = time.Now().Add(*interval)
 		}
 	}
 	if !*once {
-		fmt.Print("\x1b[H\x1b[2J")
+		fmt.Fprint(stdout, "\x1b[H\x1b[2J")
 	}
-	render(os.Stdout, ctx.Snapshot(), *mix)
+	eng.Step()
+	render(stdout, ctx.Snapshot(), *mix)
+	renderAttrib(stdout, eng.Report())
 
 	if *tracePath != "" {
 		f, err := os.Create(*tracePath)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "shalom-top:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "shalom-top:", err)
+			return 1
 		}
 		if err := ctx.ExportTrace(f); err != nil {
 			f.Close()
-			fmt.Fprintln(os.Stderr, "shalom-top: trace export:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "shalom-top: trace export:", err)
+			return 1
 		}
 		if err := f.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "shalom-top:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "shalom-top:", err)
+			return 1
 		}
-		fmt.Printf("\ntrace written to %s\n", *tracePath)
+		fmt.Fprintf(stdout, "\ntrace written to %s\n", *tracePath)
 		if *validate {
 			f, err := os.Open(*tracePath)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "shalom-top:", err)
-				os.Exit(1)
+				fmt.Fprintln(stderr, "shalom-top:", err)
+				return 1
 			}
 			err = telemetry.ValidateTrace(f)
 			f.Close()
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "shalom-top: trace validation FAILED:", err)
-				os.Exit(1)
+				fmt.Fprintln(stderr, "shalom-top: trace validation FAILED:", err)
+				return 1
 			}
-			fmt.Println("trace validated: well-formed JSON, monotonic timestamps, balanced B/E pairs")
+			fmt.Fprintln(stdout, "trace validated: well-formed JSON, monotonic timestamps, balanced B/E pairs")
 		}
 	}
+	return 0
+}
+
+// runRemoteAttrib fetches a running server's /attrib report and renders
+// the heat view once — the scriptable remote mode.
+func runRemoteAttrib(base string, stdout, stderr io.Writer) int {
+	url := strings.TrimSuffix(base, "/")
+	if !strings.HasSuffix(url, "/attrib") {
+		url += "/attrib"
+	}
+	resp, err := http.Get(url)
+	if err != nil {
+		fmt.Fprintln(stderr, "shalom-top:", err)
+		return 1
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		fmt.Fprintf(stderr, "shalom-top: GET %s: HTTP %d: %s\n", url, resp.StatusCode, strings.TrimSpace(string(body)))
+		return 1
+	}
+	var rep attrib.Report
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		fmt.Fprintf(stderr, "shalom-top: decoding %s: %v\n", url, err)
+		return 1
+	}
+	renderAttrib(stdout, rep)
+	return 0
 }
 
 // buildJobs pre-allocates the operand matrices of the chosen mix so the
@@ -179,7 +250,7 @@ func runJob(ctx *libshalom.Context, j job) error {
 	return ctx.SGEMM(j.mode, s.M, s.N, s.K, 1, j.a32, lda, j.b32, ldb, 0, j.c32, s.N)
 }
 
-func render(w *os.File, s libshalom.TelemetrySnapshot, mix string) {
+func render(w io.Writer, s libshalom.TelemetrySnapshot, mix string) {
 	var totalCalls uint64
 	for _, cs := range s.Calls {
 		totalCalls += cs.Count
@@ -220,4 +291,59 @@ func render(w *os.File, s libshalom.TelemetrySnapshot, mix string) {
 		fmt.Fprintln(w)
 	}
 	fmt.Fprintf(w, "trace: %d spans buffered, %d dropped\n", s.TraceSpans, s.TraceDropped)
+}
+
+// heatBarWidth is the width of the heat column.
+const heatBarWidth = 10
+
+// heatBar renders score relative to the feed's maximum as a bar: the
+// hotter-and-worse a key, the fuller the bar.
+func heatBar(score, max float64) string {
+	if max <= 0 || score <= 0 {
+		return ""
+	}
+	n := int(score/max*heatBarWidth + 0.5)
+	if n < 1 {
+		n = 1
+	}
+	if n > heatBarWidth {
+		n = heatBarWidth
+	}
+	return strings.Repeat("#", n)
+}
+
+// renderAttrib prints the attribution heat view: one row per scored key,
+// ranked by the tuning-candidate score, with measured vs predicted vs
+// roofline columns and a DRIFT marker on latched keys.
+func renderAttrib(w io.Writer, rep attrib.Report) {
+	fmt.Fprintf(w, "\nattribution — platform %s, window %.0fms, %d windows, calibration %.3g, drift events %d\n",
+		rep.Platform, rep.WindowMs, rep.Windows, rep.Calibration, rep.DriftTotal)
+	if len(rep.Candidates) == 0 {
+		fmt.Fprintln(w, "  (no scored windows yet)")
+		return
+	}
+	fmt.Fprintf(w, "%-4s %-4s %-9s %-4s %8s %8s %8s %8s %8s %7s %6s %7s  %-10s %s\n",
+		"prec", "mode", "class", "kern", "calls", "meas", "p99", "pred", "roof",
+		"rel-eff", "hot%", "score", "heat", "")
+	maxScore := rep.Candidates[0].Score
+	for _, c := range rep.Candidates {
+		if c.Score > maxScore {
+			maxScore = c.Score
+		}
+	}
+	for _, c := range rep.Candidates {
+		marker := ""
+		if c.Drifting {
+			marker = "DRIFT"
+		}
+		fmt.Fprintf(w, "%-4s %-4s %-9s %-4s %8d %8.2f %8.2f %8.2f %8.2f %7.2f %6.1f %7.4f  %-10s %s\n",
+			c.Precision, c.Mode, c.ShapeClass, c.Kernel, c.Calls,
+			c.MeasuredGFLOPS, c.P99GFLOPS, c.PredictedGFLOPS, c.RooflineGFLOPS,
+			c.RelEff, c.HotShare*100, c.Score, heatBar(c.Score, maxScore), marker)
+	}
+	for _, ev := range rep.Events {
+		fmt.Fprintf(w, "drift: %s/%s/%s/%s — %.2f GFLOPS vs %.2f predicted (rel-eff %.2f after %d windows)\n",
+			ev.Precision, ev.Mode, ev.ShapeClass, ev.Kernel,
+			ev.Measured, ev.Predicted, ev.RelEff, ev.Windows)
+	}
 }

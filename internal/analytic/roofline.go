@@ -1,0 +1,58 @@
+// Roofline accounting for the attribution engine: how fast *should* an
+// M×N×K GEMM on a given platform have been, independent of any library's
+// schedule. The paper's Fig 6 efficiency study plots measured GFLOPS
+// against exactly this ceiling; internal/attrib reuses it as the "peak"
+// column of every efficiency account.
+
+package analytic
+
+import "libshalom/internal/platform"
+
+// ArithmeticIntensity returns the flops-per-byte of an M×N×K GEMM with the
+// minimal (compulsory) traffic: each operand read once, C read and written
+// once. 2mnk flops over (mk + kn + 2mn)·elem bytes.
+func ArithmeticIntensity(m, n, k, elemBytes int) float64 {
+	if m <= 0 || n <= 0 || k <= 0 {
+		return 0
+	}
+	flops := 2 * float64(m) * float64(n) * float64(k)
+	bytes := float64(m*k+k*n+2*m*n) * float64(elemBytes)
+	return flops / bytes
+}
+
+// Roofline is the attainable-performance ceiling of one shape on one
+// platform: min(compute peak, AI × DRAM bandwidth), the classic model.
+type Roofline struct {
+	// PeakGFLOPS is the compute ceiling for the modeled thread count.
+	PeakGFLOPS float64
+	// MemGFLOPS is the bandwidth ceiling: AI × chip DRAM bandwidth.
+	MemGFLOPS float64
+	// Intensity is the shape's arithmetic intensity in flops/byte.
+	Intensity float64
+}
+
+// Attainable returns the roofline ceiling in GFLOPS.
+func (r Roofline) Attainable() float64 {
+	if r.MemGFLOPS > 0 && r.MemGFLOPS < r.PeakGFLOPS {
+		return r.MemGFLOPS
+	}
+	return r.PeakGFLOPS
+}
+
+// ComputeBound reports whether the shape sits on the flat (compute) part of
+// the roof — true for every cache-resident small GEMM.
+func (r Roofline) ComputeBound() bool { return r.MemGFLOPS == 0 || r.MemGFLOPS >= r.PeakGFLOPS }
+
+// RooflineFor evaluates the model for an M×N×K GEMM run on `threads` cores
+// of the platform. threads < 1 means the whole chip.
+func RooflineFor(p *platform.Platform, m, n, k, elemBytes, threads int) Roofline {
+	if threads < 1 || threads > p.Cores {
+		threads = p.Cores
+	}
+	r := Roofline{
+		PeakGFLOPS: p.PeakCoreGFLOPS(elemBytes) * float64(threads),
+		Intensity:  ArithmeticIntensity(m, n, k, elemBytes),
+	}
+	r.MemGFLOPS = r.Intensity * p.DRAMBandwidthGB
+	return r
+}

@@ -1,0 +1,59 @@
+package analytic
+
+import (
+	"testing"
+
+	"libshalom/internal/platform"
+)
+
+func TestArithmeticIntensity(t *testing.T) {
+	// 64³ f32: 2·64³ flops over (64²+64²+2·64²)·4 bytes = 8 flops/byte.
+	if got := ArithmeticIntensity(64, 64, 64, 4); got != 8 {
+		t.Fatalf("AI(64^3, f32) = %v, want 8", got)
+	}
+	if got := ArithmeticIntensity(0, 64, 64, 4); got != 0 {
+		t.Fatalf("AI of empty shape = %v, want 0", got)
+	}
+	// Doubling the element size halves the intensity.
+	if ArithmeticIntensity(64, 64, 64, 8) != 4 {
+		t.Fatal("AI(64^3, f64) != 4")
+	}
+}
+
+func TestRooflineSmallShapesAreComputeBound(t *testing.T) {
+	p := platform.KP920()
+	r := RooflineFor(p, 64, 64, 64, 4, 1)
+	if !r.ComputeBound() {
+		t.Fatalf("64^3 f32 on one KP920 core should be compute bound: %+v", r)
+	}
+	if want := p.PeakCoreGFLOPS(4); r.Attainable() != want {
+		t.Fatalf("attainable = %v, want single-core peak %v", r.Attainable(), want)
+	}
+}
+
+func TestRooflineIrregularShapesHitBandwidth(t *testing.T) {
+	p := platform.KP920()
+	// A rank-ish slab with k=1 has AI < 1 flop/byte: the full chip's peak is
+	// far above what DRAM can feed, so the roof must be the bandwidth slope.
+	r := RooflineFor(p, 4096, 4096, 1, 8, 0)
+	if r.ComputeBound() {
+		t.Fatalf("k=1 slab on the whole chip should be memory bound: %+v", r)
+	}
+	if r.Attainable() >= r.PeakGFLOPS {
+		t.Fatalf("attainable %v not below compute peak %v", r.Attainable(), r.PeakGFLOPS)
+	}
+}
+
+func TestRooflineThreadScaling(t *testing.T) {
+	p := platform.KP920()
+	one := RooflineFor(p, 512, 512, 512, 4, 1)
+	four := RooflineFor(p, 512, 512, 512, 4, 4)
+	if four.PeakGFLOPS != 4*one.PeakGFLOPS {
+		t.Fatalf("compute peak does not scale with threads: %v vs %v", one.PeakGFLOPS, four.PeakGFLOPS)
+	}
+	// threads out of range clamps to the chip.
+	chip := RooflineFor(p, 512, 512, 512, 4, 10*p.Cores)
+	if chip.PeakGFLOPS != p.PeakGFLOPS(4) {
+		t.Fatalf("overwide thread count did not clamp to chip peak")
+	}
+}

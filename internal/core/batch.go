@@ -5,9 +5,11 @@ import (
 	"errors"
 	"fmt"
 	"sync/atomic"
+	"time"
 	"unsafe"
 
 	"libshalom/internal/analytic"
+	"libshalom/internal/faults"
 	"libshalom/internal/guard"
 	"libshalom/internal/heal"
 	"libshalom/internal/parallel"
@@ -156,6 +158,13 @@ func gemmBatch[T Float](ctx context.Context, cfg Config, ks kernelSet[T], mode M
 	}
 	runOne := func(worker, i int, e BatchEntry[T]) error {
 		start := tel.Now()
+		if d := faults.SlowClassFire(uint8(telemetry.ClassifyShape(e.M, e.N, e.K))); d > 0 {
+			// Chaos: the batch (serving) path's copy of the slow-class
+			// delay — inside the timed region, so the attribution engine
+			// sees the seeded class underperform (scripts/attrib-smoke.sh).
+			tel.FaultInjected(faults.SlowShapeClass)
+			time.Sleep(d)
+		}
 		degraded, kernel, err := execOne(worker, i, e)
 		if tel != nil {
 			class := uint8(telemetry.ClassifyShape(e.M, e.N, e.K))

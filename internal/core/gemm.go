@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"libshalom/internal/analytic"
+	"libshalom/internal/faults"
 	"libshalom/internal/guard"
 	"libshalom/internal/heal"
 	"libshalom/internal/kernels"
@@ -173,6 +174,13 @@ func gemm[T Float](cfg Config, ks kernelSet[T], mode Mode, m, n, k int, alpha T,
 	flops := 2 * float64(m) * float64(n) * float64(k)
 	callStart := tel.Now()
 	callTid := tel.CallTid()
+	if d := faults.SlowClassFire(class); d > 0 {
+		// Chaos: a kernel that regressed on this workload regime. Timing
+		// only — the delay lands inside the call's measured duration so the
+		// attribution engine sees the class underperform its model.
+		tel.FaultInjected(faults.SlowShapeClass)
+		time.Sleep(d)
+	}
 	finish := func(kernel, outcome uint8, err error) error {
 		tel.CallDone(prec, uint8(mode), class, kernel, outcome, callStart, flops)
 		tel.Span(telemetry.PhaseCall, callTid, callStart, uint8(mode), prec, m, n, k)

@@ -312,6 +312,14 @@ func TestChaosTelemetryOneEventPerInjection(t *testing.T) {
 			time.Sleep(5 * time.Millisecond)
 			return func() { heal.Configure(prev) }
 		}},
+		// SlowShapeClass is the attribution drift detector's chaos seed: it
+		// stretches the matching class's calls (the default guarded problem
+		// classifies as "small") without touching results, so the outcome
+		// stays ok and exactly one fault event must surface.
+		faults.SlowShapeClass: {outcome: "ok", setup: func() func() {
+			faults.SetSlowClass(uint8(telemetry.ShapeSmall), time.Millisecond)
+			return func() { faults.SetSlowClass(0, 0) }
+		}},
 		// JournalTornWrite fires on the journal's append path, not the
 		// compute path: a telemetry-enabled writer tears its next record
 		// mid-frame and goes sticky-failed — the crash the recovery test

@@ -46,6 +46,13 @@ const (
 	// cut mid-write; reopen must truncate the torn tail and resume the
 	// chain (the crash-recovery contract of internal/journal).
 	JournalTornWrite
+	// SlowShapeClass delays every call whose shape class matches the
+	// SetSlowClass target, standing in for a kernel that regressed on one
+	// workload regime (a bad tile choice, a mistuned blocking). It perturbs
+	// timing, never results — the chaos coverage for the attribution
+	// engine's drift detector, and the seed the attrib-smoke script uses to
+	// prove a slow class surfaces as a drift event and tuning candidate.
+	SlowShapeClass
 
 	numPoints
 )
@@ -67,6 +74,8 @@ func (p Point) String() string {
 		return "stuck-worker"
 	case JournalTornWrite:
 		return "journal-torn-write"
+	case SlowShapeClass:
+		return "slow-shape-class"
 	}
 	return "unknown-fault"
 }
@@ -77,7 +86,7 @@ const NumPoints = int(numPoints)
 
 // Points lists every injection point, for suites that iterate the registry.
 func Points() []Point {
-	return []Point{PanicInKernel, CorruptPack, SlowWorker, SpuriousNaN, CanaryMismatch, StuckWorker, JournalTornWrite}
+	return []Point{PanicInKernel, CorruptPack, SlowWorker, SpuriousNaN, CanaryMismatch, StuckWorker, JournalTornWrite, SlowShapeClass}
 }
 
 // InjectedPanicMsg is the panic value used by the PanicInKernel point, so
@@ -126,13 +135,15 @@ func Disarm(p Point) {
 	refreshAnyArmedLocked()
 }
 
-// Reset disarms every point.
+// Reset disarms every point and clears the slow-class target.
 func Reset() {
 	armMu.Lock()
 	defer armMu.Unlock()
 	for i := range counts {
 		counts[i].Store(0)
 	}
+	slowClassTarget.Store(0)
+	slowClassDelay.Store(0)
 	anyArmed.Store(false)
 }
 
@@ -184,4 +195,37 @@ func SleepIfArmed(p Point) {
 	if Fire(p) {
 		time.Sleep(time.Millisecond)
 	}
+}
+
+// SlowShapeClass target configuration. The class index mirrors
+// telemetry.ShapeClass (faults cannot import telemetry — telemetry imports
+// faults); the driver passes its already-computed class byte.
+var (
+	slowClassTarget atomic.Uint32
+	slowClassDelay  atomic.Int64
+)
+
+// SetSlowClass configures the SlowShapeClass point to delay calls of the
+// given shape class by d. The point still needs Arm(SlowShapeClass, n) to
+// fire; Reset clears the target along with the budgets.
+func SetSlowClass(class uint8, d time.Duration) {
+	slowClassTarget.Store(uint32(class))
+	slowClassDelay.Store(int64(d))
+}
+
+// SlowClassFire consumes one SlowShapeClass fire if the point is armed and
+// the call's shape class matches the configured target, returning the delay
+// the caller should sleep (0 = no fire). Disarmed cost: one atomic load.
+func SlowClassFire(class uint8) time.Duration {
+	if !anyArmed.Load() {
+		return 0
+	}
+	d := time.Duration(slowClassDelay.Load())
+	if d <= 0 || uint32(class) != slowClassTarget.Load() {
+		return 0
+	}
+	if !Fire(SlowShapeClass) {
+		return 0
+	}
+	return d
 }

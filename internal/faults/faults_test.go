@@ -4,6 +4,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestDisarmedByDefault(t *testing.T) {
@@ -171,12 +172,47 @@ func TestResetRaceLeavesAllDisarmed(t *testing.T) {
 	}
 }
 
+// SlowClassFire must gate on three independent conditions: the point armed,
+// a non-zero delay configured, and the call's class matching the target —
+// and Reset must clear the target so a later test cannot inherit it.
+func TestSlowClassFireTargeting(t *testing.T) {
+	Reset()
+	defer Reset()
+	const slow, fast = 2, 1 // telemetry.ShapeSmall / ShapeTiny indices
+	if d := SlowClassFire(slow); d != 0 {
+		t.Fatalf("fired with a fresh registry: %v", d)
+	}
+	SetSlowClass(slow, 3*time.Millisecond)
+	if d := SlowClassFire(slow); d != 0 {
+		t.Fatalf("fired with a target but no arm: %v", d)
+	}
+	Arm(SlowShapeClass, 2)
+	if d := SlowClassFire(fast); d != 0 {
+		t.Fatalf("fired for a non-target class: %v", d)
+	}
+	if d := SlowClassFire(slow); d != 3*time.Millisecond {
+		t.Fatalf("armed target fire = %v, want 3ms", d)
+	}
+	if d := SlowClassFire(slow); d != 3*time.Millisecond {
+		t.Fatalf("second budgeted fire = %v, want 3ms", d)
+	}
+	if d := SlowClassFire(slow); d != 0 {
+		t.Fatalf("fired past its budget: %v", d)
+	}
+	SetSlowClass(slow, time.Millisecond)
+	Arm(SlowShapeClass, 1)
+	Reset()
+	if d := SlowClassFire(slow); d != 0 {
+		t.Fatalf("fired after Reset: %v", d)
+	}
+}
+
 func TestNewPointsRegistered(t *testing.T) {
 	found := map[string]bool{}
 	for _, p := range Points() {
 		found[p.String()] = true
 	}
-	for _, want := range []string{"canary-mismatch", "stuck-worker"} {
+	for _, want := range []string{"canary-mismatch", "stuck-worker", "slow-shape-class"} {
 		if !found[want] {
 			t.Fatalf("point %q missing from Points(): %v", want, Points())
 		}

@@ -1,0 +1,79 @@
+package perfsim
+
+import (
+	"sync"
+
+	"libshalom/internal/platform"
+	"libshalom/internal/telemetry"
+)
+
+// Class-keyed model predictions for the attribution engine: one expected
+// GFLOPS figure per (platform, element size, mode, shape class, kernel
+// path, threads). The engine compares live per-class measurements against
+// these, so the lookup models the class's representative shape
+// (telemetry.RepresentativeShape) rather than re-simulating every observed
+// shape — class membership is the telemetry key, and the drift detector
+// normalises away the absolute scale anyway (see internal/attrib).
+
+// RefKernelFactor scales a fast-path prediction down to the portable
+// reference path: a scalar triple loop retires one FMA per element per
+// cycle at best, against the micro-kernel's full vector tile. The measured
+// fast/ref ratio on the reproduction's portable kernels sits near 8×; the
+// model only needs the order of magnitude because drift is judged per key
+// against its own prediction.
+const RefKernelFactor = 0.125
+
+// classPredKey memoises ClassPrediction: the simulation underneath walks
+// the uarch scoreboard and is far too slow to run per attribution window.
+type classPredKey struct {
+	plat    string
+	elem    int
+	mode    uint8
+	class   uint8
+	kernel  uint8
+	threads int
+}
+
+var (
+	classPredMu    sync.Mutex
+	classPredCache = map[classPredKey]float64{}
+)
+
+// ClassPrediction returns the modeled GFLOPS of the LibShalom persona for
+// one attribution key on a platform. mode is the telemetry mode index
+// (NN/NT/TN/TT), class a telemetry.ShapeClass, kernel the telemetry kernel
+// path (fast/ref). Zero for the empty class.
+func ClassPrediction(plat *platform.Platform, elemBytes int, mode, class, kernel uint8, threads int) float64 {
+	m, n, k := telemetry.RepresentativeShape(telemetry.ShapeClass(class))
+	if m == 0 || n == 0 || k == 0 {
+		return 0
+	}
+	if threads < 1 {
+		threads = 1
+	}
+	key := classPredKey{plat.Name, elemBytes, mode, class, kernel, threads}
+	classPredMu.Lock()
+	if v, ok := classPredCache[key]; ok {
+		classPredMu.Unlock()
+		return v
+	}
+	classPredMu.Unlock()
+
+	w := Workload{
+		M: m, N: n, K: k,
+		ElemBytes: elemBytes,
+		TransA:    mode == 2 || mode == 3, // TN, TT
+		TransB:    mode == 1 || mode == 3, // NT, TT
+		Threads:   threads,
+		Warm:      true, // serving traffic re-touches the same panels
+	}
+	v := Run(LibShalom(), plat, w).GFLOPS
+	if kernel == 1 { // telemetry.KernelRef
+		v *= RefKernelFactor
+	}
+
+	classPredMu.Lock()
+	classPredCache[key] = v
+	classPredMu.Unlock()
+	return v
+}

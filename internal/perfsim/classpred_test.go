@@ -1,0 +1,74 @@
+package perfsim
+
+import (
+	"testing"
+
+	"libshalom/internal/platform"
+	"libshalom/internal/telemetry"
+)
+
+func TestClassPredictionCoversEveryKey(t *testing.T) {
+	p := platform.KP920()
+	for class := uint8(0); class < 6; class++ {
+		for mode := uint8(0); mode < 4; mode++ {
+			for _, elem := range []int{4, 8} {
+				for kernel := uint8(0); kernel < 2; kernel++ {
+					v := ClassPrediction(p, elem, mode, class, kernel, 1)
+					if class == uint8(telemetry.ShapeEmpty) {
+						if v != 0 {
+							t.Fatalf("empty class predicted %v, want 0", v)
+						}
+						continue
+					}
+					if v <= 0 {
+						t.Fatalf("class %v mode %d elem %d kernel %d: prediction %v, want > 0",
+							telemetry.ShapeClass(class), mode, elem, kernel, v)
+					}
+					if peak := p.PeakGFLOPS(elem); v > peak {
+						t.Fatalf("class %v prediction %v exceeds chip peak %v",
+							telemetry.ShapeClass(class), v, peak)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestClassPredictionRefBelowFast(t *testing.T) {
+	p := platform.KP920()
+	for class := uint8(1); class < 6; class++ {
+		fast := ClassPrediction(p, 4, 0, class, 0, 1)
+		ref := ClassPrediction(p, 4, 0, class, 1, 1)
+		if ref >= fast {
+			t.Fatalf("class %v: ref prediction %v not below fast %v",
+				telemetry.ShapeClass(class), ref, fast)
+		}
+		if ref != fast*RefKernelFactor {
+			t.Fatalf("class %v: ref prediction %v, want fast×%v", telemetry.ShapeClass(class), ref, RefKernelFactor)
+		}
+	}
+}
+
+func TestClassPredictionMemoised(t *testing.T) {
+	p := platform.KP920()
+	a := ClassPrediction(p, 4, 1, uint8(telemetry.ShapeSmall), 0, 4)
+	b := ClassPrediction(p, 4, 1, uint8(telemetry.ShapeSmall), 0, 4)
+	if a != b {
+		t.Fatalf("memoised prediction changed: %v then %v", a, b)
+	}
+	classPredMu.Lock()
+	_, ok := classPredCache[classPredKey{p.Name, 4, 1, uint8(telemetry.ShapeSmall), 0, 4}]
+	classPredMu.Unlock()
+	if !ok {
+		t.Fatal("prediction not cached")
+	}
+}
+
+func TestRepresentativeShapesRoundTrip(t *testing.T) {
+	for class := telemetry.ShapeTiny; class <= telemetry.ShapeIrregular; class++ {
+		m, n, k := telemetry.RepresentativeShape(class)
+		if got := telemetry.ClassifyShape(m, n, k); got != class {
+			t.Fatalf("RepresentativeShape(%v) = %d×%d×%d classifies as %v", class, m, n, k, got)
+		}
+	}
+}

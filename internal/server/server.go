@@ -8,11 +8,13 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"sync/atomic"
 	"time"
 
 	"libshalom"
+	"libshalom/internal/attrib"
 	"libshalom/internal/guard"
 	"libshalom/internal/heal"
 	"libshalom/internal/journal"
@@ -60,6 +62,16 @@ type Config struct {
 	// result into the tamper-evident journal. Nil (the default) disables
 	// journaling at zero cost — the nil-receiver off path.
 	Journal *journal.Writer
+	// Attrib, when non-nil, is the live performance-attribution engine:
+	// the server mounts its /attrib report, appends its gauge family to
+	// /metrics, and summarises it in /healthz. Nil (the default) disables
+	// attribution at zero cost — /attrib answers 404 and the hot path
+	// carries only the recorder's sketch counters.
+	Attrib *attrib.Engine
+	// Pprof mounts net/http/pprof's profiling handlers under
+	// /debug/pprof/ on the server mux. Off by default: the profiling
+	// surface is a debugging aid, not part of the serving contract.
+	Pprof bool
 }
 
 func (c Config) withDefaults() Config {
@@ -95,9 +107,13 @@ func (c Config) withDefaults() Config {
 //	POST /v1/gemm   one GEMM request (wire format in wire.go)
 //	GET  /healthz   200 healthy / 503 while any breaker is open on the
 //	                serving platform's kernel paths
-//	GET  /metrics   Prometheus exposition (when the Context has telemetry)
+//	GET  /metrics   Prometheus exposition (when the Context has telemetry),
+//	                with the attribution gauge family appended when an
+//	                Engine is configured
 //	GET  /snapshot  telemetry snapshot as JSON
 //	GET  /trace     Chrome trace_event JSON
+//	GET  /attrib    attribution report: efficiency accounts, drift events,
+//	                ranked tuning candidates (404 when attribution is off)
 //
 // Build it over a Context the caller owns; the caller closes that Context
 // after Drain.
@@ -130,9 +146,24 @@ func New(lib *libshalom.Context, cfg Config) *Server {
 	s.mux.HandleFunc("/v1/gemm", s.handleGEMM)
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	if h, ok := lib.TelemetryHandler(); ok {
-		s.mux.Handle("/metrics", h)
+		// /metrics concatenates the recorder's exposition (driver counters,
+		// the attribution sketch, runtime gauges) with the engine's gauge
+		// family; the series names are disjoint by construction, so the
+		// combined page never duplicates a series.
+		s.mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			h.ServeHTTP(w, r)
+			_ = cfg.Attrib.WritePrometheus(w) // nil-safe: writes nothing when attribution is off
+		})
 		s.mux.Handle("/snapshot", h)
 		s.mux.Handle("/trace", h)
+	}
+	s.mux.Handle("/attrib", cfg.Attrib.Handler())
+	if cfg.Pprof {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
 	return s
 }
@@ -293,6 +324,19 @@ type healthzBody struct {
 	// Journal is the durability view of the request journal — active
 	// segment, chain head, fsync lag — present only when journaling is on.
 	Journal *journal.Status `json:"journal,omitempty"`
+	// Attribution summarises the performance-attribution engine — closed
+	// windows, drift totals, calibration, and the current top tuning
+	// candidate — present only when attribution is on.
+	Attribution *attribHealth `json:"attribution,omitempty"`
+}
+
+// attribHealth is the /healthz attribution section.
+type attribHealth struct {
+	Windows      uint64  `json:"windows"`
+	DriftEvents  uint64  `json:"drift_events"`
+	Calibration  float64 `json:"calibration"`
+	TopCandidate string  `json:"top_candidate,omitempty"`
+	TopScore     float64 `json:"top_score,omitempty"`
 }
 
 // handleHealth reports the self-healing state of the serving platform's
@@ -306,6 +350,16 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	if s.jw.Enabled() {
 		js := s.jw.Status()
 		body.Journal = &js
+	}
+	if s.cfg.Attrib != nil {
+		rep := s.cfg.Attrib.Report()
+		ah := &attribHealth{Windows: rep.Windows, DriftEvents: rep.DriftTotal, Calibration: rep.Calibration}
+		if len(rep.Candidates) > 0 {
+			top := rep.Candidates[0]
+			ah.TopCandidate = fmt.Sprintf("%s/%s/%s/%s", top.Precision, top.Mode, top.ShapeClass, top.Kernel)
+			ah.TopScore = top.Score
+		}
+		body.Attribution = ah
 	}
 	for _, path := range []string{guard.PathF32, guard.PathF64} {
 		switch guard.StateOf(plat, path) {

@@ -119,6 +119,21 @@ func TestTelemetryPureJournalFixture(t *testing.T) {
 	}
 }
 
+// TestTelemetryPureAttribFixture covers the analyzer's third target: the
+// attribution engine's exported methods carry the nil-guard discipline (a
+// nil *Engine is "attribution off"), with the same exported-only exemption
+// for locked helpers as the journal writer.
+func TestTelemetryPureAttribFixture(t *testing.T) {
+	prog := loadFixture(t, "attrib")
+	diags := RunAnalyzers(prog, []*Analyzer{TelemetryPure})
+	const f = "attrib/attrib.go"
+	expectAt(t, diags, "telemetrypure", f, 27) // Unguarded exported mutator
+	if len(diags) != 1 {
+		t.Errorf("want exactly 1 finding (Step, stepLocked and Windows are clean), got %d:\n%s",
+			len(diags), renderDiags(diags))
+	}
+}
+
 func TestCtxFlowFixture(t *testing.T) {
 	prog := loadFixture(t, "ctxbad")
 	diags := RunAnalyzers(prog, []*Analyzer{CtxFlow})

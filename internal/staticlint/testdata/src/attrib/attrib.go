@@ -1,0 +1,43 @@
+// Package attrib is a staticlint fixture for the telemetrypure analyzer's
+// attribution-engine target: a nil Engine is the disabled layer, so every
+// exported method that mutates engine state must open with the nil guard,
+// while unexported locked helpers (reached only through guarded exported
+// methods) are exempt.
+package attrib
+
+import "sync"
+
+// Engine mirrors the real attribution engine's nil-receiver contract.
+type Engine struct {
+	mu      sync.Mutex
+	windows uint64
+}
+
+// Step opens with the nil guard: clean.
+func (e *Engine) Step() {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.windows++
+}
+
+// Unguarded mutates engine state without the guard: finding at line 27.
+func (e *Engine) Unguarded() {
+	e.windows++
+}
+
+// stepLocked writes unguarded, but is unexported: the exported-only rule
+// must not flag it.
+func (e *Engine) stepLocked() {
+	e.windows++
+}
+
+// Windows only reads: clean without a guard (the real method guards anyway,
+// but reads are not the analyzer's business).
+func (e *Engine) Windows() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.windows
+}

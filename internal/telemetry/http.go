@@ -20,6 +20,7 @@ func (r *Recorder) Handler() http.Handler {
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		_ = r.Snapshot().WritePrometheus(w)
+		_ = WriteRuntimeMetrics(w) // sampled here, on scrape, never per call
 	})
 	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")

@@ -87,6 +87,28 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 	for _, h := range s.Heal {
 		bw.printf("libshalom_heal_events_total{event=%q} %d\n", h.Name, h.Count)
 	}
+	if len(s.Attrib) > 0 {
+		bw.printf("# HELP libshalom_attrib_calls_total Clean (outcome ok) calls feeding the attribution sketch.\n")
+		bw.printf("# TYPE libshalom_attrib_calls_total counter\n")
+		for _, a := range s.Attrib {
+			bw.printf("libshalom_attrib_calls_total%s %d\n", a.labels(""), a.Count)
+		}
+		bw.printf("# HELP libshalom_attrib_gflops Achieved GFLOPS from the fine attribution sketch (stat: mean, p50, p99).\n")
+		bw.printf("# TYPE libshalom_attrib_gflops gauge\n")
+		for _, a := range s.Attrib {
+			bw.printf("libshalom_attrib_gflops%s %g\n", a.labels("mean"), a.MeanGFLOPS)
+			bw.printf("libshalom_attrib_gflops%s %g\n", a.labels("p50"), a.P50GFLOPS)
+			bw.printf("libshalom_attrib_gflops%s %g\n", a.labels("p99"), a.P99GFLOPS)
+		}
+	}
+	if len(s.AttribDrift) > 0 {
+		bw.printf("# HELP libshalom_attrib_drift_events_total Drift events the attribution engine emitted, by shape class.\n")
+		bw.printf("# TYPE libshalom_attrib_drift_events_total counter\n")
+		for _, d := range s.AttribDrift {
+			bw.printf("libshalom_attrib_drift_events_total{shape_class=%q} %d\n", d.Name, d.Count)
+		}
+	}
+	counter("libshalom_attrib_windows_total", "Completed attribution windows.", s.AttribWindows)
 	gauge("libshalom_breakers_open", "Circuit breakers currently open (reference path in use), as observed through this recorder.", s.BreakersOpen)
 	gauge("libshalom_breakers_probing", "Circuit breakers currently probing (canary re-promotion in progress), as observed through this recorder.", s.BreakersProbing)
 	counter("libshalom_trace_spans_total", "Phase spans recorded into the trace ring.", s.TraceSpans)
@@ -145,6 +167,17 @@ func (c CallStat) labels(le string) string {
 		c.Precision, c.Mode, c.ShapeClass, c.Kernel, c.Outcome)
 	if le != "" {
 		s += fmt.Sprintf(",le=%q", le)
+	}
+	return s + "}"
+}
+
+// labels renders an attribution key's label set; stat, when non-empty, is
+// appended as the statistic selector of the gflops gauge family.
+func (a AttribStat) labels(stat string) string {
+	s := fmt.Sprintf(`{precision=%q,mode=%q,shape_class=%q,kernel=%q`,
+		a.Precision, a.Mode, a.ShapeClass, a.Kernel)
+	if stat != "" {
+		s += fmt.Sprintf(",stat=%q", stat)
 	}
 	return s + "}"
 }

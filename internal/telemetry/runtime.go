@@ -1,0 +1,102 @@
+package telemetry
+
+import (
+	"io"
+	"runtime/metrics"
+)
+
+// Go runtime gauges for the Prometheus exposition: the handful a serving
+// dashboard actually needs (heap footprint, GC pause tail, goroutine count,
+// GOMAXPROCS). Sampled only when a scrape happens — runtime/metrics reads
+// are cheap but not free, and nothing here may touch the GEMM hot path.
+
+// runtimeSamples is the fixed sample set, allocated once; metrics.Read
+// fills values in place.
+var runtimeSamples = []metrics.Sample{
+	{Name: "/memory/classes/heap/objects:bytes"},
+	{Name: "/memory/classes/total:bytes"},
+	{Name: "/gc/pauses:seconds"},
+	{Name: "/sched/goroutines:goroutines"},
+	{Name: "/sched/gomaxprocs:threads"},
+}
+
+// WriteRuntimeMetrics renders the Go runtime gauges in Prometheus text
+// format. It samples runtime/metrics at call time, so the cost is paid per
+// scrape, never per GEMM.
+func WriteRuntimeMetrics(w io.Writer) error {
+	samples := make([]metrics.Sample, len(runtimeSamples))
+	copy(samples, runtimeSamples)
+	metrics.Read(samples)
+
+	bw := &errWriter{w: w}
+	gauge := func(name, help string, v float64) {
+		bw.printf("# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+	for _, s := range samples {
+		switch s.Name {
+		case "/memory/classes/heap/objects:bytes":
+			gauge("libshalom_go_heap_objects_bytes", "Bytes of live heap objects (runtime/metrics).", sampleFloat(s))
+		case "/memory/classes/total:bytes":
+			gauge("libshalom_go_memory_total_bytes", "Total bytes of memory mapped by the Go runtime.", sampleFloat(s))
+		case "/gc/pauses:seconds":
+			gauge("libshalom_go_gc_pause_p99_seconds", "p99 stop-the-world GC pause (runtime/metrics histogram).", histQuantile(s, 0.99))
+		case "/sched/goroutines:goroutines":
+			gauge("libshalom_go_goroutines", "Live goroutine count.", sampleFloat(s))
+		case "/sched/gomaxprocs:threads":
+			gauge("libshalom_go_gomaxprocs", "GOMAXPROCS at scrape time.", sampleFloat(s))
+		}
+	}
+	return bw.err
+}
+
+// sampleFloat converts a scalar runtime/metrics sample to float64; unknown
+// kinds (a metric removed in a future Go release) read as 0 rather than
+// breaking the exposition.
+func sampleFloat(s metrics.Sample) float64 {
+	switch s.Value.Kind() {
+	case metrics.KindUint64:
+		return float64(s.Value.Uint64())
+	case metrics.KindFloat64:
+		return s.Value.Float64()
+	default:
+		return 0
+	}
+}
+
+// histQuantile estimates a quantile of a runtime/metrics histogram sample.
+func histQuantile(s metrics.Sample, q float64) float64 {
+	if s.Value.Kind() != metrics.KindFloat64Histogram {
+		return 0
+	}
+	h := s.Value.Float64Histogram()
+	if h == nil {
+		return 0
+	}
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	idx := len(h.Counts) - 1
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum > rank {
+			idx = i
+			break
+		}
+	}
+	// Bucket idx spans Buckets[idx] .. Buckets[idx+1]; report the upper
+	// edge (pessimistic for a pause gauge), guarding ±Inf edges.
+	hi := h.Buckets[idx+1]
+	if hi > 1e9 || hi != hi { // +Inf or NaN sentinel
+		hi = h.Buckets[idx]
+	}
+	return hi
+}

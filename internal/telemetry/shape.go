@@ -40,6 +40,28 @@ func ShapeClasses() []ShapeClass {
 	return out
 }
 
+// RepresentativeShape returns the M×N×K problem the attribution engine
+// models a class with: a central member of the regime, chosen so
+// ClassifyShape maps it back to the class (attrib tests pin the round
+// trip). Model predictions are per class, not per shape, so the exact
+// member only needs to be typical, not optimal.
+func RepresentativeShape(c ShapeClass) (m, n, k int) {
+	switch c {
+	case ShapeTiny:
+		return 12, 12, 12
+	case ShapeSmall:
+		return 64, 64, 64 // the §7.2 SeisSol/NekBox regime centre
+	case ShapeMedium:
+		return 192, 192, 192
+	case ShapeLarge:
+		return 512, 512, 512
+	case ShapeIrregular:
+		return 64, 2048, 256 // §6: one C dimension much larger
+	default:
+		return 0, 0, 0
+	}
+}
+
 // ClassifyShape assigns an M×N×K problem to its class. Pure arithmetic —
 // safe on the telemetry-off hot path.
 func ClassifyShape(m, n, k int) ShapeClass {

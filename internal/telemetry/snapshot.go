@@ -82,6 +82,13 @@ type Snapshot struct {
 	// recorded and spans overwritten by newer ones.
 	TraceSpans   uint64 `json:"trace_spans"`
 	TraceDropped uint64 `json:"trace_dropped"`
+	// Attrib summarises the fine attribution sketch per (precision, mode,
+	// shape class, kernel); AttribDrift counts drift events per shape class
+	// and AttribWindows the completed attribution windows (both fed back by
+	// internal/attrib, zero when no engine is attached).
+	Attrib        []AttribStat `json:"attrib,omitempty"`
+	AttribDrift   []EventCount `json:"attrib_drift,omitempty"`
+	AttribWindows uint64       `json:"attrib_windows"`
 	// Server is the serving-layer section (admission, shedding, coalescing);
 	// zero outside a serving process.
 	Server ServerStats `json:"server"`
@@ -155,6 +162,7 @@ func (r *Recorder) Snapshot() Snapshot {
 	}
 	s.BreakersOpen = r.breakersOpen.Load()
 	s.BreakersProbing = r.breakersProbing.Load()
+	s.Attrib, s.AttribDrift, s.AttribWindows = r.attribSnapshot()
 	s.Server = r.serverSnapshot()
 	s.Journal = r.journalSnapshot()
 	if r.trace != nil {

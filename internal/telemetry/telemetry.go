@@ -169,6 +169,10 @@ type Recorder struct {
 	breakersOpen    atomic.Int64
 	breakersProbing atomic.Int64
 
+	// Attribution sketch and drift counters (read by internal/attrib; see
+	// attrib.go).
+	attrib attribStats
+
 	// Serving-layer counters (fed by internal/server; see server.go).
 	server serverStats
 
@@ -270,6 +274,20 @@ func (r *Recorder) CallDone(prec, mode, class, kernel, outcome uint8, start int6
 	gf := flops / float64(dur) // flops per ns == GFLOPS
 	probeAtomicWrite()
 	r.gfHist[idx][bucketLog2(uint64(gf*4), NumGFLOPSBuckets)].Add(1)
+	if outcome == OutcomeOK {
+		// Attribution sketch: clean completions only — degraded/panicked
+		// calls measure the failure path, not the kernel the attribution
+		// engine scores against its model prediction.
+		ai := AttribKeyIndex(prec, mode, class, kernel)
+		probeAtomicWrite()
+		r.attrib.count[ai].Add(1)
+		probeAtomicWrite()
+		r.attrib.durNs[ai].Add(uint64(dur))
+		probeAtomicWrite()
+		r.attrib.flops[ai].Add(uint64(flops))
+		probeAtomicWrite()
+		r.attrib.hist[ai][attribBucket(gf)].Add(1)
+	}
 }
 
 // CallEvent records a call that never ran (e.g. a batch entry abandoned on

@@ -197,6 +197,32 @@ func TestTelemetryOffHotPathAllocs(t *testing.T) {
 	}
 }
 
+// TestTelemetryOnAttribSketchAllocs pins the attribution sketch's hot-path
+// budget: with telemetry enabled (CallDone now also feeds the per-key
+// attribution counters and the fine GFLOPS histogram) a GEMM call still
+// performs zero allocations. The attribution *engine* polls those counters
+// off-path on its own goroutine; nothing it needs may cost the caller an
+// allocation.
+func TestTelemetryOnAttribSketchAllocs(t *testing.T) {
+	ctx := New(WithThreads(1), WithTelemetry())
+	defer ctx.Close()
+	rng := mat.NewRNG(7)
+	A := mat.RandomF32(64, 64, rng)
+	B := mat.RandomF32(64, 64, rng)
+	C := mat.NewF32(64, 64)
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := ctx.SGEMM(NN, 64, 64, 64, 1, A.Data, A.Stride, B.Data, B.Stride, 0, C.Data, C.Stride); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("telemetry-on SGEMM allocates %v objects per call, want 0", allocs)
+	}
+	if got := ctx.Snapshot(); len(got.Attrib) == 0 {
+		t.Fatal("attribution sketch recorded nothing")
+	}
+}
+
 // TestDegenerateGEMMNeverStartsPool is the thread-policy regression: a
 // 1x1x1 GEMM must not spin up the worker pool, whatever width was
 // requested, and the clamp must be visible in the telemetry snapshot.

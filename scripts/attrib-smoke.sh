@@ -1,0 +1,139 @@
+#!/usr/bin/env sh
+# attrib-smoke: end-to-end smoke test of the performance-attribution engine.
+#
+# Builds shalom-serve (race-enabled), shalom-load, and shalom-top, starts the
+# server with fast attribution windows and the slow-shape-class chaos point
+# armed against the "small" class, storms it with a mixed workload, and
+# requires the seeded regression to surface everywhere the engine reports:
+#   - /attrib: drift_events_total > 0 and the top-ranked tuning candidate is
+#     the small class,
+#   - /metrics: the drift counter for shape_class="small", the attribution
+#     gauge family, and the Go runtime gauges are all present,
+#   - shalom-top -attrib: the heat view marks the small class DRIFT,
+#   - the server log carries the typed drift event and a clean drain.
+set -eu
+
+GO=${GO:-go}
+TMP=$(mktemp -d "${TMPDIR:-/tmp}/shalom-attrib-smoke.XXXXXX")
+SERVE_PID=""
+cleanup() {
+    [ -n "$SERVE_PID" ] && kill -9 "$SERVE_PID" 2>/dev/null || true
+    rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+fetch() {
+    if command -v curl >/dev/null 2>&1; then
+        curl -fsS "$1"
+    else
+        wget -qO- "$1"
+    fi
+}
+
+echo "attrib-smoke: building race-enabled binaries"
+$GO build -race -o "$TMP/shalom-serve" ./cmd/shalom-serve
+$GO build -o "$TMP/shalom-load" ./cmd/shalom-load
+$GO build -o "$TMP/shalom-top" ./cmd/shalom-top
+
+# Short windows and a low qualification floor so the detector converges in
+# seconds; the chaos point stretches every small-class call by 5ms inside
+# the timed region, collapsing its measured GFLOPS while the tiny and CP2K
+# keys anchor the calibration.
+"$TMP/shalom-serve" -addr 127.0.0.1:0 -addr-file "$TMP/addr" -window 5ms \
+    -attrib-window 150ms -attrib-windows 2 -attrib-min-calls 4 \
+    -chaos-slow-class small -chaos-slow-delay 5ms \
+    >"$TMP/serve.log" 2>&1 &
+SERVE_PID=$!
+
+i=0
+while [ ! -s "$TMP/addr" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "attrib-smoke: FAIL: server never bound an address" >&2
+        cat "$TMP/serve.log" >&2
+        exit 1
+    fi
+    if ! kill -0 "$SERVE_PID" 2>/dev/null; then
+        echo "attrib-smoke: FAIL: server exited before binding" >&2
+        cat "$TMP/serve.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+ADDR=$(cat "$TMP/addr")
+echo "attrib-smoke: server up on $ADDR (small class seeded 5ms slow)"
+
+# Storm until the drift detector latches (K=2 consecutive below-par
+# windows), bounded so a broken detector fails rather than hangs.
+DRIFTED=0
+round=0
+while [ "$round" -lt 10 ]; do
+    round=$((round + 1))
+    "$TMP/shalom-load" -addr "$ADDR" -n 400 -c 16 -mix mixed >>"$TMP/load.log" 2>&1
+    sleep 0.4 # let attribution windows close over the storm's tail
+    fetch "http://$ADDR/attrib" >"$TMP/attrib.json"
+    if grep -q '"drift_events_total": [1-9]' "$TMP/attrib.json"; then
+        DRIFTED=1
+        break
+    fi
+done
+if [ "$DRIFTED" -ne 1 ]; then
+    echo "attrib-smoke: FAIL: no drift event after $round storms" >&2
+    cat "$TMP/attrib.json" >&2
+    exit 1
+fi
+echo "attrib-smoke: drift detected after $round storm(s)"
+
+# /attrib ranks the seeded class first: candidates are ordered by score, so
+# the report's first shape_class line is the top candidate's.
+if ! grep -m1 '"shape_class"' "$TMP/attrib.json" | grep -q '"small"'; then
+    echo "attrib-smoke: FAIL: top tuning candidate is not the seeded small class" >&2
+    cat "$TMP/attrib.json" >&2
+    exit 1
+fi
+echo "attrib-smoke: /attrib ranks the small class as top tuning candidate"
+
+fetch "http://$ADDR/metrics" >"$TMP/metrics.txt"
+for want in \
+    'libshalom_attrib_drift_events_total{shape_class="small"}' \
+    'libshalom_attrib_rel_efficiency{' \
+    'libshalom_attrib_candidate_score{' \
+    'libshalom_attrib_calls_total{' \
+    'libshalom_go_goroutines' \
+    'libshalom_go_heap_objects_bytes'; do
+    if ! grep -Fq "$want" "$TMP/metrics.txt"; then
+        echo "attrib-smoke: FAIL: /metrics missing $want" >&2
+        exit 1
+    fi
+done
+echo "attrib-smoke: /metrics carries the drift counter and attribution gauges"
+
+"$TMP/shalom-top" -attrib "http://$ADDR" >"$TMP/top.txt"
+if ! grep -q "DRIFT" "$TMP/top.txt" || ! grep -q "small" "$TMP/top.txt"; then
+    echo "attrib-smoke: FAIL: shalom-top heat view does not mark the small class DRIFT" >&2
+    cat "$TMP/top.txt" >&2
+    exit 1
+fi
+echo "attrib-smoke: shalom-top heat view marks the small class DRIFT"
+
+echo "attrib-smoke: SIGTERM — expecting a clean drain"
+kill -TERM "$SERVE_PID"
+STATUS=0
+wait "$SERVE_PID" || STATUS=$?
+SERVE_PID=""
+if [ "$STATUS" -ne 0 ]; then
+    echo "attrib-smoke: FAIL: server exited $STATUS after SIGTERM" >&2
+    cat "$TMP/serve.log" >&2
+    exit 1
+fi
+if ! grep -q "DRIFT" "$TMP/serve.log"; then
+    echo "attrib-smoke: FAIL: server log has no drift event" >&2
+    cat "$TMP/serve.log" >&2
+    exit 1
+fi
+if ! grep -q "attribution —" "$TMP/serve.log"; then
+    echo "attrib-smoke: FAIL: server log has no attribution summary" >&2
+    cat "$TMP/serve.log" >&2
+    exit 1
+fi
+echo "attrib-smoke: PASS"
