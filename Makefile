@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet staticlint race lint check fuzz test-chaos test-soak probe trace-smoke serve-smoke journal-smoke attrib-smoke
+.PHONY: build test vet staticlint race lint check fuzz test-chaos test-soak probe trace-smoke serve-smoke journal-smoke attrib-smoke router-smoke
 
 build:
 	$(GO) build ./...
@@ -26,7 +26,7 @@ test:
 # the thread pool, the blocked GEMM driver that feeds it, and the serving
 # front end that coalesces concurrent requests onto the batch path.
 race:
-	$(GO) test -race ./internal/parallel/... ./internal/core/... ./internal/heal/... ./internal/server/...
+	$(GO) test -race ./internal/parallel/... ./internal/core/... ./internal/heal/... ./internal/server/... ./internal/router/...
 
 # Fault-injection chaos suite: every injected fault (kernel panic, corrupt
 # packing buffer, slow worker, spurious NaN) must surface as a typed error
@@ -76,6 +76,14 @@ serve-smoke:
 attrib-smoke:
 	sh scripts/attrib-smoke.sh
 
+# Router smoke test: three shalom-serve backends behind a race-enabled
+# shalom-router, a storm with a SIGKILL of one backend mid-storm (zero lost
+# requests — hedged retries route around the corpse), assertions that the
+# dead backend is ejected and, once restarted on its old port, readmitted
+# (both visible in the router's /metrics), and a clean SIGTERM rolling drain.
+router-smoke:
+	sh scripts/router-smoke.sh
+
 # Journal smoke test: the full forensic loop — capture a journaled storm,
 # SIGTERM-seal it, shalom-journal verify, prove a single flipped byte fails
 # verification, then replay the capture against a fresh server and require
@@ -95,4 +103,4 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzAnalyze -fuzztime=10s ./internal/isa/
 
 # The CI gate.
-check: vet staticlint build test race test-chaos test-soak probe trace-smoke serve-smoke journal-smoke attrib-smoke lint
+check: vet staticlint build test race test-chaos test-soak probe trace-smoke serve-smoke router-smoke journal-smoke attrib-smoke lint

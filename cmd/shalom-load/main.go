@@ -7,10 +7,24 @@
 //
 // Usage:
 //
-//	shalom-load -addr http://127.0.0.1:8080 [-n 1024] [-c 16]
+//	shalom-load -addr http://127.0.0.1:8080[,URL...] [-n 1024] [-c 16]
 //	            [-mix tiny|small|cp2k|mixed] [-timeout-ms 0]
+//	            [-router] [-shed-retries 1]
 //	            [-json FILE] [-assert-coalesced] [-fail-on-shed]
 //	            [-replay DIR] [-replay-speed 1]
+//
+// -addr accepts a comma-separated target list: workers spray requests
+// round-robin over all of them (naive multi-node load, the baseline the
+// router's class-affine sharding is measured against). -router declares the
+// single target a shalom-router: provenance and counters are scraped from
+// the router's own /healthz and /metrics, per-request attempt counts are
+// aggregated off X-Shalom-Attempts, and -assert-coalesced is skipped (the
+// coalesce counter lives on the backends, not the router).
+//
+// Shed responses (429, or 503 carrying Retry-After) are retried up to
+// -shed-retries times, honoring the server's jittered Retry-After hint
+// instead of re-issuing immediately — the client half of the retry-storm
+// fix. A request counts as shed only when its retries are exhausted.
 //
 // -assert-coalesced scrapes /metrics after the run and fails unless the
 // server's coalesce counter moved — the check `make serve-smoke` gates on.
@@ -60,10 +74,20 @@ type report struct {
 	Mix         string `json:"mix"`
 	Requests    int    `json:"requests"`
 	Concurrency int    `json:"concurrency"`
+	// Nodes is the serving node count this row measured: the backend fleet
+	// size behind the router (scraped from its /healthz), or the number of
+	// -addr targets — the x-axis of the node-count scaling curve.
+	Nodes  int  `json:"nodes"`
+	Router bool `json:"router,omitempty"`
 
 	OK     int `json:"ok"`
 	Shed   int `json:"shed"`
 	Errors int `json:"errors"`
+	// Retried counts shed re-issues that honored a Retry-After hint;
+	// Hedged counts answered requests that needed more than one backend
+	// attempt (router mode, off X-Shalom-Attempts).
+	Retried int `json:"retried,omitempty"`
+	Hedged  int `json:"hedged,omitempty"`
 
 	WallSeconds  float64 `json:"wall_seconds"`
 	GFLOPS       float64 `json:"gflops"`
@@ -83,21 +107,39 @@ type report struct {
 }
 
 func main() {
-	addr := flag.String("addr", "http://127.0.0.1:8080", "server base URL")
+	addr := flag.String("addr", "http://127.0.0.1:8080", "server base URL, or a comma-separated list for naive multi-target spraying")
 	n := flag.Int("n", 1024, "total requests to issue")
 	c := flag.Int("c", 16, "concurrent closed-loop workers")
 	mix := flag.String("mix", "tiny", "workload mix: tiny, small, cp2k, or mixed")
 	timeoutMS := flag.Int("timeout-ms", 0, "per-request deadline in ms (0 = server default)")
+	routerMode := flag.Bool("router", false, "the target is a shalom-router: scrape its fleet provenance and count hedged attempts")
+	shedRetries := flag.Int("shed-retries", 1, "re-issues after a shed response, honoring its Retry-After hint (0 = give up immediately)")
 	jsonPath := flag.String("json", "", "write the report as JSON to this file")
-	assertCoalesced := flag.Bool("assert-coalesced", false, "scrape /metrics after the run and fail unless the coalesce counter > 0")
+	assertCoalesced := flag.Bool("assert-coalesced", false, "scrape /metrics after the run and fail unless the coalesce counter > 0 (skipped in -router mode)")
 	failOnShed := flag.Bool("fail-on-shed", false, "exit non-zero if any request was shed or errored")
 	replayDir := flag.String("replay", "", "replay a captured journal directory instead of generating load")
 	replaySpeed := flag.Float64("replay-speed", 1, "replay pacing: 1 = original arrival spacing, 2 = twice as fast, 0 = flat out")
 	flag.Parse()
 
-	base := strings.TrimSuffix(*addr, "/")
-	if !strings.Contains(base, "://") {
-		base = "http://" + base
+	var targets []string
+	for _, a := range strings.Split(*addr, ",") {
+		a = strings.TrimSuffix(strings.TrimSpace(a), "/")
+		if a == "" {
+			continue
+		}
+		if !strings.Contains(a, "://") {
+			a = "http://" + a
+		}
+		targets = append(targets, a)
+	}
+	if len(targets) == 0 {
+		fmt.Fprintln(os.Stderr, "shalom-load: -addr names no targets")
+		os.Exit(2)
+	}
+	base := targets[0]
+	if *routerMode && len(targets) > 1 {
+		fmt.Fprintln(os.Stderr, "shalom-load: -router takes a single router target")
+		os.Exit(2)
 	}
 	if *replayDir != "" {
 		os.Exit(runReplay(base, *replayDir, *replaySpeed, *jsonPath))
@@ -113,6 +155,8 @@ func main() {
 		okCount   atomic.Int64
 		shedCount atomic.Int64
 		errCount  atomic.Int64
+		retried   atomic.Int64
+		hedged    atomic.Int64
 		flopsOK   atomic.Int64
 		batchSum  atomic.Int64
 		coalesced atomic.Int64
@@ -132,15 +176,20 @@ func main() {
 					return
 				}
 				j := jobs[i%len(jobs)]
+				target := targets[i%len(targets)]
 				t0 := time.Now()
-				resp, err := client.Post(base+"/v1/gemm", "application/octet-stream", bytes.NewReader(j.body))
+				attempts := 0
+			issue:
+				resp, err := client.Post(target+"/v1/gemm", "application/octet-stream", bytes.NewReader(j.body))
 				if err != nil {
 					errCount.Add(1)
 					fmt.Fprintln(os.Stderr, "shalom-load:", err)
 					continue
 				}
-				switch resp.StatusCode {
-				case http.StatusOK:
+				shedClass := resp.StatusCode == http.StatusTooManyRequests ||
+					(resp.StatusCode == http.StatusServiceUnavailable && resp.Header.Get("Retry-After") != "")
+				switch {
+				case resp.StatusCode == http.StatusOK:
 					rh, _, _, err := server.DecodeResponse(resp.Body, j.m, j.n, j.f64)
 					resp.Body.Close()
 					if err != nil {
@@ -153,13 +202,30 @@ func main() {
 					if rh.BatchSize > 1 {
 						coalesced.Add(1)
 					}
+					if a, _ := strconv.Atoi(resp.Header.Get("X-Shalom-Attempts")); a > 1 {
+						hedged.Add(1)
+					}
 					lat := time.Since(t0)
 					latMu.Lock()
 					lats = append(lats, lat)
 					latMu.Unlock()
-				case http.StatusTooManyRequests:
+				case shedClass:
 					io.Copy(io.Discard, resp.Body)
 					resp.Body.Close()
+					// Honor the server's jittered Retry-After instead of
+					// re-issuing immediately — re-arriving in one synchronized
+					// wave is how a shed storm feeds itself.
+					if attempts < *shedRetries {
+						attempts++
+						retried.Add(1)
+						if sec, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && sec > 0 {
+							if sec > 5 {
+								sec = 5 // keep pathological hints from stalling the run
+							}
+							time.Sleep(time.Duration(sec) * time.Second)
+						}
+						goto issue
+					}
 					shedCount.Add(1)
 				default:
 					body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
@@ -174,8 +240,10 @@ func main() {
 	wall := time.Since(start)
 
 	r := report{
-		Addr: base, Mix: *mix, Requests: *n, Concurrency: *c,
+		Addr: strings.Join(targets, ","), Mix: *mix, Requests: *n, Concurrency: *c,
+		Nodes: len(targets), Router: *routerMode,
 		OK: int(okCount.Load()), Shed: int(shedCount.Load()), Errors: int(errCount.Load()),
+		Retried: int(retried.Load()), Hedged: int(hedged.Load()),
 		WallSeconds: wall.Seconds(),
 	}
 	if wall > 0 {
@@ -197,12 +265,21 @@ func main() {
 			r.JournalChainHead = prov.Journal.ChainHead
 			r.JournalSegment = prov.Journal.Segment
 		}
+		// Behind a router the node count is the fleet size, not the target
+		// count: /healthz reports the backend table.
+		if *routerMode && len(prov.Backends) > 0 {
+			r.Nodes = len(prov.Backends)
+		}
 	} else {
 		fmt.Fprintln(os.Stderr, "shalom-load: provenance scrape:", err)
 	}
 
-	fmt.Printf("shalom-load: %d requests (%s mix, %d workers) in %v\n", *n, *mix, *c, wall.Round(time.Millisecond))
-	fmt.Printf("  ok %d, shed %d (%.1f%%), errors %d\n", r.OK, r.Shed, r.ShedPct, r.Errors)
+	nodes := fmt.Sprintf("%d nodes", r.Nodes)
+	if r.Nodes == 1 {
+		nodes = "1 node"
+	}
+	fmt.Printf("shalom-load: %d requests (%s mix, %d workers, %s) in %v\n", *n, *mix, *c, nodes, wall.Round(time.Millisecond))
+	fmt.Printf("  ok %d, shed %d (%.1f%%), errors %d, retried %d, hedged %d\n", r.OK, r.Shed, r.ShedPct, r.Errors, r.Retried, r.Hedged)
 	fmt.Printf("  throughput %.3f GFLOPS, latency p50 %.3fms p99 %.3fms\n", r.GFLOPS, r.P50MS, r.P99MS)
 	fmt.Printf("  coalescing: mean batch size %.1f, %.1f%% of requests shared a flush\n", r.MeanBatch, r.CoalescedPct)
 
@@ -219,7 +296,9 @@ func main() {
 	}
 
 	exit := 0
-	if *assertCoalesced {
+	if *assertCoalesced && *routerMode {
+		fmt.Println("  -assert-coalesced skipped: the coalesce counter lives on the backends, not the router")
+	} else if *assertCoalesced {
 		count, err := scrapeCoalesced(client, base)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "shalom-load: metrics scrape:", err)

@@ -214,6 +214,9 @@ type replayReport struct {
 type provenance struct {
 	ConfigHash string          `json:"config_hash"`
 	Journal    *journal.Status `json:"journal"`
+	// Backends is present when the target is a shalom-router: its /healthz
+	// fleet table, whose length is the serving node count.
+	Backends []json.RawMessage `json:"backends"`
 }
 
 // scrapeProvenance reads the target's config hash and journal head off

@@ -7,7 +7,11 @@ package faults_test
 import (
 	"context"
 	"errors"
+	"io"
 	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 
@@ -18,6 +22,7 @@ import (
 	"libshalom/internal/journal"
 	"libshalom/internal/mat"
 	"libshalom/internal/platform"
+	"libshalom/internal/router"
 	"libshalom/internal/telemetry"
 )
 
@@ -334,6 +339,31 @@ func TestChaosTelemetryOneEventPerInjection(t *testing.T) {
 				t.Fatal("writer survived an injected torn write without a sticky error")
 			}
 		}},
+		// The router points fire on the forward path of internal/router, not
+		// the compute path. Each scenario drives one routed request through a
+		// single-backend router; the single fire must surface as exactly one
+		// fault event and a coherent HTTP verdict.
+		faults.RouterConnReset: {run: func(t *testing.T, tel *telemetry.Recorder) {
+			// The reset consumes the only attempt the one-backend budget
+			// allows, so the request fails over to nothing: 502.
+			if code := routerChaosRequest(t, tel, 0); code != http.StatusBadGateway {
+				t.Fatalf("status = %d, want 502 after injected reset", code)
+			}
+		}},
+		faults.RouterSlowBackend: {run: func(t *testing.T, tel *telemetry.Recorder) {
+			// A slow backend is a delay, not a failure: the forward still
+			// lands and the request answers 200.
+			if code := routerChaosRequest(t, tel, 0); code != http.StatusOK {
+				t.Fatalf("status = %d, want 200 through injected slowness", code)
+			}
+		}},
+		faults.RouterBackendBlackhole: {run: func(t *testing.T, tel *telemetry.Recorder) {
+			// A blackholed attempt never answers; the request's deadline must
+			// cut it loose as 504 instead of hanging the client.
+			if code := routerChaosRequest(t, tel, 80*time.Millisecond); code != http.StatusGatewayTimeout {
+				t.Fatalf("status = %d, want 504 from a blackholed backend", code)
+			}
+		}},
 	}
 	for _, pt := range faults.Points() {
 		sc, ok := scenarios[pt]
@@ -392,6 +422,31 @@ func TestChaosTelemetryOneEventPerInjection(t *testing.T) {
 			}
 		})
 	}
+}
+
+// routerChaosRequest drives one well-formed GEMM request through a router
+// over a single stub backend and returns the router's HTTP verdict. timeout
+// sets the router's default deadline (zero: none).
+func routerChaosRequest(t *testing.T, tel *telemetry.Recorder, timeout time.Duration) int {
+	t.Helper()
+	stub := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		w.Write([]byte("ok"))
+	}))
+	defer stub.Close()
+	rt, err := router.New(router.Config{
+		Backends:       []string{stub.URL},
+		Telemetry:      tel,
+		DefaultTimeout: timeout,
+	})
+	if err != nil {
+		t.Fatalf("router.New: %v", err)
+	}
+	body := strings.NewReader(`{"precision":"f32","mode":"NN","m":4,"n":4,"k":4,"alpha":1}` + "\npayload")
+	req := httptest.NewRequest(http.MethodPost, "/v1/gemm", body)
+	rec := httptest.NewRecorder()
+	rt.ServeHTTP(rec, req)
+	return rec.Code
 }
 
 // The stuck-worker watchdog acceptance: with a configured deadline, a

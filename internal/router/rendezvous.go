@@ -1,0 +1,49 @@
+package router
+
+import "sort"
+
+// Class-affine sharding. The coalescer on each backend gets denser the
+// fewer backends a shape class is spread over: N concurrent 16×16 requests
+// landing on one node share one flush, the same N sprayed round-robin over
+// three nodes flush three thinner batches. Rendezvous (highest-random-
+// weight) hashing gives every class a stable full preference order over the
+// backends: the top-scoring backend owns the class, the second is the hedge
+// and failover target, and removing a node only remaps the classes it
+// owned — every other class keeps its coalescing stream intact.
+
+// fnv64a is FNV-1a over s; inlined rather than imported so the scoring loop
+// allocates nothing.
+func fnv64a(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}
+
+// score is one (class, backend) rendezvous weight.
+func score(classKey, backendID string) uint64 {
+	return fnv64a(classKey + "|" + backendID)
+}
+
+// preference returns the backends ordered by descending rendezvous score
+// for the class key — the routing preference order. Ties (practically
+// impossible with 64-bit scores, but the sort must stay deterministic)
+// break on backend index.
+func preference(classKey string, backends []*backend) []*backend {
+	out := make([]*backend, len(backends))
+	copy(out, backends)
+	sort.SliceStable(out, func(i, j int) bool {
+		si, sj := score(classKey, out[i].id), score(classKey, out[j].id)
+		if si != sj {
+			return si > sj
+		}
+		return out[i].index < out[j].index
+	})
+	return out
+}

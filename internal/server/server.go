@@ -7,6 +7,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"math/rand/v2"
 	"net/http"
 	"net/http/pprof"
 	"strconv"
@@ -47,6 +48,12 @@ type Config struct {
 	// RetryAfter is the Retry-After hint on shed responses, in seconds.
 	// Default 1.
 	RetryAfter int
+	// RetryAfterJitter widens the hint: each shed response advertises
+	// RetryAfter plus a uniform whole number of seconds in [0, jitter], so
+	// a synchronized storm of shed clients is desynchronized instead of
+	// re-arriving in one wave and being shed again. Default 1; negative
+	// disables the jitter.
+	RetryAfterJitter int
 	// MaxDim caps each of m, n, k at decode time. Default 4096.
 	MaxDim int
 	// MaxPayloadBytes caps a request's operand payload. Default 64 MiB.
@@ -92,6 +99,11 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = 1
+	}
+	if c.RetryAfterJitter == 0 {
+		c.RetryAfterJitter = 1
+	} else if c.RetryAfterJitter < 0 {
+		c.RetryAfterJitter = 0
 	}
 	if c.MaxDim <= 0 {
 		c.MaxDim = DefaultMaxDim
@@ -145,6 +157,7 @@ func New(lib *libshalom.Context, cfg Config) *Server {
 	}
 	s.mux.HandleFunc("/v1/gemm", s.handleGEMM)
 	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.mux.HandleFunc("/readyz", s.handleReady)
 	if h, ok := lib.TelemetryHandler(); ok {
 		// /metrics concatenates the recorder's exposition (driver counters,
 		// the attribution sketch, runtime gauges) with the engine's gauge
@@ -177,10 +190,10 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 // platform model.
 func configHash(lib *libshalom.Context, cfg Config) string {
 	h := sha256.New()
-	fmt.Fprintf(h, "platform=%s window=%s max_batch=%d max_batch_flops=%g max_queue=%d max_inflight_flops=%d default_timeout=%s retry_after=%d max_dim=%d max_payload=%d journal=%t",
+	fmt.Fprintf(h, "platform=%s window=%s max_batch=%d max_batch_flops=%g max_queue=%d max_inflight_flops=%d default_timeout=%s retry_after=%d+%d max_dim=%d max_payload=%d journal=%t",
 		lib.Platform().Name, cfg.Window, cfg.MaxBatch, cfg.MaxBatchFlops,
 		cfg.MaxQueue, cfg.MaxInFlightFlops, cfg.DefaultTimeout, cfg.RetryAfter,
-		cfg.MaxDim, cfg.MaxPayloadBytes, cfg.Journal.Enabled())
+		cfg.RetryAfterJitter, cfg.MaxDim, cfg.MaxPayloadBytes, cfg.Journal.Enabled())
 	return hex.EncodeToString(h.Sum(nil))
 }
 
@@ -231,6 +244,7 @@ func (s *Server) handleGEMM(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if s.draining.Load() {
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter()))
 		http.Error(w, "server: draining", http.StatusServiceUnavailable)
 		return
 	}
@@ -262,7 +276,7 @@ func (s *Server) handleGEMM(w http.ResponseWriter, r *http.Request) {
 	}
 	if !s.co.submit(p) {
 		s.tel.ServerShed()
-		w.Header().Set("Retry-After", strconv.Itoa(s.cfg.RetryAfter))
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter()))
 		http.Error(w, "server: overloaded, request shed", http.StatusTooManyRequests)
 		return
 	}
@@ -381,6 +395,30 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusServiceUnavailable)
 	}
 	_ = json.NewEncoder(w).Encode(body)
+}
+
+// retryAfter is the jittered Retry-After value for one shed response:
+// RetryAfter plus a uniform draw from [0, RetryAfterJitter] seconds.
+func (s *Server) retryAfter() int {
+	v := s.cfg.RetryAfter
+	if s.cfg.RetryAfterJitter > 0 {
+		v += rand.IntN(s.cfg.RetryAfterJitter + 1)
+	}
+	return v
+}
+
+// handleReady is the readiness endpoint — distinct from /healthz liveness.
+// It answers 503 the moment a drain starts, before the drain finishes, so a
+// router or balancer probing readiness stops sending new work while the
+// server is still answering its admitted backlog. /healthz keeps reporting
+// breaker health throughout: a draining server is not-ready but alive.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	draining := s.draining.Load()
+	w.Header().Set("Content-Type", "application/json")
+	if draining {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	_ = json.NewEncoder(w).Encode(map[string]bool{"ready": !draining, "draining": draining})
 }
 
 // Drain is the graceful-shutdown protocol: stop admitting (new requests see

@@ -9,6 +9,7 @@ import (
 	"math"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -241,10 +242,11 @@ func TestServeShedsWhenOverloaded(t *testing.T) {
 	direct := libshalom.New(libshalom.WithThreads(1))
 	defer direct.Close()
 	e := newEnv(t, server.Config{
-		Window:     10 * time.Second, // nothing flushes on its own
-		MaxBatch:   64,
-		MaxQueue:   1,
-		RetryAfter: 3,
+		Window:           10 * time.Second, // nothing flushes on its own
+		MaxBatch:         64,
+		MaxQueue:         1,
+		RetryAfter:       3,
+		RetryAfterJitter: -1, // exact hint, so the header is assertable
 	})
 	p1 := newProblem(t, direct, 8, 16, 16, 16, 0)
 	p2 := newProblem(t, direct, 9, 16, 16, 16, 0)
@@ -292,6 +294,184 @@ func TestServeShedsOnInFlightFlops(t *testing.T) {
 	resp, _ := e.post(t, p.body)
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("HTTP %d, want 429 under a zero flops budget", resp.StatusCode)
+	}
+}
+
+// The full-class-queue 429 storm: with one queue slot, a burst of same-class
+// requests is shed down to the admitted one, and every shed response carries
+// a Retry-After hint inside the configured jitter band — the desynchronized
+// backoff signal that prevents the storm from re-arriving as one wave.
+func TestServe429StormEveryShedHasRetryAfter(t *testing.T) {
+	direct := libshalom.New(libshalom.WithThreads(1))
+	defer direct.Close()
+	const base, jitter = 2, 3
+	e := newEnv(t, server.Config{
+		Window:           10 * time.Second, // nothing flushes until drain
+		MaxQueue:         1,
+		RetryAfter:       base,
+		RetryAfterJitter: jitter,
+	})
+	p := newProblem(t, direct, 21, 16, 16, 16, 0)
+
+	const storm = 24
+	type verdict struct {
+		code       int
+		retryAfter string
+	}
+	verdicts := make(chan verdict, storm)
+	var wg sync.WaitGroup
+	for i := 0; i < storm; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(e.ts.URL+"/v1/gemm", "application/octet-stream", bytes.NewReader(p.body))
+			if err != nil {
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			verdicts <- verdict{resp.StatusCode, resp.Header.Get("Retry-After")}
+		}()
+	}
+	// The parked admitted requests answer at drain; the cleanup drain would
+	// do it too, but doing it here bounds the storm goroutines' lifetime.
+	waitFor(t, "storm settled", func() bool {
+		s := e.lib.Snapshot().Server
+		return s.Accepted+s.Shed == storm
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := e.srv.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	wg.Wait()
+	close(verdicts)
+	shed := 0
+	for v := range verdicts {
+		if v.code != http.StatusTooManyRequests {
+			continue
+		}
+		shed++
+		sec, err := strconv.Atoi(v.retryAfter)
+		if err != nil {
+			t.Fatalf("shed response Retry-After = %q, want an integer", v.retryAfter)
+		}
+		if sec < base || sec > base+jitter {
+			t.Fatalf("Retry-After = %d, want in [%d, %d]", sec, base, base+jitter)
+		}
+	}
+	if shed == 0 {
+		t.Fatal("storm shed nothing — queue bound not exercised")
+	}
+	if got := e.lib.Snapshot().Server.Shed; got != uint64(shed) {
+		t.Fatalf("telemetry shed = %d, clients saw %d", got, shed)
+	}
+}
+
+// Drain racing an in-flight coalescer flush: requests are still being
+// admitted and flushed when the drain lands. Every admitted request must be
+// answered correctly, every refusal must be an explicit 503 with a
+// Retry-After hint, and readiness must read 503 from the moment the drain
+// starts.
+func TestServeDrainRacesCoalescerFlush(t *testing.T) {
+	direct := libshalom.New(libshalom.WithThreads(1))
+	defer direct.Close()
+	e := newEnv(t, server.Config{Window: 500 * time.Microsecond, MaxBatch: 4})
+	p := newProblem(t, direct, 22, 24, 24, 24, 0)
+
+	const clients = 16
+	type verdict struct {
+		code       int
+		retryAfter string
+		body       []byte
+	}
+	verdicts := make(chan verdict, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(e.ts.URL+"/v1/gemm", "application/octet-stream", bytes.NewReader(p.body))
+			if err != nil {
+				return
+			}
+			raw, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			verdicts <- verdict{resp.StatusCode, resp.Header.Get("Retry-After"), raw}
+		}()
+	}
+	// Land the drain while the batch windows are still flushing.
+	waitFor(t, "some requests admitted", func() bool { return e.lib.Snapshot().Server.Accepted >= 2 })
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := e.srv.Drain(ctx); err != nil {
+		t.Fatalf("drain racing flush: %v", err)
+	}
+	// Readiness flipped with the drain; liveness did not.
+	rr, err := http.Get(e.ts.URL + "/readyz")
+	if err != nil {
+		t.Fatalf("readyz: %v", err)
+	}
+	io.Copy(io.Discard, rr.Body)
+	rr.Body.Close()
+	if rr.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz after drain start = %d, want 503", rr.StatusCode)
+	}
+	wg.Wait()
+	close(verdicts)
+	answered := uint64(0)
+	for v := range verdicts {
+		switch v.code {
+		case http.StatusOK:
+			answered++
+			_, got, _, err := server.DecodeResponse(bytes.NewReader(v.body), p.h.M, p.h.N, false)
+			if err != nil {
+				t.Fatalf("decoding answered payload: %v", err)
+			}
+			for j := range got {
+				if got[j] != p.want[j] {
+					t.Fatalf("drained result differs at %d: %v != %v", j, got[j], p.want[j])
+				}
+			}
+		case http.StatusServiceUnavailable:
+			if v.retryAfter == "" {
+				t.Fatal("drain refusal missing Retry-After")
+			}
+		default:
+			t.Fatalf("unexpected verdict %d during drain race", v.code)
+		}
+	}
+	if acc := e.lib.Snapshot().Server.Accepted; answered != acc {
+		t.Fatalf("%d requests admitted but %d answered 200 — drain dropped admitted work", acc, answered)
+	}
+}
+
+// Readiness is a distinct signal from liveness: /readyz goes 503 the moment
+// a drain starts while /healthz keeps answering 200 for a healthy runtime.
+func TestServeReadyzSplitsFromHealthz(t *testing.T) {
+	e := newEnv(t, server.Config{})
+	get := func(path string) int {
+		resp, err := http.Get(e.ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := get("/readyz"); code != http.StatusOK {
+		t.Fatalf("readyz before drain = %d, want 200", code)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := e.srv.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if code := get("/readyz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz after drain = %d, want 503", code)
+	}
+	if code := get("/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz after drain = %d, want 200 — drain must not fail liveness", code)
 	}
 }
 

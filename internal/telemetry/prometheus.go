@@ -149,6 +149,22 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 		bw.printf("libshalom_server_queue_wait_seconds_sum %g\n", float64(sv.QueueWaitNs)/1e9)
 		bw.printf("libshalom_server_queue_wait_seconds_count %d\n", cum)
 	}
+	if s.Router.Active() {
+		rt := s.Router
+		counter("libshalom_router_requests_forwarded_total", "Requests answered 200 off a backend.", rt.Forwarded)
+		counter("libshalom_router_attempts_total", "Forward attempts to backends (first tries, retries and hedges).", rt.Attempts)
+		counter("libshalom_router_retries_total", "Failure-triggered re-attempts on the next-preferred backend.", rt.Retries)
+		counter("libshalom_router_hedges_total", "Latency-triggered concurrent attempts on the next-preferred backend.", rt.Hedges)
+		counter("libshalom_router_requests_shed_total", "Requests the router answered 429/503 (no backend admitted them).", rt.Shed)
+		counter("libshalom_router_requests_error_total", "Requests the router answered 502/504 after exhausting retries or deadline.", rt.Errors)
+		counter("libshalom_router_requests_rejected_total", "Requests refused at the router's decode step (HTTP 400).", rt.Rejected)
+		counter("libshalom_router_ejections_total", "Backends ejected by the outlier state machine.", rt.Ejections)
+		counter("libshalom_router_readmissions_total", "Ejected backends readmitted after a successful backoff probe.", rt.Readmissions)
+		counter("libshalom_router_probes_total", "Readiness probes issued to backends.", rt.Probes)
+		counter("libshalom_router_probe_failures_total", "Readiness probes that failed (connect error or non-ready status).", rt.ProbeFails)
+		gauge("libshalom_router_backends_eligible", "Backends currently eligible for routing (healthy and ready).", rt.BackendsEligible)
+		gauge("libshalom_router_backends_ejected", "Backends currently ejected by the outlier state machine.", rt.BackendsEjected)
+	}
 	if s.Journal.Active() {
 		jn := s.Journal
 		counter("libshalom_journal_records_total", "Event records appended to the request journal.", jn.Records)

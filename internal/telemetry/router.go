@@ -1,0 +1,221 @@
+package telemetry
+
+import "sync/atomic"
+
+// Router-tier metrics. The sharded router (internal/router) fronts N
+// shalom-serve backends with class-affine rendezvous routing, hedged
+// retries and outlier ejection; these counters make the fleet's failure
+// handling observable: how many requests were forwarded, how many attempts
+// the hedging/retry machinery spent on them, and how the ejection state
+// machine moved. They live on the Recorder so the router's one /metrics
+// scrape exposes them next to any local driver metrics, and follow the same
+// contract as every other site: nil-receiver no-op, probeAtomicWrite at
+// each atomic write.
+
+// routerStats is the Recorder's router-tier section.
+type routerStats struct {
+	forwarded atomic.Uint64
+	attempts  atomic.Uint64
+	retries   atomic.Uint64
+	hedges    atomic.Uint64
+	shed      atomic.Uint64
+	errors    atomic.Uint64
+	rejected  atomic.Uint64
+
+	ejections    atomic.Uint64
+	readmissions atomic.Uint64
+	probes       atomic.Uint64
+	probeFails   atomic.Uint64
+
+	backendsEligible atomic.Int64
+	backendsEjected  atomic.Int64
+}
+
+// RouterForwarded counts one request answered 200 off a backend.
+//
+//shalom:hotpath noalloc,nolock,noblock
+func (r *Recorder) RouterForwarded() {
+	if r == nil {
+		return
+	}
+	probeAtomicWrite()
+	r.router.forwarded.Add(1)
+}
+
+// RouterAttempt counts one forward attempt to a backend (first tries,
+// retries and hedges all included).
+//
+//shalom:hotpath noalloc,nolock,noblock
+func (r *Recorder) RouterAttempt() {
+	if r == nil {
+		return
+	}
+	probeAtomicWrite()
+	r.router.attempts.Add(1)
+}
+
+// RouterRetry counts one failure-triggered re-attempt on the
+// next-preferred backend (the hedged-retry path after a 5xx, shed, or
+// connect failure).
+//
+//shalom:hotpath noalloc,nolock,noblock
+func (r *Recorder) RouterRetry() {
+	if r == nil {
+		return
+	}
+	probeAtomicWrite()
+	r.router.retries.Add(1)
+}
+
+// RouterHedge counts one latency-triggered concurrent attempt: the
+// preferred backend had not answered within the hedge delay, so a second
+// attempt raced it on the next-preferred backend.
+//
+//shalom:hotpath noalloc,nolock,noblock
+func (r *Recorder) RouterHedge() {
+	if r == nil {
+		return
+	}
+	probeAtomicWrite()
+	r.router.hedges.Add(1)
+}
+
+// RouterShed counts one request the router itself answered 429/503 —
+// every eligible backend shed it or none was available.
+//
+//shalom:hotpath noalloc,nolock,noblock
+func (r *Recorder) RouterShed() {
+	if r == nil {
+		return
+	}
+	probeAtomicWrite()
+	r.router.shed.Add(1)
+}
+
+// RouterError counts one request the router answered 502/504 after
+// exhausting its retry budget or its deadline.
+//
+//shalom:hotpath noalloc,nolock,noblock
+func (r *Recorder) RouterError() {
+	if r == nil {
+		return
+	}
+	probeAtomicWrite()
+	r.router.errors.Add(1)
+}
+
+// RouterRejected counts one request refused at the router's own decode
+// step (malformed header — HTTP 400 without touching a backend).
+//
+//shalom:hotpath noalloc,nolock,noblock
+func (r *Recorder) RouterRejected() {
+	if r == nil {
+		return
+	}
+	probeAtomicWrite()
+	r.router.rejected.Add(1)
+}
+
+// RouterEjection counts one backend ejected by the outlier state machine
+// (consecutive failures crossed the threshold).
+//
+//shalom:hotpath noalloc,nolock,noblock
+func (r *Recorder) RouterEjection() {
+	if r == nil {
+		return
+	}
+	probeAtomicWrite()
+	r.router.ejections.Add(1)
+}
+
+// RouterReadmission counts one ejected backend readmitted after a
+// successful backoff probe.
+//
+//shalom:hotpath noalloc,nolock,noblock
+func (r *Recorder) RouterReadmission() {
+	if r == nil {
+		return
+	}
+	probeAtomicWrite()
+	r.router.readmissions.Add(1)
+}
+
+// RouterProbe counts one readiness probe and its verdict.
+//
+//shalom:hotpath noalloc,nolock,noblock
+func (r *Recorder) RouterProbe(ok bool) {
+	if r == nil {
+		return
+	}
+	probeAtomicWrite()
+	r.router.probes.Add(1)
+	if !ok {
+		probeAtomicWrite()
+		r.router.probeFails.Add(1)
+	}
+}
+
+// RouterBackends sets the fleet-state gauges: how many backends are
+// currently eligible for routing and how many sit ejected.
+//
+//shalom:hotpath noalloc,nolock,noblock
+func (r *Recorder) RouterBackends(eligible, ejected int) {
+	if r == nil {
+		return
+	}
+	probeAtomicWrite()
+	r.router.backendsEligible.Store(int64(eligible))
+	probeAtomicWrite()
+	r.router.backendsEjected.Store(int64(ejected))
+}
+
+// RouterStats is the aggregated router-tier section of a Snapshot.
+type RouterStats struct {
+	// Forwarded counts 200s relayed off a backend; Attempts every forward
+	// attempt (so Attempts-Forwarded bounds the wasted work); Retries
+	// failure-triggered re-attempts and Hedges latency-triggered concurrent
+	// attempts.
+	Forwarded uint64 `json:"forwarded"`
+	Attempts  uint64 `json:"attempts"`
+	Retries   uint64 `json:"retries"`
+	Hedges    uint64 `json:"hedges"`
+	// Shed counts router-level 429/503 answers, Errors router-level 502/504
+	// answers, Rejected router-level 400s.
+	Shed     uint64 `json:"shed"`
+	Errors   uint64 `json:"errors"`
+	Rejected uint64 `json:"rejected"`
+	// Ejections/Readmissions count the outlier state machine's transitions;
+	// Probes/ProbeFails the active readiness probe verdicts.
+	Ejections    uint64 `json:"ejections"`
+	Readmissions uint64 `json:"readmissions"`
+	Probes       uint64 `json:"probes"`
+	ProbeFails   uint64 `json:"probe_fails"`
+	// BackendsEligible/BackendsEjected are point-in-time fleet gauges.
+	BackendsEligible int64 `json:"backends_eligible"`
+	BackendsEjected  int64 `json:"backends_ejected"`
+}
+
+// Active reports whether any router-tier event was ever recorded, so
+// non-router snapshots keep their exposition unchanged.
+func (s RouterStats) Active() bool {
+	return s.Attempts != 0 || s.Probes != 0 || s.Rejected != 0 || s.Shed != 0
+}
+
+// routerSnapshot reads the router-tier section.
+func (r *Recorder) routerSnapshot() RouterStats {
+	return RouterStats{
+		Forwarded:        r.router.forwarded.Load(),
+		Attempts:         r.router.attempts.Load(),
+		Retries:          r.router.retries.Load(),
+		Hedges:           r.router.hedges.Load(),
+		Shed:             r.router.shed.Load(),
+		Errors:           r.router.errors.Load(),
+		Rejected:         r.router.rejected.Load(),
+		Ejections:        r.router.ejections.Load(),
+		Readmissions:     r.router.readmissions.Load(),
+		Probes:           r.router.probes.Load(),
+		ProbeFails:       r.router.probeFails.Load(),
+		BackendsEligible: r.router.backendsEligible.Load(),
+		BackendsEjected:  r.router.backendsEjected.Load(),
+	}
+}

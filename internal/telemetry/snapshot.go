@@ -92,6 +92,9 @@ type Snapshot struct {
 	// Server is the serving-layer section (admission, shedding, coalescing);
 	// zero outside a serving process.
 	Server ServerStats `json:"server"`
+	// Router is the router-tier section (forwarding, hedged retries,
+	// outlier ejection); zero outside a router process.
+	Router RouterStats `json:"router"`
 	// Journal is the request-journal section (appends, anchors, fsyncs);
 	// zero when journaling is disabled.
 	Journal JournalStats `json:"journal"`
@@ -164,6 +167,7 @@ func (r *Recorder) Snapshot() Snapshot {
 	s.BreakersProbing = r.breakersProbing.Load()
 	s.Attrib, s.AttribDrift, s.AttribWindows = r.attribSnapshot()
 	s.Server = r.serverSnapshot()
+	s.Router = r.routerSnapshot()
 	s.Journal = r.journalSnapshot()
 	if r.trace != nil {
 		r.trace.mu.Lock()

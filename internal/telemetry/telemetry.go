@@ -176,6 +176,9 @@ type Recorder struct {
 	// Serving-layer counters (fed by internal/server; see server.go).
 	server serverStats
 
+	// Router-tier counters (fed by internal/router; see router.go).
+	router routerStats
+
 	// Journal counters (fed by internal/journal; see journal.go).
 	journal journalStats
 
