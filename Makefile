@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet staticlint race lint check fuzz test-chaos test-soak probe trace-smoke serve-smoke journal-smoke attrib-smoke router-smoke
+.PHONY: build test vet staticlint race lint check fuzz test-chaos test-soak probe trace-smoke serve-smoke journal-smoke attrib-smoke router-smoke tune-smoke
 
 build:
 	$(GO) build ./...
@@ -76,6 +76,15 @@ serve-smoke:
 attrib-smoke:
 	sh scripts/attrib-smoke.sh
 
+# Autotuner smoke test: race-enabled shalom-serve with -autotune and a
+# deliberately detuned f32/small serving tile, a storm until the closed loop
+# runs search -> prove -> canary -> promote, then assertions that the
+# promotion surfaces in /tune, the Prometheus exposition, shalom-top's tune
+# view, a measurably faster small-mix load run, and a verifiable journal
+# tune-promote record, followed by a clean drain.
+tune-smoke:
+	sh scripts/tune-smoke.sh
+
 # Router smoke test: three shalom-serve backends behind a race-enabled
 # shalom-router, a storm with a SIGKILL of one backend mid-storm (zero lost
 # requests — hedged retries route around the corpse), assertions that the
@@ -103,4 +112,4 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzAnalyze -fuzztime=10s ./internal/isa/
 
 # The CI gate.
-check: vet staticlint build test race test-chaos test-soak probe trace-smoke serve-smoke router-smoke journal-smoke attrib-smoke lint
+check: vet staticlint build test race test-chaos test-soak probe trace-smoke serve-smoke router-smoke journal-smoke attrib-smoke tune-smoke lint

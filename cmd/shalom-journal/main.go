@@ -240,6 +240,18 @@ func dumpLine(e journal.Event) map[string]any {
 		m["shape"] = e.Shape
 		m["guard_seq"] = e.GuardSeq
 		m["trips"] = e.Trips
+	case journal.KindTunePromote, journal.KindTuneRevert:
+		m["platform"] = e.Platform
+		m["class"] = e.Class
+		m["kernel"] = e.Kernel
+		m["mr"] = e.MR
+		m["nr"] = e.NR
+		m["kc"] = e.KC
+		if e.Kind == journal.KindTunePromote {
+			m["gflops"] = e.GFLOPS
+		} else {
+			m["detail"] = e.Detail
+		}
 	case journal.KindAnchor:
 		m["count"] = e.Count
 		m["root"] = hex.EncodeToString(e.Root[:])
@@ -272,6 +284,12 @@ func textLine(e journal.Event) string {
 	case journal.KindBreaker:
 		return fmt.Sprintf("%s  #%d  breaker  %s/%s  %s → %s  (%s: %s)  trip %d",
 			ts, e.Seq, e.Platform, e.Kernel, e.From, e.To, e.Reason, e.Detail, e.Trips)
+	case journal.KindTunePromote:
+		return fmt.Sprintf("%s  #%d  tune-promote  %s/%s  %s  tile %dx%d kc %d  %.1f GFLOPS",
+			ts, e.Seq, e.Platform, e.Class, e.Kernel, e.MR, e.NR, e.KC, e.GFLOPS)
+	case journal.KindTuneRevert:
+		return fmt.Sprintf("%s  #%d  tune-revert  %s/%s  %s  tile %dx%d kc %d  (%s)",
+			ts, e.Seq, e.Platform, e.Class, e.Kernel, e.MR, e.NR, e.KC, e.Detail)
 	case journal.KindAnchor:
 		sealed := ""
 		if e.Sealed {

@@ -17,6 +17,9 @@
 //	             [-journal-segment-bytes N] [-journal-payloads]
 //	             [-attrib] [-attrib-window 1s] [-attrib-margin 0.35]
 //	             [-attrib-windows 3] [-attrib-min-calls 16]
+//	             [-autotune] [-autotune-interval 2s] [-autotune-margin 0.1]
+//	             [-autotune-min-score 0.01]
+//	             [-detune-class CLASS]
 //	             [-pprof]
 //	             [-chaos-slow-class CLASS] [-chaos-slow-delay 2ms]
 //
@@ -33,6 +36,16 @@
 // default. -chaos-slow-class arms the slow-shape-class fault point against
 // one class (tiny, small, medium, large, irregular) — the attribution
 // smoke test uses it to seed a visible regression.
+//
+// -autotune runs the traffic-adaptive kernel tuning loop on top of the
+// attribution feed: hot × underperforming shape classes are searched over
+// the proven generator-family domain, candidates pass the full proof gate
+// (isacheck contract + symbolic family proof + vexec-vs-reference
+// validation), and the winner is hot-swapped in as a dispatch override
+// behind a canary breaker. GET /tune serves the per-class state machine;
+// promotions and reverts land in the journal when one is configured.
+// -detune-class seeds a deliberately bad serving tile on one f32 class —
+// the smoke test uses it to give the autotuner something to beat.
 //
 // -journal DIR enables the tamper-evident request journal: every admitted
 // request, flush, result, and breaker transition lands in merkle-anchored
@@ -54,6 +67,7 @@ import (
 
 	"libshalom"
 	"libshalom/internal/attrib"
+	"libshalom/internal/autotune"
 	"libshalom/internal/faults"
 	"libshalom/internal/guard"
 	"libshalom/internal/journal"
@@ -95,6 +109,11 @@ func main() {
 	attribMargin := flag.Float64("attrib-margin", 0.35, "relative shortfall below calibrated par that counts as drift")
 	attribWindows := flag.Int("attrib-windows", 3, "consecutive below-par windows before a drift event fires")
 	attribMinCalls := flag.Uint64("attrib-min-calls", 16, "clean calls a window needs before a key is scored")
+	autotuneOn := flag.Bool("autotune", false, "run the traffic-adaptive kernel tuning loop (serves /tune)")
+	autotuneInterval := flag.Duration("autotune-interval", 2*time.Second, "tuning loop period")
+	autotuneMargin := flag.Float64("autotune-margin", 0.10, "modeled-throughput improvement a candidate must show over the incumbent")
+	autotuneMinScore := flag.Float64("autotune-min-score", 0.01, "attribution score (hot share × shortfall) floor for tuning a class")
+	detuneClass := flag.String("detune-class", "", "seed a deliberately bad f32 serving tile on this class (tiny, small, medium, large, irregular)")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	chaosSlowClass := flag.String("chaos-slow-class", "", "arm the slow-shape-class fault point against this class (tiny, small, medium, large, irregular)")
 	chaosSlowDelay := flag.Duration("chaos-slow-delay", 2*time.Millisecond, "per-call delay the armed slow-shape-class point injects")
@@ -175,6 +194,34 @@ func main() {
 		defer eng.Close()
 	}
 
+	if *detuneClass != "" {
+		class, ok := parseShapeClass(*detuneClass)
+		if !ok || class == uint8(telemetry.ShapeEmpty) {
+			fmt.Fprintf(os.Stderr, "shalom-serve: unknown shape class %q\n", *detuneClass)
+			os.Exit(2)
+		}
+		path := guard.MintOverridePath(4, *detuneClass)
+		guard.SetOverride(4, class, guard.TileOverride{
+			MR: 1, NR: 4, KC: 8, Kernel: "detuned-1x4", Path: path,
+		})
+		fmt.Printf("shalom-serve: DETUNE seeded f32/%s with tile 1x4 kc 8 (%s)\n",
+			*detuneClass, path)
+	}
+
+	var tuner *autotune.Engine
+	if *autotuneOn {
+		tuner = autotune.New(autotune.Config{
+			Recorder: lib.TelemetryRecorder(),
+			Attrib:   eng,
+			Platform: plat,
+			Interval: *autotuneInterval,
+			Margin:   *autotuneMargin,
+			MinScore: *autotuneMinScore,
+			Journal:  jw,
+		})
+		tuner.Start()
+	}
+
 	// The lifecycle context parents every flush's batch context. It is NOT
 	// the signal context: a drain triggered by SIGTERM still has to run its
 	// final flushes, so it only cancels after the drain completes (process
@@ -192,6 +239,7 @@ func main() {
 		BaseContext:      lifecycle,
 		Journal:          jw,
 		Attrib:           eng,
+		Autotune:         tuner,
 		Pprof:            *pprofOn,
 	})
 
@@ -232,6 +280,14 @@ func main() {
 	if err := srv.Drain(ctx); err != nil {
 		fmt.Fprintln(os.Stderr, "shalom-serve: drain:", err)
 		os.Exit(1)
+	}
+	if tuner != nil {
+		// Stop tuning before the journal seals so a racing promotion cannot
+		// append to a closed writer.
+		tuner.Close()
+		rep := tuner.Report()
+		fmt.Printf("shalom-serve: autotune — searched %d, proved %d, rejected %d, canaried %d, promoted %d, reverted %d\n",
+			rep.Searched, rep.Proved, rep.Rejected, rep.Canaried, rep.Promoted, rep.Reverted)
 	}
 	if err := httpSrv.Shutdown(ctx); err != nil {
 		fmt.Fprintln(os.Stderr, "shalom-serve: shutdown:", err)

@@ -14,10 +14,14 @@
 //	           [-threads N] [-once] [-no-attrib]
 //	           [-trace FILE] [-validate]
 //	shalom-top -attrib http://HOST:PORT
+//	shalom-top -tune http://HOST:PORT
 //
-// The second form does not drive a workload: it fetches /attrib from a
-// running shalom-serve, renders its attribution heat view once, and exits —
-// the mode scripts/attrib-smoke.sh asserts against.
+// The second and third forms do not drive a workload: -attrib fetches
+// /attrib from a running shalom-serve, renders its attribution heat view
+// once, and exits — the mode scripts/attrib-smoke.sh asserts against.
+// -tune fetches /tune the same way and renders the autotuner view: one row
+// per shape class with its tuning state and promoted-kernel tag — the mode
+// scripts/tune-smoke.sh asserts against.
 package main
 
 import (
@@ -33,6 +37,7 @@ import (
 
 	"libshalom"
 	"libshalom/internal/attrib"
+	"libshalom/internal/autotune"
 	"libshalom/internal/mat"
 	"libshalom/internal/telemetry"
 	"libshalom/internal/workloads"
@@ -64,6 +69,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	once := fs.Bool("once", false, "run for -duration, print the table once, exit")
 	noAttrib := fs.Bool("no-attrib", false, "skip the local attribution heat view")
 	attribURL := fs.String("attrib", "", "fetch /attrib from this shalom-serve base URL, render its heat view once, exit")
+	tuneURL := fs.String("tune", "", "fetch /tune from this shalom-serve base URL, render the autotuner view once, exit")
 	tracePath := fs.String("trace", "", "write Chrome trace_event JSON to this file at exit")
 	validate := fs.Bool("validate", false, "validate the exported trace (requires -trace)")
 	if err := fs.Parse(args); err != nil {
@@ -72,6 +78,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	if *attribURL != "" {
 		return runRemoteAttrib(*attribURL, stdout, stderr)
+	}
+	if *tuneURL != "" {
+		return runRemoteTune(*tuneURL, stdout, stderr)
 	}
 	if *validate && *tracePath == "" {
 		fmt.Fprintln(stderr, "shalom-top: -validate requires -trace FILE")
@@ -177,6 +186,34 @@ func runRemoteAttrib(base string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	renderAttrib(stdout, rep)
+	return 0
+}
+
+// runRemoteTune fetches a running server's /tune report and renders the
+// autotuner view once — the scriptable remote mode tune-smoke asserts
+// against.
+func runRemoteTune(base string, stdout, stderr io.Writer) int {
+	url := strings.TrimSuffix(base, "/")
+	if !strings.HasSuffix(url, "/tune") {
+		url += "/tune"
+	}
+	resp, err := http.Get(url)
+	if err != nil {
+		fmt.Fprintln(stderr, "shalom-top:", err)
+		return 1
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		fmt.Fprintf(stderr, "shalom-top: GET %s: HTTP %d: %s\n", url, resp.StatusCode, strings.TrimSpace(string(body)))
+		return 1
+	}
+	var rep autotune.Report
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		fmt.Fprintf(stderr, "shalom-top: decoding %s: %v\n", url, err)
+		return 1
+	}
+	renderTune(stdout, rep)
 	return 0
 }
 
@@ -345,5 +382,35 @@ func renderAttrib(w io.Writer, rep attrib.Report) {
 		fmt.Fprintf(w, "drift: %s/%s/%s/%s — %.2f GFLOPS vs %.2f predicted (rel-eff %.2f after %d windows)\n",
 			ev.Precision, ev.Mode, ev.ShapeClass, ev.Kernel,
 			ev.Measured, ev.Predicted, ev.RelEff, ev.Windows)
+	}
+}
+
+// renderTune prints the autotuner view: lifetime counters, then one row per
+// tracked shape class with its lifecycle state and — once a candidate is
+// canarying or promoted — the tuned-kernel tag and modeled uplift.
+func renderTune(w io.Writer, rep autotune.Report) {
+	fmt.Fprintf(w, "autotune — platform %s, margin %.0f%% — searched %d, proved %d, rejected %d, canaried %d, promoted %d, reverted %d\n",
+		rep.Platform, rep.Margin*100, rep.Searched, rep.Proved, rep.Rejected,
+		rep.Canaried, rep.Promoted, rep.Reverted)
+	if len(rep.Classes) == 0 {
+		fmt.Fprintln(w, "  (no classes tuned yet)")
+		return
+	}
+	fmt.Fprintf(w, "%-4s %-9s %-10s %-28s %10s %10s  %s\n",
+		"prec", "class", "state", "kernel", "incumbent", "candidate", "")
+	for _, c := range rep.Classes {
+		kern := c.Kernel
+		if kern == "" {
+			kern = "-"
+		}
+		inc, cand := "-", "-"
+		if c.IncumbentGFLOPS > 0 {
+			inc = fmt.Sprintf("%.1f", c.IncumbentGFLOPS)
+		}
+		if c.CandidateGFLOPS > 0 {
+			cand = fmt.Sprintf("%.1f", c.CandidateGFLOPS)
+		}
+		fmt.Fprintf(w, "%-4s %-9s %-10s %-28s %10s %10s  %s\n",
+			c.Precision, c.ShapeClass, c.State, kern, inc, cand, c.Detail)
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"libshalom/internal/attrib"
+	"libshalom/internal/autotune"
 )
 
 // sampleReport is a canned attribution report with one drifting hot key
@@ -159,5 +160,84 @@ func TestRunRemoteAttrib(t *testing.T) {
 	ts.Close()
 	if code := run([]string{"-attrib", ts.URL}, &out, &errb); code != 1 {
 		t.Fatalf("dead endpoint: run = %d, want 1", code)
+	}
+}
+
+// sampleTuneReport is a canned autotuner report with one promoted class and
+// one rejected class — the fixture the tune-view tests assert against.
+func sampleTuneReport() autotune.Report {
+	return autotune.Report{
+		Platform: "Kunpeng 920",
+		Margin:   0.10,
+		Searched: 3, Proved: 1, Rejected: 1, Canaried: 1, Promoted: 1,
+		Classes: []autotune.ClassReport{
+			{
+				Precision: "f32", ShapeClass: "small", State: "promoted",
+				Kernel: "tuned-7x12-kc16-pipelined", MR: 7, NR: 12, KC: 16,
+				IncumbentKernel: "detuned-1x4", IncumbentGFLOPS: 6.9,
+				CandidateGFLOPS: 41.6,
+			},
+			{
+				Precision: "f64", ShapeClass: "medium", State: "rejected",
+				IncumbentKernel: "analytic-7x6", IncumbentGFLOPS: 20.8,
+				Detail: "no candidate beat the incumbent by the margin",
+			},
+		},
+	}
+}
+
+// The tune view prints the lifetime counters and one row per class with its
+// state, tuned-kernel tag, and incumbent/candidate throughput.
+func TestRenderTune(t *testing.T) {
+	var sb strings.Builder
+	renderTune(&sb, sampleTuneReport())
+	out := sb.String()
+	for _, want := range []string{
+		"autotune — platform Kunpeng 920, margin 10%",
+		"promoted 1", "reverted 0",
+		"promoted", "tuned-7x12-kc16-pipelined", "41.6", "6.9",
+		"rejected", "no candidate beat the incumbent by the margin",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("tune view missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderTuneEmpty(t *testing.T) {
+	var sb strings.Builder
+	renderTune(&sb, autotune.Report{Platform: "Kunpeng 920"})
+	if !strings.Contains(sb.String(), "no classes tuned yet") {
+		t.Errorf("empty tune view not signposted:\n%s", sb.String())
+	}
+}
+
+// The remote mode fetches /tune from a server base URL and renders the
+// autotuner view once.
+func TestRunRemoteTune(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/tune" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(sampleTuneReport())
+	}))
+	defer ts.Close()
+
+	var out, errb strings.Builder
+	if code := run([]string{"-tune", ts.URL}, &out, &errb); code != 0 {
+		t.Fatalf("remote tune: run = %d, stderr:\n%s", code, errb.String())
+	}
+	for _, want := range []string{"tuned-7x12-kc16-pipelined", "promoted", "Kunpeng 920"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("remote tune view missing %q:\n%s", want, out.String())
+		}
+	}
+
+	// A dead endpoint is a clean failure, not a panic.
+	ts.Close()
+	if code := run([]string{"-tune", ts.URL}, &out, &errb); code != 1 {
+		t.Fatalf("dead tune endpoint: run = %d, want 1", code)
 	}
 }

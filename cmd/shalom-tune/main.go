@@ -1,0 +1,216 @@
+// Command shalom-tune is the offline autotuner: a one-shot run of the
+// search → prove pipeline for one (precision, shape class) key, optionally
+// weighted by a captured journal workload, without touching any live
+// dispatch table. It answers the operator question the online loop
+// (shalom-serve -autotune) automates: "is there a tile worth canarying for
+// this class on this platform, and by how much?"
+//
+// Usage:
+//
+//	shalom-tune -class small [-precision f32] [-platform kp920]
+//	            [-margin 0.1] [-journal DIR] [-top 5] [-json]
+//
+// With -journal DIR the tool first replays the captured admit records to
+// measure how hot the named class actually was — call count and flops
+// share per (precision, class) — so the modeled uplift can be weighed
+// against real traffic. The search space, scoring model, and proof gate
+// are exactly the online loop's: every printed candidate is inside the
+// symbolically proven generator-family domain, and the winner has passed
+// the isacheck passes and vexec-vs-reference validation.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"libshalom/internal/autotune"
+	"libshalom/internal/journal"
+	"libshalom/internal/platform"
+	"libshalom/internal/telemetry"
+)
+
+// workloadKey aggregates admit records per (precision, class).
+type workloadKey struct {
+	precision string
+	class     telemetry.ShapeClass
+}
+
+// workloadRow is one measured traffic share.
+type workloadRow struct {
+	Precision string  `json:"precision"`
+	Class     string  `json:"class"`
+	Calls     uint64  `json:"calls"`
+	Flops     float64 `json:"flops"`
+	CallShare float64 `json:"call_share"`
+	FlopShare float64 `json:"flop_share"`
+}
+
+// admitHeader is the slice of the wire header the workload scan needs.
+type admitHeader struct {
+	Precision string `json:"precision"`
+	M         int    `json:"m"`
+	N         int    `json:"n"`
+	K         int    `json:"k"`
+}
+
+// scanWorkload reads a journal directory's admit records into per-key
+// traffic shares, sorted by flops share descending.
+func scanWorkload(dir string) ([]workloadRow, error) {
+	events, err := journal.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	agg := map[workloadKey]*workloadRow{}
+	var totCalls uint64
+	var totFlops float64
+	for _, e := range events {
+		if e.Kind != journal.KindAdmit {
+			continue
+		}
+		var h admitHeader
+		if err := json.Unmarshal(e.Header, &h); err != nil {
+			continue
+		}
+		k := workloadKey{precision: h.Precision, class: telemetry.ClassifyShape(h.M, h.N, h.K)}
+		r := agg[k]
+		if r == nil {
+			r = &workloadRow{Precision: k.precision, Class: k.class.String()}
+			agg[k] = r
+		}
+		fl := 2 * float64(h.M) * float64(h.N) * float64(h.K)
+		r.Calls++
+		r.Flops += fl
+		totCalls++
+		totFlops += fl
+	}
+	var rows []workloadRow
+	for _, r := range agg {
+		if totCalls > 0 {
+			r.CallShare = float64(r.Calls) / float64(totCalls)
+		}
+		if totFlops > 0 {
+			r.FlopShare = r.Flops / totFlops
+		}
+		rows = append(rows, *r)
+	}
+	for i := 0; i < len(rows); i++ {
+		for j := i + 1; j < len(rows); j++ {
+			if rows[j].FlopShare > rows[i].FlopShare {
+				rows[i], rows[j] = rows[j], rows[i]
+			}
+		}
+	}
+	return rows, nil
+}
+
+// report is the -json document.
+type report struct {
+	Platform   string               `json:"platform"`
+	Precision  string               `json:"precision"`
+	Class      string               `json:"class"`
+	Margin     float64              `json:"margin"`
+	Workload   []workloadRow        `json:"workload,omitempty"`
+	Incumbent  autotune.Candidate   `json:"incumbent"`
+	Candidates []autotune.Candidate `json:"candidates"`
+	Winner     *autotune.Candidate  `json:"winner,omitempty"`
+	UpliftPct  float64              `json:"uplift_pct,omitempty"`
+	Verdict    string               `json:"verdict"`
+}
+
+func main() {
+	className := flag.String("class", "", "shape class to tune (tiny, small, medium, large, irregular)")
+	precision := flag.String("precision", "f32", "precision to tune (f32 or f64)")
+	platName := flag.String("platform", "kp920", "platform model (kp920, phytium2000, thunderx2)")
+	margin := flag.Float64("margin", 0.10, "modeled-throughput improvement a candidate must show over the incumbent")
+	journalDir := flag.String("journal", "", "weigh the class against this captured journal workload")
+	top := flag.Int("top", 5, "candidates to print")
+	asJSON := flag.Bool("json", false, "emit the full report as JSON")
+	flag.Parse()
+
+	plat := platform.ByName(*platName)
+	if plat == nil {
+		fmt.Fprintf(os.Stderr, "shalom-tune: unknown platform %q\n", *platName)
+		os.Exit(2)
+	}
+	var elem int
+	switch *precision {
+	case "f32":
+		elem = 4
+	case "f64":
+		elem = 8
+	default:
+		fmt.Fprintf(os.Stderr, "shalom-tune: unknown precision %q\n", *precision)
+		os.Exit(2)
+	}
+	var class telemetry.ShapeClass
+	found := false
+	for _, c := range telemetry.ShapeClasses() {
+		if c.String() == *className && c != telemetry.ShapeEmpty {
+			class, found = c, true
+		}
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "shalom-tune: -class must name a shape class (tiny, small, medium, large, irregular)\n")
+		os.Exit(2)
+	}
+
+	rep := report{Platform: plat.Name, Precision: *precision, Class: *className, Margin: *margin}
+	if *journalDir != "" {
+		rows, err := scanWorkload(*journalDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "shalom-tune:", err)
+			os.Exit(1)
+		}
+		rep.Workload = rows
+	}
+
+	sr := autotune.Search(plat, elem, class)
+	rep.Incumbent = sr.Incumbent
+	rep.Candidates = sr.Candidates
+	if len(rep.Candidates) > *top {
+		rep.Candidates = rep.Candidates[:*top]
+	}
+
+	floor := sr.Incumbent.GFLOPS * (1 + *margin)
+	rep.Verdict = fmt.Sprintf("incumbent %s holds: no candidate models ≥ %.1f GFLOPS", sr.Incumbent.Kernel, floor)
+	for _, c := range sr.Candidates {
+		if c.GFLOPS < floor {
+			break
+		}
+		if err := autotune.Prove(plat, elem, c); err != nil {
+			fmt.Fprintf(os.Stderr, "shalom-tune: candidate %s failed the proof gate: %v\n", c.Kernel, err)
+			continue
+		}
+		w := c
+		rep.Winner = &w
+		rep.UpliftPct = (c.GFLOPS/sr.Incumbent.GFLOPS - 1) * 100
+		rep.Verdict = fmt.Sprintf("%s proved: %.1f GFLOPS modeled, +%.0f%% over %s",
+			c.Kernel, c.GFLOPS, rep.UpliftPct, sr.Incumbent.Kernel)
+		break
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(rep)
+		return
+	}
+	if len(rep.Workload) > 0 {
+		fmt.Printf("workload (%s):\n", *journalDir)
+		for _, r := range rep.Workload {
+			fmt.Printf("  %-4s %-10s %8d calls  %5.1f%% of calls  %5.1f%% of flops\n",
+				r.Precision, r.Class, r.Calls, r.CallShare*100, r.FlopShare*100)
+		}
+	}
+	fmt.Printf("class %s/%s on %s\n", *precision, *className, plat.Name)
+	fmt.Printf("  incumbent  %-28s %7.1f GFLOPS (modeled)\n", rep.Incumbent.Kernel, rep.Incumbent.GFLOPS)
+	for i, c := range rep.Candidates {
+		fmt.Printf("  #%d         %-28s %7.1f GFLOPS (modeled)\n", i+1, c.Kernel, c.GFLOPS)
+	}
+	fmt.Printf("shalom-tune: %s\n", rep.Verdict)
+	if rep.Winner == nil {
+		os.Exit(1)
+	}
+}

@@ -125,7 +125,7 @@ func gemmBatch[T Float](ctx context.Context, cfg Config, ks kernelSet[T], mode M
 	var completed atomic.Int64
 	ran := make([]bool, len(batch))
 
-	execOne := func(worker, i int, e BatchEntry[T]) (bool, uint8, error) {
+	execOne := func(worker, i int, e BatchEntry[T], class uint8) (bool, uint8, error) {
 		if e.M == 0 || e.N == 0 {
 			return false, telemetry.KernelFast, nil
 		}
@@ -145,29 +145,40 @@ func gemmBatch[T Float](ctx context.Context, cfg Config, ks kernelSet[T], mode M
 			ks.ref(mode.TransA(), mode.TransB(), e.M, e.N, e.K, e.Alpha, e.A, e.LDA, e.B, e.LDB, e.Beta, e.C, e.LDC)
 			return false, telemetry.KernelRef, nil
 		case heal.RouteCanary:
-			degraded := runCanary(cfg, ks, plat, tile, blk, mode,
+			degraded := runCanary(cfg, ks, plat, tile, blk, mode, path, false,
 				telemetry.WorkerTid(worker, callTid),
 				e.M, e.N, e.K, e.Alpha, e.A, e.LDA, e.B, e.LDB, e.Beta, e.C, e.LDC)
 			return degraded, telemetry.KernelFast, nil
 		}
+		// Tuned dispatch override for this entry's shape class — same
+		// three-way routing as the non-batch driver (see resolveOverride):
+		// probing runs canary-shadowed, healthy serves the tuned tile, open
+		// falls back to the incumbent tile.
+		effTile, effBlk, effPath, kern, ovCanary := resolveOverride(plat, ks.elemBytes, class, tile, blk, path)
+		if ovCanary {
+			degraded := runCanary(cfg, ks, plat, effTile, effBlk, mode, effPath, true,
+				telemetry.WorkerTid(worker, callTid),
+				e.M, e.N, e.K, e.Alpha, e.A, e.LDA, e.B, e.LDB, e.Beta, e.C, e.LDC)
+			return degraded, telemetry.KernelTuned, nil
+		}
 		bl := parallel.Block{I0: 0, J0: 0, M: e.M, N: e.N}
-		degraded, err := runBlock(cfg, ks, plat, tile, blk, mode, bl, i,
+		degraded, err := runBlock(cfg, ks, plat, effTile, effBlk, mode, effPath, bl, i,
 			telemetry.WorkerTid(worker, callTid), e.K,
 			e.Alpha, e.A, e.LDA, e.B, e.LDB, e.Beta, e.C, e.LDC)
-		return degraded, telemetry.KernelFast, err
+		return degraded, kern, err
 	}
 	runOne := func(worker, i int, e BatchEntry[T]) error {
 		start := tel.Now()
-		if d := faults.SlowClassFire(uint8(telemetry.ClassifyShape(e.M, e.N, e.K))); d > 0 {
+		class := uint8(telemetry.ClassifyShape(e.M, e.N, e.K))
+		if d := faults.SlowClassFire(class); d > 0 {
 			// Chaos: the batch (serving) path's copy of the slow-class
 			// delay — inside the timed region, so the attribution engine
 			// sees the seeded class underperform (scripts/attrib-smoke.sh).
 			tel.FaultInjected(faults.SlowShapeClass)
 			time.Sleep(d)
 		}
-		degraded, kernel, err := execOne(worker, i, e)
+		degraded, kernel, err := execOne(worker, i, e, class)
 		if tel != nil {
-			class := uint8(telemetry.ClassifyShape(e.M, e.N, e.K))
 			flops := 2 * float64(e.M) * float64(e.N) * float64(e.K)
 			outcome := telemetry.OutcomeOK
 			switch {

@@ -2,10 +2,10 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"libshalom/internal/analytic"
 	"libshalom/internal/faults"
-	"libshalom/internal/guard"
 	"libshalom/internal/heal"
 	"libshalom/internal/parallel"
 	"libshalom/internal/platform"
@@ -17,15 +17,21 @@ import (
 // path runs into the real C (single-threaded, under panic isolation), and
 // the two results are compared element-wise under the precision's tolerance.
 //
+// path names the breaker under probation — the kernel family's path
+// (guard.PathFor) for healing canaries, or a tuned override's private path
+// when the autotuner is proving a candidate tile on live traffic (tuned
+// true; tile and blk then carry the candidate's parameters).
+//
 // On agreement the canary counts toward closing the breaker. On any
 // disagreement — a fast-path panic, an element outside tolerance, or the
-// CanaryMismatch injection point firing — the shadow (the correct reference
-// result) is copied into C, so the caller always receives a correct answer,
-// and the breaker re-opens with a doubled cooldown. The returned degraded
-// flag reports whether the call fell back to the reference result.
-func runCanary[T Float](cfg Config, ks kernelSet[T], plat *platform.Platform, tile analytic.Tile, blk analytic.Blocking, mode Mode, tid int32, m, n, k int, alpha T, a []T, lda int, b []T, ldb int, beta T, c []T, ldc int) (degraded bool) {
+// CanaryMismatch/TunerBadCandidate injection points firing — the shadow
+// (the correct reference result) is copied into C, so the caller always
+// receives a correct answer, and the breaker re-opens with a doubled
+// cooldown (for a tuned path, the trip also evicts the dispatch override,
+// restoring the incumbent tile). The returned degraded flag reports whether
+// the call fell back to the reference result.
+func runCanary[T Float](cfg Config, ks kernelSet[T], plat *platform.Platform, tile analytic.Tile, blk analytic.Blocking, mode Mode, path string, tuned bool, tid int32, m, n, k int, alpha T, a []T, lda int, b []T, ldb int, beta T, c []T, ldc int) (degraded bool) {
 	tel := cfg.Tel
-	path := guard.PathFor(ks.elemBytes)
 	tel.HealEvent(telemetry.HealCanaryRun)
 
 	// The shadow starts as a clone of C (dense, leading dimension n) so the
@@ -41,6 +47,14 @@ func runCanary[T Float](cfg Config, ks kernelSet[T], plat *platform.Platform, ti
 		}
 		gemmST(tel, tid, ks, plat, tile, blk, mode, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc)
 	})
+	if tuned && panicErr == nil && m > 0 && n > 0 && faults.Fire(faults.TunerBadCandidate) {
+		// Chaos: a candidate that cleared every static proof yet computes a
+		// wrong answer on live traffic. The corruption lands in the fast-path
+		// result only — the comparison below must catch it and the shadow
+		// must rescue the caller.
+		tel.FaultInjected(faults.TunerBadCandidate)
+		c[0] = T(math.NaN())
+	}
 
 	mismatch := ""
 	switch {

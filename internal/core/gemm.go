@@ -212,16 +212,34 @@ func gemm[T Float](cfg Config, ks kernelSet[T], mode Mode, m, n, k int, alpha T,
 	}
 	tile := analytic.SolveForElem(ks.elemBytes)
 	blk := analytic.BlockingFor(plat, ks.elemBytes)
+	famPath := guard.PathFor(ks.elemBytes)
 	tel.Span(telemetry.PhasePlan, callTid, planStart, uint8(mode), prec, m, n, k)
 
 	if route == heal.RouteCanary {
 		// Probing breaker: fast path shadowed by the reference, compared.
 		// Canaries run single-threaded — the shadow doubles the work anyway,
 		// and the probing window is short.
-		if runCanary(cfg, ks, plat, tile, blk, mode, callTid, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc) {
+		if runCanary(cfg, ks, plat, tile, blk, mode, famPath, false, callTid, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc) {
 			return finish(telemetry.KernelRef, telemetry.OutcomeDegraded, nil)
 		}
 		return finish(telemetry.KernelFast, telemetry.OutcomeOK, nil)
+	}
+
+	// Tuned dispatch override: when the autotuner has installed a candidate
+	// tile for this (precision, shape class), route through the candidate's
+	// private breaker. Probing runs canary-shadowed (the caller always gets
+	// the reference-checked result); healthy serves the tuned tile directly;
+	// an open tuned breaker — possible only in the instant before Trip evicts
+	// the override — falls back to the incumbent tile, never the reference.
+	// resolveOverride keeps every resulting variable single-assignment: the
+	// threaded-task closures below escape, and reassigning a captured
+	// variable would heap-box it on the zero-alloc single-threaded path too.
+	effTile, effBlk, path, kern, ovCanary := resolveOverride(plat, ks.elemBytes, class, tile, blk, famPath)
+	if ovCanary {
+		if runCanary(cfg, ks, plat, effTile, effBlk, mode, path, true, callTid, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc) {
+			return finish(telemetry.KernelRef, telemetry.OutcomeDegraded, nil)
+		}
+		return finish(telemetry.KernelTuned, telemetry.OutcomeOK, nil)
 	}
 
 	report := func(degraded bool, err error) error {
@@ -230,23 +248,23 @@ func gemm[T Float](cfg Config, ks kernelSet[T], mode Mode, m, n, k int, alpha T,
 			var stuck *guard.StuckWorkerError
 			if errors.As(err, &stuck) {
 				tel.HealEvent(telemetry.HealStuckWorker)
-				return finish(telemetry.KernelFast, telemetry.OutcomeStuck, err)
+				return finish(kern, telemetry.OutcomeStuck, err)
 			}
 			if _, ok := err.(*guard.KernelPanicError); ok {
-				return finish(telemetry.KernelFast, telemetry.OutcomePanic, err)
+				return finish(kern, telemetry.OutcomePanic, err)
 			}
 			// Pool misuse (ErrClosed): the work never ran.
-			return finish(telemetry.KernelFast, telemetry.OutcomeCancelled, err)
+			return finish(kern, telemetry.OutcomeCancelled, err)
 		case degraded:
 			return finish(telemetry.KernelRef, telemetry.OutcomeDegraded, nil)
 		default:
-			return finish(telemetry.KernelFast, telemetry.OutcomeOK, nil)
+			return finish(kern, telemetry.OutcomeOK, nil)
 		}
 	}
 
 	if cfg.Threads > 1 {
 		part := analytic.PartitionFor(m, n, cfg.Threads)
-		blocks := parallel.Blocks(m, n, part, tile.MR, tile.NR)
+		blocks := parallel.Blocks(m, n, part, effTile.MR, effTile.NR)
 		if len(blocks) > 1 {
 			pool := cfg.Pool
 			if pool == nil {
@@ -262,7 +280,7 @@ func gemm[T Float](cfg Config, ks kernelSet[T], mode Mode, m, n, k int, alpha T,
 			for bi, blkC := range blocks {
 				bi, blkC := bi, blkC
 				tasks[bi] = func(worker int) {
-					degr[bi], errs[bi] = runGemmBlock(cfg, ks, plat, tile, blk, mode,
+					degr[bi], errs[bi] = runGemmBlock(cfg, ks, plat, effTile, effBlk, mode, path,
 						blkC, worker, callTid, k, alpha, a, lda, b, ldb, beta, c, ldc)
 				}
 			}
@@ -285,9 +303,36 @@ func gemm[T Float](cfg Config, ks kernelSet[T], mode Mode, m, n, k int, alpha T,
 			return report(degraded, nil)
 		}
 	}
-	return report(runGemmBlock(cfg, ks, plat, tile, blk, mode,
+	return report(runGemmBlock(cfg, ks, plat, effTile, effBlk, mode, path,
 		parallel.Block{I0: 0, J0: 0, M: m, N: n}, -1, callTid,
 		k, alpha, a, lda, b, ldb, beta, c, ldc))
+}
+
+// resolveOverride resolves the effective tile, blocking, breaker path and
+// kernel label for one call: the tuned dispatch override's when one is
+// installed for the (element size, shape class) key and its breaker is
+// serving (canary true while it is probing), the incumbent's otherwise —
+// including when the tuned breaker is open, which falls back to the
+// incumbent tile on the fast path, never the reference. Returning fresh
+// single-assignment values (instead of mutating the caller's) keeps the
+// caller's closure captures by-value, preserving the zero-alloc hot path.
+func resolveOverride(plat *platform.Platform, elemBytes int, class uint8, tile analytic.Tile, blk analytic.Blocking, famPath string) (analytic.Tile, analytic.Blocking, string, uint8, bool) {
+	ov, ok := guard.OverrideFor(elemBytes, class)
+	if !ok {
+		return tile, blk, famPath, telemetry.KernelFast, false
+	}
+	ovTile := analytic.Tile{MR: ov.MR, NR: ov.NR}
+	ovBlk := blk
+	if ov.KC > 0 {
+		ovBlk.KC = ov.KC
+	}
+	switch route, _ := heal.RouteFor(plat.Name, ov.Path); route {
+	case heal.RouteCanary:
+		return ovTile, ovBlk, ov.Path, telemetry.KernelTuned, true
+	case heal.RouteFast:
+		return ovTile, ovBlk, ov.Path, telemetry.KernelTuned, false
+	}
+	return tile, blk, famPath, telemetry.KernelFast, false
 }
 
 // runGemmBlock executes one C sub-block of a non-batch call through the
@@ -296,10 +341,10 @@ func gemm[T Float](cfg Config, ks kernelSet[T], mode Mode, m, n, k int, alpha T,
 // rather than a shared closure: the threaded tasks above would make such a
 // closure escape, and that heap allocation would tax the single-threaded
 // hot path too.
-func runGemmBlock[T Float](cfg Config, ks kernelSet[T], plat *platform.Platform, tile analytic.Tile, blk analytic.Blocking, mode Mode, bl parallel.Block, worker int, callTid int32, k int, alpha T, a []T, lda int, b []T, ldb int, beta T, c []T, ldc int) (bool, error) {
+func runGemmBlock[T Float](cfg Config, ks kernelSet[T], plat *platform.Platform, tile analytic.Tile, blk analytic.Blocking, mode Mode, path string, bl parallel.Block, worker int, callTid int32, k int, alpha T, a []T, lda int, b []T, ldb int, beta T, c []T, ldc int) (bool, error) {
 	aOff, ldaEff := threadAOffset(mode, bl.I0, lda)
 	bOff := threadBOffset(mode, bl.J0, ldb)
-	return runBlock(cfg, ks, plat, tile, blk, mode, bl, -1,
+	return runBlock(cfg, ks, plat, tile, blk, mode, path, bl, -1,
 		telemetry.WorkerTid(worker, callTid), k,
 		alpha, a[aOff:], ldaEff, b[bOff:], ldb,
 		beta, c[bl.I0*ldc+bl.J0:], ldc)

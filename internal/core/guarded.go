@@ -36,9 +36,13 @@ import (
 // views the caller derived (the same views gemmST consumes); bl carries the
 // absolute block coordinates for error reporting, entry the batch entry
 // index (-1 outside batch calls), and tid the trace lane of the executing
-// worker. The first return value reports whether the block was recomputed
-// on the reference path after a demotion (the call degraded but succeeded).
-func runBlock[T Float](cfg Config, ks kernelSet[T], plat *platform.Platform, tile analytic.Tile, blk analytic.Blocking, mode Mode, bl parallel.Block, entry int, tid int32, k int, alpha T, a []T, lda int, b []T, ldb int, beta T, c []T, ldc int) (degraded bool, err error) {
+// worker. path names the breaker a demotion trips: the kernel family's path
+// for incumbent executions, or a tuned override's private path — tripping
+// the latter evicts only that override (guard.Trip), leaving the family
+// serving on the incumbent tile. The first return value reports whether the
+// block was recomputed on the reference path after a demotion (the call
+// degraded but succeeded).
+func runBlock[T Float](cfg Config, ks kernelSet[T], plat *platform.Platform, tile analytic.Tile, blk analytic.Blocking, mode Mode, path string, bl parallel.Block, entry int, tid int32, k int, alpha T, a []T, lda int, b []T, ldb int, beta T, c []T, ldc int) (degraded bool, err error) {
 	tel := cfg.Tel
 	m, n := bl.M, bl.N
 	blockStart := tel.Now()
@@ -75,7 +79,6 @@ func runBlock[T Float](cfg Config, ks kernelSet[T], plat *platform.Platform, til
 	if !cfg.NumericGuard && !cfg.RetryTransient {
 		return false, panicErr
 	}
-	path := guard.PathFor(ks.elemBytes)
 	// shape is only rendered on the demotion paths; the healthy path stays
 	// allocation-free beyond the guard's own snapshot.
 	shape := func() string { return fmt.Sprintf("%s %dx%dx%d", mode, m, n, k) }

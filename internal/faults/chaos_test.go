@@ -325,6 +325,34 @@ func TestChaosTelemetryOneEventPerInjection(t *testing.T) {
 			faults.SetSlowClass(uint8(telemetry.ShapeSmall), time.Millisecond)
 			return func() { faults.SetSlowClass(0, 0) }
 		}},
+		// TunerBadCandidate fires only while a tuned dispatch override is
+		// serving its canary, and its trip lands on the candidate's private
+		// breaker path rather than the kernel family's — so it runs as its
+		// own scenario: install a candidate tile for the guarded problem's
+		// shape class behind a probing breaker (stride 1 so the first call
+		// canaries), then assert the injected wrong result was caught by the
+		// reference shadow and the incident recorded against the tuned path.
+		// TestChaosTunerBadCandidateRevertsToIncumbent covers the rest of
+		// the revert contract.
+		faults.TunerBadCandidate: {run: func(t *testing.T, tel *telemetry.Recorder) {
+			prev := heal.Configure(heal.Config{CanaryStride: 1})
+			defer heal.Configure(prev)
+			class := uint8(telemetry.ClassifyShape(64, 36, 16))
+			path := guard.MintOverridePath(4, telemetry.ShapeClass(class).String())
+			guard.SetOverride(4, class, guard.TileOverride{
+				MR: 4, NR: 8, KC: 8, Kernel: "chaos-bad-candidate", Path: path,
+			})
+			heal.BeginProbation(platform.KP920().Name, path)
+			p := newProblem(uint64(30+faults.TunerBadCandidate), core.NT, 64, 36, 16)
+			cfg := core.Config{Plat: platform.KP920(), Threads: 4, NumericGuard: true, Tel: tel}
+			if err := p.run(cfg); err != nil {
+				t.Fatalf("canaried call errored: %v", err)
+			}
+			p.assertCorrect(t, "canaried call with injected bad candidate")
+			if d, ok := guard.Demotion(platform.KP920().Name, path); !ok || d.Seq == 0 || d.Shape == "" {
+				t.Fatalf("tuned-path registry entry = %+v, %v; want shape and seq recorded", d, ok)
+			}
+		}},
 		// JournalTornWrite fires on the journal's append path, not the
 		// compute path: a telemetry-enabled writer tears its next record
 		// mid-frame and goes sticky-failed — the crash the recovery test
@@ -590,4 +618,79 @@ func TestChaosEveryPointLeavesRuntimeUsable(t *testing.T) {
 		p2.assertCorrect(t, pt.String()+": follow-up call")
 	}
 	resetAll()
+}
+
+// TestChaosTunerBadCandidateRevertsToIncumbent is the autotuner's end-to-end
+// chaos property: a numerically wrong candidate that reached the canary gate
+// must (1) never hand a wrong result to any caller, (2) trip its private
+// breaker — which evicts the dispatch override and restores the incumbent
+// tile — and (3) surface exactly one fault event per injection while every
+// other kernel path keeps serving fast.
+func TestChaosTunerBadCandidateRevertsToIncumbent(t *testing.T) {
+	resetAll()
+	defer resetAll()
+	prevHeal := heal.Configure(heal.Config{CanaryStride: 1})
+	defer heal.Configure(prevHeal)
+
+	plat := platform.KP920()
+	class := uint8(telemetry.ClassifyShape(64, 36, 16))
+	path := guard.MintOverridePath(4, telemetry.ShapeClass(class).String())
+	if !guard.SetOverride(4, class, guard.TileOverride{
+		MR: 4, NR: 8, KC: 8, Kernel: "chaos-bad-candidate", Path: path,
+	}) {
+		t.Fatal("SetOverride refused a valid override")
+	}
+	if !heal.BeginProbation(plat.Name, path) {
+		t.Fatal("BeginProbation refused the tuned path")
+	}
+
+	tel := telemetry.New(telemetry.Options{})
+	faults.Arm(faults.TunerBadCandidate, 1)
+	p := newProblem(77, core.NT, 64, 36, 16)
+	cfg := core.Config{Plat: plat, Threads: 4, NumericGuard: true, Tel: tel}
+	if err := p.run(cfg); err != nil {
+		t.Fatalf("canaried call errored: %v", err)
+	}
+	// (1) The caller got the reference-shadow result, not the corruption.
+	p.assertCorrect(t, "canaried call with injected bad candidate")
+
+	// (2) The trip evicted the override and opened the candidate's breaker;
+	// the demotion history names the tuned kernel identity.
+	if ovs := guard.Overrides(); len(ovs) != 0 {
+		t.Fatalf("override still installed after trip: %+v", ovs)
+	}
+	if st := guard.StateOf(plat.Name, path); st != guard.StateOpen {
+		t.Fatalf("tuned breaker state = %q, want open", st)
+	}
+	if st := guard.StateOf(plat.Name, guard.PathF32); st != guard.StateHealthy {
+		t.Fatalf("family breaker state = %q, want healthy (only the candidate reverts)", st)
+	}
+	var evicted bool
+	for _, d := range guard.History() {
+		if d.Kernel == path && strings.Contains(d.Detail, "chaos-bad-candidate") {
+			evicted = true
+		}
+	}
+	if !evicted {
+		t.Fatalf("demotion history does not name the evicted candidate: %+v", guard.History())
+	}
+
+	// (3) Exactly one fault event per injection, and the incumbent tile is
+	// back: the follow-up call serves on the fast family path.
+	snap := tel.Snapshot()
+	if len(snap.Faults) != 1 || snap.Faults[0].Name != faults.TunerBadCandidate.String() || snap.Faults[0].Count != 1 {
+		t.Fatalf("fault events = %+v, want exactly one %q", snap.Faults, faults.TunerBadCandidate.String())
+	}
+	p2 := newProblem(78, core.NT, 64, 36, 16)
+	if err := p2.run(cfg); err != nil {
+		t.Fatalf("follow-up call errored: %v", err)
+	}
+	p2.assertCorrect(t, "follow-up call on the restored incumbent")
+	snap = tel.Snapshot()
+	if got := snap.KernelCalls("fast"); got != 1 {
+		t.Fatalf("follow-up served %d fast calls, want 1 (incumbent restored)", got)
+	}
+	if got := snap.KernelCalls("tuned"); got != 0 {
+		t.Fatalf("tuned kernel served %d calls after eviction, want 0", got)
+	}
 }

@@ -69,6 +69,14 @@ const (
 	// process killed mid-request (the rolling-restart crash case). The
 	// request is idempotent, so the router retries it on a survivor.
 	RouterConnReset
+	// TunerBadCandidate corrupts the tuned fast path's output during a
+	// canary-shadowed call on a tuned-override breaker path, standing in for
+	// an autotuner candidate that passed every static proof yet computes a
+	// wrong answer on live traffic (a modeling gap the proofs cannot see).
+	// The canary must catch the disagreement, the shadow reference result
+	// must rescue the call (zero wrong answers to clients), and the trip
+	// must evict the override, restoring the incumbent tile.
+	TunerBadCandidate
 
 	numPoints
 )
@@ -98,6 +106,8 @@ func (p Point) String() string {
 		return "router-slow-backend"
 	case RouterConnReset:
 		return "router-conn-reset"
+	case TunerBadCandidate:
+		return "tuner-bad-candidate"
 	}
 	return "unknown-fault"
 }
@@ -108,7 +118,7 @@ const NumPoints = int(numPoints)
 
 // Points lists every injection point, for suites that iterate the registry.
 func Points() []Point {
-	return []Point{PanicInKernel, CorruptPack, SlowWorker, SpuriousNaN, CanaryMismatch, StuckWorker, JournalTornWrite, SlowShapeClass, RouterBackendBlackhole, RouterSlowBackend, RouterConnReset}
+	return []Point{PanicInKernel, CorruptPack, SlowWorker, SpuriousNaN, CanaryMismatch, StuckWorker, JournalTornWrite, SlowShapeClass, RouterBackendBlackhole, RouterSlowBackend, RouterConnReset, TunerBadCandidate}
 }
 
 // InjectedPanicMsg is the panic value used by the PanicInKernel point, so

@@ -211,6 +211,13 @@ func DemoteShape(platform, kernel string, reason Reason, detail, shape string) {
 // cooldown << (trips-1), capped at << maxBackoffShift; contract trips never
 // cool down (static failures need a code change, not a retry).
 func Trip(platform, kernel string, reason Reason, detail, shape string, cooldown time.Duration) bool {
+	// A trip on a tuned-override path evicts the override first, so the
+	// candidate stops serving the instant its breaker opens and the recorded
+	// Degradation names the tuned kernel identity it demoted.
+	if ov, tuned := takeOverrideByPath(kernel); tuned {
+		detail = fmt.Sprintf("tuned kernel %s (tile %dx%d kc %d) reverted: %s",
+			ov.Kernel, ov.MR, ov.NR, ov.KC, detail)
+	}
 	mu.Lock()
 	k := key(platform, kernel)
 	br := breakers[k]
@@ -427,6 +434,9 @@ func sortByPair(out []Degradation) {
 // Intended for tests and for operators re-promoting kernels after an
 // investigated incident.
 func Reset() {
+	// Overrides go first, outside mu: takeOverrideByPath acquires ovMu
+	// before mu, so the registry lock must never be held across ovMu.
+	ResetOverrides()
 	mu.Lock()
 	defer mu.Unlock()
 	breakers = map[pathKey]*breaker{}

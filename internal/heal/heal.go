@@ -128,6 +128,15 @@ func ReportMismatch(platform, kernel, detail, shape string) bool {
 	return Trip(platform, kernel, guard.ReasonCanary, detail, shape)
 }
 
+// BeginProbation arms the breaker for a (platform, kernel) pair directly in
+// the probing state without recording a trip — the canary gate the
+// autotuner puts freshly installed candidates behind. The candidate then
+// earns its promotion through the same ReportAgree/ReportMismatch protocol
+// as a healing breaker.
+func BeginProbation(platform, kernel string) bool {
+	return guard.BeginProbation(platform, kernel)
+}
+
 // Tolerance is the canary comparison tolerance for an element size: the
 // same order as the numeric accuracy the test suite holds the fast path to
 // against the reference implementation.

@@ -21,6 +21,8 @@ func FuzzJournalDecode(f *testing.F) {
 	seed(Event{Kind: KindResult, Seq: 4, T: 5, AdmitSeq: 1, Status: 504})
 	seed(Event{Kind: KindFlush, Seq: 5, T: 6, Class: "f32/NN/small", Size: 3, Flops: 1.5e6})
 	seed(Event{Kind: KindBreaker, Seq: 6, T: 7, Platform: "kp920", Kernel: "gemm-f32", From: "healthy", To: "open", Reason: "numeric-guard", Detail: "NaN", Shape: "NN 4x4x4", GuardSeq: 1, Trips: 2})
+	seed(Event{Kind: KindTunePromote, Seq: 7, T: 8, Platform: "kp920", Class: "f32/small", Kernel: "tuned-5x12-kc8", MR: 5, NR: 12, KC: 8, GFLOPS: 42.5})
+	seed(Event{Kind: KindTuneRevert, Seq: 8, T: 9, Platform: "kp920", Class: "f32/small", Kernel: "tuned-5x12-kc8", Detail: "canary mismatch", MR: 5, NR: 12, KC: 8})
 	seed(Event{Kind: KindAnchor, Seq: 7, T: 8, Count: 4, Root: [32]byte{1}, Chain: [32]byte{2}, Sealed: true})
 	seed(Event{Kind: KindAnchor, Seq: 8, T: 9})
 	// Hostile shapes: unknown kinds, truncations, length lies, bad presence

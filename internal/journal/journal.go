@@ -323,6 +323,41 @@ func (w *Writer) Breaker(d guard.Degradation, from, to guard.State) {
 	w.appendLocked(&e)
 }
 
+// TunePromote journals one autotuner promotion: class gained a serving
+// tuned tile (kernel identity, mr×nr tile, kc panel depth) whose modeled
+// throughput is gflops.
+func (w *Writer) TunePromote(platform, class, kernel string, mr, nr, kc int, gflops float64) {
+	if w == nil {
+		return
+	}
+	probeAtomicWrite()
+	e := Event{
+		Kind: KindTunePromote, T: time.Now().UnixNano(),
+		Platform: platform, Class: class, Kernel: kernel,
+		MR: uint32(mr), NR: uint32(nr), KC: uint32(kc), GFLOPS: gflops,
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.appendLocked(&e)
+}
+
+// TuneRevert journals one autotuner revert: class fell back to the incumbent
+// tile; detail carries the reason (breaker trip text or operator action).
+func (w *Writer) TuneRevert(platform, class, kernel string, mr, nr, kc int, detail string) {
+	if w == nil {
+		return
+	}
+	probeAtomicWrite()
+	e := Event{
+		Kind: KindTuneRevert, T: time.Now().UnixNano(),
+		Platform: platform, Class: class, Kernel: kernel, Detail: detail,
+		MR: uint32(mr), NR: uint32(nr), KC: uint32(kc),
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.appendLocked(&e)
+}
+
 // GuardObserver adapts the writer to guard.SetTransitionObserver, so every
 // trip and close lands in the journal. Returns nil for a nil writer —
 // passing that to SetTransitionObserver clears the hook.

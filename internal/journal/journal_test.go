@@ -367,3 +367,122 @@ func TestMerkleProperties(t *testing.T) {
 		t.Error("chain insensitive to operand order")
 	}
 }
+
+// TestTuneRecords covers the autotuner's journal contract: a captured tuning
+// session (promote, revert, re-promote) replays to exactly the decision
+// sequence that was recorded — same classes, same tiles, same order — and a
+// flipped byte inside a tune record fails verification.
+func TestTuneRecords(t *testing.T) {
+	type decision struct {
+		kind          Kind
+		class, kernel string
+		mr, nr, kc    uint32
+		gflops        float64
+		detail        string
+	}
+	session := []decision{
+		{KindTunePromote, "f32/small", "tuned-5x12-kc8-pipelined", 5, 12, 8, 41.7, ""},
+		{KindTuneRevert, "f32/small", "tuned-5x12-kc8-pipelined", 5, 12, 8, 0, "canary mismatch: injected"},
+		{KindTunePromote, "f32/small", "tuned-6x8-kc16-pipelined", 6, 8, 16, 39.2, ""},
+		{KindTunePromote, "f64/medium", "tuned-4x6-kc8-pipelined", 4, 6, 8, 18.4, ""},
+	}
+
+	dir := t.TempDir()
+	w := open(t, dir, Options{})
+	for _, d := range session {
+		if d.kind == KindTunePromote {
+			w.TunePromote("kp920", d.class, d.kernel, int(d.mr), int(d.nr), int(d.kc), d.gflops)
+		} else {
+			w.TuneRevert("kp920", d.class, d.kernel, int(d.mr), int(d.nr), int(d.kc), d.detail)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := VerifyDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK {
+		t.Fatalf("tuning journal fails verification: %v", rep.Errs)
+	}
+
+	// Replay: two independent reads must reproduce the identical decision
+	// sequence, and it must match what the session recorded.
+	for pass := 0; pass < 2; pass++ {
+		events, err := ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []decision
+		for _, e := range events {
+			if e.Kind != KindTunePromote && e.Kind != KindTuneRevert {
+				continue
+			}
+			if e.Platform != "kp920" {
+				t.Errorf("tune record platform %q, want kp920", e.Platform)
+			}
+			got = append(got, decision{e.Kind, e.Class, e.Kernel, e.MR, e.NR, e.KC, e.GFLOPS, e.Detail})
+		}
+		if len(got) != len(session) {
+			t.Fatalf("replay pass %d: %d tune records, want %d", pass, len(got), len(session))
+		}
+		for i := range session {
+			if got[i] != session[i] {
+				t.Fatalf("replay pass %d: decision %d = %+v, want %+v", pass, i, got[i], session[i])
+			}
+		}
+	}
+
+	// Tamper: flip one byte inside each tune record's payload; verification
+	// must reject every one of them.
+	paths, _, err := Segments(dir)
+	if err != nil || len(paths) != 1 {
+		t.Fatalf("Segments: %v (%d)", err, len(paths))
+	}
+	orig, err := os.ReadFile(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The kernel identity strings appear only inside tune record payloads;
+	// flip a byte of each occurrence.
+	for _, needle := range []string{"tuned-5x12-kc8-pipelined", "tuned-6x8-kc16-pipelined", "tuned-4x6-kc8-pipelined"} {
+		off := indexOf(orig, []byte(needle))
+		if off < 0 {
+			t.Fatalf("tune record for %q not found in segment bytes", needle)
+		}
+		tampered := make([]byte, len(orig))
+		copy(tampered, orig)
+		tampered[off+3] ^= 0x20
+		tdir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(tdir, filepath.Base(paths[0])), tampered, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		rep, err := VerifyDir(tdir)
+		if err != nil {
+			continue // hard scan error: detection via the error path
+		}
+		if rep.OK {
+			t.Errorf("flipped byte inside the %q tune record went undetected", needle)
+		}
+	}
+}
+
+// indexOf is bytes.Index without importing bytes into this file's tight
+// import set.
+func indexOf(haystack, needle []byte) int {
+	for i := 0; i+len(needle) <= len(haystack); i++ {
+		match := true
+		for j := range needle {
+			if haystack[i+j] != needle[j] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return i
+		}
+	}
+	return -1
+}

@@ -32,6 +32,15 @@ const (
 	// KindBreaker records one circuit-breaker transition (trip or close)
 	// observed through the guard registry.
 	KindBreaker Kind = 0x13
+	// KindTunePromote records one autotuner promotion: a proved candidate
+	// tile whose canary breaker closed now serves its shape class. Replay of
+	// a captured tuning session reproduces the promotion sequence from these
+	// records alone.
+	KindTunePromote Kind = 0x14
+	// KindTuneRevert records one autotuner revert: the candidate's breaker
+	// tripped (or the operator cleared it) and the incumbent tile was
+	// restored; Detail carries the reason.
+	KindTuneRevert Kind = 0x15
 	// KindAnchor closes a batch of events with a merkle root over their
 	// record payloads, chained to the previous anchor: one hash proves the
 	// whole prefix. A sealed anchor is the last record of its segment.
@@ -51,6 +60,10 @@ func (k Kind) String() string {
 		return "flush"
 	case KindBreaker:
 		return "breaker"
+	case KindTunePromote:
+		return "tune-promote"
+	case KindTuneRevert:
+		return "tune-revert"
 	case KindAnchor:
 		return "anchor"
 	}
@@ -104,6 +117,8 @@ type Event struct {
 	Flops float64
 
 	// Breaker fields, mirroring guard.Degradation plus the transition.
+	// TunePromote/TuneRevert reuse Platform, Kernel (the tuned identity),
+	// Class and Detail.
 	Platform string
 	Kernel   string
 	From     string
@@ -113,6 +128,11 @@ type Event struct {
 	Shape    string
 	GuardSeq uint64
 	Trips    uint32
+
+	// Tune fields: the candidate tile and its modeled throughput at the
+	// decision point.
+	MR, NR, KC uint32
+	GFLOPS     float64
 
 	// Anchor fields: Count records anchored, Root their merkle root, Chain
 	// = SHA-256(prev chain ‖ Root), Sealed whether this anchor closes the
@@ -164,6 +184,15 @@ func encodeEvent(e *Event) []byte {
 		b = appendString(b, e.Shape)
 		b = binary.LittleEndian.AppendUint64(b, e.GuardSeq)
 		b = binary.LittleEndian.AppendUint32(b, e.Trips)
+	case KindTunePromote, KindTuneRevert:
+		b = appendString(b, e.Platform)
+		b = appendString(b, e.Class)
+		b = appendString(b, e.Kernel)
+		b = appendString(b, e.Detail)
+		b = binary.LittleEndian.AppendUint32(b, e.MR)
+		b = binary.LittleEndian.AppendUint32(b, e.NR)
+		b = binary.LittleEndian.AppendUint32(b, e.KC)
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(e.GFLOPS))
 	case KindAnchor:
 		b = binary.LittleEndian.AppendUint32(b, e.Count)
 		b = append(b, e.Root[:]...)
@@ -303,6 +332,15 @@ func decodeEvent(payload []byte) (Event, error) {
 		e.Shape = c.str()
 		e.GuardSeq = c.u64()
 		e.Trips = c.u32()
+	case KindTunePromote, KindTuneRevert:
+		e.Platform = c.str()
+		e.Class = c.str()
+		e.Kernel = c.str()
+		e.Detail = c.str()
+		e.MR = c.u32()
+		e.NR = c.u32()
+		e.KC = c.u32()
+		e.GFLOPS = math.Float64frombits(c.u64())
 	case KindAnchor:
 		e.Count = c.u32()
 		e.Root = c.hash()

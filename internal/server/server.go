@@ -16,6 +16,7 @@ import (
 
 	"libshalom"
 	"libshalom/internal/attrib"
+	"libshalom/internal/autotune"
 	"libshalom/internal/guard"
 	"libshalom/internal/heal"
 	"libshalom/internal/journal"
@@ -75,6 +76,13 @@ type Config struct {
 	// attribution at zero cost — /attrib answers 404 and the hot path
 	// carries only the recorder's sketch counters.
 	Attrib *attrib.Engine
+	// Autotune, when non-nil, is the traffic-adaptive kernel tuning loop:
+	// the server mounts its /tune state-machine report, appends its gauge
+	// family to /metrics, and summarises it in /healthz. The caller owns
+	// the engine's lifecycle (Start before serving, Close on shutdown).
+	// Nil (the default) disables autotuning — /tune answers 404 and no
+	// tuning goroutine exists.
+	Autotune *autotune.Engine
 	// Pprof mounts net/http/pprof's profiling handlers under
 	// /debug/pprof/ on the server mux. Off by default: the profiling
 	// surface is a debugging aid, not part of the serving contract.
@@ -126,6 +134,8 @@ func (c Config) withDefaults() Config {
 //	GET  /trace     Chrome trace_event JSON
 //	GET  /attrib    attribution report: efficiency accounts, drift events,
 //	                ranked tuning candidates (404 when attribution is off)
+//	GET  /tune      autotuner report: per-class tuning state machine and
+//	                lifetime counters (404 when autotuning is off)
 //
 // Build it over a Context the caller owns; the caller closes that Context
 // after Drain.
@@ -165,12 +175,14 @@ func New(lib *libshalom.Context, cfg Config) *Server {
 		// combined page never duplicates a series.
 		s.mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 			h.ServeHTTP(w, r)
-			_ = cfg.Attrib.WritePrometheus(w) // nil-safe: writes nothing when attribution is off
+			_ = cfg.Attrib.WritePrometheus(w)   // nil-safe: writes nothing when attribution is off
+			_ = cfg.Autotune.WritePrometheus(w) // nil-safe: writes nothing when autotuning is off
 		})
 		s.mux.Handle("/snapshot", h)
 		s.mux.Handle("/trace", h)
 	}
 	s.mux.Handle("/attrib", cfg.Attrib.Handler())
+	s.mux.Handle("/tune", cfg.Autotune.Handler())
 	if cfg.Pprof {
 		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -190,10 +202,11 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 // platform model.
 func configHash(lib *libshalom.Context, cfg Config) string {
 	h := sha256.New()
-	fmt.Fprintf(h, "platform=%s window=%s max_batch=%d max_batch_flops=%g max_queue=%d max_inflight_flops=%d default_timeout=%s retry_after=%d+%d max_dim=%d max_payload=%d journal=%t",
+	fmt.Fprintf(h, "platform=%s window=%s max_batch=%d max_batch_flops=%g max_queue=%d max_inflight_flops=%d default_timeout=%s retry_after=%d+%d max_dim=%d max_payload=%d journal=%t autotune=%t",
 		lib.Platform().Name, cfg.Window, cfg.MaxBatch, cfg.MaxBatchFlops,
 		cfg.MaxQueue, cfg.MaxInFlightFlops, cfg.DefaultTimeout, cfg.RetryAfter,
-		cfg.RetryAfterJitter, cfg.MaxDim, cfg.MaxPayloadBytes, cfg.Journal.Enabled())
+		cfg.RetryAfterJitter, cfg.MaxDim, cfg.MaxPayloadBytes, cfg.Journal.Enabled(),
+		cfg.Autotune != nil)
 	return hex.EncodeToString(h.Sum(nil))
 }
 
@@ -342,6 +355,20 @@ type healthzBody struct {
 	// windows, drift totals, calibration, and the current top tuning
 	// candidate — present only when attribution is on.
 	Attribution *attribHealth `json:"attribution,omitempty"`
+	// Autotune summarises the tuning loop — lifetime counters and any
+	// class currently canarying or promoted — present only when the loop
+	// is on.
+	Autotune *tuneHealth `json:"autotune,omitempty"`
+}
+
+// tuneHealth is the /healthz autotuner section.
+type tuneHealth struct {
+	Searched uint64 `json:"searched"`
+	Promoted uint64 `json:"promoted"`
+	Reverted uint64 `json:"reverted"`
+	// Canary names the class currently canarying a candidate, as
+	// "precision/class kernel", empty when none is in flight.
+	Canary string `json:"canary,omitempty"`
 }
 
 // attribHealth is the /healthz attribution section.
@@ -374,6 +401,16 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 			ah.TopScore = top.Score
 		}
 		body.Attribution = ah
+	}
+	if s.cfg.Autotune != nil {
+		rep := s.cfg.Autotune.Report()
+		th := &tuneHealth{Searched: rep.Searched, Promoted: rep.Promoted, Reverted: rep.Reverted}
+		for _, c := range rep.Classes {
+			if c.State == "canary" {
+				th.Canary = fmt.Sprintf("%s/%s %s", c.Precision, c.ShapeClass, c.Kernel)
+			}
+		}
+		body.Autotune = th
 	}
 	for _, path := range []string{guard.PathF32, guard.PathF64} {
 		switch guard.StateOf(plat, path) {

@@ -32,6 +32,7 @@ var nilGuardTargets = []struct {
 	{Pkg: "telemetry", Type: "Recorder"},
 	{Pkg: "journal", Type: "Writer", ExportedOnly: true},
 	{Pkg: "attrib", Type: "Engine", ExportedOnly: true},
+	{Pkg: "autotune", Type: "Engine", ExportedOnly: true},
 }
 
 // atomicWriteMethods are the sync/atomic value-type methods that mutate.

@@ -165,6 +165,15 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 		gauge("libshalom_router_backends_eligible", "Backends currently eligible for routing (healthy and ready).", rt.BackendsEligible)
 		gauge("libshalom_router_backends_ejected", "Backends currently ejected by the outlier state machine.", rt.BackendsEjected)
 	}
+	if s.Autotune.Active() {
+		at := s.Autotune
+		bw.printf("# HELP libshalom_autotune_events_total Autotuner lifecycle events: searches, proofs, rejections, canaries, promotions, reverts.\n")
+		bw.printf("# TYPE libshalom_autotune_events_total counter\n")
+		for _, e := range at.Events {
+			bw.printf("libshalom_autotune_events_total{event=%q} %d\n", e.Name, e.Count)
+		}
+		gauge("libshalom_autotune_overrides", "Tuned dispatch overrides currently installed.", at.Overrides)
+	}
 	if s.Journal.Active() {
 		jn := s.Journal
 		counter("libshalom_journal_records_total", "Event records appended to the request journal.", jn.Records)

@@ -98,6 +98,9 @@ type Snapshot struct {
 	// Journal is the request-journal section (appends, anchors, fsyncs);
 	// zero when journaling is disabled.
 	Journal JournalStats `json:"journal"`
+	// Autotune is the autotuner section (searches, proofs, promotions,
+	// reverts, installed overrides); zero when the tuning loop is off.
+	Autotune AutotuneStats `json:"autotune"`
 }
 
 // Snapshot aggregates the recorder into an exposition-ready value. A nil
@@ -169,6 +172,7 @@ func (r *Recorder) Snapshot() Snapshot {
 	s.Server = r.serverSnapshot()
 	s.Router = r.routerSnapshot()
 	s.Journal = r.journalSnapshot()
+	s.Autotune = r.autotuneSnapshot()
 	if r.trace != nil {
 		r.trace.mu.Lock()
 		s.TraceSpans = r.trace.written

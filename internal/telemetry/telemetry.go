@@ -44,11 +44,14 @@ const (
 	numPrec
 )
 
-// Kernel paths: the generated fast path vs. the portable reference path the
-// guard demotes to.
+// Kernel paths: the generated fast path, the portable reference path the
+// guard demotes to, and the autotuner's per-class tuned-tile path.
 const (
 	KernelFast uint8 = iota
 	KernelRef
+	// KernelTuned: the call ran with a promoted autotuner tile override in
+	// place of the analytic solution (internal/guard TileOverride).
+	KernelTuned
 	numKernel
 )
 
@@ -71,7 +74,7 @@ const numMode = 4
 var (
 	precNames    = [numPrec]string{"f32", "f64"}
 	modeNames    = [numMode]string{"NN", "NT", "TN", "TT"}
-	kernelNames  = [numKernel]string{"fast", "ref"}
+	kernelNames  = [numKernel]string{"fast", "ref", "tuned"}
 	outcomeNames = [numOutcome]string{"ok", "degraded", "panic", "cancelled", "stuck"}
 )
 
@@ -181,6 +184,9 @@ type Recorder struct {
 
 	// Journal counters (fed by internal/journal; see journal.go).
 	journal journalStats
+
+	// Autotuner counters (fed by internal/autotune; see autotune.go).
+	autotune autotuneStats
 
 	callSeq atomic.Uint64 // caller trace-lane allocator
 
